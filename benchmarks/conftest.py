@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure (quick scale by default;
+set ``REPRO_FULL=1`` for the paper-scale sweeps) and asserts the
+qualitative *shape* the paper reports (DESIGN.md §4).  The text report —
+the same rows/series as the paper's figure — is printed; run with ``-s``
+to see it.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Figure regeneration is deterministic and expensive; repeated rounds
+    would only re-measure the same arithmetic.
+    """
+
+    def _run(fn, **kwargs):
+        return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,29 @@
+"""Figure 11: Eq. 6 optimal vicinal radius vs the paper's fixed radii.
+
+Paper shape: with a zooming user (dynamically changing d), the dynamic
+Eq. 6 radius achieves the lowest total I/O + prefetch time among
+{optimal, 0.1, 0.075, 0.05, 0.025}.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig11_radius_comparison(run_once, full_scale):
+    panels = run_once(figures.fig11, full=full_scale)
+    print()
+    for panel in panels:
+        print(panel.report)
+        print()
+
+    (panel,) = panels
+    labels = panel.x_values
+    times = panel.series["io_plus_prefetch_s"]
+    assert labels[0] == "optimal (Eq.6)"
+    optimal_time = times[0]
+    # The Eq. 6 radius is the cheapest of the paper's comparison set
+    # (allow 2% numerical slack at quick scale).
+    for label, t in zip(labels[1:], times[1:]):
+        assert optimal_time <= t * 1.02, (label, optimal_time, t)
+    # And it achieves the best miss rate of the set too.
+    misses = panel.series["miss_rate"]
+    assert misses[0] <= min(misses[1:]) + 1e-9

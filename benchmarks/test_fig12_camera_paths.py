@@ -1,0 +1,36 @@
+"""Figure 12: miss rate across spherical (a) and random (b) camera paths.
+
+Paper shape (§V-C): on the 2048-block 3d_ball, OPT's miss rate is roughly
+a quarter of FIFO/LRU at 1 degree/step and stays below half of FIFO
+generally; miss rate grows with the per-step direction change.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig12_camera_path_sweep(run_once, full_scale):
+    panels = run_once(figures.fig12, full=full_scale)
+    print()
+    for panel in panels:
+        print(panel.report)
+        print()
+
+    spherical, rnd = panels
+    for panel in (spherical, rnd):
+        fifo = np.asarray(panel.series["fifo"])
+        lru = np.asarray(panel.series["lru"])
+        opt = np.asarray(panel.series["opt"])
+        # OPT wins everywhere.
+        assert np.all(opt < lru), panel.figure
+        assert np.all(opt < fifo), panel.figure
+        # Miss rate grows with the direction change for every method.
+        for series in (fifo, lru, opt):
+            assert series[-1] > series[0], panel.figure
+
+    # At the smallest direction change OPT is a small fraction of the
+    # baselines (paper: one quarter; assert at most 60% to be robust
+    # across scales).
+    assert spherical.series["opt"][0] < 0.6 * spherical.series["lru"][0]
+    assert rnd.series["opt"][0] < 0.6 * rnd.series["lru"][0]

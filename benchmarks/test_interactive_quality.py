@@ -1,0 +1,27 @@
+"""Extension: image quality under a per-frame I/O budget.
+
+Real interactive systems render at a fixed deadline with whatever data is
+resident; the replacement/prefetch policy then determines *visual*
+quality, not just latency.  This bench replays a path with a tight
+per-frame demand-I/O budget and compares plain LRU caching against the
+app-aware setup (importance-prioritised fetch + preload + table prefetch).
+"""
+
+from repro.experiments import extensions
+
+
+def test_budgeted_interaction_quality(run_once, full_scale):
+    (panel,) = run_once(extensions.interactive_quality, full=full_scale)
+    print()
+    print(panel.report)
+
+    lru_cov, aware_cov = panel.series["mean_coverage"]
+    lru_full, aware_full = panel.series["full_frames"]
+    lru_psnr, aware_psnr = panel.series["mean_psnr_db"]
+
+    # The app-aware variant shows the user more of each frame...
+    assert aware_cov > lru_cov
+    assert aware_full >= lru_full
+    # ...and its degraded frames are no worse (inf when every sampled frame
+    # was complete).
+    assert aware_psnr >= lru_psnr or aware_psnr == float("inf")

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the hot kernels.
+
+Unlike the figure benches (one deterministic regeneration), these measure
+raw kernel throughput with proper multi-round timing — the numbers that
+tell a user whether the library sustains interactive rates on their
+machine: the Eq. 1 visibility kernel, hierarchy fetch operations, per-block
+entropy, and ``T_visible`` lookups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera.frustum import visible_masks_batch
+from repro.camera.sampling import SamplingConfig
+from repro.importance.entropy import block_entropies
+from repro.storage.hierarchy import make_standard_hierarchy
+from repro.tables.builder import build_visible_table
+from repro.volume.blocks import BlockGrid
+from repro.volume.synthetic import ball_field
+from repro.volume.volume import Volume
+
+
+@pytest.fixture(scope="module")
+def grid4096():
+    return BlockGrid((128, 128, 128), (8, 8, 8))
+
+
+def test_visibility_kernel_throughput(benchmark, grid4096):
+    """Eq. 1 for one camera over 4096 blocks (per-frame visibility cost)."""
+    position = np.array([[2.5, 0.4, -0.2]])
+    grid4096.corners()  # warm the cache outside the timer
+
+    result = benchmark(visible_masks_batch, position, grid4096, 10.0)
+    assert result.shape == (1, 4096)
+    assert 0 < result.sum() < 4096
+
+
+def test_visibility_batch_throughput(benchmark, grid4096):
+    """400 camera positions at once (a whole path's ground truth)."""
+    rng = np.random.default_rng(0)
+    dirs = rng.standard_normal((400, 3))
+    positions = 2.5 * dirs / np.linalg.norm(dirs, axis=1, keepdims=True)
+    grid4096.corners()
+
+    result = benchmark(visible_masks_batch, positions, grid4096, 10.0)
+    assert result.shape == (400, 4096)
+
+
+def test_hierarchy_fetch_throughput(benchmark):
+    """Mixed hit/miss demand stream through the two-level hierarchy."""
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 1024, size=2000)
+
+    def run():
+        h = make_standard_hierarchy(1024, 64 * 1024)
+        for step, key in enumerate(keys):
+            h.fetch(int(key), step)
+        return h.stats().total_miss_rate
+
+    miss_rate = benchmark(run)
+    assert 0.0 < miss_rate < 1.0
+
+
+def test_block_entropy_throughput(benchmark):
+    """Step 2 preprocessing over a 64^3 volume in 512 blocks."""
+    vol = Volume(ball_field((64, 64, 64)))
+    grid = BlockGrid((64, 64, 64), (8, 8, 8))
+
+    scores = benchmark(block_entropies, vol, grid)
+    assert scores.shape == (512,)
+
+
+def test_table_lookup_throughput(benchmark, grid4096):
+    """KD-tree nearest-entry lookups against a 512-entry table."""
+    table = build_visible_table(
+        BlockGrid((64, 64, 64), (16, 16, 16)),
+        SamplingConfig(n_directions=256, n_distances=2),
+        10.0,
+        n_vicinal=2,
+        seed=0,
+    )
+    rng = np.random.default_rng(2)
+    dirs = rng.standard_normal((100, 3))
+    queries = 2.5 * dirs / np.linalg.norm(dirs, axis=1, keepdims=True)
+
+    def run():
+        total = 0
+        for q in queries:
+            _, ids = table.lookup(q)
+            total += len(ids)
+        return total
+
+    total = benchmark(run)
+    assert total > 0

@@ -1,0 +1,26 @@
+"""Layout ablation: space-filling-curve block placement (§II related work).
+
+Z-order turns aligned box fetches (octree-snapped zoom-ins) into
+contiguous file runs, but does *not* help cone-shaped frustum visible
+sets — an honest negative result showing the paper's gains come from the
+caching/prefetch policy, not from layout alone.
+"""
+
+from repro.experiments import extensions
+
+
+def test_layout_locality(run_once, full_scale):
+    (panel,) = run_once(extensions.layout_locality, full=full_scale)
+    print()
+    print(panel.report)
+
+    box_idx = panel.x_values.index("aligned 2^3 box span")
+    cone_idx = panel.x_values.index("frustum mean slot gap")
+    morton = panel.series["morton"]
+    row = panel.series["row_major"]
+
+    # Z-order: every aligned octant is one perfect 8-slot run.
+    assert morton[box_idx] == 7.0
+    assert row[box_idx] > 4 * morton[box_idx]
+    # Cone-shaped visible sets: no layout magic (documented negative result).
+    assert morton[cone_idx] >= 0.8 * row[cone_idx]

@@ -1,0 +1,26 @@
+"""Extension: importance-aware distribution for parallel rendering (§VI).
+
+Sort-last parallel rendering with a compositing barrier: the frame waits
+for the slowest node.  Distributing blocks by importance (greedy LPT,
+which interleaves the hot region across nodes) must beat contiguous
+spatial slabs (where whichever node owns the visible region does all the
+work) on total frame time and parallel efficiency.
+"""
+
+from repro.experiments import extensions
+
+
+def test_multinode_distribution(run_once, full_scale):
+    (panel,) = run_once(extensions.multinode, full=full_scale)
+    print()
+    print(panel.report)
+
+    rows = dict(zip(panel.x_values, zip(panel.series["total_s"],
+                                        panel.series["efficiency"])))
+    for n_nodes in (4, 8):
+        slab_total, slab_eff = rows[f"{n_nodes} nodes, spatial slabs"]
+        lpt_total, lpt_eff = rows[f"{n_nodes} nodes, importance-LPT"]
+        assert lpt_total < slab_total, n_nodes
+        assert lpt_eff > slab_eff, n_nodes
+    # More nodes reduce total time for the LPT distribution.
+    assert rows["8 nodes, importance-LPT"][0] < rows["4 nodes, importance-LPT"][0]

@@ -1,0 +1,31 @@
+"""The §III-B trade-off: multi-resolution bytes vs data-dependent accuracy.
+
+The paper's background argues that conventional view-dependent LoD saves
+I/O for *rendering* but breaks *data-dependent* operations, which need
+every element at full resolution ("may defeat the original purpose of
+performing high-resolution simulations").  This bench quantifies both
+halves on the combustion analogue.
+"""
+
+from repro.experiments import extensions
+
+
+def test_multires_bytes_vs_accuracy(run_once, full_scale):
+    (panel,) = run_once(extensions.multires_tradeoff, full=full_scale)
+    print()
+    full_bytes = panel.meta["full_bytes"]
+    lod_bytes = panel.meta["lod_bytes"]
+    print(f"view bytes: full-res {full_bytes / 1e6:.2f} MB, "
+          f"LoD {lod_bytes / 1e6:.2f} MB ({lod_bytes / full_bytes:.0%} of full)")
+    print(panel.report)
+
+    # The LoD win: meaningful byte savings for the view.
+    assert lod_bytes < 0.8 * full_bytes
+    # The LoD loss: data-dependent error grows strictly with coarseness.
+    hist = panel.series["hist_L1"]
+    assert hist[0] == 0.0
+    assert hist[1] > 0.0
+    assert hist[2] > hist[1]
+    # Query answers drift at coarse levels — exact only at level 0.
+    q = panel.series["query_voxels"]
+    assert q[1] != q[0] or q[2] != q[0]

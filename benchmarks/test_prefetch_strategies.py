@@ -1,0 +1,27 @@
+"""Ablation: prefetch strategies under identical accounting.
+
+How much of the app-aware win is the *precomputed table* versus any
+prediction at all?  Compares: no prefetch, the paper's T_visible lookup,
+dead-reckoning motion extrapolation (no table, per-step frustum compute),
+and an application-agnostic Markov successor predictor.
+"""
+
+from repro.experiments import extensions
+
+
+def test_prefetch_strategy_comparison(run_once, full_scale):
+    (panel,) = run_once(extensions.prefetch_strategies, full=full_scale)
+    print()
+    print(panel.report)
+
+    miss = dict(zip(panel.x_values, panel.series["miss_rate"]))
+    total = dict(zip(panel.x_values, panel.series["total_s"]))
+
+    # Informed prediction beats no prediction.
+    assert miss["table (paper)"] < miss["none"]
+    assert total["table (paper)"] < total["none"]
+    assert miss["motion"] < miss["none"]
+    # The geometric strategies beat the application-agnostic Markov one:
+    # the paper's core claim is that *application* knowledge is the lever.
+    assert miss["table (paper)"] < miss["markov"]
+    assert miss["motion"] < miss["markov"]

@@ -1,0 +1,30 @@
+"""Validation of the analytic overlap rule against an explicit schedule.
+
+The figures use the paper's §V-D accounting
+``total = Σ io + max(prefetch, render)``.  The discrete-event timeline
+(:mod:`repro.storage.timeline`) schedules the same work on an explicit
+shared I/O channel.  Small gaps certify the analytic totals the figures
+report.
+"""
+
+from repro.experiments import extensions
+
+
+def test_analytic_vs_event_driven_totals(run_once, full_scale):
+    (panel,) = run_once(extensions.scheduling, full=full_scale)
+    print()
+    print(panel.report)
+
+    for label, analytic, event, gap in zip(
+        panel.x_values,
+        panel.series["analytic_s"],
+        panel.series["event_driven_s"],
+        panel.series["rel_gap"],
+    ):
+        if label.endswith("lru"):
+            # No prefetch: both accountings describe a serial schedule.
+            assert abs(gap) < 1e-9, (label, analytic, event)
+        else:
+            # With prefetch the accountings can differ in either direction
+            # (queueing vs cross-step pipelining); must stay within 15%.
+            assert abs(gap) < 0.15, (label, analytic, event)

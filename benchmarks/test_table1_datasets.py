@@ -1,0 +1,23 @@
+"""Table I: build every dataset analogue and report the inventory."""
+
+from repro.volume.datasets import DATASETS, dataset_table, make_dataset
+
+
+def test_table1_dataset_construction(run_once, full_scale):
+    """Times the construction of all four Table I analogues."""
+    scale = None if full_scale else 0.0625
+
+    def build():
+        return {name: make_dataset(name, scale=scale) for name in DATASETS}
+
+    volumes = run_once(build)
+    print()
+    print(dataset_table(scale))
+    # Shape: every paper dataset has an analogue with matching axis ordering.
+    for name, spec in DATASETS.items():
+        vol = volumes[name]
+        px, py, pz = spec.paper_resolution
+        ax, ay, az = vol.shape
+        assert (px >= py) == (ax >= ay)
+        assert (py >= pz) == (ay >= az)
+    assert volumes["climate"].n_variables > 1

@@ -1,0 +1,24 @@
+"""Temporal extension: next-timestep prefetch on time-varying data.
+
+The paper's climate dataset is time-varying and its §VI future work asks
+for temporal handling.  This bench replays a camera orbit while simulation
+time advances: without temporal prefetch every timestep boundary is a wall
+of cold misses; with it, the predicted visible set of the next timestep is
+warmed during rendering.
+"""
+
+from repro.experiments import extensions
+
+
+def test_temporal_prefetch(run_once, full_scale):
+    (panel,) = run_once(extensions.temporal, full=full_scale)
+    print()
+    print(panel.report)
+
+    on_miss, off_miss = panel.series["miss_rate"]
+    on_boundary, off_boundary = panel.series["boundary_misses"]
+    on_total, off_total = panel.series["total_s"]
+
+    assert on_miss < off_miss
+    assert on_boundary < off_boundary
+    assert on_total < off_total

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without PEP 660 support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Camera geometry: views, visibility, paths, and Ω position sampling.
+
+Implements §IV-B of the paper: the per-block visibility test of Eq. 1,
+spherical/random interactive camera paths, sampling of camera positions in
+the exploration domain Ω, vicinal-sphere aggregation, and the closed-form
+optimal vicinal radius of Eq. 3–6.
+"""
+
+from repro.camera.model import Camera
+from repro.camera.frustum import (
+    visible_blocks,
+    visible_mask,
+    visible_masks_batch,
+)
+from repro.camera.path import (
+    CameraPath,
+    spherical_path,
+    random_path,
+    zoom_path,
+    waypoint_path,
+    composite_path,
+)
+from repro.camera.sampling import SamplingConfig, sample_positions
+from repro.camera.vicinity import (
+    optimal_radius,
+    aggregated_frustum_volume,
+    vicinal_points,
+)
+
+__all__ = [
+    "Camera",
+    "visible_blocks",
+    "visible_mask",
+    "visible_masks_batch",
+    "CameraPath",
+    "spherical_path",
+    "random_path",
+    "zoom_path",
+    "waypoint_path",
+    "composite_path",
+    "SamplingConfig",
+    "sample_positions",
+    "optimal_radius",
+    "aggregated_frustum_volume",
+    "vicinal_points",
+]

@@ -1,0 +1,222 @@
+"""Interactive camera paths (§V-A).
+
+The paper evaluates two path families over 400 camera positions:
+
+- a *spherical* path stepping a fixed number of degrees per position at a
+  constant distance, and
+- a *random* path whose per-step view-direction change is drawn from a
+  degree range, optionally with varying distance ("randomly different d
+  and l values", §V-C).
+
+A :class:`CameraPath` is an immutable array of positions plus the view
+angle; iterating yields :class:`~repro.camera.model.Camera` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.camera.model import DEFAULT_VIEW_ANGLE_DEG, Camera
+from repro.utils.geometry import (
+    great_circle_step,
+    normalize,
+    perpendicular_unit_vector,
+    rotation_matrix_axis_angle,
+)
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["CameraPath", "spherical_path", "random_path", "zoom_path", "waypoint_path", "composite_path"]
+
+
+@dataclass(frozen=True)
+class CameraPath:
+    """A sequence of camera positions sharing one view angle."""
+
+    positions: np.ndarray  # (N, 3) float64
+    view_angle_deg: float = DEFAULT_VIEW_ANGLE_DEG
+    name: str = "path"
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3 or pos.shape[0] < 1:
+            raise ValueError(f"positions must be (N>=1, 3), got {pos.shape}")
+        object.__setattr__(self, "positions", pos)
+        pos.setflags(write=False)
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    def __iter__(self) -> Iterator[Camera]:
+        for p in self.positions:
+            yield Camera(tuple(p), self.view_angle_deg)
+
+    def camera(self, i: int) -> Camera:
+        return Camera(tuple(self.positions[i]), self.view_angle_deg)
+
+    def distances(self) -> np.ndarray:
+        """d_i = ||v_i|| for every position."""
+        return np.linalg.norm(self.positions, axis=1)
+
+    def direction_changes_deg(self) -> np.ndarray:
+        """Angle (degrees) between successive view directions — N−1 values."""
+        dirs = normalize(-self.positions)
+        dots = np.clip(np.sum(dirs[:-1] * dirs[1:], axis=1), -1.0, 1.0)
+        return np.rad2deg(np.arccos(dots))
+
+    def step_lengths(self) -> np.ndarray:
+        """Euclidean distance between successive positions — N−1 values."""
+        return np.linalg.norm(np.diff(self.positions, axis=0), axis=1)
+
+
+def spherical_path(
+    n_positions: int = 400,
+    degrees_per_step: float = 10.0,
+    distance: float = 3.0,
+    view_angle_deg: float = DEFAULT_VIEW_ANGLE_DEG,
+    seed: SeedLike = 0,
+) -> CameraPath:
+    """A great-circle path at constant ``distance`` with fixed angular steps.
+
+    The circle's orientation is seeded so sweeps over ``degrees_per_step``
+    share a trajectory family while remaining deterministic.
+    """
+    check_positive("n_positions", n_positions)
+    check_positive("degrees_per_step", degrees_per_step)
+    check_positive("distance", distance)
+    rng = resolve_rng(seed)
+    start = normalize(rng.standard_normal(3)) * distance
+    axis = perpendicular_unit_vector(start, rng)
+    step = np.deg2rad(degrees_per_step)
+    positions = np.empty((n_positions, 3))
+    p = start
+    for i in range(n_positions):
+        positions[i] = p
+        p = great_circle_step(p, axis, step)
+    return CameraPath(positions, view_angle_deg, name=f"spherical_{degrees_per_step:g}deg")
+
+
+def random_path(
+    n_positions: int = 400,
+    degree_change: Tuple[float, float] = (10.0, 15.0),
+    distance: "float | Tuple[float, float]" = 3.0,
+    view_angle_deg: float = DEFAULT_VIEW_ANGLE_DEG,
+    seed: SeedLike = 0,
+) -> CameraPath:
+    """A random-walk path: each step turns by a random angle in ``degree_change``.
+
+    The turn axis is uniformly random among directions perpendicular to the
+    current position, so the walk wanders over the whole sphere.  When
+    ``distance`` is a ``(lo, hi)`` pair, each position's distance is drawn
+    uniformly from it (the paper's "randomly different d and l values").
+    """
+    check_positive("n_positions", n_positions)
+    lo, hi = degree_change
+    if not 0 <= lo <= hi:
+        raise ValueError(f"degree_change must satisfy 0 <= lo <= hi, got {degree_change}")
+    rng = resolve_rng(seed)
+
+    if isinstance(distance, tuple):
+        d_lo, d_hi = distance
+        if not 0 < d_lo <= d_hi:
+            raise ValueError(f"distance range must satisfy 0 < lo <= hi, got {distance}")
+        dist = lambda: rng.uniform(d_lo, d_hi)  # noqa: E731
+    else:
+        check_positive("distance", distance)
+        d_const = float(distance)
+        dist = lambda: d_const  # noqa: E731
+
+    direction = normalize(rng.standard_normal(3))
+    positions = np.empty((n_positions, 3))
+    for i in range(n_positions):
+        positions[i] = direction * dist()
+        angle = np.deg2rad(rng.uniform(lo, hi))
+        axis = perpendicular_unit_vector(direction, rng)
+        direction = normalize(rotation_matrix_axis_angle(axis, angle) @ direction)
+    return CameraPath(positions, view_angle_deg, name=f"random_{lo:g}-{hi:g}deg")
+
+
+def zoom_path(
+    n_positions: int = 100,
+    distance_range: Tuple[float, float] = (1.5, 4.0),
+    degrees_per_step: float = 2.0,
+    view_angle_deg: float = DEFAULT_VIEW_ANGLE_DEG,
+    seed: SeedLike = 0,
+) -> CameraPath:
+    """A zoom-in/zoom-out spiral: distance sweeps hi→lo→hi while orbiting.
+
+    Exercises the dynamically-changing ``d`` that motivates computing the
+    vicinal radius per distance (Eq. 6, §V-B2).
+    """
+    check_positive("n_positions", n_positions)
+    d_lo, d_hi = distance_range
+    if not 0 < d_lo < d_hi:
+        raise ValueError(f"distance_range must satisfy 0 < lo < hi, got {distance_range}")
+    rng = resolve_rng(seed)
+    direction = normalize(rng.standard_normal(3))
+    axis = perpendicular_unit_vector(direction, rng)
+    step = np.deg2rad(degrees_per_step)
+    # Triangle wave hi -> lo -> hi across the path.
+    t = np.linspace(0.0, 2.0, n_positions)
+    dists = d_hi - (d_hi - d_lo) * (1.0 - np.abs(1.0 - t))
+    positions = np.empty((n_positions, 3))
+    for i in range(n_positions):
+        positions[i] = direction * dists[i]
+        direction = normalize(rotation_matrix_axis_angle(axis, step) @ direction)
+    return CameraPath(positions, view_angle_deg, name="zoom")
+
+
+def waypoint_path(
+    waypoints: Sequence[Sequence[float]],
+    steps_per_segment: int = 20,
+    view_angle_deg: float = DEFAULT_VIEW_ANGLE_DEG,
+    name: str = "waypoints",
+) -> CameraPath:
+    """Interpolate a recorded interactive session through its waypoints.
+
+    Real exploration sessions are often captured as a handful of saved
+    viewpoints; this reconstructs the in-between motion by spherical
+    interpolation of the direction (slerp) and linear interpolation of the
+    distance between consecutive waypoints — constant angular velocity per
+    segment, like a user dragging between bookmarks.
+    """
+    check_positive("steps_per_segment", steps_per_segment)
+    pts = np.asarray(waypoints, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] < 2:
+        raise ValueError(f"waypoints must be (>=2, 3), got {pts.shape}")
+    dists = np.linalg.norm(pts, axis=1)
+    if np.any(dists < 1e-9):
+        raise ValueError("waypoints must not sit at the centroid")
+    dirs = pts / dists[:, None]
+
+    positions = [pts[0]]
+    for seg in range(len(pts) - 1):
+        u, v = dirs[seg], dirs[seg + 1]
+        d0, d1 = dists[seg], dists[seg + 1]
+        dot = float(np.clip(np.dot(u, v), -1.0, 1.0))
+        omega = np.arccos(dot)
+        for k in range(1, steps_per_segment + 1):
+            t = k / steps_per_segment
+            if omega < 1e-9:
+                direction = u
+            else:
+                direction = (
+                    np.sin((1 - t) * omega) * u + np.sin(t * omega) * v
+                ) / np.sin(omega)
+            d = (1 - t) * d0 + t * d1
+            positions.append(direction * d)
+    return CameraPath(np.asarray(positions), view_angle_deg, name=name)
+
+
+def composite_path(paths: Sequence[CameraPath], name: str = "composite") -> CameraPath:
+    """Concatenate paths (they must share a view angle)."""
+    if not paths:
+        raise ValueError("composite_path needs at least one path")
+    angles = {p.view_angle_deg for p in paths}
+    if len(angles) != 1:
+        raise ValueError(f"paths disagree on view angle: {sorted(angles)}")
+    positions = np.concatenate([p.positions for p in paths], axis=0)
+    return CameraPath(positions, paths[0].view_angle_deg, name=name)

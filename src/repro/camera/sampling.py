@@ -1,0 +1,93 @@
+"""Sampling camera positions in the exploration domain Ω (Step 1, §IV-B).
+
+Ω is a spherical shell around the volume: directions × distances.  Each
+sampled position ``v`` later gets a vicinal sphere φ whose aggregated
+frustum defines the predicted visible set ``S_v`` recorded in
+``T_visible``.  The paper's sample counts (25,920 / 72,000 / 108,000)
+correspond to direction grids times a handful of distances; the default
+here is laptop-scale and the counts are a sweep axis in the Fig. 7 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.geometry import fibonacci_sphere, latlong_sphere
+from repro.utils.validation import check_positive
+
+__all__ = ["SamplingConfig", "sample_positions"]
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """How to sample camera positions in Ω.
+
+    Parameters
+    ----------
+    n_directions:
+        Number of view directions on the unit sphere.
+    n_distances:
+        Number of radial shells between ``distance_range``.
+    distance_range:
+        ``(d_min, d_max)`` of camera distances covered by the table.
+    scheme:
+        ``"fibonacci"`` (near-uniform, any n) or ``"latlong"``
+        (the paper's direction/distance grid; n_directions is rounded to a
+        2:1 longitude:latitude grid).
+    """
+
+    n_directions: int = 512
+    n_distances: int = 4
+    distance_range: Tuple[float, float] = (2.2, 2.8)
+    scheme: str = "fibonacci"
+
+    def __post_init__(self) -> None:
+        check_positive("n_directions", self.n_directions)
+        check_positive("n_distances", self.n_distances)
+        lo, hi = self.distance_range
+        if not 0 < lo <= hi:
+            raise ValueError(f"distance_range must satisfy 0 < lo <= hi, got {self.distance_range}")
+        if self.scheme not in ("fibonacci", "latlong"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+
+    @property
+    def n_samples(self) -> int:
+        return self.n_directions_actual * self.n_distances
+
+    @property
+    def n_directions_actual(self) -> int:
+        if self.scheme == "latlong":
+            n_lat, n_long = self._latlong_dims()
+            return n_lat * n_long
+        return self.n_directions
+
+    def _latlong_dims(self) -> Tuple[int, int]:
+        # 2:1 aspect (longitude wraps 2π, latitude spans π).
+        n_lat = max(1, int(round(np.sqrt(self.n_directions / 2.0))))
+        n_long = max(1, int(round(self.n_directions / n_lat)))
+        return n_lat, n_long
+
+    def distances(self) -> np.ndarray:
+        lo, hi = self.distance_range
+        if self.n_distances == 1:
+            return np.array([(lo + hi) / 2.0])
+        return np.linspace(lo, hi, self.n_distances)
+
+
+def sample_positions(config: SamplingConfig) -> np.ndarray:
+    """All sampled camera positions, shape ``(n_samples, 3)``.
+
+    Layout: distance-major (all directions at d_0, then d_1, ...), so a
+    position's direction and distance can be recovered from its index.
+    """
+    if config.scheme == "latlong":
+        dirs = latlong_sphere(*config._latlong_dims())
+    else:
+        dirs = fibonacci_sphere(config.n_directions)
+    dists = config.distances()
+    # (n_dist, n_dir, 3) -> flatten distance-major.
+    positions = dirs[None, :, :] * dists[:, None, None]
+    return positions.reshape(-1, 3)

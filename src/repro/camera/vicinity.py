@@ -1,0 +1,112 @@
+"""The vicinal sphere φ and its optimal radius (Eq. 3–6, §IV-B / §V-B2).
+
+Around each sampled camera position ``v`` the paper places a small sphere
+φ of radius ``r``; the frustums of points ``v'`` inside φ are aggregated
+into one bigger frustum ζ.  Choosing ``r`` so that ζ's volume (clipped
+between the volume's near and far faces) equals the fast-memory share of
+the slow memory gives the closed form
+
+    r = sqrt(4ρ/π − tan²(θ/2)/3) − d·tan(θ/2)          (Eq. 6)
+
+with ρ = fast cache size / slow cache size, θ the full view angle and
+``d`` the camera distance (volume edge normalized to 2).
+
+Derivation sanity (tested in tests/camera/test_vicinity.py): the
+aggregated frustum between the planes x = d−1 and x = d+1 has radii
+r' = tan(θ/2)·h' and r'' = tan(θ/2)·h with h' = d−1+r/tan(θ/2),
+h = h'+2, and volume π·tan²(θ/2)/3·(h³−h'³) = 2π·tan²(θ/2)·(m²+1/3)
+where m = d + r/tan(θ/2); setting that volume equal to 8ρ (the cube's
+volume is 8) yields Eq. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.geometry import points_in_ball
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["optimal_radius", "aggregated_frustum_volume", "vicinal_points", "MIN_RADIUS"]
+
+# Even with an over-full cache the vicinal sphere must contain the next
+# path position (§IV-B), so r never collapses entirely.
+MIN_RADIUS = 1e-3
+
+
+def optimal_radius(
+    view_angle_deg: float,
+    distance: float,
+    cache_ratio: float,
+    min_radius: float = MIN_RADIUS,
+) -> float:
+    """Eq. 6: the vicinal radius that fills fast memory exactly.
+
+    Parameters
+    ----------
+    view_angle_deg:
+        Full frustum opening angle θ in degrees.
+    distance:
+        Camera distance ``d`` in normalized coordinates (volume edge = 2).
+    cache_ratio:
+        ρ = fast cache size / slow cache size, in (0, 1].
+    min_radius:
+        Floor applied when the closed form goes non-positive (tiny fast
+        memory or distant camera).
+    """
+    if not 0.0 < view_angle_deg < 180.0:
+        raise ValueError(f"view_angle_deg must be in (0, 180), got {view_angle_deg}")
+    check_positive("distance", distance)
+    if not 0.0 < cache_ratio <= 1.0:
+        raise ValueError(f"cache_ratio must be in (0, 1], got {cache_ratio}")
+    t = np.tan(np.deg2rad(view_angle_deg) / 2.0)
+    inner = 4.0 * cache_ratio / np.pi - (t * t) / 3.0
+    if inner <= 0.0:
+        return float(min_radius)
+    r = float(np.sqrt(inner) - distance * t)
+    return max(r, float(min_radius))
+
+
+def aggregated_frustum_volume(view_angle_deg: float, distance: float, radius: float) -> float:
+    """Volume of the aggregated frustum ζ between the near/far volume faces.
+
+    This is the left-hand side of Eq. 3 *before* normalising by 8 — the
+    property test checks ``aggregated_frustum_volume(θ, d, optimal_radius)
+    ≈ 8ρ``.  Requires ``d − 1 + r/tan(θ/2) > 0`` (the frustum apex lies
+    behind the near face), which holds for cameras outside the volume.
+    """
+    if not 0.0 < view_angle_deg < 180.0:
+        raise ValueError(f"view_angle_deg must be in (0, 180), got {view_angle_deg}")
+    check_positive("distance", distance)
+    check_non_negative("radius", radius)
+    t = np.tan(np.deg2rad(view_angle_deg) / 2.0)
+    h_near = distance - 1.0 + radius / t
+    h_far = h_near + 2.0
+    if h_near < 0.0:
+        raise ValueError(
+            f"apex inside the volume: d={distance}, r={radius}, theta={view_angle_deg}"
+        )
+    return float(np.pi * t * t / 3.0 * (h_far**3 - h_near**3))
+
+
+def vicinal_points(
+    center: np.ndarray,
+    radius: float,
+    n_points: int = 8,
+    seed: SeedLike = 0,
+    include_center: bool = True,
+) -> np.ndarray:
+    """Sample the points ``v'`` inside the vicinal sphere φ (Fig. 6).
+
+    Returns ``(n, 3)`` positions: the center itself (when requested) plus
+    ``n_points`` uniform samples in the ball.  The union of their visible
+    sets forms ``S_v``.
+    """
+    check_non_negative("radius", radius)
+    if n_points < 0:
+        raise ValueError(f"n_points must be >= 0, got {n_points}")
+    rng = resolve_rng(seed)
+    pts = points_in_ball(np.asarray(center, dtype=np.float64), radius, n_points, rng)
+    if include_center:
+        pts = np.concatenate([np.asarray(center, dtype=np.float64)[None, :], pts], axis=0)
+    return pts

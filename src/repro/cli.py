@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands mirror a real out-of-core visualization workflow:
+
+- ``info``       — datasets, policies, version;
+- ``preprocess`` — build and save ``T_visible`` / ``T_important`` (Steps 1-2);
+- ``replay``     — replay a camera path under several policies, print the
+  comparison (optionally reusing saved tables);
+- ``render``     — ray-cast one frame of a dataset to a PPM file.
+
+Experiment regeneration lives under ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.camera.path import random_path, spherical_path, zoom_path
+from repro.camera.sampling import SamplingConfig
+from repro.experiments.report import format_run_summaries
+from repro.experiments.runner import DEFAULT_VIEW_ANGLE_DEG, ExperimentSetup, compare_policies
+from repro.policies.registry import POLICY_NAMES
+from repro.volume.datasets import DATASETS, dataset_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Application-aware data replacement for interactive scientific visualization.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="datasets, policies, version")
+
+    pre = sub.add_parser("preprocess", help="build and save T_visible / T_important")
+    _add_dataset_args(pre)
+    pre.add_argument("--out", type=Path, default=Path("tables"), help="output directory")
+    pre.add_argument("--directions", type=int, default=256, help="sampled view directions")
+    pre.add_argument("--distances", type=int, default=2, help="sampled distance shells")
+
+    rep = sub.add_parser("replay", help="compare policies on a camera path")
+    _add_dataset_args(rep)
+    rep.add_argument("--path-type", choices=("random", "spherical", "zoom"), default="random")
+    rep.add_argument("--steps", type=int, default=120, help="camera positions on the path")
+    rep.add_argument("--degrees", type=float, nargs=2, default=(5.0, 10.0),
+                     metavar=("LO", "HI"), help="per-step direction change range")
+    rep.add_argument("--distance", type=float, default=2.5)
+    rep.add_argument("--cache-ratio", type=float, default=0.5)
+    rep.add_argument("--policies", nargs="+", default=["fifo", "lru"],
+                     choices=list(POLICY_NAMES))
+    rep.add_argument("--belady", action="store_true", help="include the offline bound")
+    rep.add_argument("--no-app-aware", action="store_true")
+
+    ren = sub.add_parser("render", help="ray-cast one frame to a PPM image")
+    _add_dataset_args(ren)
+    ren.add_argument("--out", type=Path, default=Path("frame.ppm"))
+    ren.add_argument("--camera", type=float, nargs=3, default=(2.5, 0.0, 0.0),
+                     metavar=("X", "Y", "Z"))
+    ren.add_argument("--view-angle", type=float, default=30.0)
+    ren.add_argument("--size", type=int, default=160, help="image width=height")
+    ren.add_argument("--tf", choices=("grayscale", "fire", "coolwarm"), default="fire")
+    return parser
+
+
+def _add_dataset_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="3d_ball")
+    p.add_argument("--blocks", type=int, default=512, help="target block count")
+    p.add_argument("--scale", type=float, default=None,
+                   help="per-axis shrink of the paper resolution (default per dataset)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _make_setup(args, sampling: Optional[SamplingConfig] = None) -> ExperimentSetup:
+    return ExperimentSetup.for_dataset(
+        args.dataset,
+        target_n_blocks=args.blocks,
+        scale=args.scale,
+        sampling=sampling or SamplingConfig(),
+        seed=args.seed,
+    )
+
+
+def _cmd_info(args) -> int:
+    from repro import __version__
+
+    print(f"repro {__version__}")
+    print()
+    print(dataset_table())
+    print()
+    print(f"policies: {', '.join(POLICY_NAMES)} (+ belady with a trace, + app-aware)")
+    return 0
+
+
+def _cmd_preprocess(args) -> int:
+    sampling = SamplingConfig(n_directions=args.directions, n_distances=args.distances)
+    setup = _make_setup(args, sampling)
+    args.out.mkdir(parents=True, exist_ok=True)
+    vpath = setup.visible_table.save(args.out / f"{args.dataset}_t_visible.npz")
+    ipath = setup.importance_table.save(args.out / f"{args.dataset}_t_important.npz")
+    print(f"T_visible:   {vpath}  ({setup.visible_table.n_entries} entries, "
+          f"mean set size {setup.visible_table.entry_sizes().mean():.1f})")
+    print(f"T_important: {ipath}  ({setup.importance_table.n_blocks} blocks)")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    setup = _make_setup(args)
+    lo, hi = args.degrees
+    if args.path_type == "spherical":
+        path = spherical_path(args.steps, degrees_per_step=max(lo, 0.1),
+                              distance=args.distance,
+                              view_angle_deg=setup.view_angle_deg, seed=args.seed)
+    elif args.path_type == "zoom":
+        path = zoom_path(args.steps, degrees_per_step=max(lo, 0.1),
+                         view_angle_deg=setup.view_angle_deg, seed=args.seed)
+    else:
+        path = random_path(args.steps, degree_change=(lo, hi), distance=args.distance,
+                           view_angle_deg=setup.view_angle_deg, seed=args.seed)
+    results = compare_policies(
+        setup,
+        path,
+        baselines=tuple(args.policies),
+        include_belady=args.belady,
+        include_app_aware=not args.no_app_aware,
+        cache_ratio=args.cache_ratio,
+    )
+    title = (f"{args.dataset} ({setup.grid.n_blocks} blocks), {path.name}, "
+             f"{args.steps} steps, cache ratio {args.cache_ratio}")
+    print(format_run_summaries(results, title=title))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from repro.camera.model import Camera
+    from repro.render.raycast import Raycaster, RenderSettings
+    from repro.render.transfer_function import TransferFunction
+
+    setup = _make_setup(args)
+    tf = {
+        "grayscale": TransferFunction.grayscale_ramp,
+        "fire": TransferFunction.fire,
+        "coolwarm": TransferFunction.cool_warm,
+    }[args.tf]()
+    rc = Raycaster(
+        setup.volume, tf,
+        RenderSettings(width=args.size, height=args.size, n_samples=args.size),
+    )
+    cam = Camera(tuple(args.camera), args.view_angle)
+    image = rc.render(cam)
+    Raycaster.to_ppm(image, str(args.out))
+    print(f"wrote {args.out} ({args.size}x{args.size}, camera d={cam.distance:.2f})")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "preprocess": _cmd_preprocess,
+    "replay": _cmd_replay,
+    "render": _cmd_render,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

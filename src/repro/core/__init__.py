@@ -1,0 +1,48 @@
+"""The paper's primary contribution: application-aware I/O optimization.
+
+:class:`AppAwareOptimizer` implements Algorithm 1 — importance preload,
+constrained-LRU demand fetching, and table-driven prefetch overlapped with
+rendering — on top of the substrates (volume blocks, storage hierarchy,
+camera prediction, importance tables).  :mod:`repro.core.pipeline` replays
+camera paths under any policy and produces comparable
+:class:`~repro.core.metrics.RunResult` records.
+"""
+
+from repro.core.metrics import StepMetrics, RunResult
+from repro.core.pipeline import (
+    compute_visible_sets,
+    collect_demand_trace,
+    run_baseline,
+    PipelineContext,
+)
+from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
+from repro.core.temporal import run_temporal
+from repro.core.interactive import (
+    BudgetedResult,
+    BudgetedStep,
+    run_budgeted,
+    render_quality_series,
+)
+from repro.core.session import OutOfCoreSession
+from repro.core.results_io import run_to_dict, save_run_json, save_steps_csv, load_run_json
+
+__all__ = [
+    "run_temporal",
+    "BudgetedResult",
+    "BudgetedStep",
+    "run_budgeted",
+    "render_quality_series",
+    "OutOfCoreSession",
+    "run_to_dict",
+    "save_run_json",
+    "save_steps_csv",
+    "load_run_json",
+    "StepMetrics",
+    "RunResult",
+    "compute_visible_sets",
+    "collect_demand_trace",
+    "run_baseline",
+    "PipelineContext",
+    "AppAwareOptimizer",
+    "OptimizerConfig",
+]

@@ -1,0 +1,132 @@
+"""Per-step and per-run metrics shared by every pipeline driver.
+
+The paper's reported quantities map onto :class:`RunResult` as:
+
+- *miss rate* (Figs. 7a, 9, 12): ``total_miss_rate`` — demand misses over
+  demand accesses summed across hierarchy levels (§V-A);
+- *I/O time* (Figs. 7b, 11): ``io_time_s`` — demand fetch time plus table
+  lookup time (the lookup sits on the critical path before the next
+  demand fetches, which is how Fig. 7b's overhead manifests);
+- *total time* (Fig. 13): ``total_time_s`` — per step,
+  ``io + max(prefetch, render)`` when prefetch overlaps rendering
+  (the app-aware pipeline) and ``io + render`` otherwise (§V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.storage.stats import HierarchyStats
+
+__all__ = ["StepMetrics", "RunResult"]
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """What happened at one view point on the camera path."""
+
+    step: int
+    n_visible: int
+    n_fast_misses: int  # demand misses at the fastest level this step
+    io_time_s: float  # demand fetch time
+    lookup_time_s: float = 0.0  # T_visible query time
+    prefetch_time_s: float = 0.0
+    render_time_s: float = 0.0
+    n_prefetched: int = 0
+
+    @property
+    def step_total_overlapped_s(self) -> float:
+        """io + lookup + max(prefetch, render) — the app-aware step time."""
+        return self.io_time_s + self.lookup_time_s + max(self.prefetch_time_s, self.render_time_s)
+
+    @property
+    def step_total_serial_s(self) -> float:
+        """io + render — the baseline step time (no prefetch to overlap)."""
+        return self.io_time_s + self.lookup_time_s + self.render_time_s
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of replaying one camera path under one policy."""
+
+    name: str
+    policy: str
+    overlap_prefetch: bool
+    steps: List[StepMetrics]
+    hierarchy_stats: HierarchyStats
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def io_time_s(self) -> float:
+        """Demand I/O plus lookup time (the Fig. 7b / Fig. 11 quantity)."""
+        return sum(s.io_time_s + s.lookup_time_s for s in self.steps)
+
+    @property
+    def demand_io_time_s(self) -> float:
+        return sum(s.io_time_s for s in self.steps)
+
+    @property
+    def lookup_time_s(self) -> float:
+        return sum(s.lookup_time_s for s in self.steps)
+
+    @property
+    def prefetch_time_s(self) -> float:
+        return sum(s.prefetch_time_s for s in self.steps)
+
+    @property
+    def render_time_s(self) -> float:
+        return sum(s.render_time_s for s in self.steps)
+
+    @property
+    def io_plus_prefetch_time_s(self) -> float:
+        """The Fig. 11 quantity: all data-movement time, demand + prefetch."""
+        return self.io_time_s + self.prefetch_time_s
+
+    @property
+    def total_time_s(self) -> float:
+        """The Fig. 13 quantity, honouring the overlap rule per step."""
+        if self.overlap_prefetch:
+            return sum(s.step_total_overlapped_s for s in self.steps)
+        return sum(s.step_total_serial_s for s in self.steps)
+
+    @property
+    def total_miss_rate(self) -> float:
+        """Demand miss rate across all hierarchy levels (§V-A)."""
+        return self.hierarchy_stats.total_miss_rate
+
+    @property
+    def fast_miss_rate(self) -> float:
+        """Demand miss rate at the fastest level only."""
+        levels = self.hierarchy_stats.levels
+        first = next(iter(levels.values()))
+        return first.miss_rate
+
+    @property
+    def n_prefetched(self) -> int:
+        return sum(s.n_prefetched for s in self.steps)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers (report/bench friendly)."""
+        return {
+            "policy": self.policy,
+            "n_steps": self.n_steps,
+            "total_miss_rate": self.total_miss_rate,
+            "fast_miss_rate": self.fast_miss_rate,
+            "io_time_s": self.io_time_s,
+            "prefetch_time_s": self.prefetch_time_s,
+            "render_time_s": self.render_time_s,
+            "total_time_s": self.total_time_s,
+            "n_prefetched": self.n_prefetched,
+            **self.extras,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunResult(name={self.name!r}, policy={self.policy!r}, "
+            f"miss_rate={self.total_miss_rate:.3f}, total_time={self.total_time_s:.3f}s)"
+        )

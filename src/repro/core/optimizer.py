@@ -1,0 +1,222 @@
+"""Algorithm 1: application-aware I/O optimization.
+
+The optimizer composes the three steps of the paper's method at run time:
+
+1. **Preload** (lines 1–7): blocks whose importance exceeds σ are placed
+   into the hierarchy in importance order before the first view.
+2. **Demand fetch** (lines 8–19): per view point, every visible block is
+   brought to fast memory; eviction candidates must not have been used at
+   the current step (``time < i``), falling back to a bypass when the
+   working set alone fills the cache.
+3. **Prefetch overlapped with rendering** (lines 20–22): the nearest
+   sampled position's ``T_visible`` entry predicts the next view's blocks;
+   those above σ are prefetched while the frame renders, so the step costs
+   ``io + max(prefetch, render)`` instead of ``io + render``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.metrics import RunResult, StepMetrics
+from repro.core.pipeline import PipelineContext
+from repro.storage.hierarchy import MemoryHierarchy
+from repro.tables.importance_table import ImportanceTable
+from repro.tables.visible_table import LookupCostModel, VisibleTable
+from repro.utils.validation import check_probability
+
+__all__ = ["OptimizerConfig", "AppAwareOptimizer"]
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Tunables of Algorithm 1.
+
+    Parameters
+    ----------
+    sigma:
+        Absolute importance threshold σ.  When ``None`` it is derived from
+        ``sigma_percentile`` of the importance distribution.
+    sigma_percentile:
+        Fraction of blocks considered unimportant (default 0.5: the lower
+        half of the entropy distribution is neither preloaded nor
+        prefetched).
+    preload:
+        Run the importance preload (Alg. 1 line 7).  Ablation knob.
+    prefetch:
+        Run the overlapped prefetch (lines 20–22).  Ablation knob.
+    use_importance_filter:
+        Filter prefetch candidates by σ (line 22).  With ``False`` every
+        predicted block is prefetched — the over-prediction failure mode
+        §IV-C warns about.  Ablation knob.
+    max_prefetch_per_step:
+        Hard cap on prefetch fetches per step (None = fastest-level
+        capacity).
+    lookup_cost:
+        Simulated ``T_visible`` query-cost model (drives Fig. 7b).
+    adaptive_sigma:
+        Tune σ online (extension): when a step's prefetch time overruns
+        its render time, raise the threshold (prefetch less next step);
+        when prefetch uses less than half the render budget, lower it.
+        The paper fixes σ; this controller keeps the prefetch stream
+        filling — but not overrunning — the overlap window as view speed
+        changes.  Requires percentile mode (``sigma=None``).
+    sigma_step:
+        Percentile increment per adjustment of the adaptive controller.
+    sigma_bounds:
+        Percentile clamp range for the adaptive controller.
+    """
+
+    sigma: Optional[float] = None
+    sigma_percentile: float = 0.5
+    preload: bool = True
+    prefetch: bool = True
+    use_importance_filter: bool = True
+    max_prefetch_per_step: Optional[int] = None
+    lookup_cost: LookupCostModel = LookupCostModel()
+    adaptive_sigma: bool = False
+    sigma_step: float = 0.05
+    sigma_bounds: "tuple[float, float]" = (0.05, 0.95)
+
+    def __post_init__(self) -> None:
+        check_probability("sigma_percentile", self.sigma_percentile)
+        if self.max_prefetch_per_step is not None and self.max_prefetch_per_step < 0:
+            raise ValueError(
+                f"max_prefetch_per_step must be >= 0, got {self.max_prefetch_per_step}"
+            )
+        if self.adaptive_sigma:
+            if self.sigma is not None:
+                raise ValueError("adaptive_sigma requires percentile mode (sigma=None)")
+            lo, hi = self.sigma_bounds
+            check_probability("sigma_bounds[0]", lo)
+            check_probability("sigma_bounds[1]", hi)
+            if not lo < hi:
+                raise ValueError(f"sigma_bounds must satisfy lo < hi, got {self.sigma_bounds}")
+            if not 0.0 < self.sigma_step <= 0.5:
+                raise ValueError(f"sigma_step must be in (0, 0.5], got {self.sigma_step}")
+
+    def resolve_sigma(self, importance: ImportanceTable) -> float:
+        if self.sigma is not None:
+            return float(self.sigma)
+        return importance.threshold_for_percentile(self.sigma_percentile)
+
+
+class AppAwareOptimizer:
+    """Replays camera paths with the paper's application-aware policy."""
+
+    def __init__(
+        self,
+        visible_table: VisibleTable,
+        importance_table: ImportanceTable,
+        config: Optional[OptimizerConfig] = None,
+    ) -> None:
+        self.visible_table = visible_table
+        self.importance_table = importance_table
+        self.config = config or OptimizerConfig()
+        self.sigma = self.config.resolve_sigma(importance_table)
+
+    # -- Alg. 1 lines 1-7 ------------------------------------------------------
+
+    def preload(self, hierarchy: MemoryHierarchy) -> "dict[str, int]":
+        """Place important blocks into every level before the first view."""
+        ranked = self.importance_table.ids_above(self.sigma)
+        return hierarchy.preload([int(b) for b in ranked])
+
+    # -- Alg. 1 main loop -----------------------------------------------------------
+
+    def run(
+        self,
+        context: PipelineContext,
+        hierarchy: MemoryHierarchy,
+        name: str = "app-aware",
+    ) -> RunResult:
+        """Replay ``context.path`` with Algorithm 1 on ``hierarchy``."""
+        cfg = self.config
+        if cfg.preload:
+            self.preload(hierarchy)
+        sigma = self.sigma
+        percentile = cfg.sigma_percentile
+
+        fastest = hierarchy.fastest
+        max_prefetch = (
+            cfg.max_prefetch_per_step
+            if cfg.max_prefetch_per_step is not None
+            else fastest.capacity
+        )
+
+        steps: List[StepMetrics] = []
+        positions = context.path.positions
+        for i, ids in enumerate(context.visible_sets):
+            # Demand phase (lines 14-19): victims must satisfy time < i.
+            io = 0.0
+            fast_misses_before = fastest.stats.misses
+            for b in ids:
+                io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
+            n_fast_misses = fastest.stats.misses - fast_misses_before
+
+            render = context.render_model.render_time(len(ids))
+
+            # Prefetch phase (lines 20-22), overlapped with rendering.
+            lookup_time = 0.0
+            prefetch_time = 0.0
+            n_prefetched = 0
+            if cfg.prefetch:
+                _, predicted = self.visible_table.lookup(positions[i])
+                lookup_time = cfg.lookup_cost.query_time(self.visible_table.n_entries)
+                if cfg.use_importance_filter:
+                    candidates = self.importance_table.filter_and_rank(predicted, sigma)
+                else:
+                    candidates = predicted
+                for b in candidates:
+                    if n_prefetched >= max_prefetch:
+                        break
+                    b = int(b)
+                    if hierarchy.contains_fast(b):
+                        continue
+                    prefetch_time += hierarchy.fetch(
+                        b, i, prefetch=True, min_free_step=i
+                    ).time_s
+                    n_prefetched += 1
+
+            if cfg.adaptive_sigma and cfg.prefetch:
+                # Controller: keep the prefetch stream inside the overlap
+                # window.  Overrun -> prefetch less (raise sigma); big
+                # slack -> prefetch more (lower sigma).
+                lo, hi = cfg.sigma_bounds
+                if prefetch_time > render:
+                    percentile = min(hi, percentile + cfg.sigma_step)
+                elif prefetch_time < 0.5 * render:
+                    percentile = max(lo, percentile - cfg.sigma_step)
+                sigma = self.importance_table.threshold_for_percentile(percentile)
+
+            steps.append(
+                StepMetrics(
+                    step=i,
+                    n_visible=len(ids),
+                    n_fast_misses=n_fast_misses,
+                    io_time_s=io,
+                    lookup_time_s=lookup_time,
+                    prefetch_time_s=prefetch_time,
+                    render_time_s=render,
+                    n_prefetched=n_prefetched,
+                )
+            )
+
+        return RunResult(
+            name=name,
+            policy="app-aware",
+            overlap_prefetch=True,
+            steps=steps,
+            hierarchy_stats=hierarchy.stats(),
+            extras={
+                "sigma": self.sigma,
+                "final_sigma": sigma,
+                "backing_bytes": float(hierarchy.backing_bytes),
+                "bytes_moved": float(
+                    hierarchy.backing_bytes + hierarchy.stats().total_bytes_read
+                ),
+            },
+        )

@@ -1,0 +1,66 @@
+"""Persisting run results.
+
+Experiments produce :class:`~repro.core.metrics.RunResult` objects; this
+module serialises them for downstream analysis — a JSON document with the
+summary plus full per-level statistics, and a per-step CSV for plotting
+time series.  No pickle: files are portable and diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.metrics import RunResult
+
+__all__ = ["run_to_dict", "save_run_json", "save_steps_csv", "load_run_json"]
+
+_STEP_FIELDS = [
+    "step",
+    "n_visible",
+    "n_fast_misses",
+    "io_time_s",
+    "lookup_time_s",
+    "prefetch_time_s",
+    "render_time_s",
+    "n_prefetched",
+]
+
+
+def run_to_dict(result: RunResult) -> Dict:
+    """A JSON-serialisable view of a run (summary + hierarchy stats + steps)."""
+    return {
+        "name": result.name,
+        "policy": result.policy,
+        "overlap_prefetch": result.overlap_prefetch,
+        "summary": {k: v for k, v in result.summary().items()},
+        "hierarchy": result.hierarchy_stats.as_dict(),
+        "steps": [
+            {field: getattr(s, field) for field in _STEP_FIELDS} for s in result.steps
+        ],
+    }
+
+
+def save_run_json(result: RunResult, path: "str | Path") -> Path:
+    """Write the full run record as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(run_to_dict(result), indent=2, sort_keys=True))
+    return path
+
+
+def load_run_json(path: "str | Path") -> Dict:
+    """Read back a saved run record (as plain dicts, not a RunResult)."""
+    return json.loads(Path(path).read_text())
+
+
+def save_steps_csv(result: RunResult, path: "str | Path") -> Path:
+    """Write the per-step time series as CSV (one row per view point)."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(_STEP_FIELDS)
+        for s in result.steps:
+            writer.writerow([getattr(s, field) for field in _STEP_FIELDS])
+    return path

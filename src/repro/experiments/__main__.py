@@ -1,0 +1,73 @@
+"""CLI: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments --figure fig12
+    python -m repro.experiments --figure fig9 --full
+    python -m repro.experiments --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import extensions, figures
+
+_FIGURES = {
+    "table1": None,  # special-cased: returns a string
+    "fig7": figures.fig7,
+    "fig9": figures.fig9,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+    "fig13": figures.fig13,
+    "ablations": figures.ablations,
+    # Extensions (beyond the paper)
+    "ext_prefetch": extensions.prefetch_strategies,
+    "ext_temporal": extensions.temporal,
+    "ext_interactive": extensions.interactive_quality,
+    "ext_multires": extensions.multires_tradeoff,
+    "ext_layout": extensions.layout_locality,
+    "ext_scheduling": extensions.scheduling,
+    "ext_iso_sweep": extensions.iso_sweep,
+    "ext_multinode": extensions.multinode,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures (text form).",
+    )
+    parser.add_argument(
+        "--figure",
+        choices=sorted(_FIGURES),
+        help="which experiment to run",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale sweeps (minutes) instead of quick bench sizes",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if not args.all and not args.figure:
+        parser.error("pass --figure <name> or --all")
+
+    names = sorted(_FIGURES) if args.all else [args.figure]
+    for name in names:
+        if name == "table1":
+            print(figures.table1())
+            print()
+            continue
+        panels = _FIGURES[name](full=args.full, seed=args.seed)
+        for panel in panels:
+            print(panel.report)
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

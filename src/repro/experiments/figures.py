@@ -1,0 +1,456 @@
+"""One entry point per paper table/figure (the per-experiment index of DESIGN.md).
+
+Every function returns a list of :class:`FigureResult` panels carrying the
+same x-axis/series the paper plots, plus a formatted text report.  Two
+scales: ``full=False`` (default) runs laptop-bench sizes in seconds;
+``full=True`` runs the paper-scale sweeps (400-position paths, all
+parameter values) in minutes.
+
+The *shape* expectations for each figure are recorded in DESIGN.md §4 and
+asserted (at quick scale) in tests/experiments/test_shapes.py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.camera.path import random_path, spherical_path
+from repro.camera.sampling import SamplingConfig
+from repro.core.optimizer import OptimizerConfig
+from repro.core.pipeline import run_baseline
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import (
+    DEFAULT_VIEW_ANGLE_DEG,
+    ExperimentSetup,
+    compare_policies,
+)
+from repro.volume.datasets import dataset_table
+
+__all__ = [
+    "FigureResult",
+    "table1",
+    "fig7",
+    "fig9",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablations",
+]
+
+
+@dataclass
+class FigureResult:
+    """One panel of a reproduced figure."""
+
+    figure: str
+    description: str
+    x_label: str
+    x_values: List[object]
+    series: Dict[str, List[float]]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def report(self) -> str:
+        return format_series(
+            self.x_label,
+            self.x_values,
+            self.series,
+            title=f"{self.figure}: {self.description}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Scale presets
+# ---------------------------------------------------------------------------
+
+_QUICK = {
+    "n_path": 60,
+    "sampling": SamplingConfig(n_directions=96, n_distances=2, distance_range=(2.2, 2.8)),
+    "spherical_degrees": [1.0, 10.0, 30.0],
+    "random_ranges": [(0.0, 5.0), (10.0, 15.0), (25.0, 30.0)],
+    "block_divisions": [512, 2048, 4096],
+    "fig7_samples": [64, 512, 4096, 16384],
+    "fig7_datasets": ["3d_ball", "lifted_rr"],
+    "fig7_blocks": 512,
+    "fig12_blocks": 2048,
+    "fig13_blocks": 2048,
+    "fig11_path": 120,
+}
+
+_FULL = {
+    "n_path": 400,
+    "sampling": SamplingConfig(n_directions=720, n_distances=4, distance_range=(2.1, 2.9)),
+    "spherical_degrees": [1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 45.0],
+    "random_ranges": [
+        (0.0, 5.0),
+        (5.0, 10.0),
+        (10.0, 15.0),
+        (15.0, 20.0),
+        (20.0, 25.0),
+        (25.0, 30.0),
+        (30.0, 35.0),
+    ],
+    "block_divisions": [512, 1024, 2048, 4096, 8192, 16384],
+    "fig7_samples": [1024, 4096, 25920, 72000, 108000],
+    "fig7_datasets": ["3d_ball", "lifted_mix_frac", "lifted_rr", "climate"],
+    "fig7_blocks": 1024,
+    "fig12_blocks": 2048,
+    "fig13_blocks": 4096,
+    "fig11_path": 400,
+}
+
+
+def _preset(full: bool) -> dict:
+    return _FULL if full else _QUICK
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+def table1(scale: Optional[float] = None) -> str:
+    """Table I: the experimental datasets and their analogues."""
+    return dataset_table(scale)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: miss rate / I/O time vs number of sampling positions
+# ---------------------------------------------------------------------------
+
+def fig7(full: bool = False, seed: int = 0) -> List[FigureResult]:
+    """Miss rate (a) and I/O time (b) against the size of ``T_visible``.
+
+    Random path with 10–15° view-direction changes (§IV-B); four datasets.
+    Expected shape: miss rate non-increasing in table size; I/O time
+    U-shaped because per-query lookup cost grows with the table.
+    """
+    p = _preset(full)
+    sample_counts: List[int] = list(p["fig7_samples"])
+    datasets: List[str] = list(p["fig7_datasets"])
+
+    miss_series: Dict[str, List[float]] = {d: [] for d in datasets}
+    io_series: Dict[str, List[float]] = {d: [] for d in datasets}
+
+    for name in datasets:
+        setup = ExperimentSetup.for_dataset(
+            name, target_n_blocks=p["fig7_blocks"], sampling=p["sampling"], seed=seed
+        )
+        path = random_path(
+            n_positions=p["n_path"],
+            degree_change=(10.0, 15.0),
+            distance=2.5,
+            view_angle_deg=setup.view_angle_deg,
+            seed=seed,
+        )
+        context = setup.context(path)
+        for n_samples in sample_counts:
+            n_dist = setup.sampling.n_distances
+            sampling = SamplingConfig(
+                n_directions=max(1, n_samples // n_dist),
+                n_distances=n_dist,
+                distance_range=setup.sampling.distance_range,
+            )
+            # Dense tables need fewer vicinal samples per sphere — the
+            # spheres of neighbouring entries overlap heavily anyway.
+            setup.rebuild_visible_table(sampling=sampling, n_vicinal=4)
+            optimizer = setup.optimizer()
+            result = optimizer.run(context, setup.hierarchy("lru"))
+            miss_series[name].append(result.total_miss_rate)
+            io_series[name].append(result.io_time_s)
+
+    return [
+        FigureResult(
+            "fig7a",
+            "miss rate vs number of sampling positions",
+            "n_samples",
+            sample_counts,
+            miss_series,
+        ),
+        FigureResult(
+            "fig7b",
+            "I/O time (s, incl. lookup) vs number of sampling positions",
+            "n_samples",
+            sample_counts,
+            io_series,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: miss rate vs block division
+# ---------------------------------------------------------------------------
+
+def fig9(full: bool = False, seed: int = 0) -> List[FigureResult]:
+    """Miss rate across block divisions for FIFO/LRU/OPT (panels a–n).
+
+    Panels (a–g): spherical paths at fixed degree steps; panels (h–n):
+    random paths with degree-change ranges.  Expected shape: OPT below
+    LRU/FIFO everywhere; small divisions help at small degree changes.
+    """
+    p = _preset(full)
+    divisions: List[int] = list(p["block_divisions"])
+    panels: List[FigureResult] = []
+
+    setups = {
+        n: ExperimentSetup.for_dataset(
+            "3d_ball", target_n_blocks=n, sampling=p["sampling"], seed=seed
+        )
+        for n in divisions
+    }
+
+    def sweep(path_factory, label: str, panel: str) -> FigureResult:
+        series = {"fifo": [], "lru": [], "opt": [], "lru_mbytes": []}
+        actual_divisions = []
+        for n in divisions:
+            setup = setups[n]
+            path = path_factory(setup)
+            results = compare_policies(setup, path)
+            actual_divisions.append(setup.grid.n_blocks)
+            for key in ("fifo", "lru", "opt"):
+                series[key].append(results[key].total_miss_rate)
+            # Demand byte traffic of the LRU baseline: the block-size
+            # trade-off ("number of I/O operations vs size of data read",
+            # §V-B1) shows up in bytes, not in the block-miss ratio.
+            series["lru_mbytes"].append(results["lru"].extras["bytes_moved"] / 1e6)
+        return FigureResult(panel, label, "n_blocks", actual_divisions, series)
+
+    for deg in p["spherical_degrees"]:
+        panels.append(
+            sweep(
+                lambda s, deg=deg: spherical_path(
+                    n_positions=p["n_path"],
+                    degrees_per_step=deg,
+                    distance=2.5,
+                    view_angle_deg=s.view_angle_deg,
+                    seed=seed,
+                ),
+                f"miss rate vs block division, spherical path {deg:g} deg/step",
+                f"fig9_spherical_{deg:g}",
+            )
+        )
+    for lo, hi in p["random_ranges"]:
+        panels.append(
+            sweep(
+                lambda s, lo=lo, hi=hi: random_path(
+                    n_positions=p["n_path"],
+                    degree_change=(lo, hi),
+                    distance=2.5,
+                    view_angle_deg=s.view_angle_deg,
+                    seed=seed,
+                ),
+                f"miss rate vs block division, random path {lo:g}-{hi:g} deg",
+                f"fig9_random_{lo:g}-{hi:g}",
+            )
+        )
+    return panels
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: optimal vicinal radius vs fixed radii
+# ---------------------------------------------------------------------------
+
+def fig11(full: bool = False, seed: int = 0) -> List[FigureResult]:
+    """Total I/O + prefetch time: Eq. 6 optimal r against fixed radii.
+
+    Paper setup: ``lifted_rr`` partitioned into 1024 blocks, 400-position
+    path, fixed view angle.  The camera distance varies along the path
+    (users zoom in and out, §V-B2) — this is where the dynamically
+    computed Eq. 6 radius beats every fixed radius, which is tuned for at
+    most one distance.  Expected shape: the Eq. 6 radius yields the lowest
+    combined I/O + prefetch time among the paper's radii.
+    """
+    p = _preset(full)
+    radii: List[Optional[float]] = [None, 0.1, 0.075, 0.05, 0.025]
+    setup = ExperimentSetup.for_dataset(
+        "lifted_rr", target_n_blocks=1024, sampling=p["sampling"], seed=seed
+    )
+    path = random_path(
+        n_positions=p["fig11_path"],
+        degree_change=(5.0, 10.0),
+        distance=(2.1, 2.9),  # zooming user: dynamically changing d
+        view_angle_deg=setup.view_angle_deg,
+        seed=seed,
+    )
+    context = setup.context(path)
+
+    labels: List[object] = []
+    times: List[float] = []
+    miss_rates: List[float] = []
+    for r in radii:
+        setup.rebuild_visible_table(fixed_radius=r)
+        optimizer = setup.optimizer()
+        result = optimizer.run(context, setup.hierarchy("lru"))
+        labels.append("optimal (Eq.6)" if r is None else f"r={r:g}")
+        times.append(result.io_plus_prefetch_time_s)
+        miss_rates.append(result.total_miss_rate)
+
+    return [
+        FigureResult(
+            "fig11",
+            "total I/O + prefetch time (s) by vicinal radius",
+            "radius",
+            labels,
+            {"io_plus_prefetch_s": times, "miss_rate": miss_rates},
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: miss rate across camera paths
+# ---------------------------------------------------------------------------
+
+def fig12(full: bool = False, seed: int = 0) -> List[FigureResult]:
+    """Miss rate across spherical (a) and random (b) paths, 2048 blocks.
+
+    Expected shape (paper §V-C): OPT ≈ ¼ of FIFO/LRU at 1°/step, below ½
+    generally; miss rate grows with the per-step direction change.
+    """
+    p = _preset(full)
+    setup = ExperimentSetup.for_dataset(
+        "3d_ball", target_n_blocks=p["fig12_blocks"], sampling=p["sampling"], seed=seed
+    )
+
+    def run_paths(paths, x_values, panel, label):
+        series = {"fifo": [], "lru": [], "opt": []}
+        for path in paths:
+            results = compare_policies(setup, path)
+            for key in series:
+                series[key].append(results[key].total_miss_rate)
+        return FigureResult(panel, label, "degrees", x_values, series)
+
+    sph_paths = [
+        spherical_path(
+            n_positions=p["n_path"],
+            degrees_per_step=deg,
+            distance=2.5,
+            view_angle_deg=setup.view_angle_deg,
+            seed=seed,
+        )
+        for deg in p["spherical_degrees"]
+    ]
+    rnd_paths = [
+        random_path(
+            n_positions=p["n_path"],
+            degree_change=(lo, hi),
+            distance=(2.2, 2.8),
+            view_angle_deg=setup.view_angle_deg,
+            seed=seed,
+        )
+        for lo, hi in p["random_ranges"]
+    ]
+    return [
+        run_paths(
+            sph_paths,
+            [f"{d:g}" for d in p["spherical_degrees"]],
+            "fig12a",
+            "miss rate, spherical path (3d_ball, 2048 blocks)",
+        ),
+        run_paths(
+            rnd_paths,
+            [f"{lo:g}-{hi:g}" for lo, hi in p["random_ranges"]],
+            "fig12b",
+            "miss rate, random path (3d_ball, 2048 blocks)",
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: total time (I/O + max(prefetch, render)) vs cache ratio
+# ---------------------------------------------------------------------------
+
+def fig13(full: bool = False, seed: int = 0) -> List[FigureResult]:
+    """Total time across random paths at cache ratios 0.5 (a) and 0.7 (b).
+
+    Expected shape: OPT wins at small direction changes (≈12 %/25 % over
+    LRU/FIFO at ratio 0.5); at ratio 0.7 the OPT advantage extends to
+    larger direction changes (≈8.6 %/19.7 %).
+    """
+    p = _preset(full)
+    panels = []
+    for ratio, panel in ((0.5, "fig13a"), (0.7, "fig13b")):
+        setup = ExperimentSetup.for_dataset(
+            "3d_ball",
+            target_n_blocks=p["fig13_blocks"],
+            sampling=p["sampling"],
+            cache_ratio=ratio,
+            seed=seed,
+        )
+        series = {"fifo": [], "lru": [], "opt": []}
+        x_values = [f"{lo:g}-{hi:g}" for lo, hi in p["random_ranges"]]
+        for lo, hi in p["random_ranges"]:
+            path = random_path(
+                n_positions=p["n_path"],
+                degree_change=(lo, hi),
+                distance=2.5,
+                view_angle_deg=setup.view_angle_deg,
+                seed=seed,
+            )
+            results = compare_policies(setup, path)
+            for key in series:
+                series[key].append(results[key].total_time_s)
+        panels.append(
+            FigureResult(
+                panel,
+                f"total time (s), cache ratio {ratio:g}",
+                "degrees",
+                x_values,
+                series,
+            )
+        )
+    return panels
+
+
+# ---------------------------------------------------------------------------
+# Ablations (beyond the paper)
+# ---------------------------------------------------------------------------
+
+def ablations(full: bool = False, seed: int = 0) -> List[FigureResult]:
+    """Component knock-outs and extra baselines on the Fig. 12 workload.
+
+    Variants: the full method, no-prefetch, no-preload, no-importance
+    filter; baselines FIFO/LRU/ARC and the offline Belady bound.
+    """
+    p = _preset(full)
+    setup = ExperimentSetup.for_dataset(
+        "3d_ball", target_n_blocks=p["fig12_blocks"], sampling=p["sampling"], seed=seed
+    )
+    path = random_path(
+        n_positions=p["n_path"],
+        degree_change=(5.0, 10.0),
+        distance=2.5,
+        view_angle_deg=setup.view_angle_deg,
+        seed=seed,
+    )
+    context = setup.context(path)
+
+    rows: Dict[str, Tuple[float, float]] = {}
+    base = compare_policies(
+        setup, path, baselines=("fifo", "lru", "arc"), include_belady=True
+    )
+    for name, result in base.items():
+        rows[name] = (result.total_miss_rate, result.total_time_s)
+
+    variants = {
+        "opt(no-prefetch)": OptimizerConfig(prefetch=False),
+        "opt(no-preload)": OptimizerConfig(preload=False),
+        "opt(no-filter)": OptimizerConfig(use_importance_filter=False),
+        "opt(adaptive-sigma)": OptimizerConfig(adaptive_sigma=True),
+    }
+    for name, cfg in variants.items():
+        result = setup.optimizer(cfg).run(context, setup.hierarchy("lru"), name=name)
+        rows[name] = (result.total_miss_rate, result.total_time_s)
+
+    labels = list(rows)
+    return [
+        FigureResult(
+            "ablations",
+            "component knock-outs and extra baselines (random 5-10 deg path)",
+            "variant",
+            labels,
+            {
+                "miss_rate": [rows[k][0] for k in labels],
+                "total_time_s": [rows[k][1] for k in labels],
+            },
+        )
+    ]

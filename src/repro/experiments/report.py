@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_run_summaries"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Align ``rows`` under ``headers`` with a rule line (monospace-friendly)."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells for {len(headers)} headers")
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """One row per x value, one column per named series (a figure as text)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_run_summaries(results: Mapping[str, object], title: str = "") -> str:
+    """Tabulate :class:`~repro.core.metrics.RunResult` objects by policy."""
+    headers = [
+        "policy",
+        "miss_rate",
+        "fast_miss_rate",
+        "io_time_s",
+        "prefetch_time_s",
+        "render_time_s",
+        "total_time_s",
+    ]
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.total_miss_rate,
+                result.fast_miss_rate,
+                result.io_time_s,
+                result.prefetch_time_s,
+                result.render_time_s,
+                result.total_time_s,
+            ]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,121 @@
+"""Generic cartesian parameter sweeps.
+
+The figure modules hand-roll their sweeps to mirror the paper exactly;
+this utility is for *new* studies on top of the library: give it a
+function from parameters to metrics and a grid of parameter values, get a
+result object that tabulates and re-slices into series.
+
+>>> def run(block_count, policy):
+...     return {"miss_rate": simulate(block_count, policy)}
+>>> sweep = parameter_sweep(run, {"block_count": [512, 2048],
+...                               "policy": ["lru", "fifo"]})
+>>> print(sweep.to_table())
+>>> x, series = sweep.series(x="block_count", metric="miss_rate", group_by="policy")
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.report import format_table
+
+__all__ = ["SweepResult", "parameter_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Rows of (parameters, metrics) from a cartesian sweep."""
+
+    param_names: Tuple[str, ...]
+    metric_names: Tuple[str, ...]
+    rows: List[Tuple[Dict[str, Any], Dict[str, float]]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_table(self, title: str = "") -> str:
+        headers = list(self.param_names) + list(self.metric_names)
+        body = [
+            [params[p] for p in self.param_names]
+            + [metrics[m] for m in self.metric_names]
+            for params, metrics in self.rows
+        ]
+        return format_table(headers, body, title=title)
+
+    def series(
+        self,
+        x: str,
+        metric: str,
+        group_by: Optional[str] = None,
+    ) -> Tuple[List[Any], Dict[str, List[float]]]:
+        """Re-slice into ``(x_values, {group_label: [metric, ...]})``.
+
+        Rows must form a complete grid over ``x`` × ``group_by`` (which a
+        cartesian sweep guarantees); without ``group_by`` a single series
+        named after the metric is returned.
+        """
+        if x not in self.param_names:
+            raise KeyError(f"unknown parameter {x!r}; have {self.param_names}")
+        if metric not in self.metric_names:
+            raise KeyError(f"unknown metric {metric!r}; have {self.metric_names}")
+        if group_by is not None and group_by not in self.param_names:
+            raise KeyError(f"unknown parameter {group_by!r}; have {self.param_names}")
+
+        x_values: List[Any] = []
+        for params, _ in self.rows:
+            if params[x] not in x_values:
+                x_values.append(params[x])
+
+        series: Dict[str, List[float]] = {}
+        for params, metrics in self.rows:
+            label = str(params[group_by]) if group_by is not None else metric
+            series.setdefault(label, [None] * len(x_values))  # type: ignore[list-item]
+            series[label][x_values.index(params[x])] = metrics[metric]
+        for label, values in series.items():
+            if any(v is None for v in values):
+                raise ValueError(
+                    f"incomplete grid: series {label!r} missing values over {x!r}"
+                )
+        return x_values, series
+
+    def best(self, metric: str, minimize: bool = True) -> Tuple[Dict[str, Any], Dict[str, float]]:
+        """The row with the best value of ``metric``."""
+        if not self.rows:
+            raise ValueError("empty sweep")
+        key = lambda row: row[1][metric]  # noqa: E731
+        return min(self.rows, key=key) if minimize else max(self.rows, key=key)
+
+
+def parameter_sweep(
+    fn: Callable[..., Mapping[str, float]],
+    grid: Mapping[str, Sequence[Any]],
+    fixed: Optional[Mapping[str, Any]] = None,
+) -> SweepResult:
+    """Evaluate ``fn(**params)`` over the cartesian product of ``grid``.
+
+    ``fn`` must return a mapping of metric name → value with a consistent
+    key set across all calls.  ``fixed`` parameters are passed to every
+    call but not recorded as sweep axes.
+    """
+    if not grid:
+        raise ValueError("grid needs at least one parameter axis")
+    for name, values in grid.items():
+        if len(values) == 0:
+            raise ValueError(f"parameter {name!r} has no values")
+    fixed = dict(fixed or {})
+    names = tuple(grid)
+    result: Optional[SweepResult] = None
+    for combo in itertools.product(*(grid[n] for n in names)):
+        params = dict(zip(names, combo))
+        metrics = dict(fn(**params, **fixed))
+        if result is None:
+            result = SweepResult(param_names=names, metric_names=tuple(metrics))
+        elif set(metrics) != set(result.metric_names):
+            raise ValueError(
+                f"inconsistent metrics: {sorted(metrics)} vs {sorted(result.metric_names)}"
+            )
+        result.rows.append((params, metrics))
+    assert result is not None
+    return result

@@ -1,0 +1,26 @@
+"""Block-importance measures (Step 2, §IV-C).
+
+Shannon entropy over a block's value histogram is the paper's measure
+(Eq. 2); variance and gradient-magnitude are provided as ablation
+alternatives to show the pipeline is not tied to one choice.
+"""
+
+from repro.importance.entropy import block_entropies, shannon_entropy, histogram_probabilities
+from repro.importance.measures import (
+    block_variances,
+    block_gradient_magnitudes,
+    block_value_ranges,
+    IMPORTANCE_MEASURES,
+    compute_importance,
+)
+
+__all__ = [
+    "block_entropies",
+    "shannon_entropy",
+    "histogram_probabilities",
+    "block_variances",
+    "block_gradient_magnitudes",
+    "block_value_ranges",
+    "IMPORTANCE_MEASURES",
+    "compute_importance",
+]

@@ -1,0 +1,92 @@
+"""Alternative block-importance measures for ablation.
+
+The paper argues entropy identifies feature regions; the ablation bench
+(benchmarks/test_ablations.py) swaps in variance and gradient magnitude to
+show how much of the gain is specific to the entropy choice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.importance.entropy import DEFAULT_N_BINS, block_entropies
+from repro.volume.blocks import BlockGrid
+from repro.volume.volume import Volume
+
+__all__ = [
+    "block_variances",
+    "block_gradient_magnitudes",
+    "block_value_ranges",
+    "IMPORTANCE_MEASURES",
+    "compute_importance",
+]
+
+
+def _check_match(volume: Volume, grid: BlockGrid) -> None:
+    if grid.volume_shape != volume.shape:
+        raise ValueError(
+            f"grid shape {grid.volume_shape} does not match volume shape {volume.shape}"
+        )
+
+
+def block_variances(volume: Volume, grid: BlockGrid, variable: Optional[str] = None) -> np.ndarray:
+    """Per-block voxel-value variance."""
+    _check_match(volume, grid)
+    data = volume.data(variable)
+    out = np.empty(grid.n_blocks, dtype=np.float64)
+    for bid in grid.iter_ids():
+        out[bid] = float(np.var(data[grid.block_slices(bid)], dtype=np.float64))
+    return out
+
+
+def block_gradient_magnitudes(volume: Volume, grid: BlockGrid, variable: Optional[str] = None) -> np.ndarray:
+    """Per-block mean gradient magnitude (central differences, whole volume once)."""
+    _check_match(volume, grid)
+    data = volume.data(variable).astype(np.float64)
+    gx, gy, gz = np.gradient(data)
+    mag = np.sqrt(gx * gx + gy * gy + gz * gz)
+    out = np.empty(grid.n_blocks, dtype=np.float64)
+    for bid in grid.iter_ids():
+        out[bid] = float(np.mean(mag[grid.block_slices(bid)]))
+    return out
+
+
+def block_value_ranges(volume: Volume, grid: BlockGrid, variable: Optional[str] = None) -> np.ndarray:
+    """Per-block max−min value span (the cheapest possible proxy)."""
+    _check_match(volume, grid)
+    data = volume.data(variable)
+    out = np.empty(grid.n_blocks, dtype=np.float64)
+    for bid in grid.iter_ids():
+        blk = data[grid.block_slices(bid)]
+        out[bid] = float(blk.max()) - float(blk.min())
+    return out
+
+
+def _entropy_measure(volume: Volume, grid: BlockGrid, variable: Optional[str] = None) -> np.ndarray:
+    return block_entropies(volume, grid, DEFAULT_N_BINS, variable)
+
+
+IMPORTANCE_MEASURES: Dict[str, Callable[..., np.ndarray]] = {
+    "entropy": _entropy_measure,
+    "variance": block_variances,
+    "gradient": block_gradient_magnitudes,
+    "range": block_value_ranges,
+}
+
+
+def compute_importance(
+    volume: Volume,
+    grid: BlockGrid,
+    measure: str = "entropy",
+    variable: Optional[str] = None,
+) -> np.ndarray:
+    """Per-block importance by measure name (``'entropy'`` is the paper's)."""
+    try:
+        fn = IMPORTANCE_MEASURES[measure]
+    except KeyError:
+        raise KeyError(
+            f"unknown importance measure {measure!r}; known: {sorted(IMPORTANCE_MEASURES)}"
+        ) from None
+    return fn(volume, grid, variable=variable)

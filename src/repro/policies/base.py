@@ -1,0 +1,69 @@
+"""Replacement-policy interface.
+
+A policy is pure bookkeeping: the :class:`repro.storage.cache.CacheLevel`
+owns residency and statistics, and notifies the policy of hits, inserts and
+evictions.  When the cache is full it asks :meth:`choose_victim`, passing an
+*evictability predicate* — this is how Algorithm 1's constraint that a
+victim's last-used time must be ``< i`` (i.e. not touched at the current
+view point) is enforced uniformly across all policies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+EvictablePredicate = Callable[[int], bool]
+
+__all__ = ["ReplacementPolicy", "EvictablePredicate", "always_evictable"]
+
+
+def always_evictable(key: int) -> bool:
+    """Default predicate: every resident block may be evicted."""
+    return True
+
+
+class ReplacementPolicy(abc.ABC):
+    """Base class for replacement policies over integer block ids.
+
+    Contract (enforced by the cache, relied on by subclasses):
+
+    - ``on_insert(key)`` is only called for keys not currently tracked;
+    - ``on_hit(key)`` only for tracked keys;
+    - ``on_evict(key)`` exactly once per eviction, with a tracked key;
+    - ``choose_victim`` must return a tracked key satisfying the predicate,
+      or ``None`` when no tracked key satisfies it (the cache then bypasses
+      the insert rather than thrash the working set).
+    """
+
+    name: str = "base"
+
+    def set_capacity(self, capacity: int) -> None:
+        """Hook for policies that need to know the cache size (ARC)."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all tracked keys and adaptive state."""
+
+    @abc.abstractmethod
+    def on_hit(self, key: int, step: int) -> None:
+        """A resident ``key`` was accessed at logical time ``step``."""
+
+    @abc.abstractmethod
+    def on_insert(self, key: int, step: int) -> None:
+        """``key`` became resident at logical time ``step``."""
+
+    @abc.abstractmethod
+    def on_evict(self, key: int) -> None:
+        """``key`` was removed from the cache."""
+
+    @abc.abstractmethod
+    def choose_victim(self, evictable: EvictablePredicate = always_evictable) -> Optional[int]:
+        """Pick a victim among tracked keys, or ``None`` if none qualifies."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of tracked (resident) keys — used by invariant checks."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(tracked={len(self)})"

@@ -1,0 +1,108 @@
+"""Belady's offline optimal replacement (MIN).
+
+Cited in the paper's related work (§II); we use it as the unbeatable lower
+bound on miss rate in the ablation benches.  It requires the *future*: the
+demand trace of a pipeline run is policy-independent (visible sets depend
+only on the camera path), so the trace can be collected once with
+:func:`repro.core.pipeline.collect_demand_trace` and fed to this policy.
+
+The victim is the resident key whose next use lies farthest in the future
+(never-used-again keys first).  Next-use positions are precomputed per
+trace position; candidate selection uses a lazy max-heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.policies.base import EvictablePredicate, ReplacementPolicy, always_evictable
+
+__all__ = ["BeladyPolicy"]
+
+_NEVER = float("inf")
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """Offline MIN over a fixed access ``trace`` (sequence of keys).
+
+    Every ``on_hit``/``on_insert`` must correspond, in order, to the next
+    element of the trace; a mismatch raises, catching desynchronised
+    experiments early instead of silently producing a non-optimal victim.
+    """
+
+    name = "belady"
+
+    def __init__(self, trace: Sequence[int]) -> None:
+        self._trace: List[int] = [int(k) for k in trace]
+        self._next_use: List[float] = self._compute_next_use(self._trace)
+        self._pos = 0
+        self._resident_next: Dict[int, float] = {}
+        self._heap: List[tuple] = []  # (-next_use, key), lazy
+
+    @staticmethod
+    def _compute_next_use(trace: List[int]) -> List[float]:
+        """``next_use[t]`` = position of the next occurrence of trace[t] after t."""
+        last_seen: Dict[int, int] = {}
+        next_use: List[float] = [_NEVER] * len(trace)
+        for t in range(len(trace) - 1, -1, -1):
+            key = trace[t]
+            next_use[t] = last_seen.get(key, _NEVER)
+            last_seen[key] = t
+        return next_use
+
+    def reset(self) -> None:
+        self._pos = 0
+        self._resident_next.clear()
+        self._heap.clear()
+
+    def _advance(self, key: int) -> None:
+        if self._pos >= len(self._trace):
+            raise RuntimeError("access beyond end of Belady trace")
+        expected = self._trace[self._pos]
+        if key != expected:
+            raise RuntimeError(
+                f"Belady trace desync at position {self._pos}: expected key {expected}, got {key}"
+            )
+        nxt = self._next_use[self._pos]
+        self._pos += 1
+        self._resident_next[key] = nxt
+        heapq.heappush(self._heap, (-nxt, key))
+
+    def on_hit(self, key: int, step: int) -> None:
+        if key not in self._resident_next:
+            raise KeyError(f"hit on untracked key {key}")
+        self._advance(key)
+
+    def on_insert(self, key: int, step: int) -> None:
+        if key in self._resident_next:
+            raise KeyError(f"key {key} already tracked")
+        self._advance(key)
+
+    def on_evict(self, key: int) -> None:
+        del self._resident_next[key]
+
+    def choose_victim(self, evictable: EvictablePredicate = always_evictable) -> Optional[int]:
+        skipped: List[tuple] = []
+        victim: Optional[int] = None
+        while self._heap:
+            neg_next, key = heapq.heappop(self._heap)
+            current = self._resident_next.get(key)
+            if current is None or -neg_next != current:
+                continue  # stale: evicted or next-use updated by a later access
+            if evictable(key):
+                victim = key
+                skipped.append((neg_next, key))  # keep until on_evict removes it
+                break
+            skipped.append((neg_next, key))
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return victim
+
+    def __len__(self) -> int:
+        return len(self._resident_next)
+
+    @property
+    def position(self) -> int:
+        """How many trace accesses have been consumed (testing/diagnostics)."""
+        return self._pos

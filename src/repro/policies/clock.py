@@ -1,0 +1,73 @@
+"""CLOCK (second-chance) replacement (extension baseline).
+
+An LRU approximation: resident keys sit on a ring with a reference bit;
+the hand sweeps, clearing set bits and evicting the first clear-bit key
+that is evictable.  Protected keys are skipped without touching their bit,
+so the sweep is bounded by two full revolutions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.policies.base import EvictablePredicate, ReplacementPolicy, always_evictable
+
+__all__ = ["ClockPolicy"]
+
+
+class ClockPolicy(ReplacementPolicy):
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._ring: List[int] = []
+        self._pos_of: Dict[int, int] = {}
+        self._ref: Dict[int, bool] = {}
+        self._hand = 0
+
+    def reset(self) -> None:
+        self._ring.clear()
+        self._pos_of.clear()
+        self._ref.clear()
+        self._hand = 0
+
+    def on_hit(self, key: int, step: int) -> None:
+        self._ref[key] = True
+
+    def on_insert(self, key: int, step: int) -> None:
+        if key in self._pos_of:
+            raise KeyError(f"key {key} already tracked")
+        self._pos_of[key] = len(self._ring)
+        self._ring.append(key)
+        self._ref[key] = True
+
+    def on_evict(self, key: int) -> None:
+        # Swap-remove from the ring to keep eviction O(1).
+        pos = self._pos_of.pop(key)
+        last = self._ring.pop()
+        if last != key:
+            self._ring[pos] = last
+            self._pos_of[last] = pos
+        del self._ref[key]
+        if self._ring and self._hand >= len(self._ring):
+            self._hand = 0
+
+    def choose_victim(self, evictable: EvictablePredicate = always_evictable) -> Optional[int]:
+        n = len(self._ring)
+        if n == 0:
+            return None
+        # Two revolutions suffice: the first may clear every ref bit, the
+        # second must then find an evictable clear-bit key if one exists.
+        for _ in range(2 * n):
+            key = self._ring[self._hand]
+            if not evictable(key):
+                self._hand = (self._hand + 1) % n
+                continue
+            if self._ref[key]:
+                self._ref[key] = False
+                self._hand = (self._hand + 1) % n
+                continue
+            return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._ring)

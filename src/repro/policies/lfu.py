@@ -1,0 +1,72 @@
+"""Least-Frequently-Used replacement (extension baseline).
+
+Implemented with a lazy min-heap of ``(count, tiebreak, key)`` entries:
+stale entries (superseded counts, evicted keys) are discarded on pop, and
+entries that are valid but currently protected are pushed back after the
+scan.  Ties break by least-recent insertion/access order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.policies.base import EvictablePredicate, ReplacementPolicy, always_evictable
+
+__all__ = ["LFUPolicy"]
+
+
+class LFUPolicy(ReplacementPolicy):
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._heap: List[Tuple[int, int, int]] = []
+        self._seq = 0
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._heap.clear()
+        self._seq = 0
+
+    def _push(self, key: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._counts[key], self._seq, key))
+
+    def on_hit(self, key: int, step: int) -> None:
+        self._counts[key] += 1
+        self._push(key)
+
+    def on_insert(self, key: int, step: int) -> None:
+        if key in self._counts:
+            raise KeyError(f"key {key} already tracked")
+        self._counts[key] = 1
+        self._push(key)
+
+    def on_evict(self, key: int) -> None:
+        # Heap entries for this key become stale and are skipped lazily.
+        del self._counts[key]
+
+    def choose_victim(self, evictable: EvictablePredicate = always_evictable) -> Optional[int]:
+        skipped: List[Tuple[int, int, int]] = []
+        victim: Optional[int] = None
+        while self._heap:
+            count, seq, key = heapq.heappop(self._heap)
+            current = self._counts.get(key)
+            if current is None or current != count:
+                continue  # stale entry (evicted, or count has grown)
+            if evictable(key):
+                victim = key
+                skipped.append((count, seq, key))  # keep entry until on_evict
+                break
+            skipped.append((count, seq, key))
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return victim
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def frequency(self, key: int) -> int:
+        """Access count of a tracked key (testing/diagnostics)."""
+        return self._counts[key]

@@ -1,0 +1,52 @@
+"""Least-Recently-Used replacement (paper baseline, §V)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.policies.base import EvictablePredicate, ReplacementPolicy, always_evictable
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU over an :class:`OrderedDict` (front = least recent).
+
+    ``choose_victim`` scans from the LRU end and returns the first evictable
+    key; protected keys (e.g. blocks used at the current view point) are
+    usually at the MRU end, so the scan terminates almost immediately in the
+    pipeline's access pattern.
+    """
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def reset(self) -> None:
+        self._order.clear()
+
+    def on_hit(self, key: int, step: int) -> None:
+        self._order.move_to_end(key)
+
+    def on_insert(self, key: int, step: int) -> None:
+        if key in self._order:
+            raise KeyError(f"key {key} already tracked")
+        self._order[key] = None
+
+    def on_evict(self, key: int) -> None:
+        del self._order[key]
+
+    def choose_victim(self, evictable: EvictablePredicate = always_evictable) -> Optional[int]:
+        for key in self._order:
+            if evictable(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def recency_order(self) -> "list[int]":
+        """Keys from least to most recently used (testing/diagnostics)."""
+        return list(self._order)

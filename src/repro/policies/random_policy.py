@@ -1,0 +1,64 @@
+"""Uniform-random replacement (control baseline for the ablation benches)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.policies.base import EvictablePredicate, ReplacementPolicy, always_evictable
+from repro.utils.rng import SeedLike, resolve_rng
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random evictable key.
+
+    Keys live in a list with a position index for O(1) insert/remove;
+    victim selection rejection-samples, falling back to a full scan in
+    random order when the evictable fraction is tiny.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self._rng = resolve_rng(seed)
+        self._keys: List[int] = []
+        self._pos_of: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._keys.clear()
+        self._pos_of.clear()
+
+    def on_hit(self, key: int, step: int) -> None:
+        pass
+
+    def on_insert(self, key: int, step: int) -> None:
+        if key in self._pos_of:
+            raise KeyError(f"key {key} already tracked")
+        self._pos_of[key] = len(self._keys)
+        self._keys.append(key)
+
+    def on_evict(self, key: int) -> None:
+        pos = self._pos_of.pop(key)
+        last = self._keys.pop()
+        if last != key:
+            self._keys[pos] = last
+            self._pos_of[last] = pos
+
+    def choose_victim(self, evictable: EvictablePredicate = always_evictable) -> Optional[int]:
+        n = len(self._keys)
+        if n == 0:
+            return None
+        for _ in range(8):  # cheap attempts before the exhaustive fallback
+            key = self._keys[int(self._rng.integers(n))]
+            if evictable(key):
+                return key
+        order = self._rng.permutation(n)
+        for i in order:
+            key = self._keys[int(i)]
+            if evictable(key):
+                return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self._keys)

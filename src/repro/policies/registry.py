@@ -1,0 +1,46 @@
+"""Name-based policy construction for experiment configs and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.policies.arc import ARCPolicy
+from repro.policies.base import ReplacementPolicy
+from repro.policies.clock import ClockPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.mru import MRUPolicy
+from repro.policies.random_policy import RandomPolicy
+
+__all__ = ["make_policy", "POLICY_NAMES", "register_policy"]
+
+_FACTORIES: Dict[str, Callable[[], ReplacementPolicy]] = {
+    "fifo": FIFOPolicy,
+    "lru": LRUPolicy,
+    "mru": MRUPolicy,
+    "lfu": LFUPolicy,
+    "clock": ClockPolicy,
+    "random": RandomPolicy,
+    "arc": ARCPolicy,
+    # "belady" is intentionally absent: it needs a trace argument, see
+    # repro.policies.belady.BeladyPolicy.
+}
+
+POLICY_NAMES = tuple(sorted(_FACTORIES))
+
+
+def register_policy(name: str, factory: Callable[[], ReplacementPolicy]) -> None:
+    """Register a custom policy factory under ``name`` (overwrites rejected)."""
+    if name in _FACTORIES:
+        raise ValueError(f"policy {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """A fresh policy instance by name (``'lru'``, ``'fifo'``, ``'arc'``, ...)."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; known: {list(POLICY_NAMES)}") from None
+    return factory()

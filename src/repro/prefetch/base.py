@@ -1,0 +1,42 @@
+"""The prefetcher interface.
+
+A prefetcher sees what the pipeline sees at each view point — the camera
+position, the blocks that turned out to be visible — and returns ranked
+candidate block ids to pull toward fast memory during rendering.  It also
+reports its per-query *compute* cost on the simulated clock, so strategies
+with expensive prediction (frustum evaluation, table scans) are charged
+fairly against cheap ones.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Prefetcher"]
+
+
+class Prefetcher(abc.ABC):
+    """Predicts the blocks the next view point will need."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def predict(self, step: int, position: np.ndarray, visible_ids: np.ndarray) -> np.ndarray:
+        """Ranked candidate block ids for the upcoming view(s).
+
+        Called once per step *after* the demand fetch of ``visible_ids``.
+        The returned ids may include currently-resident blocks; the driver
+        skips those.
+        """
+
+    def query_cost_s(self) -> float:
+        """Simulated seconds of prediction compute per step (default free)."""
+        return 0.0
+
+    def reset(self) -> None:
+        """Forget accumulated history (between replays)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

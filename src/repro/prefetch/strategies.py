@@ -1,0 +1,176 @@
+"""Concrete prefetch strategies."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.camera.frustum import visible_blocks
+from repro.prefetch.base import Prefetcher
+from repro.tables.importance_table import ImportanceTable
+from repro.tables.visible_table import LookupCostModel, VisibleTable
+from repro.utils.geometry import angle_between, normalize, rotation_matrix_axis_angle
+from repro.volume.blocks import BlockGrid
+
+__all__ = [
+    "NoPrefetcher",
+    "TableLookupPrefetcher",
+    "MotionExtrapolationPrefetcher",
+    "MarkovPrefetcher",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class NoPrefetcher(Prefetcher):
+    """Caching only — the regime of the paper's FIFO/LRU baselines."""
+
+    name = "none"
+
+    def predict(self, step: int, position: np.ndarray, visible_ids: np.ndarray) -> np.ndarray:
+        return _EMPTY
+
+
+class TableLookupPrefetcher(Prefetcher):
+    """The paper's strategy: nearest ``T_visible`` entry, σ-filtered.
+
+    This is Algorithm 1 line 22 packaged as a strategy; the cost per query
+    comes from the same :class:`LookupCostModel` the optimizer charges.
+    """
+
+    name = "table"
+
+    def __init__(
+        self,
+        visible_table: VisibleTable,
+        importance: Optional[ImportanceTable] = None,
+        sigma: float = float("-inf"),
+        lookup_cost: Optional[LookupCostModel] = None,
+    ) -> None:
+        self.visible_table = visible_table
+        self.importance = importance
+        self.sigma = float(sigma)
+        self.lookup_cost = lookup_cost or LookupCostModel()
+
+    def predict(self, step: int, position: np.ndarray, visible_ids: np.ndarray) -> np.ndarray:
+        _, predicted = self.visible_table.lookup(position)
+        if self.importance is not None:
+            return self.importance.filter_and_rank(predicted, self.sigma)
+        return predicted
+
+    def query_cost_s(self) -> float:
+        return self.lookup_cost.query_time(self.visible_table.n_entries)
+
+
+class MotionExtrapolationPrefetcher(Prefetcher):
+    """Dead reckoning: repeat the camera's last rotation, evaluate Eq. 1.
+
+    Predicts the next position by applying the previous step's rotation
+    (about the axis perpendicular to both positions) once more, scaling the
+    radius by the same ratio, then computes the frustum visibility of that
+    extrapolated position directly.  No preprocessing table — but every
+    step pays a full visibility evaluation, whose simulated cost scales
+    with the block count.
+    """
+
+    name = "motion"
+
+    def __init__(
+        self,
+        grid: BlockGrid,
+        view_angle_deg: float,
+        per_block_test_s: float = 30e-9,
+    ) -> None:
+        self.grid = grid
+        self.view_angle_deg = float(view_angle_deg)
+        self.per_block_test_s = float(per_block_test_s)
+        self._prev: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._prev = None
+
+    def _extrapolate(self, position: np.ndarray) -> Optional[np.ndarray]:
+        if self._prev is None:
+            return None
+        prev, cur = self._prev, position
+        d_prev = np.linalg.norm(prev)
+        d_cur = np.linalg.norm(cur)
+        if d_prev == 0.0 or d_cur == 0.0:
+            return None
+        u, v = prev / d_prev, cur / d_cur
+        angle = float(angle_between(u, v))
+        if angle < 1e-9:  # pure zoom or stationary: keep direction
+            nxt_dir = v
+        else:
+            axis = np.cross(u, v)
+            nxt_dir = rotation_matrix_axis_angle(axis, angle) @ v
+            nxt_dir = normalize(nxt_dir)
+        d_next = d_cur * (d_cur / d_prev)  # continue the zoom ratio
+        return nxt_dir * d_next
+
+    def predict(self, step: int, position: np.ndarray, visible_ids: np.ndarray) -> np.ndarray:
+        position = np.asarray(position, dtype=np.float64)
+        guess = self._extrapolate(position)
+        self._prev = position
+        if guess is None:
+            return _EMPTY
+        return visible_blocks(guess, self.grid, self.view_angle_deg)
+
+    def query_cost_s(self) -> float:
+        return self.per_block_test_s * self.grid.n_blocks
+
+
+class MarkovPrefetcher(Prefetcher):
+    """First-order successor prediction on block appearances.
+
+    Application-agnostic history baseline: when block ``b`` is visible at
+    step *i* and block ``b'`` *newly appears* at step *i+1*, credit the
+    transition ``b -> b'``.  At prediction time, the successors of the
+    currently visible blocks are ranked by accumulated credit.  Memory is
+    bounded by keeping only the ``max_successors`` strongest successors per
+    block.
+    """
+
+    name = "markov"
+
+    def __init__(self, max_successors: int = 8, max_predictions: int = 256) -> None:
+        if max_successors < 1:
+            raise ValueError(f"max_successors must be >= 1, got {max_successors}")
+        self.max_successors = int(max_successors)
+        self.max_predictions = int(max_predictions)
+        self._succ: Dict[int, Counter] = defaultdict(Counter)
+        self._prev_visible: Optional[set] = None
+
+    def reset(self) -> None:
+        self._succ.clear()
+        self._prev_visible = None
+
+    def _learn(self, visible: set) -> None:
+        if self._prev_visible is not None:
+            new = visible - self._prev_visible
+            if new:
+                for b in self._prev_visible:
+                    counter = self._succ[b]
+                    counter.update(new)
+                    if len(counter) > 4 * self.max_successors:
+                        # Periodically shed the weak tail to bound memory.
+                        kept = counter.most_common(self.max_successors)
+                        counter.clear()
+                        counter.update(dict(kept))
+        self._prev_visible = visible
+
+    def predict(self, step: int, position: np.ndarray, visible_ids: np.ndarray) -> np.ndarray:
+        visible = set(int(b) for b in visible_ids)
+        self._learn(visible)
+        votes: Counter = Counter()
+        for b in visible:
+            counter = self._succ.get(b)
+            if counter:
+                for succ, weight in counter.most_common(self.max_successors):
+                    votes[succ] += weight
+        if not votes:
+            return _EMPTY
+        ranked = [b for b, _ in votes.most_common(self.max_predictions)]
+        return np.asarray(ranked, dtype=np.int64)

@@ -1,0 +1,165 @@
+"""Data-dependent analysis over the visible region (Fig. 3 of the paper).
+
+While exploring, scientists want per-view statistics — histograms of a
+variable and the correlation matrix among variables, computed over exactly
+the data seen from the current view.  These are the operations that force
+full-resolution access to every visible block (§III-B), which is why the
+replacement policy matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.volume.blocks import BlockGrid
+from repro.volume.volume import Volume
+
+__all__ = [
+    "gather_visible_values",
+    "visible_histogram",
+    "visible_correlation_matrix",
+    "visible_statistics",
+    "VisibleStatistics",
+]
+
+
+def gather_visible_values(
+    volume: Volume,
+    grid: BlockGrid,
+    block_ids: np.ndarray,
+    variable: Optional[str] = None,
+    max_voxels: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Concatenate the voxels of ``variable`` across the given blocks.
+
+    ``max_voxels`` caps the result with a deterministic uniform subsample —
+    the memory guard for large visible regions.
+    """
+    if grid.volume_shape != volume.shape:
+        raise ValueError(
+            f"grid shape {grid.volume_shape} does not match volume shape {volume.shape}"
+        )
+    data = volume.data(variable)
+    block_ids = np.asarray(block_ids, dtype=np.int64)
+    if block_ids.size == 0:
+        return np.empty(0, dtype=data.dtype)
+    parts = [data[grid.block_slices(int(b))].ravel() for b in block_ids]
+    values = np.concatenate(parts)
+    if max_voxels is not None and values.size > max_voxels:
+        rng = resolve_rng(seed)
+        idx = rng.choice(values.size, size=max_voxels, replace=False)
+        values = values[np.sort(idx)]
+    return values
+
+
+def visible_histogram(
+    volume: Volume,
+    grid: BlockGrid,
+    block_ids: np.ndarray,
+    variable: Optional[str] = None,
+    n_bins: int = 32,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram ``(counts, bin_edges)`` of a variable over the visible blocks.
+
+    ``value_range`` defaults to the variable's global range so histograms
+    from different views are directly comparable (as in Fig. 3).
+    """
+    values = gather_visible_values(volume, grid, block_ids, variable)
+    if value_range is None:
+        value_range = volume.value_range(variable)
+    lo, hi = value_range
+    if hi == lo:
+        hi = lo + 1.0
+    return np.histogram(values, bins=n_bins, range=(lo, hi))
+
+
+def visible_correlation_matrix(
+    volume: Volume,
+    grid: BlockGrid,
+    block_ids: np.ndarray,
+    variables: Optional[Sequence[str]] = None,
+    max_voxels: int = 200_000,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Pearson correlation among ``variables`` over the visible blocks.
+
+    Returns ``(matrix, variable_names)``.  Constant variables get zero
+    off-diagonal correlation (instead of NaN) and unit diagonal.
+    """
+    names = tuple(variables) if variables is not None else volume.variable_names
+    if len(names) < 2:
+        raise ValueError("correlation needs at least two variables")
+    block_ids = np.asarray(block_ids, dtype=np.int64)
+    if block_ids.size == 0:
+        return np.eye(len(names)), names
+
+    # Subsample voxel *positions* once so all variables align.
+    total = int(sum(grid.block_n_voxels(int(b)) for b in block_ids))
+    rng = resolve_rng(seed)
+    if total > max_voxels:
+        pick = np.sort(rng.choice(total, size=max_voxels, replace=False))
+    else:
+        pick = None
+
+    columns = []
+    for name in names:
+        vals = gather_visible_values(volume, grid, block_ids, variable=name)
+        columns.append(vals[pick] if pick is not None else vals)
+    stack = np.stack(columns, axis=0).astype(np.float64)
+
+    std = stack.std(axis=1)
+    safe = std > 0
+    matrix = np.eye(len(names))
+    if safe.sum() >= 2:
+        sub = np.corrcoef(stack[safe])
+        ii = np.flatnonzero(safe)
+        matrix[np.ix_(ii, ii)] = sub
+    return matrix, names
+
+
+@dataclass(frozen=True)
+class VisibleStatistics:
+    """Summary statistics of one variable over the visible region."""
+
+    variable: str
+    n_voxels: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_voxels": self.n_voxels,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def visible_statistics(
+    volume: Volume,
+    grid: BlockGrid,
+    block_ids: np.ndarray,
+    variable: Optional[str] = None,
+) -> VisibleStatistics:
+    """Mean/std/min/max of a variable over the visible blocks."""
+    name = variable or volume.primary
+    values = gather_visible_values(volume, grid, block_ids, variable)
+    if values.size == 0:
+        return VisibleStatistics(name, 0, float("nan"), float("nan"), float("nan"), float("nan"))
+    return VisibleStatistics(
+        variable=name,
+        n_voxels=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std()),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+    )

@@ -1,0 +1,45 @@
+"""Image comparison metrics.
+
+Used by the budgeted-interaction experiments: when a frame deadline forces
+rendering with only the cache-resident blocks, the image differs from the
+full-data render; MSE/PSNR quantify the visual cost of each replacement
+policy's residency choices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "psnr", "mean_abs_error"]
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"image shapes differ: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot compare empty images")
+    return a, b
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two images (any matching shape)."""
+    a, b = _pair(a, b)
+    return float(np.mean((a - b) ** 2))
+
+
+def mean_abs_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean absolute error between two images."""
+    a, b = _pair(a, b)
+    return float(np.mean(np.abs(a - b)))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, data_range: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images)."""
+    if data_range <= 0:
+        raise ValueError(f"data_range must be > 0, got {data_range}")
+    err = mse(a, b)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range * data_range / err))

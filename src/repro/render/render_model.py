@@ -1,0 +1,39 @@
+"""Analytic render-time model.
+
+The total-time experiments (Fig. 13) need only the *duration* of each
+render pass: for baselines it adds to the step time; for the app-aware
+pipeline it is the budget that hides prefetch (``total = io +
+max(prefetch, render)``, §V-D).  Time scales with the number of visible
+blocks — a GPU ray-caster's cost is dominated by sampling the visible
+working set.
+
+The defaults model a GPU pass at roughly 30–60 ms for a few hundred
+visible blocks, which sits in the same regime as the simulated device
+costs (an HDD block read ≈ 8 ms) — preserving the paper's crossover
+behaviour rather than its absolute numbers (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["RenderCostModel"]
+
+
+@dataclass(frozen=True)
+class RenderCostModel:
+    """``render_time = base_s + per_block_s * n_visible_blocks``."""
+
+    base_s: float = 5e-3
+    per_block_s: float = 0.15e-3
+
+    def __post_init__(self) -> None:
+        check_non_negative("base_s", self.base_s)
+        check_non_negative("per_block_s", self.per_block_s)
+
+    def render_time(self, n_visible_blocks: int) -> float:
+        if n_visible_blocks < 0:
+            raise ValueError(f"n_visible_blocks must be >= 0, got {n_visible_blocks}")
+        return self.base_s + self.per_block_s * n_visible_blocks

@@ -1,0 +1,104 @@
+"""Transfer functions: scalar value → RGBA (the data-dependent control, §III-A).
+
+A piecewise-linear map from normalized scalar values to colour and
+opacity.  Interactive users retune these constantly ("dynamically changed
+transfer functions", §IV-A); in the pipeline a transfer-function change
+invalidates nothing in the cache (blocks are raw data) but changes which
+blocks *matter*, which is why importance-based placement helps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TransferFunction"]
+
+
+class TransferFunction:
+    """Piecewise-linear RGBA transfer function over [0, 1] scalar values.
+
+    Parameters
+    ----------
+    control_points:
+        Sequence of ``(value, (r, g, b, a))`` with values in [0, 1],
+        strictly increasing.  Colours/opacities in [0, 1].
+    """
+
+    def __init__(self, control_points: Sequence[Tuple[float, Tuple[float, float, float, float]]]) -> None:
+        if len(control_points) < 2:
+            raise ValueError("need at least two control points")
+        values = np.array([float(v) for v, _ in control_points])
+        rgba = np.array([[float(c) for c in color] for _, color in control_points])
+        if rgba.shape[1] != 4:
+            raise ValueError("each control point needs an (r, g, b, a) colour")
+        if np.any(np.diff(values) <= 0):
+            raise ValueError("control-point values must be strictly increasing")
+        if values[0] < 0 or values[-1] > 1:
+            raise ValueError("control-point values must lie in [0, 1]")
+        if rgba.min() < 0 or rgba.max() > 1:
+            raise ValueError("colour components must lie in [0, 1]")
+        self._values = values
+        self._rgba = rgba
+
+    def __call__(self, scalars: np.ndarray) -> np.ndarray:
+        """Map scalars (any shape, clipped to [0,1]) to RGBA, shape ``(..., 4)``."""
+        s = np.clip(np.asarray(scalars, dtype=np.float64), 0.0, 1.0)
+        out = np.empty(s.shape + (4,), dtype=np.float64)
+        for c in range(4):
+            out[..., c] = np.interp(s, self._values, self._rgba[:, c])
+        return out
+
+    def opacity(self, scalars: np.ndarray) -> np.ndarray:
+        """Just the alpha channel (used by visibility-weighted analyses)."""
+        s = np.clip(np.asarray(scalars, dtype=np.float64), 0.0, 1.0)
+        return np.interp(s, self._values, self._rgba[:, 3])
+
+    # -- stock functions --------------------------------------------------------
+
+    @classmethod
+    def grayscale_ramp(cls) -> "TransferFunction":
+        """Transparent black → opaque white."""
+        return cls([(0.0, (0, 0, 0, 0)), (1.0, (1, 1, 1, 1))])
+
+    @classmethod
+    def fire(cls) -> "TransferFunction":
+        """A combustion-style map: transparent → red → yellow → white."""
+        return cls(
+            [
+                (0.0, (0.0, 0.0, 0.0, 0.0)),
+                (0.3, (0.6, 0.05, 0.0, 0.05)),
+                (0.6, (1.0, 0.4, 0.0, 0.35)),
+                (0.85, (1.0, 0.85, 0.3, 0.7)),
+                (1.0, (1.0, 1.0, 1.0, 0.95)),
+            ]
+        )
+
+    @classmethod
+    def cool_warm(cls) -> "TransferFunction":
+        """Diverging blue → white → red with ramped opacity."""
+        return cls(
+            [
+                (0.0, (0.23, 0.3, 0.75, 0.0)),
+                (0.5, (0.86, 0.86, 0.86, 0.15)),
+                (1.0, (0.7, 0.015, 0.15, 0.8)),
+            ]
+        )
+
+    @classmethod
+    def isolate_range(cls, lo: float, hi: float, color=(1.0, 0.8, 0.2)) -> "TransferFunction":
+        """Opaque only inside [lo, hi] — a query-style transfer function."""
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError(f"need 0 <= lo < hi <= 1, got ({lo}, {hi})")
+        eps = min(1e-3, (hi - lo) / 4, lo if lo > 0 else 1.0, (1.0 - hi) if hi < 1 else 1.0)
+        pts = []
+        if lo > 0:
+            pts.append((0.0, (0, 0, 0, 0.0)))
+            pts.append((max(lo - eps, 1e-6), (0, 0, 0, 0.0)))
+        pts.append((lo, (*color, 0.8)))
+        pts.append((hi, (*color, 0.8)))
+        if hi < 1:
+            pts.append((min(hi + eps, 1.0 - 1e-6), (0, 0, 0, 0.0)))
+            pts.append((1.0, (0, 0, 0, 0.0)))
+        return cls(pts)

@@ -1,0 +1,25 @@
+"""Memory/storage hierarchy simulator.
+
+Models the paper's three-level testbed (16 GB DRAM / 512 GB SSD / 3 TB HDD,
+§V-A) as cache levels over a backing device, with per-device analytic read
+cost (latency + bytes/bandwidth).  Miss rates are exact given the access
+trace; times come from the deterministic cost model (DESIGN.md §2).
+"""
+
+from repro.storage.device import StorageDevice, DRAM, SSD, HDD
+from repro.storage.cache import CacheLevel
+from repro.storage.hierarchy import MemoryHierarchy, FetchResult, make_standard_hierarchy
+from repro.storage.stats import CacheStats, HierarchyStats
+
+__all__ = [
+    "StorageDevice",
+    "DRAM",
+    "SSD",
+    "HDD",
+    "CacheLevel",
+    "MemoryHierarchy",
+    "FetchResult",
+    "make_standard_hierarchy",
+    "CacheStats",
+    "HierarchyStats",
+]

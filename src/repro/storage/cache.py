@@ -1,0 +1,143 @@
+"""One cache level: residency, protected-aware admission, statistics.
+
+The level owns *which* blocks are resident and *when* each was last used;
+the plugged-in :class:`~repro.policies.base.ReplacementPolicy` only ranks
+eviction candidates.  Algorithm 1's eviction constraint — a victim's
+last-used time must be ``< i`` (lines 16 and 22) — is realised by the
+``min_free_step`` argument of :meth:`admit`: blocks touched at or after
+that step are not evictable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.policies.base import ReplacementPolicy
+from repro.storage.stats import CacheStats
+from repro.utils.validation import check_positive
+
+__all__ = ["CacheLevel"]
+
+_NEVER_USED = -1  # last_used for preloaded blocks (Alg. 1 line 5: time <- -1)
+
+
+class CacheLevel:
+    """A fixed-capacity cache of block ids with a pluggable policy."""
+
+    def __init__(self, name: str, capacity_blocks: int, policy: ReplacementPolicy) -> None:
+        self.name = str(name)
+        self.capacity = int(check_positive("capacity_blocks", capacity_blocks))
+        self.policy = policy
+        policy.set_capacity(self.capacity)
+        self._last_used: Dict[int, int] = {}
+        self.stats = CacheStats()
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._last_used
+
+    def __len__(self) -> int:
+        return len(self._last_used)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._last_used) >= self.capacity
+
+    def resident_ids(self) -> Iterable[int]:
+        """Snapshot iterator over resident block ids."""
+        return iter(tuple(self._last_used))
+
+    def last_used(self, key: int) -> int:
+        """Step at which ``key`` was last touched (−1 for untouched preloads)."""
+        return self._last_used[key]
+
+    # -- mutation --------------------------------------------------------------
+
+    def touch(self, key: int, step: int) -> None:
+        """Record a hit on a resident ``key`` at ``step``."""
+        if key not in self._last_used:
+            raise KeyError(f"{self.name}: touch of non-resident block {key}")
+        self._last_used[key] = step
+        self.policy.on_hit(key, step)
+
+    def admit(
+        self,
+        key: int,
+        step: int,
+        min_free_step: Optional[int] = None,
+    ) -> bool:
+        """Make ``key`` resident, evicting if full; returns False on bypass.
+
+        ``min_free_step`` is Algorithm 1's constraint: only blocks with
+        ``last_used < min_free_step`` are eviction candidates.  When the
+        cache is full and no candidate exists, the insert is *bypassed*
+        (the caller still gets the data, it just is not cached) — this is
+        the safe degradation when the working set exceeds capacity.
+        """
+        if key in self._last_used:
+            raise KeyError(f"{self.name}: block {key} already resident")
+        while len(self._last_used) >= self.capacity:
+            victim = self.policy.choose_victim(self._evictable_predicate(min_free_step))
+            if victim is None:
+                self.stats.bypasses += 1
+                return False
+            self.evict(victim)
+        self._last_used[key] = step
+        self.policy.on_insert(key, step)
+        self.stats.inserts += 1
+        return True
+
+    def _evictable_predicate(self, min_free_step: Optional[int]):
+        if min_free_step is None:
+            return lambda key: True
+        last_used = self._last_used
+        return lambda key: last_used[key] < min_free_step
+
+    def evict(self, key: int) -> None:
+        """Remove a resident ``key`` (policy notified)."""
+        if key not in self._last_used:
+            raise KeyError(f"{self.name}: evict of non-resident block {key}")
+        del self._last_used[key]
+        self.policy.on_evict(key)
+        self.stats.evictions += 1
+
+    def preload(self, keys: Iterable[int]) -> int:
+        """Fill the cache with ``keys`` (up to capacity) before a run.
+
+        Used for Step 2's importance preload (Alg. 1 line 7).  Preloaded
+        blocks get ``last_used = -1`` so any later step may evict them.
+        Returns how many were actually placed.
+        """
+        placed = 0
+        for key in keys:
+            if len(self._last_used) >= self.capacity:
+                break
+            if key in self._last_used:
+                continue
+            self._last_used[key] = _NEVER_USED
+            self.policy.on_insert(key, _NEVER_USED)
+            placed += 1
+        return placed
+
+    def clear(self) -> None:
+        """Drop all residents and reset policy state (stats preserved)."""
+        self._last_used.clear()
+        self.policy.reset()
+
+    def check_invariants(self) -> None:
+        """Raise if residency and policy bookkeeping have diverged."""
+        if len(self._last_used) > self.capacity:
+            raise AssertionError(
+                f"{self.name}: {len(self._last_used)} residents exceed capacity {self.capacity}"
+            )
+        if len(self.policy) != len(self._last_used):
+            raise AssertionError(
+                f"{self.name}: policy tracks {len(self.policy)} keys, cache has {len(self._last_used)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheLevel(name={self.name!r}, capacity={self.capacity}, "
+            f"resident={len(self._last_used)}, policy={self.policy.name!r})"
+        )

@@ -1,0 +1,59 @@
+"""Analytic storage-device cost models.
+
+A read of ``n`` bytes from a device costs ``latency + n / bandwidth``
+seconds.  The defaults are calibrated to the commodity hardware of the
+paper's testbed (§V-A: desktop DRAM, SATA SSD, 3 TB HDD); they only need
+to preserve the *ordering and rough ratios* between levels for the
+experiment shapes to hold (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["StorageDevice", "DRAM", "SSD", "HDD"]
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """An immutable device read-cost model.
+
+    Parameters
+    ----------
+    name:
+        Label used in statistics and reports.
+    read_latency_s:
+        Fixed per-request cost in seconds (seek/command overhead).
+    read_bandwidth_bps:
+        Sustained read bandwidth in bytes per second.
+    """
+
+    name: str
+    read_latency_s: float
+    read_bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("read_latency_s", self.read_latency_s)
+        check_positive("read_bandwidth_bps", self.read_bandwidth_bps)
+
+    def read_time(self, nbytes: int, latency_scale: float = 1.0) -> float:
+        """Seconds to read ``nbytes`` in one request.
+
+        ``latency_scale`` < 1 models queued/batched requests that amortise
+        the per-request latency (readahead, NCQ): prefetchers issue many
+        outstanding reads, so each one pays only a fraction of the seek.
+        Demand reads (the user waiting on one block) pay the full latency.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if not 0.0 <= latency_scale <= 1.0:
+            raise ValueError(f"latency_scale must be in [0, 1], got {latency_scale}")
+        return self.read_latency_s * latency_scale + nbytes / self.read_bandwidth_bps
+
+
+# Calibrated defaults (per-request latency, sustained bandwidth):
+DRAM = StorageDevice("dram", read_latency_s=100e-9, read_bandwidth_bps=12e9)
+SSD = StorageDevice("ssd", read_latency_s=80e-6, read_bandwidth_bps=500e6)
+HDD = StorageDevice("hdd", read_latency_s=8e-3, read_bandwidth_bps=150e6)

@@ -1,0 +1,211 @@
+"""Multi-level memory hierarchy with an inclusive read path.
+
+Levels are ordered fastest-first (DRAM, SSD, ...) above a backing device
+(HDD) that always holds the whole dataset.  A fetch searches top-down;
+on a hit at level *j* the block is copied into every faster level (the
+paper's HDD → SSD → DRAM movement, §V-A), charged at level *j*'s device
+read cost — the slowest medium on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.policies.registry import make_policy
+from repro.storage.cache import CacheLevel
+from repro.storage.device import DRAM, HDD, SSD, StorageDevice
+from repro.storage.stats import CacheStats, HierarchyStats
+
+__all__ = ["FetchResult", "MemoryHierarchy", "make_standard_hierarchy"]
+
+BlockSize = Union[int, Callable[[int], int]]
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of one block fetch."""
+
+    key: int
+    time_s: float
+    source: str  # name of the level/device that served the data
+    fastest_hit: bool  # True when the block was already in the fastest level
+
+
+class MemoryHierarchy:
+    """Cache levels over a backing store, with demand and prefetch paths."""
+
+    def __init__(
+        self,
+        levels: Sequence[CacheLevel],
+        level_devices: Sequence[StorageDevice],
+        backing: StorageDevice,
+        block_nbytes: BlockSize,
+        prefetch_latency_factor: float = 0.25,
+    ) -> None:
+        if not levels:
+            raise ValueError("hierarchy needs at least one cache level")
+        if len(levels) != len(level_devices):
+            raise ValueError(
+                f"{len(levels)} levels but {len(level_devices)} devices"
+            )
+        names = [lv.name for lv in levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate level names: {names}")
+        self.levels: List[CacheLevel] = list(levels)
+        self.level_devices: List[StorageDevice] = list(level_devices)
+        self.backing = backing
+        self._block_nbytes = block_nbytes
+        if not 0.0 <= prefetch_latency_factor <= 1.0:
+            raise ValueError(
+                f"prefetch_latency_factor must be in [0, 1], got {prefetch_latency_factor}"
+            )
+        # Prefetch requests are queued and asynchronous, so they amortise
+        # per-request latency (readahead / NCQ); demand reads pay it fully.
+        self.prefetch_latency_factor = prefetch_latency_factor
+        self.backing_reads = 0
+        self.backing_bytes = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def fastest(self) -> CacheLevel:
+        return self.levels[0]
+
+    def block_nbytes(self, key: int) -> int:
+        if callable(self._block_nbytes):
+            return int(self._block_nbytes(key))
+        return int(self._block_nbytes)
+
+    def contains_fast(self, key: int) -> bool:
+        """Is ``key`` already in the fastest level (no I/O needed)?"""
+        return key in self.levels[0]
+
+    # -- the read path ---------------------------------------------------------
+
+    def fetch(
+        self,
+        key: int,
+        step: int,
+        prefetch: bool = False,
+        min_free_step: Optional[int] = None,
+    ) -> FetchResult:
+        """Bring ``key`` into the fastest level; return the charged time.
+
+        Demand fetches (``prefetch=False``) update recency and the demand
+        hit/miss counters; prefetch fetches update the prefetch counters and
+        do not refresh recency on hits (a prediction must not perturb the
+        replacement order of data the user actually touched).
+        """
+        nbytes = self.block_nbytes(key)
+        latency_scale = self.prefetch_latency_factor if prefetch else 1.0
+        found_at = None
+        for j, level in enumerate(self.levels):
+            if key in level:
+                found_at = j
+                break
+
+        if found_at == 0:
+            level = self.levels[0]
+            if prefetch:
+                level.stats.prefetch_hits += 1
+            else:
+                level.stats.hits += 1
+                level.touch(key, step)
+            time_s = self.level_devices[0].read_time(nbytes, latency_scale)
+            return FetchResult(key, time_s, level.name, fastest_hit=True)
+
+        # Count misses at every level above the serving one.
+        upper = self.levels if found_at is None else self.levels[:found_at]
+        for level in upper:
+            if prefetch:
+                level.stats.prefetch_misses += 1
+            else:
+                level.stats.misses += 1
+
+        if found_at is None:
+            source_name = self.backing.name
+            time_s = self.backing.read_time(nbytes, latency_scale)
+            self.backing_reads += 1
+            self.backing_bytes += nbytes
+        else:
+            serving = self.levels[found_at]
+            if prefetch:
+                serving.stats.prefetch_hits += 1
+            else:
+                serving.stats.hits += 1
+                serving.touch(key, step)
+            serving.stats.bytes_read += nbytes
+            source_name = serving.name
+            time_s = self.level_devices[found_at].read_time(nbytes, latency_scale)
+
+        # Copy into every faster level (inclusive hierarchy).
+        for level in upper:
+            level.admit(key, step, min_free_step=min_free_step)
+        return FetchResult(key, time_s, source_name, fastest_hit=False)
+
+    # -- preload (Step 2 / Alg. 1 line 7) -----------------------------------------
+
+    def preload(self, keys_by_priority: Sequence[int]) -> "dict[str, int]":
+        """Fill every level from the head of a priority-ordered key list.
+
+        Inclusive placement: the top ``capacity`` keys of each level go into
+        it, so the fastest level holds the most important blocks and slower
+        levels hold supersets.  Returns blocks placed per level.
+        """
+        placed = {}
+        for level in self.levels:
+            placed[level.name] = level.preload(keys_by_priority)
+        return placed
+
+    # -- stats & lifecycle -------------------------------------------------------
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(levels={lv.name: lv.stats for lv in self.levels})
+
+    def reset_stats(self) -> None:
+        for level in self.levels:
+            level.stats.reset()
+        self.backing_reads = 0
+        self.backing_bytes = 0
+
+    def clear(self) -> None:
+        """Empty every level (stats preserved)."""
+        for level in self.levels:
+            level.clear()
+
+    def check_invariants(self) -> None:
+        for level in self.levels:
+            level.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lv = ", ".join(f"{l.name}:{l.capacity}" for l in self.levels)
+        return f"MemoryHierarchy([{lv}] over {self.backing.name})"
+
+
+def make_standard_hierarchy(
+    n_blocks: int,
+    block_nbytes: BlockSize,
+    cache_ratio: float = 0.5,
+    policy: str = "lru",
+    devices: Sequence[StorageDevice] = (DRAM, SSD),
+    backing: StorageDevice = HDD,
+) -> MemoryHierarchy:
+    """The paper's DRAM/SSD-over-HDD setup for a dataset of ``n_blocks``.
+
+    ``cache_ratio`` is the size ratio between two successive memory levels
+    (§V-A: 0.5 → SSD holds 50 % of the dataset, DRAM 25 %; Fig. 13(b) uses
+    0.7).  Each level gets its own fresh ``policy`` instance.
+    """
+    if not 0 < cache_ratio <= 1:
+        raise ValueError(f"cache_ratio must be in (0, 1], got {cache_ratio}")
+    if n_blocks < 1:
+        raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+    levels: List[CacheLevel] = []
+    frac = 1.0
+    for device in reversed(devices):  # slowest cache level first for sizing
+        frac *= cache_ratio
+        capacity = max(1, int(round(n_blocks * frac)))
+        levels.append(CacheLevel(device.name, capacity, make_policy(policy)))
+    levels.reverse()  # fastest first
+    return MemoryHierarchy(levels, list(devices), backing, block_nbytes)

@@ -1,0 +1,98 @@
+"""Access statistics for cache levels and whole hierarchies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["CacheStats", "HierarchyStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache level, split by demand vs prefetch traffic.
+
+    ``bypasses`` counts inserts that were abandoned because no evictable
+    victim existed (every resident block was protected at that moment);
+    the read still happens, the block just is not cached — see
+    :meth:`repro.storage.cache.CacheLevel.admit`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+    bytes_read: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Demand accesses only (the paper's miss rate is over demand traffic)."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate; 0.0 when there were no accesses."""
+        n = self.accesses
+        return self.misses / n if n else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+        self.prefetch_hits = self.prefetch_misses = 0
+        self.inserts = self.evictions = self.bypasses = 0
+        self.bytes_read = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_misses": self.prefetch_misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "bytes_read": self.bytes_read,
+            "miss_rate": self.miss_rate,
+        }
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated view over all levels of a hierarchy.
+
+    The paper reports "the total miss rate ... across DRAM, SSD and HDD"
+    (§V-A): all demand misses at every cache level over all demand accesses
+    at every cache level, which :attr:`total_miss_rate` reproduces.
+    """
+
+    levels: Dict[str, CacheStats] = field(default_factory=dict)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(s.accesses for s in self.levels.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(s.misses for s in self.levels.values())
+
+    @property
+    def total_miss_rate(self) -> float:
+        n = self.total_accesses
+        return self.total_misses / n if n else 0.0
+
+    @property
+    def total_bytes_read(self) -> int:
+        return sum(s.bytes_read for s in self.levels.values())
+
+    def level_miss_rates(self) -> Dict[str, float]:
+        return {name: s.miss_rate for name, s in self.levels.items()}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total_miss_rate": self.total_miss_rate,
+            "total_accesses": self.total_accesses,
+            "total_misses": self.total_misses,
+            "levels": {name: s.as_dict() for name, s in self.levels.items()},
+        }

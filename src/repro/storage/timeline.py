@@ -1,0 +1,109 @@
+"""Discrete-event timeline for I/O / render overlap.
+
+The core pipeline charges ``io + max(prefetch, render)`` per step — the
+paper's §V-D accounting.  That analytic rule assumes the prefetch stream
+and the render occupy disjoint resources and that demand I/O fully
+serialises between frames.  This module models the schedule explicitly:
+
+- one **I/O channel** executing reads in issue order (demand and prefetch
+  share the device — a prefetch in flight delays a later demand read);
+- one **compute channel** executing renders;
+- per step: demand reads are issued and *awaited*, the render starts, and
+  prefetch reads are issued in the background; the next step's demand
+  reads queue behind any prefetch still in flight.
+
+:func:`simulate_schedule` turns per-step cost tuples into a completion
+timeline, so the analytic accounting can be validated (and its error
+measured) against an explicit schedule — see
+``tests/storage/test_timeline.py`` and the scheduling ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["StepCosts", "StepSchedule", "simulate_schedule"]
+
+
+@dataclass(frozen=True)
+class StepCosts:
+    """The per-step work items, as durations.
+
+    ``demand_reads``/``prefetch_reads`` are individual read durations in
+    issue order; ``render_s`` is the frame's compute time.
+    """
+
+    demand_reads: Tuple[float, ...]
+    prefetch_reads: Tuple[float, ...]
+    render_s: float
+
+    def __post_init__(self) -> None:
+        for name, values in (("demand_reads", self.demand_reads),
+                             ("prefetch_reads", self.prefetch_reads)):
+            if any(v < 0 for v in values):
+                raise ValueError(f"{name} must be non-negative")
+        if self.render_s < 0:
+            raise ValueError("render_s must be non-negative")
+        object.__setattr__(self, "demand_reads", tuple(self.demand_reads))
+        object.__setattr__(self, "prefetch_reads", tuple(self.prefetch_reads))
+
+
+@dataclass(frozen=True)
+class StepSchedule:
+    """When one step's phases completed on the simulated wall clock."""
+
+    step: int
+    demand_done_s: float  # all demand reads finished; render may start
+    render_done_s: float
+    prefetch_done_s: float  # last background read finished
+    frame_done_s: float  # when the *user* sees the frame (render done)
+
+
+def simulate_schedule(steps: Sequence[StepCosts]) -> List[StepSchedule]:
+    """Run the two-channel schedule and return per-step completion times.
+
+    Semantics:
+
+    - the I/O channel is FIFO: reads execute in issue order, one at a time;
+    - step *i*'s demand reads are issued at the moment its processing
+      begins (after step *i−1*'s render), so they queue behind any of
+      step *i−1*'s prefetch reads still in flight;
+    - the render starts when the demand reads are done;
+    - prefetch reads are issued at render start (the overlap the paper
+      exploits);
+    - step *i+1* begins when step *i*'s render completes.
+    """
+    io_free = 0.0  # when the I/O channel next becomes idle
+    clock = 0.0  # frame-to-frame progression (compute channel)
+    out: List[StepSchedule] = []
+    for i, costs in enumerate(steps):
+        # Demand reads: issued now, FIFO behind whatever the channel holds.
+        start = max(clock, 0.0)
+        io_cursor = max(io_free, start)
+        for dur in costs.demand_reads:
+            io_cursor += dur
+        demand_done = io_cursor if costs.demand_reads else start
+        io_free = io_cursor
+
+        render_start = max(start, demand_done)
+        render_done = render_start + costs.render_s
+
+        # Prefetch: issued at render start, queued on the same channel.
+        io_cursor = max(io_free, render_start)
+        for dur in costs.prefetch_reads:
+            io_cursor += dur
+        prefetch_done = io_cursor if costs.prefetch_reads else render_start
+        io_free = max(io_free, io_cursor)
+
+        out.append(
+            StepSchedule(
+                step=i,
+                demand_done_s=demand_done,
+                render_done_s=render_done,
+                prefetch_done_s=prefetch_done,
+                frame_done_s=render_done,
+            )
+        )
+        clock = render_done
+    return out

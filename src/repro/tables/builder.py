@@ -1,0 +1,182 @@
+"""One-time preprocessing: build ``T_visible`` and ``T_important``.
+
+This is the offline part of the paper's pipeline (Fig. 5, Steps 1 and 2).
+For every sampled camera position the builder aggregates the frustums of
+the vicinal points ``v'`` (radius from Eq. 6 unless fixed) into the
+predicted set ``S_v``; over-predicted sets are truncated to the most
+important blocks (§IV-C last paragraph) when an importance table and a
+capacity are supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.camera.frustum import visible_masks_batch
+from repro.camera.sampling import SamplingConfig, sample_positions
+from repro.camera.vicinity import optimal_radius, vicinal_points
+from repro.importance.measures import compute_importance
+from repro.tables.importance_table import ImportanceTable
+from repro.tables.visible_table import VisibleTable
+from repro.utils.rng import SeedLike, spawn_rngs
+from repro.volume.blocks import BlockGrid
+from repro.volume.volume import Volume
+
+__all__ = ["build_visible_table", "build_importance_table", "build_tables", "compute_sample_sets"]
+
+
+def build_importance_table(
+    volume: Volume,
+    grid: BlockGrid,
+    measure: str = "entropy",
+    variable: Optional[str] = None,
+) -> ImportanceTable:
+    """Step 2: rank every block by ``measure`` (entropy is the paper's)."""
+    scores = compute_importance(volume, grid, measure=measure, variable=variable)
+    return ImportanceTable(scores, measure=measure)
+
+
+def compute_sample_sets(
+    grid: BlockGrid,
+    positions: np.ndarray,
+    indices,
+    rngs,
+    view_angle_deg: float,
+    cache_ratio: float = 0.5,
+    fixed_radius: Optional[float] = None,
+    n_vicinal: int = 8,
+    importance: Optional[ImportanceTable] = None,
+    max_set_size: Optional[int] = None,
+    include_center: bool = True,
+):
+    """Predicted visible sets for the sample positions at ``indices``.
+
+    The shared kernel of the serial and parallel builders: ``rngs[i]`` is
+    the vicinal RNG of global sample ``i``, so any partition of the index
+    range reproduces the serial result exactly.
+    """
+    indices = list(indices)
+    sets = []
+    # Chunk sample positions so each visibility batch stays cache-friendly.
+    chunk = max(1, 4_000_000 // max(grid.n_blocks, 1))
+    for start in range(0, len(indices), chunk):
+        group = indices[start : start + chunk]
+        group_points = []
+        group_slices = []
+        cursor = 0
+        for i in group:
+            pos = positions[i]
+            d = float(np.linalg.norm(pos))
+            r = fixed_radius if fixed_radius is not None else optimal_radius(
+                view_angle_deg, d, cache_ratio
+            )
+            pts = vicinal_points(pos, r, n_points=n_vicinal, seed=rngs[i])
+            group_points.append(pts)
+            group_slices.append((cursor, cursor + len(pts)))
+            cursor += len(pts)
+        all_points = np.concatenate(group_points, axis=0)
+        masks = visible_masks_batch(all_points, grid, view_angle_deg, include_center)
+        for lo, hi in group_slices:
+            union = masks[lo:hi].any(axis=0)
+            ids = np.flatnonzero(union)
+            if (
+                max_set_size is not None
+                and importance is not None
+                and ids.size > max_set_size
+            ):
+                scores = importance.scores[ids]
+                keep = np.argsort(-scores, kind="stable")[:max_set_size]
+                ids = np.sort(ids[keep])
+            sets.append(ids.astype(np.int64))
+    return sets
+
+
+def build_visible_table(
+    grid: BlockGrid,
+    sampling: SamplingConfig,
+    view_angle_deg: float,
+    cache_ratio: float = 0.5,
+    fixed_radius: Optional[float] = None,
+    n_vicinal: int = 8,
+    importance: Optional[ImportanceTable] = None,
+    max_set_size: Optional[int] = None,
+    seed: SeedLike = 0,
+    include_center: bool = True,
+) -> VisibleTable:
+    """Step 1: the ``T_visible`` lookup table.
+
+    Parameters
+    ----------
+    grid:
+        Block partition of the volume (the table depends only on the block
+        geometry and the views, §IV-B).
+    sampling:
+        How camera positions are placed in Ω.
+    view_angle_deg:
+        Frustum opening angle θ.
+    cache_ratio:
+        ρ for the Eq. 6 optimal vicinal radius (ignored when
+        ``fixed_radius`` is given — the Fig. 11 comparison axis).
+    fixed_radius:
+        Use this vicinal radius for every sample instead of Eq. 6.
+    n_vicinal:
+        Random points ``v'`` per vicinal sphere (the center is always
+        included).
+    importance, max_set_size:
+        When both are given, any ``S_v`` larger than ``max_set_size`` keeps
+        only its most important blocks (over-prediction truncation).
+    """
+    positions = sample_positions(sampling)
+    n_samples = positions.shape[0]
+    rngs = spawn_rngs(seed, n_samples)
+    sets = compute_sample_sets(
+        grid,
+        positions,
+        range(n_samples),
+        rngs,
+        view_angle_deg,
+        cache_ratio=cache_ratio,
+        fixed_radius=fixed_radius,
+        n_vicinal=n_vicinal,
+        importance=importance,
+        max_set_size=max_set_size,
+        include_center=include_center,
+    )
+
+    meta = {
+        "view_angle_deg": float(view_angle_deg),
+        "cache_ratio": float(cache_ratio),
+        "fixed_radius": None if fixed_radius is None else float(fixed_radius),
+        "n_vicinal": int(n_vicinal),
+        "n_blocks": int(grid.n_blocks),
+        "scheme": sampling.scheme,
+    }
+    return VisibleTable.from_sets(positions, sets, meta)
+
+
+def build_tables(
+    volume: Volume,
+    grid: BlockGrid,
+    sampling: SamplingConfig,
+    view_angle_deg: float,
+    cache_ratio: float = 0.5,
+    measure: str = "entropy",
+    truncate_to_capacity: Optional[int] = None,
+    seed: SeedLike = 0,
+    **visible_kwargs,
+) -> Tuple[VisibleTable, ImportanceTable]:
+    """Run both preprocessing steps and return ``(T_visible, T_important)``."""
+    itable = build_importance_table(volume, grid, measure=measure)
+    vtable = build_visible_table(
+        grid,
+        sampling,
+        view_angle_deg,
+        cache_ratio=cache_ratio,
+        importance=itable,
+        max_set_size=truncate_to_capacity,
+        seed=seed,
+        **visible_kwargs,
+    )
+    return vtable, itable

@@ -1,0 +1,95 @@
+"""``T_important``: per-block importance ranking (Step 2, §IV-C).
+
+Built by sorting the per-block entropies (or another measure); used for
+the initial preload of fast memory, for filtering prefetch candidates by
+the threshold σ, and for truncating over-predicted visible sets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.serialization import load_arrays, save_arrays
+from repro.utils.validation import check_probability
+
+__all__ = ["ImportanceTable"]
+
+
+class ImportanceTable:
+    """Importance scores for every block, with threshold/ranking queries."""
+
+    def __init__(self, scores: np.ndarray, measure: str = "entropy") -> None:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1 or scores.size == 0:
+            raise ValueError(f"scores must be a non-empty 1D array, got shape {scores.shape}")
+        if np.any(~np.isfinite(scores)):
+            raise ValueError("scores must be finite")
+        self.scores = scores
+        self.scores.setflags(write=False)
+        self.measure = str(measure)
+        # Descending importance; stable so equal scores keep id order.
+        self._order_desc = np.argsort(-scores, kind="stable")
+
+    @property
+    def n_blocks(self) -> int:
+        return self.scores.size
+
+    def score(self, block_id: int) -> float:
+        return float(self.scores[block_id])
+
+    def sorted_ids(self) -> np.ndarray:
+        """Block ids from most to least important (the preload order)."""
+        return self._order_desc
+
+    def top_k(self, k: int) -> np.ndarray:
+        """The ``k`` most important block ids (all blocks when k ≥ n)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return self._order_desc[:k]
+
+    def threshold_for_percentile(self, percentile: float) -> float:
+        """The score value σ such that ``percentile`` of blocks fall below it.
+
+        The paper leaves σ as a free threshold; a percentile makes it
+        transferable across datasets with different entropy scales.
+        """
+        check_probability("percentile", percentile)
+        return float(np.quantile(self.scores, percentile))
+
+    def ids_above(self, sigma: float) -> np.ndarray:
+        """Ids with score strictly greater than σ, most important first."""
+        mask = self.scores[self._order_desc] > sigma
+        return self._order_desc[mask]
+
+    def is_above(self, sigma: float) -> np.ndarray:
+        """Boolean mask over block ids: score > σ."""
+        return self.scores > sigma
+
+    def filter_and_rank(self, block_ids: np.ndarray, sigma: float) -> np.ndarray:
+        """Subset of ``block_ids`` with score > σ, ordered by importance.
+
+        This is the prefetch-candidate selection of Alg. 1 line 22.
+        """
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        keep = block_ids[self.scores[block_ids] > sigma]
+        order = np.argsort(-self.scores[keep], kind="stable")
+        return keep[order]
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: "str | Path") -> Path:
+        return save_arrays(path, {"scores": self.scores}, {"measure": self.measure})
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ImportanceTable":
+        arrays, meta = load_arrays(path)
+        return cls(arrays["scores"], measure=meta.get("measure", "entropy"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ImportanceTable(n_blocks={self.n_blocks}, measure={self.measure!r}, "
+            f"range=({self.scores.min():.3f}, {self.scores.max():.3f}))"
+        )

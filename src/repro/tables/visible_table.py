@@ -1,0 +1,187 @@
+"""``T_visible``: sampled camera positions → predicted visible block sets.
+
+Entries are keyed by the tuple ``<l, d>`` (view direction, distance),
+which is equivalent to the 3D sample position ``v = −l·d``; nearest-key
+lookup therefore reduces to a nearest-neighbour query on positions, served
+by a ``scipy.spatial.cKDTree``.
+
+The visible sets are stored CSR-style (one offsets array + one
+concatenated ids array) so the table serialises compactly and lookups
+return views, not copies.
+
+The paper observes (Fig. 7b) that larger tables cost more per query —
+their implementation's lookup was effectively a table scan.  The
+:class:`LookupCostModel` reproduces that charge on the simulated clock:
+``base + per_entry · n_entries`` by default, with a ``log`` variant
+matching this library's actual KD-tree (used in the Fig. 7 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.utils.serialization import load_arrays, save_arrays
+
+__all__ = ["VisibleTable", "LookupCostModel"]
+
+
+@dataclass(frozen=True)
+class LookupCostModel:
+    """Simulated cost of one ``T_visible`` query.
+
+    ``kind='linear'``: ``base_s + per_entry_s * n`` (the paper's scan).
+    ``kind='log'``: ``base_s + per_entry_s * log2(n + 1)`` (KD-tree).
+
+    The default models the paper's implementation: a linear scan over the
+    table keys computing an angular distance per key (~0.5 µs each), which
+    is what makes their I/O time rise again beyond ~26k sampling positions
+    (Fig. 7b).  This library's own lookup is a KD-tree — switch to
+    ``kind='log'`` to model it instead (the Fig. 7 upturn then vanishes,
+    which the fig7 bench demonstrates as an ablation).
+    """
+
+    base_s: float = 5e-6
+    per_entry_s: float = 0.5e-6
+    kind: str = "linear"
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.per_entry_s < 0:
+            raise ValueError("cost components must be >= 0")
+        if self.kind not in ("linear", "log"):
+            raise ValueError(f"kind must be 'linear' or 'log', got {self.kind!r}")
+
+    def query_time(self, n_entries: int) -> float:
+        if n_entries < 0:
+            raise ValueError(f"n_entries must be >= 0, got {n_entries}")
+        if self.kind == "log":
+            return self.base_s + self.per_entry_s * float(np.log2(n_entries + 1))
+        return self.base_s + self.per_entry_s * n_entries
+
+
+class VisibleTable:
+    """The lookup table of Step 1.
+
+    Parameters
+    ----------
+    positions:
+        ``(n_entries, 3)`` sampled camera positions (each encodes ``<l, d>``).
+    offsets:
+        ``(n_entries + 1,)`` CSR offsets into ``block_ids``.
+    block_ids:
+        Concatenated visible-set ids, entry *i* owning
+        ``block_ids[offsets[i]:offsets[i+1]]``.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        offsets: np.ndarray,
+        block_ids: np.ndarray,
+        meta: Optional[dict] = None,
+    ) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 3 or positions.shape[0] == 0:
+            raise ValueError(f"positions must be (N>=1, 3), got {positions.shape}")
+        n = positions.shape[0]
+        if offsets.shape != (n + 1,):
+            raise ValueError(f"offsets must have shape ({n + 1},), got {offsets.shape}")
+        if offsets[0] != 0 or offsets[-1] != block_ids.size:
+            raise ValueError("offsets must start at 0 and end at len(block_ids)")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        self.positions = positions
+        self.offsets = offsets
+        self.block_ids = block_ids
+        self.meta = dict(meta or {})
+        for arr in (self.positions, self.offsets, self.block_ids):
+            arr.setflags(write=False)
+        self._tree = cKDTree(positions)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        return self.positions.shape[0]
+
+    def entry(self, index: int) -> np.ndarray:
+        """The visible-set ids of entry ``index`` (a view)."""
+        if not 0 <= index < self.n_entries:
+            raise IndexError(f"entry {index} outside [0, {self.n_entries})")
+        return self.block_ids[self.offsets[index] : self.offsets[index + 1]]
+
+    def entry_sizes(self) -> np.ndarray:
+        """|S_v| for every entry."""
+        return np.diff(self.offsets)
+
+    def nearest_entry(self, position: np.ndarray) -> Tuple[int, float]:
+        """Index of the sample position nearest to ``position`` (+ distance)."""
+        position = np.asarray(position, dtype=np.float64)
+        if position.shape != (3,):
+            raise ValueError(f"position must be shape (3,), got {position.shape}")
+        dist, idx = self._tree.query(position)
+        return int(idx), float(dist)
+
+    def lookup(self, position: np.ndarray) -> Tuple[int, np.ndarray]:
+        """Nearest sample index and its predicted visible set (Alg. 1 line 22)."""
+        idx, _ = self.nearest_entry(position)
+        return idx, self.entry(idx)
+
+    def key_of(self, index: int) -> Tuple[np.ndarray, float]:
+        """The ``<l, d>`` key of an entry: unit view direction and distance."""
+        pos = self.positions[index]
+        d = float(np.linalg.norm(pos))
+        if d == 0.0:
+            raise ValueError(f"entry {index} sits at the centroid; key undefined")
+        return -pos / d, d
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: "str | Path") -> Path:
+        return save_arrays(
+            path,
+            {
+                "positions": self.positions,
+                "offsets": self.offsets,
+                "block_ids": self.block_ids,
+            },
+            self.meta,
+        )
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "VisibleTable":
+        arrays, meta = load_arrays(path)
+        return cls(arrays["positions"], arrays["offsets"], arrays["block_ids"], meta)
+
+    @classmethod
+    def from_sets(
+        cls,
+        positions: np.ndarray,
+        sets: Sequence[np.ndarray],
+        meta: Optional[dict] = None,
+    ) -> "VisibleTable":
+        """Build from a list of per-position visible-id arrays."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if len(sets) != positions.shape[0]:
+            raise ValueError(f"{len(sets)} sets for {positions.shape[0]} positions")
+        sizes = np.array([len(s) for s in sets], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        block_ids = (
+            np.concatenate([np.asarray(s, dtype=np.int64) for s in sets])
+            if sets and offsets[-1] > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        return cls(positions, offsets, block_ids, meta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = self.entry_sizes()
+        return (
+            f"VisibleTable(n_entries={self.n_entries}, "
+            f"mean_set_size={sizes.mean():.1f}, total_ids={self.block_ids.size})"
+        )

@@ -1,0 +1,50 @@
+"""Shared utilities: geometry, randomness, timing, validation, serialization.
+
+These helpers are deliberately dependency-light (numpy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.utils.geometry import (
+    normalize,
+    norms,
+    angle_between,
+    fibonacci_sphere,
+    latlong_sphere,
+    spherical_to_cartesian,
+    cartesian_to_spherical,
+    rotation_matrix_axis_angle,
+    random_unit_vectors,
+    points_in_ball,
+    great_circle_step,
+)
+from repro.utils.rng import resolve_rng
+from repro.utils.timers import SimClock, WallTimer
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_shape_3d,
+    check_probability,
+)
+
+__all__ = [
+    "normalize",
+    "norms",
+    "angle_between",
+    "fibonacci_sphere",
+    "latlong_sphere",
+    "spherical_to_cartesian",
+    "cartesian_to_spherical",
+    "rotation_matrix_axis_angle",
+    "random_unit_vectors",
+    "points_in_ball",
+    "great_circle_step",
+    "resolve_rng",
+    "SimClock",
+    "WallTimer",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_shape_3d",
+    "check_probability",
+]

@@ -1,0 +1,174 @@
+"""Vector and spherical geometry primitives used throughout the library.
+
+All functions are vectorised over leading axes where it makes sense; inputs
+are converted with ``np.asarray`` and never mutated.  Angles are radians
+unless a function name says ``deg``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalize",
+    "norms",
+    "angle_between",
+    "fibonacci_sphere",
+    "latlong_sphere",
+    "spherical_to_cartesian",
+    "cartesian_to_spherical",
+    "rotation_matrix_axis_angle",
+    "random_unit_vectors",
+    "points_in_ball",
+    "great_circle_step",
+    "perpendicular_unit_vector",
+]
+
+_EPS = 1e-12
+
+
+def norms(v: np.ndarray, axis: int = -1, keepdims: bool = False) -> np.ndarray:
+    """L2 norm along ``axis`` (thin wrapper kept for readability at call sites)."""
+    return np.linalg.norm(np.asarray(v, dtype=np.float64), axis=axis, keepdims=keepdims)
+
+
+def normalize(v: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Return unit vectors along ``axis``.
+
+    Zero vectors are returned unchanged (instead of producing NaNs) so callers
+    can handle degenerate cases explicitly.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    n = np.linalg.norm(v, axis=axis, keepdims=True)
+    safe = np.where(n < _EPS, 1.0, n)
+    return v / safe
+
+
+def angle_between(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Angle in radians between vectors ``a`` and ``b`` (broadcast along ``axis``)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    dot = np.sum(a * b, axis=axis)
+    na = np.linalg.norm(a, axis=axis)
+    nb = np.linalg.norm(b, axis=axis)
+    denom = np.where(na * nb < _EPS, 1.0, na * nb)
+    cosang = np.clip(dot / denom, -1.0, 1.0)
+    return np.arccos(cosang)
+
+
+def fibonacci_sphere(n: int) -> np.ndarray:
+    """``n`` well-distributed unit vectors via the Fibonacci (golden-angle) spiral.
+
+    This is the default direction-sampling scheme for camera-position sampling
+    in :mod:`repro.camera.sampling` because it covers the sphere nearly
+    uniformly for any ``n`` (a lat-long grid over-samples the poles).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    i = np.arange(n, dtype=np.float64)
+    # Offset by 0.5 avoids placing points exactly at the poles.
+    z = 1.0 - 2.0 * (i + 0.5) / n
+    radius = np.sqrt(np.maximum(0.0, 1.0 - z * z))
+    golden = np.pi * (3.0 - np.sqrt(5.0))
+    theta = golden * i
+    return np.stack([radius * np.cos(theta), radius * np.sin(theta), z], axis=1)
+
+
+def latlong_sphere(n_lat: int, n_long: int) -> np.ndarray:
+    """Unit vectors on a latitude/longitude grid (``n_lat * n_long`` points).
+
+    Matches the paper's description of sampling "according to view
+    directions"; the pole rows are interior (no duplicated poles).
+    """
+    if n_lat < 1 or n_long < 1:
+        raise ValueError("n_lat and n_long must be >= 1")
+    lats = (np.arange(n_lat) + 0.5) / n_lat * np.pi  # (0, pi)
+    longs = np.arange(n_long) / n_long * 2.0 * np.pi
+    lat, lon = np.meshgrid(lats, longs, indexing="ij")
+    x = np.sin(lat) * np.cos(lon)
+    y = np.sin(lat) * np.sin(lon)
+    z = np.cos(lat)
+    return np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+
+
+def spherical_to_cartesian(theta: np.ndarray, phi: np.ndarray, r: np.ndarray = 1.0) -> np.ndarray:
+    """Convert polar angle ``theta`` (from +z) and azimuth ``phi`` to xyz."""
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    st = np.sin(theta)
+    return np.stack([r * st * np.cos(phi), r * st * np.sin(phi), r * np.cos(theta)], axis=-1)
+
+
+def cartesian_to_spherical(v: np.ndarray) -> tuple:
+    """Return ``(theta, phi, r)`` for xyz vectors (theta from +z, phi azimuth)."""
+    v = np.asarray(v, dtype=np.float64)
+    r = np.linalg.norm(v, axis=-1)
+    safe_r = np.where(r < _EPS, 1.0, r)
+    theta = np.arccos(np.clip(v[..., 2] / safe_r, -1.0, 1.0))
+    phi = np.arctan2(v[..., 1], v[..., 0])
+    return theta, phi, r
+
+
+def rotation_matrix_axis_angle(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix about unit ``axis`` by ``angle`` radians."""
+    axis = np.asarray(axis, dtype=np.float64)
+    n = np.linalg.norm(axis)
+    if n < _EPS:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / n
+    c, s = np.cos(angle), np.sin(angle)
+    C = 1.0 - c
+    return np.array(
+        [
+            [c + x * x * C, x * y * C - z * s, x * z * C + y * s],
+            [y * x * C + z * s, c + y * y * C, y * z * C - x * s],
+            [z * x * C - y * s, z * y * C + x * s, c + z * z * C],
+        ]
+    )
+
+
+def perpendicular_unit_vector(v: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    """A unit vector perpendicular to ``v`` (deterministic unless ``rng`` given)."""
+    v = normalize(np.asarray(v, dtype=np.float64))
+    if rng is not None:
+        cand = rng.standard_normal(3)
+    else:
+        # Pick the coordinate axis least aligned with v for stability.
+        cand = np.zeros(3)
+        cand[int(np.argmin(np.abs(v)))] = 1.0
+    perp = cand - np.dot(cand, v) * v
+    n = np.linalg.norm(perp)
+    if n < _EPS:  # pragma: no cover - cand is chosen to avoid this
+        raise ValueError("degenerate perpendicular")
+    return perp / n
+
+
+def random_unit_vectors(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` unit vectors drawn uniformly on the sphere."""
+    v = rng.standard_normal((n, 3))
+    return normalize(v)
+
+
+def points_in_ball(center: np.ndarray, radius: float, n: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` points uniform inside the ball of ``radius`` around ``center``.
+
+    Used to sample the vicinal points ``v'`` inside the spherical domain
+    ``phi`` of the paper's Step 1 (Fig. 6).
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    center = np.asarray(center, dtype=np.float64)
+    dirs = random_unit_vectors(n, rng)
+    # Cube-root transform makes the radial distribution uniform in volume.
+    radii = radius * rng.random(n) ** (1.0 / 3.0)
+    return center[None, :] + dirs * radii[:, None]
+
+
+def great_circle_step(position: np.ndarray, axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rotate ``position`` about ``axis`` through the origin by ``angle`` radians.
+
+    The workhorse of spherical camera paths: successive calls with a fixed
+    axis and step angle walk a great circle at constant angular speed.
+    """
+    return rotation_matrix_axis_angle(axis, angle) @ np.asarray(position, dtype=np.float64)

@@ -1,0 +1,45 @@
+"""Save/load helpers for preprocessing artefacts.
+
+``T_visible`` and ``T_important`` are one-time preprocessing products
+(paper Steps 1-2); persisting them lets an interactive session start
+without re-running the sampling.  The format is a single ``.npz`` with a
+JSON metadata blob, so no pickle is involved and files are portable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+__all__ = ["save_arrays", "load_arrays"]
+
+_META_KEY = "__meta_json__"
+
+
+def save_arrays(path: "str | Path", arrays: Mapping[str, np.ndarray], meta: Dict[str, Any] | None = None) -> Path:
+    """Write named arrays plus a JSON ``meta`` dict to ``path`` (.npz).
+
+    Returns the resolved path (with ``.npz`` appended if missing, matching
+    ``np.savez`` behaviour).
+    """
+    path = Path(path)
+    payload = dict(arrays)
+    if _META_KEY in payload:
+        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    payload[_META_KEY] = np.frombuffer(json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def load_arrays(path: "str | Path") -> "tuple[dict, dict]":
+    """Read back ``(arrays, meta)`` written by :func:`save_arrays`."""
+    with np.load(Path(path)) as data:
+        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+        if _META_KEY in data.files:
+            meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+        else:
+            meta = {}
+    return arrays, meta

@@ -1,0 +1,68 @@
+"""Simulated and wall-clock timing.
+
+The reproduction measures I/O cost on a *simulated* clock driven by device
+cost models (see DESIGN.md: deterministic simulated clock), so experiments
+are reproducible on any machine.  :class:`SimClock` is that clock;
+:class:`WallTimer` exists for profiling the reproduction itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SimClock", "WallTimer"]
+
+
+class SimClock:
+    """An accumulating simulated clock measured in seconds.
+
+    Components charge time onto named channels (``"io"``, ``"prefetch"``,
+    ``"render"``...), which lets the pipeline apply the paper's overlap rule
+    ``total = io + max(prefetch, render)`` after the fact.
+    """
+
+    def __init__(self) -> None:
+        self._channels: dict = {}
+
+    def charge(self, channel: str, seconds: float) -> None:
+        """Add ``seconds`` to ``channel``; negative charges are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self._channels[channel] = self._channels.get(channel, 0.0) + seconds
+
+    def total(self, channel: str) -> float:
+        """Accumulated seconds on ``channel`` (0.0 if never charged)."""
+        return self._channels.get(channel, 0.0)
+
+    def channels(self) -> dict:
+        """Snapshot of all channel totals."""
+        return dict(self._channels)
+
+    def reset(self, channel: str | None = None) -> None:
+        """Clear one channel, or all channels when ``channel`` is None."""
+        if channel is None:
+            self._channels.clear()
+        else:
+            self._channels.pop(channel, None)
+
+
+@dataclass
+class WallTimer:
+    """Context-manager stopwatch for real elapsed time.
+
+    >>> with WallTimer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

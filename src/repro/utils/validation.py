@@ -1,0 +1,53 @@
+"""Small argument-validation helpers.
+
+Centralising these keeps error messages consistent ("<name> must be ...")
+and keeps the numeric modules free of repetitive guard clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_shape_3d",
+    "check_probability",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``; return it for chaining."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_shape_3d(name: str, shape: Sequence[int]) -> Tuple[int, int, int]:
+    """Require a length-3 sequence of positive ints; return it as a tuple."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 3:
+        raise ValueError(f"{name} must have 3 dimensions, got {shape}")
+    if any(s <= 0 for s in shape):
+        raise ValueError(f"{name} dimensions must all be > 0, got {shape}")
+    return shape

@@ -1,0 +1,114 @@
+"""Registry of the paper's experimental datasets (Table I analogues).
+
+The paper's datasets (4 GB `3d_ball`, two S3D combustion fields, a 7.2 GB
+WRF climate run) are proprietary or too large for a laptop reproduction, so
+each entry here is a procedurally generated analogue whose *shape* matches
+Table I scaled down by ``scale`` per axis (default 1/4).  DESIGN.md §2
+documents why the substitution preserves the replacement behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.utils.rng import SeedLike
+from repro.volume.synthetic import ball_field, climate_field, combustion_field
+from repro.volume.volume import Volume
+
+__all__ = ["DatasetSpec", "DATASETS", "make_dataset", "dataset_table"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table I plus the generator that builds its analogue."""
+
+    name: str
+    description: str
+    paper_resolution: Tuple[int, int, int]
+    paper_n_variables: int
+    paper_size: str  # as printed in Table I
+    default_scale: float  # per-axis shrink factor of the analogue
+
+    def resolution(self, scale: float | None = None) -> Tuple[int, int, int]:
+        """Analogue resolution: paper resolution scaled per axis (min 16)."""
+        s = self.default_scale if scale is None else scale
+        if s <= 0:
+            raise ValueError(f"scale must be > 0, got {s}")
+        return tuple(max(16, int(round(r * s))) for r in self.paper_resolution)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "3d_ball": DatasetSpec(
+        name="3d_ball",
+        description="a synthetic dataset",
+        paper_resolution=(1024, 1024, 1024),
+        paper_n_variables=1,
+        paper_size="4GB",
+        default_scale=0.125,
+    ),
+    "lifted_mix_frac": DatasetSpec(
+        name="lifted_mix_frac",
+        description="a combustion simulation dataset",
+        paper_resolution=(800, 686, 215),
+        paper_n_variables=1,
+        paper_size="472MB",
+        default_scale=0.125,
+    ),
+    "lifted_rr": DatasetSpec(
+        name="lifted_rr",
+        description="a combustion simulation dataset",
+        paper_resolution=(800, 800, 400),
+        paper_n_variables=1,
+        paper_size="1GB",
+        default_scale=0.125,
+    ),
+    "climate": DatasetSpec(
+        name="climate",
+        description="a climate simulation dataset",
+        paper_resolution=(294, 258, 98),
+        paper_n_variables=244,
+        paper_size="7.2GB",
+        default_scale=0.25,
+    ),
+}
+
+# Analogue variable counts: the climate analogue defaults to 16 variables
+# (enough for a non-trivial correlation matrix) instead of the paper's 244;
+# pass n_variables to make_dataset to raise it.
+_DEFAULT_CLIMATE_VARS = 16
+
+
+def make_dataset(
+    name: str,
+    scale: float | None = None,
+    seed: SeedLike = 0,
+    n_variables: int | None = None,
+) -> Volume:
+    """Build the analogue :class:`Volume` for a Table I dataset by name."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}") from None
+    shape = spec.resolution(scale)
+    if name == "3d_ball":
+        return Volume(ball_field(shape), name=name)
+    if name in ("lifted_mix_frac", "lifted_rr"):
+        return Volume(combustion_field(shape, seed=seed), name=name)
+    if name == "climate":
+        nvar = n_variables if n_variables is not None else _DEFAULT_CLIMATE_VARS
+        return Volume(climate_field(shape, n_variables=nvar, seed=seed), name=name, primary="smoke_pm10")
+    raise AssertionError(f"unhandled dataset {name!r}")  # pragma: no cover
+
+
+def dataset_table(scale: float | None = None) -> str:
+    """Render Table I (paper values plus the analogue resolutions) as text."""
+    header = f"{'name':<17}{'description':<34}{'paper resolution':<22}{'#vars':<7}{'size':<8}{'analogue resolution'}"
+    lines = [header, "-" * len(header)]
+    for spec in DATASETS.values():
+        res = "x".join(str(r) for r in spec.paper_resolution)
+        ares = "x".join(str(r) for r in spec.resolution(scale))
+        lines.append(
+            f"{spec.name:<17}{spec.description:<34}{res:<22}{spec.paper_n_variables:<7}{spec.paper_size:<8}{ares}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Multi-resolution volume pyramids (the conventional view-dependent path).
+
+§III-B of the paper describes the classic out-of-core strategy it argues
+against for data-dependent work: build a multi-resolution representation
+and, for regions far from the camera, load only a coarser level.  We build
+that substrate so the benches can compare it honestly — it moves fewer
+bytes for view-dependent rendering, but *data-dependent* operations
+(histograms, correlations, queries) computed on coarse levels are wrong in
+ways a priori unknown functions cannot tolerate, which is exactly the
+paper's argument for full-resolution app-aware placement.
+
+A :class:`MipPyramid` holds level 0 (full resolution) plus successive 2×
+downsampled levels, each with its own :class:`~repro.volume.blocks.BlockGrid`
+using the *same block voxel shape* — so a level-(k+1) block covers 8× the
+spatial extent at an 8th of the bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+from repro.volume.blocks import BlockGrid
+from repro.volume.volume import Volume
+
+__all__ = ["MipPyramid", "downsample2", "select_levels_by_distance"]
+
+
+def downsample2(data: np.ndarray) -> np.ndarray:
+    """2× box-filter downsampling along every axis (odd edges averaged short).
+
+    Pure-numpy mean pooling: pads nothing, pools ``ceil(n/2)`` cells per
+    axis where the last cell may cover a single slice.
+    """
+    data = np.asarray(data)
+    if data.ndim != 3:
+        raise ValueError(f"expected a 3D array, got shape {data.shape}")
+    out = data.astype(np.float64)
+    for axis in range(3):
+        n = out.shape[axis]
+        pairs = n // 2
+        main = np.take(out, range(0, 2 * pairs, 2), axis=axis)
+        other = np.take(out, range(1, 2 * pairs, 2), axis=axis)
+        pooled = 0.5 * (main + other)
+        if n % 2:
+            tail = np.take(out, [n - 1], axis=axis)
+            pooled = np.concatenate([pooled, tail], axis=axis)
+        out = pooled
+    return out.astype(np.float32)
+
+
+class MipPyramid:
+    """Level pyramid over one variable of a volume.
+
+    Level 0 is the original resolution; level ``k`` is ``2^k``-times
+    coarser per axis.  All levels share the block *voxel* shape, so grids
+    shrink with the data and a coarse block stands in for ``8^k`` fine
+    blocks' worth of space at ``1/8^k`` of the bytes.
+    """
+
+    def __init__(self, volume: Volume, block_shape: Tuple[int, int, int],
+                 n_levels: int = 3, variable: Optional[str] = None) -> None:
+        check_positive("n_levels", n_levels)
+        self.variable = variable or volume.primary
+        self.levels: List[Volume] = [volume]
+        data = volume.data(variable)
+        for level in range(1, n_levels):
+            if min(data.shape) < 2 * min(block_shape):
+                break  # stop before blocks outgrow the level
+            data = downsample2(data)
+            self.levels.append(Volume(data, name=f"{volume.name}_L{level}"))
+        self.grids: List[BlockGrid] = []
+        for vol in self.levels:
+            shape = vol.shape
+            bs = tuple(min(b, s) for b, s in zip(block_shape, shape))
+            self.grids.append(BlockGrid(shape, bs))
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def level_nbytes(self, level: int) -> int:
+        return self.levels[level].n_voxels * 4
+
+    def total_nbytes(self) -> int:
+        """Pyramid storage cost (≈ 8/7 of level 0 for deep pyramids)."""
+        return sum(self.level_nbytes(k) for k in range(self.n_levels))
+
+    def block_data(self, level: int, block_id: int) -> np.ndarray:
+        """Voxels of one block at one level (a view)."""
+        grid = self.grids[level]
+        return self.levels[level].data()[grid.block_slices(block_id)]
+
+    def reconstruct_full(self, level: int) -> np.ndarray:
+        """Upsample level ``k`` back to level-0 resolution (nearest).
+
+        Used to quantify the data-dependent error of working at a coarse
+        level: compare statistics of the reconstruction against level 0.
+        """
+        if not 0 <= level < self.n_levels:
+            raise IndexError(f"level {level} outside [0, {self.n_levels})")
+        coarse = self.levels[level].data()
+        target = self.levels[0].shape
+        out = coarse
+        for axis in range(3):
+            idx = np.minimum(
+                (np.arange(target[axis]) * out.shape[axis] // target[axis]),
+                out.shape[axis] - 1,
+            )
+            out = np.take(out, idx, axis=axis)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shapes = [v.shape for v in self.levels]
+        return f"MipPyramid(levels={shapes}, variable={self.variable!r})"
+
+
+def select_levels_by_distance(
+    camera_position: np.ndarray,
+    grid: BlockGrid,
+    n_levels: int,
+    base_distance: float = 1.5,
+) -> np.ndarray:
+    """Per-block level choice: farther blocks use coarser levels.
+
+    The conventional LoD heuristic: a block at distance ``d`` from the
+    camera renders at level ``floor(log2(d / base_distance))`` clamped to
+    the pyramid depth — each doubling of distance halves the required
+    resolution (constant projected voxel size).
+    """
+    check_positive("base_distance", base_distance)
+    if n_levels < 1:
+        raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+    camera_position = np.asarray(camera_position, dtype=np.float64)
+    dists = np.linalg.norm(grid.centers() - camera_position[None, :], axis=1)
+    ratio = np.maximum(dists / base_distance, 1.0)
+    levels = np.floor(np.log2(ratio)).astype(np.int64)
+    return np.clip(levels, 0, n_levels - 1)

@@ -1,0 +1,161 @@
+"""Block stores: where block payloads actually live.
+
+The *timing* of block movement is simulated by :mod:`repro.storage`
+(DESIGN.md: deterministic simulated clock); the stores here provide the
+*payloads* so that examples and the renderer can operate on real voxels.
+
+Two backends:
+
+- :class:`InMemoryBlockStore` — blocks served from the in-process volume
+  (default for experiments; zero real I/O so benchmarks measure the model).
+- :class:`FileBlockStore` — one raw ``float32`` file per block on disk, for
+  examples that want the out-of-core data layout the paper describes.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.volume.blocks import BlockGrid
+from repro.volume.volume import Volume
+
+__all__ = ["BlockStore", "InMemoryBlockStore", "FileBlockStore"]
+
+
+class BlockStore(abc.ABC):
+    """Read access to block payloads of one volume variable."""
+
+    def __init__(self, grid: BlockGrid) -> None:
+        self.grid = grid
+
+    @abc.abstractmethod
+    def read_block(self, block_id: int) -> np.ndarray:
+        """The voxels of ``block_id`` as a 3D float32 array."""
+
+    def block_nbytes(self, block_id: int) -> int:
+        """Payload size used by the cost model."""
+        return self.grid.block_nbytes(block_id)
+
+
+class InMemoryBlockStore(BlockStore):
+    """Serve blocks directly from a resident :class:`Volume` (views, no copies)."""
+
+    def __init__(self, volume: Volume, grid: BlockGrid, variable: Optional[str] = None) -> None:
+        if grid.volume_shape != volume.shape:
+            raise ValueError(
+                f"grid shape {grid.volume_shape} does not match volume shape {volume.shape}"
+            )
+        super().__init__(grid)
+        self._data = volume.data(variable)
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        return self._data[self.grid.block_slices(block_id)]
+
+
+class FileBlockStore(BlockStore):
+    """One raw little-endian float32 file per block under ``root``.
+
+    Layout: ``root/block_<id:06d>.raw`` holding the block voxels in C order.
+    :meth:`write_volume` materialises a volume into this layout (the
+    paper's out-of-core preprocessing of partitioning the data into blocks).
+    """
+
+    def __init__(self, root: "str | Path", grid: BlockGrid) -> None:
+        super().__init__(grid)
+        self.root = Path(root)
+
+    def _path(self, block_id: int) -> Path:
+        self.grid._check_id(block_id)
+        return self.root / f"block_{block_id:06d}.raw"
+
+    @classmethod
+    def write_volume(
+        cls,
+        volume: Volume,
+        grid: BlockGrid,
+        root: "str | Path",
+        variable: Optional[str] = None,
+    ) -> "FileBlockStore":
+        """Partition ``volume`` into per-block files under ``root``."""
+        store = cls(root, grid)
+        store.root.mkdir(parents=True, exist_ok=True)
+        data = volume.data(variable)
+        if grid.volume_shape != volume.shape:
+            raise ValueError(
+                f"grid shape {grid.volume_shape} does not match volume shape {volume.shape}"
+            )
+        for bid in grid.iter_ids():
+            block = np.ascontiguousarray(data[grid.block_slices(bid)], dtype="<f4")
+            block.tofile(store._path(bid))
+        return store
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        shape = self.grid.block_voxel_shape(block_id)
+        raw = np.fromfile(self._path(block_id), dtype="<f4")
+        expected = int(np.prod(shape))
+        if raw.size != expected:
+            raise IOError(
+                f"block {block_id}: file has {raw.size} voxels, expected {expected}"
+            )
+        return raw.reshape(shape)
+
+
+class RetryingBlockStore(BlockStore):
+    """Retry transient read failures from a flaky backing store.
+
+    Out-of-core sessions run for hours against network filesystems and
+    ageing disks; a bounded retry with validation keeps one transient
+    ``IOError``/``OSError`` from killing an exploration.  Non-I/O errors
+    propagate immediately; exhausting the retries re-raises the last error.
+    """
+
+    def __init__(self, inner: BlockStore, max_retries: int = 3) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        super().__init__(inner.grid)
+        self.inner = inner
+        self.max_retries = int(max_retries)
+        self.retries_used = 0
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                block = self.inner.read_block(block_id)
+            except OSError as exc:  # includes IOError
+                last_error = exc
+                if attempt < self.max_retries:
+                    self.retries_used += 1
+                continue
+            expected = self.grid.block_voxel_shape(block_id)
+            if tuple(block.shape) != expected:
+                last_error = IOError(
+                    f"block {block_id}: got shape {block.shape}, expected {expected}"
+                )
+                if attempt < self.max_retries:
+                    self.retries_used += 1
+                continue
+            return block
+        assert last_error is not None
+        raise last_error
+
+
+class CountingBlockStore(BlockStore):
+    """Wrap another store and count physical reads (test/diagnostic helper)."""
+
+    def __init__(self, inner: BlockStore) -> None:
+        super().__init__(inner.grid)
+        self.inner = inner
+        self.read_counts: Dict[int, int] = {}
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        self.read_counts[block_id] = self.read_counts.get(block_id, 0) + 1
+        return self.inner.read_block(block_id)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.read_counts.values())

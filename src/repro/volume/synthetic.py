@@ -1,0 +1,183 @@
+"""Procedural scalar fields standing in for the paper's datasets.
+
+The paper evaluates on one synthetic dataset (``3d_ball``), two combustion
+simulation outputs (lifted flame, proprietary S3D data), and a multivariate
+climate simulation (WRF).  We cannot ship those, so each generator below
+reproduces the *property the method depends on*: a feature region with high
+local value variation (high block entropy) embedded in a smooth or constant
+ambient region (low block entropy) — Observation 2 of the paper.
+
+All generators return C-contiguous ``float32`` arrays and are fully
+vectorised (no per-voxel Python loops).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_shape_3d
+
+__all__ = ["ball_field", "combustion_field", "climate_field", "multiscale_noise", "axis_grids"]
+
+
+def axis_grids(shape: Tuple[int, int, int]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Open (broadcastable) normalized coordinate grids in [-1, 1] per axis."""
+    nx, ny, nz = check_shape_3d("shape", shape)
+
+    def axis(n: int) -> np.ndarray:
+        return (np.arange(n, dtype=np.float32) + 0.5) * (2.0 / n) - 1.0
+
+    return (
+        axis(nx)[:, None, None],
+        axis(ny)[None, :, None],
+        axis(nz)[None, None, :],
+    )
+
+
+def ball_field(shape: Tuple[int, int, int] = (64, 64, 64)) -> np.ndarray:
+    """The ``3d_ball`` analogue: a ball with continuous intensity changes inside.
+
+    Intensity falls off smoothly with radius and carries a radial ripple so
+    interior blocks have graded, non-constant values; outside the ball the
+    field is exactly zero (ambient).
+    """
+    x, y, z = axis_grids(shape)
+    r = np.sqrt(x * x + y * y + z * z)
+    ball = np.clip(1.0 - r, 0.0, None)
+    ripple = 0.5 * (1.0 + np.sin(10.0 * np.pi * r).astype(np.float32))
+    out = (ball * (0.6 + 0.4 * ripple)).astype(np.float32)
+    return np.ascontiguousarray(out)
+
+
+def multiscale_noise(
+    shape: Tuple[int, int, int],
+    octaves: int = 4,
+    base_cells: int = 4,
+    persistence: float = 0.5,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Value noise: sum of trilinearly-upsampled random lattices.
+
+    Each octave doubles the lattice resolution and scales amplitude by
+    ``persistence``; the result is normalised to [0, 1].  This is the
+    turbulence ingredient of the combustion/climate analogues.
+    """
+    shape = check_shape_3d("shape", shape)
+    if octaves < 1:
+        raise ValueError(f"octaves must be >= 1, got {octaves}")
+    rng = resolve_rng(seed)
+    out = np.zeros(shape, dtype=np.float32)
+    amplitude = 1.0
+    for octave in range(octaves):
+        cells = base_cells * (2**octave)
+        lattice = rng.random((min(cells, shape[0]), min(cells, shape[1]), min(cells, shape[2]))).astype(
+            np.float32
+        )
+        out += amplitude * _trilinear_resize(lattice, shape)
+        amplitude *= persistence
+    lo, hi = float(out.min()), float(out.max())
+    if hi > lo:
+        out = (out - lo) / (hi - lo)
+    return np.ascontiguousarray(out)
+
+
+def _trilinear_resize(src: np.ndarray, shape: Tuple[int, int, int]) -> np.ndarray:
+    """Resize ``src`` to ``shape`` with separable linear interpolation.
+
+    Implemented with three 1D gather/lerp passes (pure numpy) to avoid a
+    scipy dependency in the hot generator path; cost is O(voxels) per axis.
+    """
+    out = src.astype(np.float32)
+    for axis in range(3):
+        n_src = out.shape[axis]
+        n_dst = shape[axis]
+        if n_src == n_dst:
+            continue
+        pos = (np.arange(n_dst, dtype=np.float32) + 0.5) * (n_src / n_dst) - 0.5
+        pos = np.clip(pos, 0.0, n_src - 1.0)
+        i0 = np.floor(pos).astype(np.int64)
+        i1 = np.minimum(i0 + 1, n_src - 1)
+        frac = (pos - i0).astype(np.float32)
+        a = np.take(out, i0, axis=axis)
+        b = np.take(out, i1, axis=axis)
+        bshape = [1, 1, 1]
+        bshape[axis] = n_dst
+        out = a + (b - a) * frac.reshape(bshape)
+    return out
+
+
+def combustion_field(
+    shape: Tuple[int, int, int] = (100, 86, 28),
+    seed: SeedLike = 7,
+    jet_radius: float = 0.35,
+    lift_height: float = -0.4,
+) -> np.ndarray:
+    """A lifted turbulent jet-flame analogue (``lifted_mix_frac`` / ``lifted_rr``).
+
+    A plume rises along +x starting at ``lift_height`` (the "lifted" base),
+    with a Gaussian radial profile in (y, z) and strong multiscale turbulence
+    inside the plume; the co-flow outside is quiescent (near-zero, tiny
+    noise), giving the paper's entropy contrast between flame and ambient.
+    """
+    shape = check_shape_3d("shape", shape)
+    rng = resolve_rng(seed)
+    x, y, z = axis_grids(shape)
+    radial = np.sqrt(y * y + z * z)
+    # Plume widens slightly downstream of the lift-off point.
+    downstream = np.clip((x - lift_height) / (1.0 - lift_height), 0.0, 1.0)
+    width = jet_radius * (0.6 + 0.8 * downstream)
+    envelope = np.exp(-((radial / np.maximum(width, 1e-3)) ** 2)) * downstream
+    turbulence = multiscale_noise(shape, octaves=5, base_cells=4, seed=rng)
+    ambient = 0.01 * rng.random(shape).astype(np.float32)
+    out = (envelope * (0.3 + 0.7 * turbulence) + ambient).astype(np.float32)
+    return np.ascontiguousarray(out)
+
+
+def climate_field(
+    shape: Tuple[int, int, int] = (74, 64, 26),
+    n_variables: int = 8,
+    seed: SeedLike = 11,
+) -> "dict[str, np.ndarray]":
+    """A multivariate climate analogue (typhoon + smoke over an ambient region).
+
+    Returns ``n_variables`` same-shaped fields.  The first few are physical
+    archetypes — a swirling vortex ("typhoon"), an advected plume ("smoke" /
+    PM10), a smooth temperature gradient, and wind magnitude — and the rest
+    are correlated mixtures of those plus noise, which makes the correlation
+    matrix of Fig. 3 non-trivial.
+    """
+    shape = check_shape_3d("shape", shape)
+    if n_variables < 1:
+        raise ValueError(f"n_variables must be >= 1, got {n_variables}")
+    rng = resolve_rng(seed)
+    x, y, z = axis_grids(shape)
+
+    # Typhoon: a vortex centred off-origin with an eye (local minimum).
+    cx, cy = 0.3, -0.2
+    rr = np.sqrt((x - cx) ** 2 + (y - cy) ** 2) + 0.0 * z
+    typhoon = (np.exp(-((rr - 0.15) ** 2) / 0.02) * np.exp(-(z + 0.5) ** 2)).astype(np.float32)
+
+    # Smoke plume advected diagonally, turbulent inside.
+    plume_axis = (x + y) / np.sqrt(2.0)
+    plume_perp = (x - y) / np.sqrt(2.0)
+    smoke_env = np.exp(-(plume_perp**2) / 0.05) * np.clip(plume_axis + 0.8, 0.0, None)
+    smoke = (smoke_env * multiscale_noise(shape, octaves=4, seed=rng)).astype(np.float32)
+
+    temperature = (0.5 * (1.0 - z) + 0.1 * multiscale_noise(shape, octaves=2, seed=rng)).astype(np.float32)
+    wind = (0.4 * typhoon + 0.2 * multiscale_noise(shape, octaves=3, seed=rng)).astype(np.float32)
+
+    archetypes = [typhoon, smoke, temperature, wind]
+    names = ["typhoon", "smoke_pm10", "temperature", "wind_magnitude"]
+    fields: dict = {}
+    for i in range(n_variables):
+        if i < len(archetypes):
+            fields[names[i]] = np.ascontiguousarray(archetypes[i] + 0.0)
+            continue
+        weights = rng.dirichlet(np.ones(len(archetypes))).astype(np.float32)
+        mix = sum(w * a for w, a in zip(weights, archetypes))
+        noise = 0.15 * rng.random(shape).astype(np.float32)
+        fields[f"derived_{i:03d}"] = np.ascontiguousarray((mix + noise).astype(np.float32))
+    return fields

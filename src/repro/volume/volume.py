@@ -1,0 +1,121 @@
+"""The :class:`Volume` container.
+
+A volume is one or more same-shaped scalar fields ("variables") on a
+regular 3D grid, matching the paper's datasets: single-variable combustion
+fields and a 244-variable climate field (Table I).  Values are stored as
+4-byte floats, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_shape_3d
+
+__all__ = ["Volume"]
+
+
+class Volume:
+    """A (possibly multivariate) volumetric dataset.
+
+    Parameters
+    ----------
+    variables:
+        Mapping of variable name to a 3D ``float32`` array.  All variables
+        must share one shape.  A bare array is accepted and stored under the
+        name ``"var0"``.
+    name:
+        Dataset name (used in reports).
+    primary:
+        The variable driving visibility-independent analyses (entropy
+        ranking, rendering) — defaults to the first variable.
+    """
+
+    def __init__(
+        self,
+        variables: "Mapping[str, np.ndarray] | np.ndarray",
+        name: str = "volume",
+        primary: Optional[str] = None,
+    ) -> None:
+        if isinstance(variables, np.ndarray):
+            variables = {"var0": variables}
+        if not variables:
+            raise ValueError("Volume needs at least one variable")
+        self.name = str(name)
+        self._variables: Dict[str, np.ndarray] = {}
+        shape: Optional[Tuple[int, int, int]] = None
+        for vname, arr in variables.items():
+            arr = np.asarray(arr, dtype=np.float32)
+            vshape = check_shape_3d(f"variable {vname!r}", arr.shape)
+            if shape is None:
+                shape = vshape
+            elif vshape != shape:
+                raise ValueError(
+                    f"variable {vname!r} has shape {vshape}, expected {shape}"
+                )
+            self._variables[vname] = arr
+        self._shape: Tuple[int, int, int] = shape  # type: ignore[assignment]
+        if primary is None:
+            primary = next(iter(self._variables))
+        if primary not in self._variables:
+            raise KeyError(f"primary variable {primary!r} not among {list(self._variables)}")
+        self.primary = primary
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Voxel resolution ``(nx, ny, nz)``."""
+        return self._shape
+
+    @property
+    def n_voxels(self) -> int:
+        """Total voxels per variable."""
+        nx, ny, nz = self._shape
+        return nx * ny * nz
+
+    @property
+    def n_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(self._variables)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size in bytes across all variables (float32)."""
+        return self.n_voxels * 4 * self.n_variables
+
+    # -- data access ---------------------------------------------------------
+
+    def data(self, variable: Optional[str] = None) -> np.ndarray:
+        """The array for ``variable`` (primary when omitted).  A view, not a copy."""
+        return self._variables[variable or self.primary]
+
+    def __getitem__(self, variable: str) -> np.ndarray:
+        return self._variables[variable]
+
+    def __contains__(self, variable: str) -> bool:
+        return variable in self._variables
+
+    def variables(self) -> Iterable[Tuple[str, np.ndarray]]:
+        """Iterate ``(name, array)`` pairs."""
+        return self._variables.items()
+
+    def value_range(self, variable: Optional[str] = None) -> Tuple[float, float]:
+        """Global ``(min, max)`` of a variable — shared histogram bounds for entropy."""
+        arr = self.data(variable)
+        return float(arr.min()), float(arr.max())
+
+    def subvolume(self, slices: Tuple[slice, slice, slice], variable: Optional[str] = None) -> np.ndarray:
+        """The voxels of ``variable`` inside ``slices`` (a view)."""
+        return self.data(variable)[slices]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Volume(name={self.name!r}, shape={self._shape}, "
+            f"n_variables={self.n_variables}, nbytes={self.nbytes})"
+        )

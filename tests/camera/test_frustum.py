@@ -1,0 +1,125 @@
+"""Tests for the Eq. 1 visibility kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camera.frustum import (
+    union_visible_mask,
+    visible_blocks,
+    visible_mask,
+    visible_masks_batch,
+)
+from repro.utils.geometry import rotation_matrix_axis_angle
+from repro.volume.blocks import BlockGrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return BlockGrid((32, 32, 32), (8, 8, 8))  # 4x4x4 = 64 blocks
+
+
+class TestBasicVisibility:
+    def test_camera_on_axis_sees_center_column(self, grid):
+        mask = visible_mask(np.array([3.0, 0.0, 0.0]), grid, view_angle_deg=20.0)
+        # The blocks straddling the x axis must be visible.
+        for bid in grid.blocks_containing([0.9, 0.01, 0.01]):
+            assert mask[bid]
+        for bid in grid.blocks_containing([-0.9, 0.01, 0.01]):
+            assert mask[bid]
+
+    def test_narrow_frustum_misses_far_corners(self, grid):
+        mask = visible_mask(np.array([3.0, 0.0, 0.0]), grid, view_angle_deg=10.0)
+        corner = grid.blocks_containing([0.99, 0.99, 0.99])
+        assert not mask[corner].any()
+
+    def test_wide_frustum_sees_everything(self, grid):
+        mask = visible_mask(np.array([2.5, 0.0, 0.0]), grid, view_angle_deg=120.0)
+        assert mask.all()
+
+    def test_monotone_in_view_angle(self, grid):
+        pos = np.array([2.5, 0.5, -0.3])
+        small = visible_mask(pos, grid, view_angle_deg=10.0)
+        large = visible_mask(pos, grid, view_angle_deg=40.0)
+        assert np.all(large[small])  # small-angle set is a subset
+
+    def test_visible_blocks_sorted_ids(self, grid):
+        ids = visible_blocks(np.array([3.0, 0, 0]), grid, 20.0)
+        assert np.all(np.diff(ids) > 0)
+
+    def test_camera_inside_block_sees_it(self, grid):
+        pos = np.array([0.9, 0.9, 0.9])  # inside the corner block
+        mask = visible_mask(pos, grid, view_angle_deg=5.0)
+        for bid in grid.blocks_containing(pos):
+            assert mask[bid]
+
+
+class TestRotationInvariance:
+    @given(st.floats(0.0, 2 * np.pi), st.integers(15, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_count_stable_under_z_rotation(self, angle, view_deg):
+        """Rotating the camera around the volume changes *which* blocks are
+        visible but keeps the count roughly constant (cube symmetry makes it
+        exactly invariant only for 90-degree steps, so allow slack)."""
+        grid = BlockGrid((32, 32, 32), (4, 4, 4))
+        base = np.array([2.5, 0.0, 0.0])
+        R = rotation_matrix_axis_angle([0, 0, 1], angle)
+        n0 = visible_mask(base, grid, view_deg).sum()
+        n1 = visible_mask(R @ base, grid, view_deg).sum()
+        assert abs(int(n0) - int(n1)) <= 0.35 * max(n0, n1)
+
+    def test_exact_invariance_for_quarter_turns(self):
+        grid = BlockGrid((32, 32, 32), (8, 8, 8))
+        base = np.array([2.5, 0.0, 0.0])
+        R = rotation_matrix_axis_angle([0, 0, 1], np.pi / 2)
+        m0 = visible_mask(base, grid, 25.0)
+        m1 = visible_mask(R @ base, grid, 25.0)
+        assert m0.sum() == m1.sum()
+
+
+class TestBatch:
+    def test_batch_matches_single(self, grid):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(-3, 3, size=(7, 3))
+        positions /= np.linalg.norm(positions, axis=1, keepdims=True) / 2.5
+        batch = visible_masks_batch(positions, grid, 25.0)
+        for i, pos in enumerate(positions):
+            single = visible_mask(pos, grid, 25.0)
+            assert np.array_equal(batch[i], single)
+
+    def test_chunking_consistent(self, grid):
+        rng = np.random.default_rng(1)
+        positions = 2.5 * rng.standard_normal((20, 3))
+        a = visible_masks_batch(positions, grid, 25.0, chunk_bytes=1)
+        b = visible_masks_batch(positions, grid, 25.0)
+        assert np.array_equal(a, b)
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(ValueError):
+            visible_masks_batch(np.zeros((3, 2)), grid, 25.0)
+        with pytest.raises(ValueError):
+            visible_masks_batch(np.zeros((3, 3)), grid, 0.0)
+
+    def test_union_mask(self, grid):
+        positions = np.array([[2.5, 0, 0], [0, 2.5, 0]])
+        union = union_visible_mask(positions, grid, 20.0)
+        a = visible_mask(positions[0], grid, 20.0)
+        b = visible_mask(positions[1], grid, 20.0)
+        assert np.array_equal(union, a | b)
+
+
+class TestCenterPoint:
+    def test_include_center_supersets_corners_only(self, grid):
+        pos = np.array([1.2, 0.0, 0.0])  # zoomed in close
+        with_center = visible_mask(pos, grid, 15.0, include_center=True)
+        corners_only = visible_mask(pos, grid, 15.0, include_center=False)
+        assert np.all(with_center[corners_only])
+
+    def test_axis_through_block_caught_by_center(self):
+        # One huge block: from far away with a tiny angle, the corners all
+        # fall outside the cone but the center is dead ahead.
+        grid = BlockGrid((8, 8, 8), (8, 8, 8))
+        pos = np.array([50.0, 0.0, 0.0])
+        assert not visible_mask(pos, grid, 1.0, include_center=False)[0]
+        assert visible_mask(pos, grid, 1.0, include_center=True)[0]

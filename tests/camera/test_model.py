@@ -1,0 +1,48 @@
+"""Tests for the Camera model."""
+
+import numpy as np
+import pytest
+
+from repro.camera.model import Camera
+
+
+class TestCamera:
+    def test_distance_and_direction(self):
+        c = Camera((3.0, 0.0, 0.0), view_angle_deg=30.0)
+        assert c.distance == pytest.approx(3.0)
+        assert np.allclose(c.direction, [-1.0, 0.0, 0.0])
+
+    def test_key_matches_position(self):
+        c = Camera((0.0, 2.0, 0.0))
+        l, d = c.key()
+        assert d == pytest.approx(2.0)
+        assert np.allclose(l, [0.0, -1.0, 0.0])
+
+    def test_half_angle(self):
+        c = Camera((1.0, 0.0, 0.0), view_angle_deg=90.0)
+        assert c.half_angle_rad == pytest.approx(np.pi / 4)
+
+    def test_invalid_view_angle(self):
+        for bad in (0.0, 180.0, -10.0):
+            with pytest.raises(ValueError):
+                Camera((1, 0, 0), view_angle_deg=bad)
+
+    def test_invalid_position(self):
+        with pytest.raises(ValueError):
+            Camera((1.0, 2.0))  # type: ignore[arg-type]
+
+    def test_direction_at_origin_rejected(self):
+        c = Camera((0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            _ = c.direction
+
+    def test_with_position(self):
+        c = Camera((1, 0, 0), view_angle_deg=20.0)
+        c2 = c.with_position(np.array([0.0, 5.0, 0.0]))
+        assert c2.view_angle_deg == 20.0
+        assert c2.distance == pytest.approx(5.0)
+
+    def test_frozen(self):
+        c = Camera((1, 0, 0))
+        with pytest.raises(Exception):
+            c.view_angle_deg = 10.0  # type: ignore[misc]

@@ -1,0 +1,141 @@
+"""Tests for camera paths."""
+
+import numpy as np
+import pytest
+
+from repro.camera.path import (
+    CameraPath,
+    composite_path,
+    random_path,
+    spherical_path,
+    zoom_path,
+)
+
+
+class TestCameraPath:
+    def test_basic_container(self):
+        p = CameraPath(np.array([[2.0, 0, 0], [0, 2.0, 0]]), view_angle_deg=20.0)
+        assert len(p) == 2
+        cams = list(p)
+        assert cams[0].distance == pytest.approx(2.0)
+        assert cams[0].view_angle_deg == 20.0
+
+    def test_positions_readonly(self):
+        p = CameraPath(np.array([[2.0, 0, 0]]))
+        with pytest.raises(ValueError):
+            p.positions[0, 0] = 5.0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            CameraPath(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            CameraPath(np.zeros((2, 2)))
+
+    def test_camera_accessor(self):
+        p = CameraPath(np.array([[1.0, 0, 0], [0, 1.0, 0]]))
+        assert p.camera(1).position == (0.0, 1.0, 0.0)
+
+
+class TestSphericalPath:
+    def test_constant_distance(self):
+        p = spherical_path(n_positions=50, degrees_per_step=7.0, distance=2.5, seed=0)
+        assert np.allclose(p.distances(), 2.5)
+
+    def test_constant_direction_change(self):
+        p = spherical_path(n_positions=50, degrees_per_step=7.0, distance=2.5, seed=0)
+        changes = p.direction_changes_deg()
+        assert np.allclose(changes, 7.0, atol=1e-6)
+
+    def test_400_default(self):
+        assert len(spherical_path()) == 400
+
+    def test_deterministic(self):
+        a = spherical_path(n_positions=10, seed=4)
+        b = spherical_path(n_positions=10, seed=4)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_name_encodes_degrees(self):
+        assert spherical_path(n_positions=5, degrees_per_step=15).name == "spherical_15deg"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            spherical_path(n_positions=0)
+        with pytest.raises(ValueError):
+            spherical_path(degrees_per_step=0)
+
+
+class TestRandomPath:
+    def test_direction_changes_in_range(self):
+        p = random_path(n_positions=100, degree_change=(5.0, 10.0), distance=2.5, seed=1)
+        changes = p.direction_changes_deg()
+        assert np.all(changes >= 5.0 - 1e-6)
+        assert np.all(changes <= 10.0 + 1e-6)
+
+    def test_fixed_distance(self):
+        p = random_path(n_positions=30, degree_change=(0, 5), distance=3.0, seed=2)
+        assert np.allclose(p.distances(), 3.0)
+
+    def test_distance_range(self):
+        p = random_path(n_positions=100, degree_change=(0, 5), distance=(2.0, 4.0), seed=2)
+        d = p.distances()
+        assert d.min() >= 2.0 and d.max() <= 4.0
+        assert d.std() > 0  # actually varies
+
+    def test_wanders_over_sphere(self):
+        p = random_path(n_positions=400, degree_change=(10, 15), distance=2.5, seed=3)
+        dirs = p.positions / np.linalg.norm(p.positions, axis=1, keepdims=True)
+        # The walk should not stay in one hemisphere.
+        assert dirs[:, 2].min() < 0 < dirs[:, 2].max()
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            random_path(degree_change=(5.0, 2.0))
+        with pytest.raises(ValueError):
+            random_path(degree_change=(-1.0, 2.0))
+        with pytest.raises(ValueError):
+            random_path(distance=(3.0, 2.0))
+
+    def test_deterministic(self):
+        a = random_path(n_positions=10, seed=7)
+        b = random_path(n_positions=10, seed=7)
+        assert np.allclose(a.positions, b.positions)
+
+
+class TestZoomPath:
+    def test_distance_sweeps_down_and_back(self):
+        p = zoom_path(n_positions=101, distance_range=(1.5, 4.0), seed=0)
+        d = p.distances()
+        assert d[0] == pytest.approx(4.0)
+        assert d.min() == pytest.approx(1.5, abs=0.05)
+        assert d[-1] == pytest.approx(4.0, abs=0.05)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            zoom_path(distance_range=(3.0, 3.0))
+
+
+class TestCompositePath:
+    def test_concatenates(self):
+        a = spherical_path(n_positions=5, seed=0, view_angle_deg=20.0)
+        b = zoom_path(n_positions=7, seed=0, view_angle_deg=20.0)
+        c = composite_path([a, b])
+        assert len(c) == 12
+        assert np.allclose(c.positions[:5], a.positions)
+
+    def test_view_angle_mismatch_rejected(self):
+        a = spherical_path(n_positions=5, view_angle_deg=20.0)
+        b = spherical_path(n_positions=5, view_angle_deg=30.0)
+        with pytest.raises(ValueError, match="view angle"):
+            composite_path([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            composite_path([])
+
+
+class TestPathMetrics:
+    def test_step_lengths_match_chord(self):
+        p = spherical_path(n_positions=10, degrees_per_step=10.0, distance=2.0, seed=0)
+        # Chord length = 2 d sin(theta/2).
+        expected = 2 * 2.0 * np.sin(np.deg2rad(10.0) / 2)
+        assert np.allclose(p.step_lengths(), expected)

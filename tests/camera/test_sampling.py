@@ -1,0 +1,60 @@
+"""Tests for Omega camera-position sampling."""
+
+import numpy as np
+import pytest
+
+from repro.camera.sampling import SamplingConfig, sample_positions
+
+
+class TestSamplingConfig:
+    def test_defaults_valid(self):
+        cfg = SamplingConfig()
+        assert cfg.n_samples == cfg.n_directions * cfg.n_distances
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(n_directions=0)
+        with pytest.raises(ValueError):
+            SamplingConfig(n_distances=0)
+        with pytest.raises(ValueError):
+            SamplingConfig(distance_range=(3.0, 2.0))
+        with pytest.raises(ValueError):
+            SamplingConfig(scheme="grid")
+
+    def test_distances_linspace(self):
+        cfg = SamplingConfig(n_distances=3, distance_range=(2.0, 4.0))
+        assert np.allclose(cfg.distances(), [2.0, 3.0, 4.0])
+
+    def test_single_distance_midpoint(self):
+        cfg = SamplingConfig(n_distances=1, distance_range=(2.0, 4.0))
+        assert np.allclose(cfg.distances(), [3.0])
+
+    def test_latlong_actual_count(self):
+        cfg = SamplingConfig(n_directions=128, scheme="latlong")
+        assert abs(cfg.n_directions_actual - 128) <= 40
+
+
+class TestSamplePositions:
+    def test_count_and_shape(self):
+        cfg = SamplingConfig(n_directions=50, n_distances=3)
+        pts = sample_positions(cfg)
+        assert pts.shape == (150, 3)
+
+    def test_distances_match_shells(self):
+        cfg = SamplingConfig(n_directions=10, n_distances=2, distance_range=(2.0, 3.0))
+        pts = sample_positions(cfg)
+        d = np.linalg.norm(pts, axis=1)
+        assert np.allclose(d[:10], 2.0)
+        assert np.allclose(d[10:], 3.0)
+
+    def test_latlong_scheme(self):
+        cfg = SamplingConfig(n_directions=32, n_distances=1, scheme="latlong")
+        pts = sample_positions(cfg)
+        assert pts.shape[0] == cfg.n_samples
+        assert np.allclose(np.linalg.norm(pts, axis=1), cfg.distances()[0])
+
+    def test_directions_cover_sphere(self):
+        cfg = SamplingConfig(n_directions=200, n_distances=1)
+        pts = sample_positions(cfg)
+        dirs = pts / np.linalg.norm(pts, axis=1, keepdims=True)
+        assert np.linalg.norm(dirs.mean(axis=0)) < 0.05

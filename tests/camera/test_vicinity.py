@@ -1,0 +1,104 @@
+"""Tests for the vicinal sphere and the Eq. 3-6 radius model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camera.vicinity import (
+    MIN_RADIUS,
+    aggregated_frustum_volume,
+    optimal_radius,
+    vicinal_points,
+)
+
+
+class TestOptimalRadius:
+    def test_closed_form_value(self):
+        # Direct evaluation of Eq. 6.
+        theta, d, rho = 20.0, 2.5, 0.5
+        t = np.tan(np.deg2rad(theta) / 2)
+        expected = np.sqrt(4 * rho / np.pi - t * t / 3) - d * t
+        assert optimal_radius(theta, d, rho) == pytest.approx(expected)
+
+    @given(
+        st.floats(5.0, 40.0),
+        st.floats(2.0, 4.0),
+        st.floats(0.2, 1.0),
+    )
+    @settings(max_examples=100)
+    def test_eq3_identity(self, theta, d, rho):
+        """The defining property: at the optimal radius, the aggregated
+        frustum volume equals 8*rho (Eq. 3 with cube volume 8)."""
+        r = optimal_radius(theta, d, rho, min_radius=0.0)
+        if r <= 0.0:  # clamped: cache too small for this geometry
+            return
+        vol = aggregated_frustum_volume(theta, d, r)
+        assert vol == pytest.approx(8.0 * rho, rel=1e-9)
+
+    def test_decreases_with_distance(self):
+        rs = [optimal_radius(20.0, d, 0.5) for d in (2.0, 2.5, 3.0, 3.5)]
+        assert all(a > b for a, b in zip(rs, rs[1:]))
+
+    def test_increases_with_cache_ratio(self):
+        rs = [optimal_radius(20.0, 2.5, rho) for rho in (0.3, 0.5, 0.7)]
+        assert rs[0] < rs[1] < rs[2]
+
+    def test_clamped_to_min_radius(self):
+        # Huge view angle + tiny cache -> negative closed form -> floor.
+        assert optimal_radius(120.0, 4.0, 0.05) == MIN_RADIUS
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            optimal_radius(0.0, 3.0, 0.5)
+        with pytest.raises(ValueError):
+            optimal_radius(30.0, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            optimal_radius(30.0, 3.0, 0.0)
+        with pytest.raises(ValueError):
+            optimal_radius(30.0, 3.0, 1.5)
+
+
+class TestAggregatedFrustumVolume:
+    def test_monotone_in_radius(self):
+        vols = [aggregated_frustum_volume(30.0, 3.0, r) for r in (0.0, 0.1, 0.2)]
+        assert vols[0] < vols[1] < vols[2]
+
+    def test_r_zero_is_plain_frustum(self):
+        theta, d = 30.0, 3.0
+        t = np.tan(np.deg2rad(theta) / 2)
+        h1, h2 = d - 1, d + 1
+        expected = np.pi * t * t / 3 * (h2**3 - h1**3)
+        assert aggregated_frustum_volume(theta, d, 0.0) == pytest.approx(expected)
+
+    def test_apex_inside_volume_rejected(self):
+        with pytest.raises(ValueError, match="apex"):
+            aggregated_frustum_volume(30.0, 0.5, 0.0)
+
+
+class TestVicinalPoints:
+    def test_center_included_first(self):
+        c = np.array([2.0, 0.0, 1.0])
+        pts = vicinal_points(c, 0.3, n_points=5, seed=0)
+        assert pts.shape == (6, 3)
+        assert np.allclose(pts[0], c)
+
+    def test_all_within_radius(self):
+        c = np.array([2.0, -1.0, 0.0])
+        pts = vicinal_points(c, 0.25, n_points=50, seed=1)
+        assert np.all(np.linalg.norm(pts - c, axis=1) <= 0.25 + 1e-12)
+
+    def test_without_center(self):
+        pts = vicinal_points(np.zeros(3), 0.1, n_points=4, seed=0, include_center=False)
+        assert pts.shape == (4, 3)
+
+    def test_deterministic(self):
+        a = vicinal_points(np.zeros(3), 0.1, n_points=4, seed=9)
+        b = vicinal_points(np.zeros(3), 0.1, n_points=4, seed=9)
+        assert np.allclose(a, b)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            vicinal_points(np.zeros(3), -0.1, 4)
+        with pytest.raises(ValueError):
+            vicinal_points(np.zeros(3), 0.1, -1)

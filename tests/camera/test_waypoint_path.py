@@ -1,0 +1,50 @@
+"""Tests for waypoint-interpolated camera paths."""
+
+import numpy as np
+import pytest
+
+from repro.camera.path import waypoint_path
+
+
+class TestWaypointPath:
+    def test_passes_through_waypoints(self):
+        wps = [(2.5, 0, 0), (0, 2.5, 0), (0, 0, 3.0)]
+        path = waypoint_path(wps, steps_per_segment=10)
+        assert len(path) == 1 + 2 * 10
+        assert np.allclose(path.positions[0], wps[0])
+        assert np.allclose(path.positions[10], wps[1], atol=1e-9)
+        assert np.allclose(path.positions[20], wps[2], atol=1e-9)
+
+    def test_constant_angular_velocity_per_segment(self):
+        path = waypoint_path([(2.0, 0, 0), (0, 2.0, 0)], steps_per_segment=9)
+        changes = path.direction_changes_deg()
+        assert np.allclose(changes, 10.0, atol=1e-6)  # 90 deg over 9 steps
+
+    def test_distance_interpolates_linearly(self):
+        path = waypoint_path([(2.0, 0, 0), (0, 4.0, 0)], steps_per_segment=4)
+        assert np.allclose(path.distances(), [2.0, 2.5, 3.0, 3.5, 4.0])
+
+    def test_collinear_waypoints_pure_zoom(self):
+        path = waypoint_path([(2.0, 0, 0), (4.0, 0, 0)], steps_per_segment=4)
+        assert np.allclose(path.positions[:, 1:], 0.0)
+        assert np.allclose(path.distances(), [2.0, 2.5, 3.0, 3.5, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            waypoint_path([(1, 0, 0)])  # one waypoint
+        with pytest.raises(ValueError):
+            waypoint_path([(1, 0, 0), (0, 0, 0)])  # centroid waypoint
+        with pytest.raises(ValueError):
+            waypoint_path([(1, 0, 0), (0, 1, 0)], steps_per_segment=0)
+
+    def test_usable_in_pipeline(self, small_grid):
+        from repro.core.pipeline import compute_visible_sets
+
+        path = waypoint_path(
+            [(2.5, 0, 0), (0, 2.5, 0.5), (-2.5, 0.5, 0)],
+            steps_per_segment=5,
+            view_angle_deg=10.0,
+        )
+        sets = compute_visible_sets(path, small_grid)
+        assert len(sets) == len(path)
+        assert all(len(s) > 0 for s in sets)

@@ -1,0 +1,87 @@
+"""Tests for the adaptive-sigma controller (extension)."""
+
+import pytest
+
+from repro.camera.path import random_path
+from repro.camera.sampling import SamplingConfig
+from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
+from repro.experiments.runner import ExperimentSetup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup.for_dataset(
+        "3d_ball", target_n_blocks=512,
+        sampling=SamplingConfig(n_directions=64, n_distances=2, distance_range=(2.3, 2.7)),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def context(setup):
+    path = random_path(
+        n_positions=40, degree_change=(5.0, 10.0), distance=2.5,
+        view_angle_deg=setup.view_angle_deg, seed=5,
+    )
+    return setup.context(path)
+
+
+class TestConfigValidation:
+    def test_requires_percentile_mode(self):
+        with pytest.raises(ValueError, match="percentile mode"):
+            OptimizerConfig(adaptive_sigma=True, sigma=1.0)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(adaptive_sigma=True, sigma_bounds=(0.9, 0.1))
+        with pytest.raises(ValueError):
+            OptimizerConfig(adaptive_sigma=True, sigma_bounds=(0.1, 1.5))
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(adaptive_sigma=True, sigma_step=0.0)
+        with pytest.raises(ValueError):
+            OptimizerConfig(adaptive_sigma=True, sigma_step=0.8)
+
+
+class TestAdaptiveRun:
+    def test_runs_and_records_final_sigma(self, setup, context):
+        opt = AppAwareOptimizer(
+            setup.visible_table, setup.importance_table,
+            OptimizerConfig(adaptive_sigma=True),
+        )
+        result = opt.run(context, setup.hierarchy("lru"))
+        assert "final_sigma" in result.extras
+        assert result.n_steps == len(context.visible_sets)
+
+    def test_sigma_moves_when_prefetch_underruns(self, setup, context):
+        """With a huge starting percentile almost nothing prefetches, so
+        prefetch time sits far below render and the controller lowers σ."""
+        opt = AppAwareOptimizer(
+            setup.visible_table, setup.importance_table,
+            OptimizerConfig(adaptive_sigma=True, sigma_percentile=0.95,
+                            sigma_bounds=(0.05, 0.95)),
+        )
+        result = opt.run(context, setup.hierarchy("lru"))
+        assert result.extras["final_sigma"] < opt.sigma
+
+    def test_fixed_sigma_unchanged(self, setup, context):
+        opt = AppAwareOptimizer(
+            setup.visible_table, setup.importance_table,
+            OptimizerConfig(sigma_percentile=0.5),
+        )
+        result = opt.run(context, setup.hierarchy("lru"))
+        assert result.extras["final_sigma"] == result.extras["sigma"]
+
+    def test_adaptive_not_worse_than_badly_tuned_fixed(self, setup, context):
+        """Starting from a bad (too-high) σ, the controller recovers most
+        of the prefetch benefit a well-tuned fixed σ gets."""
+        bad_fixed = AppAwareOptimizer(
+            setup.visible_table, setup.importance_table,
+            OptimizerConfig(sigma_percentile=0.95),
+        ).run(context, setup.hierarchy("lru"))
+        adaptive = AppAwareOptimizer(
+            setup.visible_table, setup.importance_table,
+            OptimizerConfig(adaptive_sigma=True, sigma_percentile=0.95),
+        ).run(context, setup.hierarchy("lru"))
+        assert adaptive.total_miss_rate <= bad_fixed.total_miss_rate

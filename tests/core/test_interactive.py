@@ -1,0 +1,117 @@
+"""Tests for the budgeted interactive replay."""
+
+import numpy as np
+import pytest
+
+from repro.camera.path import random_path
+from repro.camera.sampling import SamplingConfig
+from repro.core.interactive import BudgetedResult, render_quality_series, run_budgeted
+from repro.experiments.runner import ExperimentSetup
+from repro.render.raycast import Raycaster, RenderSettings
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup.for_dataset(
+        "3d_ball", target_n_blocks=216, scale=0.06,
+        sampling=SamplingConfig(n_directions=32, n_distances=2, distance_range=(2.3, 2.7)),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def context(setup):
+    path = random_path(
+        n_positions=15, degree_change=(5.0, 10.0), distance=2.5,
+        view_angle_deg=setup.view_angle_deg, seed=4,
+    )
+    return setup.context(path)
+
+
+class TestRunBudgeted:
+    def test_generous_budget_full_coverage(self, setup, context):
+        result = run_budgeted(context, setup.hierarchy("lru"), io_budget_s=1e9)
+        assert result.mean_coverage == 1.0
+        assert result.full_frames == result.steps[-1].step + 1
+
+    def test_tight_budget_reduces_coverage(self, setup, context):
+        generous = run_budgeted(context, setup.hierarchy("lru"), io_budget_s=1e9)
+        tight = run_budgeted(context, setup.hierarchy("lru"), io_budget_s=1e-3)
+        assert tight.mean_coverage < generous.mean_coverage
+        assert tight.min_coverage < 1.0
+
+    def test_coverage_monotone_in_budget(self, setup, context):
+        covs = [
+            run_budgeted(context, setup.hierarchy("lru"), io_budget_s=b).mean_coverage
+            for b in (1e-3, 2e-2, 1e9)
+        ]
+        assert covs[0] <= covs[1] <= covs[2]
+
+    def test_importance_prioritises_fetches(self, setup, context):
+        """With a tight budget, the blocks that DO get fetched are the most
+        important missing ones."""
+        it = setup.importance_table
+        result = run_budgeted(
+            context, setup.hierarchy("lru"), io_budget_s=0.02, importance=it,
+        )
+        step0 = result.steps[0]
+        if step0.n_rendered < step0.n_visible:
+            rendered = set(int(b) for b in step0.rendered_ids)
+            missing = [int(b) for b in context.visible_sets[0] if int(b) not in rendered]
+            # Every fetched block is at least as important as every skipped one.
+            if missing:
+                min_fetched = min(it.scores[b] for b in rendered)
+                max_missing = max(it.scores[b] for b in missing)
+                assert min_fetched >= max_missing - 1e-9
+
+    def test_prefetch_improves_coverage(self, setup, context):
+        it = setup.importance_table
+        sigma = it.threshold_for_percentile(0.25)
+        plain = run_budgeted(
+            context, setup.hierarchy("lru"), io_budget_s=0.03, importance=it,
+        )
+        aware = run_budgeted(
+            context, setup.hierarchy("lru"), io_budget_s=0.03, importance=it,
+            visible_table=setup.visible_table, sigma=sigma, preload=True,
+        )
+        assert aware.mean_coverage >= plain.mean_coverage
+
+    def test_rendered_ids_subset_of_visible(self, setup, context):
+        result = run_budgeted(context, setup.hierarchy("lru"), io_budget_s=0.01)
+        for step, s in enumerate(result.steps):
+            assert set(int(b) for b in s.rendered_ids) <= set(
+                int(b) for b in context.visible_sets[step]
+            )
+
+    def test_invalid_budget(self, setup, context):
+        with pytest.raises(ValueError):
+            run_budgeted(context, setup.hierarchy("lru"), io_budget_s=0.0)
+
+
+class TestRenderQuality:
+    def test_full_coverage_infinite_psnr(self, setup, context):
+        result = run_budgeted(context, setup.hierarchy("lru"), io_budget_s=1e9)
+        rc = Raycaster(setup.volume, settings=RenderSettings(width=24, height=24, n_samples=24))
+        series = render_quality_series(result, context, rc, every=7)
+        assert all(q == float("inf") for _, q in series)
+
+    def test_partial_coverage_finite_psnr(self, setup, context):
+        result = run_budgeted(context, setup.hierarchy("lru"), io_budget_s=1e-3)
+        rc = Raycaster(setup.volume, settings=RenderSettings(width=24, height=24, n_samples=24))
+        series = render_quality_series(result, context, rc, every=7)
+        assert len(series) >= 2
+        assert any(np.isfinite(q) for _, q in series)
+
+    def test_every_validation(self, setup, context):
+        result = run_budgeted(context, setup.hierarchy("lru"), io_budget_s=1.0)
+        rc = Raycaster(setup.volume, settings=RenderSettings(width=8, height=8, n_samples=8))
+        with pytest.raises(ValueError):
+            render_quality_series(result, context, rc, every=0)
+
+
+class TestBudgetedResult:
+    def test_empty_result_defaults(self):
+        r = BudgetedResult(name="x", io_budget_s=1.0)
+        assert r.mean_coverage == 1.0
+        assert r.min_coverage == 1.0
+        assert r.full_frames == 0

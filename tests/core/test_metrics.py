@@ -1,0 +1,78 @@
+"""Tests for StepMetrics and RunResult accounting."""
+
+import pytest
+
+from repro.core.metrics import RunResult, StepMetrics
+from repro.storage.stats import CacheStats, HierarchyStats
+
+
+def step(i, io=1.0, lookup=0.1, prefetch=0.5, render=2.0, n_visible=10, misses=2, npf=3):
+    return StepMetrics(
+        step=i,
+        n_visible=n_visible,
+        n_fast_misses=misses,
+        io_time_s=io,
+        lookup_time_s=lookup,
+        prefetch_time_s=prefetch,
+        render_time_s=render,
+        n_prefetched=npf,
+    )
+
+
+def result(overlap, steps):
+    stats = HierarchyStats(levels={"dram": CacheStats(hits=8, misses=2),
+                                   "ssd": CacheStats(hits=1, misses=1)})
+    return RunResult("r", "lru", overlap, steps, stats)
+
+
+class TestStepMetrics:
+    def test_overlapped_total_uses_max(self):
+        s = step(0, io=1.0, lookup=0.1, prefetch=0.5, render=2.0)
+        assert s.step_total_overlapped_s == pytest.approx(1.0 + 0.1 + 2.0)
+
+    def test_overlapped_total_prefetch_dominates(self):
+        s = step(0, io=1.0, lookup=0.1, prefetch=3.0, render=2.0)
+        assert s.step_total_overlapped_s == pytest.approx(1.0 + 0.1 + 3.0)
+
+    def test_serial_total(self):
+        s = step(0, io=1.0, lookup=0.1, prefetch=0.5, render=2.0)
+        assert s.step_total_serial_s == pytest.approx(1.0 + 0.1 + 2.0)
+
+
+class TestRunResult:
+    def test_time_aggregates(self):
+        r = result(True, [step(0), step(1)])
+        assert r.io_time_s == pytest.approx(2.2)
+        assert r.demand_io_time_s == pytest.approx(2.0)
+        assert r.lookup_time_s == pytest.approx(0.2)
+        assert r.prefetch_time_s == pytest.approx(1.0)
+        assert r.render_time_s == pytest.approx(4.0)
+        assert r.io_plus_prefetch_time_s == pytest.approx(3.2)
+
+    def test_total_time_overlap_rule(self):
+        steps = [step(0, io=1.0, lookup=0.0, prefetch=5.0, render=2.0)]
+        assert result(True, steps).total_time_s == pytest.approx(6.0)
+        assert result(False, steps).total_time_s == pytest.approx(3.0)
+
+    def test_miss_rates_from_stats(self):
+        r = result(True, [step(0)])
+        assert r.total_miss_rate == pytest.approx(3 / 12)
+        assert r.fast_miss_rate == pytest.approx(2 / 10)
+
+    def test_counts(self):
+        r = result(True, [step(0), step(1)])
+        assert r.n_steps == 2
+        assert r.n_prefetched == 6
+
+    def test_summary_keys(self):
+        r = result(True, [step(0)])
+        r.extras["sigma"] = 1.5
+        s = r.summary()
+        assert s["policy"] == "lru"
+        assert s["sigma"] == 1.5
+        assert {"total_miss_rate", "io_time_s", "total_time_s"} <= set(s)
+
+    def test_empty_run(self):
+        r = result(False, [])
+        assert r.total_time_s == 0.0
+        assert r.n_steps == 0

@@ -1,0 +1,188 @@
+"""Tests for Algorithm 1 (AppAwareOptimizer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
+from repro.core.pipeline import PipelineContext, run_baseline
+from repro.experiments.runner import fresh_hierarchy
+from repro.tables.builder import build_importance_table, build_visible_table
+from repro.tables.visible_table import LookupCostModel
+
+VIEW = 10.0
+
+
+@pytest.fixture(scope="module")
+def prepared(small_volume, small_grid, small_sampling, short_random_path):
+    itable = build_importance_table(small_volume, small_grid)
+    vtable = build_visible_table(
+        small_grid, small_sampling, VIEW, importance=itable, seed=0
+    )
+    context = PipelineContext.create(short_random_path, small_grid)
+    return vtable, itable, context
+
+
+# The fixtures above are session-scoped in conftest; redeclare locally.
+@pytest.fixture(scope="module")
+def small_volume():
+    from repro.volume.synthetic import ball_field
+    from repro.volume.volume import Volume
+
+    return Volume(ball_field((32, 32, 32)), name="test_ball")
+
+
+@pytest.fixture(scope="module")
+def small_grid(small_volume):
+    from repro.volume.blocks import BlockGrid
+
+    return BlockGrid(small_volume.shape, (8, 8, 8))
+
+
+@pytest.fixture(scope="module")
+def small_sampling():
+    from repro.camera.sampling import SamplingConfig
+
+    return SamplingConfig(n_directions=24, n_distances=2, distance_range=(2.3, 2.7))
+
+
+@pytest.fixture(scope="module")
+def short_random_path():
+    from repro.camera.path import random_path
+
+    return random_path(
+        n_positions=12, degree_change=(5.0, 10.0), distance=2.5,
+        view_angle_deg=VIEW, seed=3,
+    )
+
+
+class TestOptimizerConfig:
+    def test_sigma_percentile_validation(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(sigma_percentile=1.5)
+
+    def test_max_prefetch_validation(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(max_prefetch_per_step=-1)
+
+    def test_resolve_sigma_explicit(self, prepared):
+        _, itable, _ = prepared
+        assert OptimizerConfig(sigma=1.23).resolve_sigma(itable) == 1.23
+
+    def test_resolve_sigma_percentile(self, prepared):
+        _, itable, _ = prepared
+        sigma = OptimizerConfig(sigma_percentile=0.5).resolve_sigma(itable)
+        assert sigma == pytest.approx(np.quantile(itable.scores, 0.5))
+
+
+class TestPreload:
+    def test_fills_levels_with_important_blocks(self, prepared, small_grid):
+        vtable, itable, _ = prepared
+        opt = AppAwareOptimizer(vtable, itable)
+        h = fresh_hierarchy(small_grid)
+        placed = opt.preload(h)
+        assert placed["dram"] >= 1
+        assert placed["ssd"] >= placed["dram"]
+        # The most important block must be in the fastest level.
+        top = int(itable.sorted_ids()[0])
+        assert top in h.levels[0]
+
+    def test_preload_respects_sigma(self, prepared, small_grid):
+        vtable, itable, _ = prepared
+        opt = AppAwareOptimizer(vtable, itable, OptimizerConfig(sigma=float("inf")))
+        h = fresh_hierarchy(small_grid)
+        placed = opt.preload(h)
+        assert placed == {"dram": 0, "ssd": 0}
+
+
+class TestRun:
+    def test_beats_lru_on_miss_rate(self, prepared, small_grid):
+        """The paper's headline: OPT's miss rate well below FIFO/LRU."""
+        vtable, itable, context = prepared
+        lru = run_baseline(context, fresh_hierarchy(small_grid, policy="lru"))
+        fifo = run_baseline(context, fresh_hierarchy(small_grid, policy="fifo"))
+        opt = AppAwareOptimizer(vtable, itable, OptimizerConfig(sigma_percentile=0.25))
+        result = opt.run(context, fresh_hierarchy(small_grid, policy="lru"))
+        assert result.total_miss_rate < lru.total_miss_rate
+        assert result.total_miss_rate < fifo.total_miss_rate
+
+    def test_overlap_accounting(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        opt = AppAwareOptimizer(vtable, itable)
+        result = opt.run(context, fresh_hierarchy(small_grid))
+        assert result.overlap_prefetch
+        expected = sum(
+            s.io_time_s + s.lookup_time_s + max(s.prefetch_time_s, s.render_time_s)
+            for s in result.steps
+        )
+        assert result.total_time_s == pytest.approx(expected)
+
+    def test_no_prefetch_config(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        opt = AppAwareOptimizer(vtable, itable, OptimizerConfig(prefetch=False))
+        result = opt.run(context, fresh_hierarchy(small_grid))
+        assert result.prefetch_time_s == 0.0
+        assert result.lookup_time_s == 0.0
+        assert result.n_prefetched == 0
+
+    def test_no_preload_config(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        opt = AppAwareOptimizer(vtable, itable, OptimizerConfig(preload=False))
+        h = fresh_hierarchy(small_grid)
+        result = opt.run(context, h)
+        # Without preload the first step is all cold misses.
+        assert result.steps[0].n_fast_misses == result.steps[0].n_visible
+
+    def test_lookup_cost_charged_per_step(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        cost = LookupCostModel(base_s=1.0, per_entry_s=0.0)
+        opt = AppAwareOptimizer(vtable, itable, OptimizerConfig(lookup_cost=cost))
+        result = opt.run(context, fresh_hierarchy(small_grid))
+        assert result.lookup_time_s == pytest.approx(len(context.visible_sets))
+
+    def test_max_prefetch_cap(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        opt = AppAwareOptimizer(
+            vtable, itable, OptimizerConfig(max_prefetch_per_step=2, sigma_percentile=0.0)
+        )
+        result = opt.run(context, fresh_hierarchy(small_grid))
+        assert all(s.n_prefetched <= 2 for s in result.steps)
+
+    def test_zero_prefetch_cap_equals_no_prefetch_io(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        capped = AppAwareOptimizer(
+            vtable, itable, OptimizerConfig(max_prefetch_per_step=0)
+        ).run(context, fresh_hierarchy(small_grid))
+        off = AppAwareOptimizer(
+            vtable, itable, OptimizerConfig(prefetch=False)
+        ).run(context, fresh_hierarchy(small_grid))
+        assert capped.demand_io_time_s == pytest.approx(off.demand_io_time_s)
+        assert capped.n_prefetched == 0
+
+    def test_deterministic(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        a = AppAwareOptimizer(vtable, itable).run(context, fresh_hierarchy(small_grid))
+        b = AppAwareOptimizer(vtable, itable).run(context, fresh_hierarchy(small_grid))
+        assert a.total_miss_rate == b.total_miss_rate
+        assert a.total_time_s == b.total_time_s
+
+    def test_demand_sequence_matches_baselines(self, prepared, small_grid):
+        """OPT must not skip any visible block: demand accesses equal the
+        baselines' (misses differ, the sequence does not)."""
+        vtable, itable, context = prepared
+        base = run_baseline(context, fresh_hierarchy(small_grid))
+        opt = AppAwareOptimizer(vtable, itable).run(context, fresh_hierarchy(small_grid))
+        b = base.hierarchy_stats.levels["dram"]
+        o = opt.hierarchy_stats.levels["dram"]
+        assert b.hits + b.misses == o.hits + o.misses
+
+    def test_hierarchy_invariants_after_run(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        h = fresh_hierarchy(small_grid)
+        AppAwareOptimizer(vtable, itable).run(context, h)
+        h.check_invariants()
+
+    def test_extras_record_sigma(self, prepared, small_grid):
+        vtable, itable, context = prepared
+        opt = AppAwareOptimizer(vtable, itable)
+        result = opt.run(context, fresh_hierarchy(small_grid))
+        assert result.extras["sigma"] == opt.sigma

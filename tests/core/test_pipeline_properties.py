@@ -1,0 +1,78 @@
+"""Property tests for pipeline-level invariants the drivers rely on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camera.path import CameraPath, spherical_path
+from repro.core.pipeline import PipelineContext, compute_visible_sets, run_baseline
+from repro.experiments.runner import fresh_hierarchy
+from repro.volume.blocks import BlockGrid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return BlockGrid((32, 32, 32), (8, 8, 8))
+
+
+class TestVisibleSetProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        deg=st.floats(0.5, 30.0),
+        view=st.floats(5.0, 30.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sets_sorted_unique_in_range(self, grid, seed, deg, view):
+        path = spherical_path(
+            n_positions=6, degrees_per_step=deg, distance=2.5,
+            view_angle_deg=view, seed=seed,
+        )
+        for ids in compute_visible_sets(path, grid):
+            assert np.all(np.diff(ids) > 0)  # sorted, unique
+            if ids.size:
+                assert 0 <= ids.min() and ids.max() < grid.n_blocks
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_consecutive_views_overlap(self, grid, seed):
+        """Observation 1 of the paper, as a property: at small direction
+        changes, consecutive visible sets share most of their blocks."""
+        path = spherical_path(
+            n_positions=6, degrees_per_step=2.0, distance=2.5,
+            view_angle_deg=10.0, seed=seed,
+        )
+        sets = compute_visible_sets(path, grid)
+        for a, b in zip(sets, sets[1:]):
+            if len(a) == 0 or len(b) == 0:
+                continue
+            overlap = len(np.intersect1d(a, b)) / min(len(a), len(b))
+            assert overlap > 0.6
+
+
+class TestBaselineConservation:
+    @given(seed=st.integers(0, 500), n=st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_time_decomposition(self, grid, seed, n):
+        """total(serial) == io + lookup + render, summed per step."""
+        path = spherical_path(
+            n_positions=n, degrees_per_step=5.0, distance=2.5,
+            view_angle_deg=10.0, seed=seed,
+        )
+        context = PipelineContext.create(path, grid)
+        result = run_baseline(context, fresh_hierarchy(grid))
+        assert result.total_time_s == pytest.approx(
+            result.io_time_s + result.render_time_s
+        )
+        assert result.n_steps == n
+
+    def test_reused_context_gives_identical_runs(self, grid):
+        path = spherical_path(
+            n_positions=5, degrees_per_step=5.0, distance=2.5,
+            view_angle_deg=10.0, seed=1,
+        )
+        context = PipelineContext.create(path, grid)
+        a = run_baseline(context, fresh_hierarchy(grid))
+        b = run_baseline(context, fresh_hierarchy(grid))
+        assert a.total_time_s == b.total_time_s
+        assert [s.n_fast_misses for s in a.steps] == [s.n_fast_misses for s in b.steps]

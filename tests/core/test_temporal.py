@@ -1,0 +1,100 @@
+"""Tests for the temporal replay driver."""
+
+import numpy as np
+import pytest
+
+from repro.camera.path import spherical_path
+from repro.camera.sampling import SamplingConfig
+from repro.core.pipeline import PipelineContext
+from repro.core.temporal import run_temporal
+from repro.storage.hierarchy import make_standard_hierarchy
+from repro.tables.builder import build_visible_table
+from repro.volume.blocks import BlockGrid
+from repro.volume.timeseries import make_time_varying_climate
+
+VIEW = 10.0
+
+
+@pytest.fixture(scope="module")
+def temporal_setup():
+    series = make_time_varying_climate(shape=(24, 24, 12), n_timesteps=3, seed=5)
+    grid = BlockGrid(series.shape, (8, 8, 6))
+    path = spherical_path(
+        n_positions=12, degrees_per_step=5.0, distance=2.5,
+        view_angle_deg=VIEW, seed=1,
+    )
+    context = PipelineContext.create(path, grid)
+    sampling = SamplingConfig(n_directions=16, n_distances=2, distance_range=(2.3, 2.7))
+    vtable = build_visible_table(grid, sampling, VIEW, seed=0)
+    itable = series.temporal_importance(grid)
+    return series, grid, context, vtable, itable
+
+
+def _hierarchy(series, grid, cache_ratio=0.5):
+    return make_standard_hierarchy(
+        n_blocks=series.n_total_blocks(grid),
+        block_nbytes=grid.uniform_block_nbytes(),
+        cache_ratio=cache_ratio,
+    )
+
+
+class TestRunTemporal:
+    def test_accesses_cover_all_steps(self, temporal_setup):
+        series, grid, context, vtable, itable = temporal_setup
+        result = run_temporal(
+            context, series, _hierarchy(series, grid), steps_per_timestep=4,
+            visible_table=vtable, importance=itable, sigma=float("-inf"),
+        )
+        assert result.n_steps == len(context.visible_sets)
+        total_visible = sum(len(s) for s in context.visible_sets)
+        dram = result.hierarchy_stats.levels["dram"]
+        assert dram.hits + dram.misses == total_visible
+
+    def test_timestep_advances(self, temporal_setup):
+        """Crossing a timestep boundary forces fresh misses (new ids)."""
+        series, grid, context, vtable, itable = temporal_setup
+        result = run_temporal(
+            context, series, _hierarchy(series, grid), steps_per_timestep=4,
+            visible_table=None, prefetch_next_timestep=False,
+        )
+        # Step 4 enters timestep 1: its blocks were never seen before, so
+        # misses at that step equal its visible count.
+        step4 = result.steps[4]
+        assert step4.n_fast_misses == step4.n_visible
+
+    def test_temporal_prefetch_reduces_boundary_misses(self, temporal_setup):
+        series, grid, context, vtable, itable = temporal_setup
+        kwargs = dict(steps_per_timestep=4, visible_table=vtable,
+                      importance=itable, sigma=float("-inf"))
+        with_pf = run_temporal(
+            context, series, _hierarchy(series, grid), **kwargs
+        )
+        without = run_temporal(
+            context, series, _hierarchy(series, grid),
+            steps_per_timestep=4, visible_table=vtable, importance=itable,
+            sigma=float("-inf"), prefetch_next_timestep=False,
+        )
+        # The prefetch warms the next timestep: fewer misses at boundaries.
+        assert with_pf.total_miss_rate < without.total_miss_rate
+        assert with_pf.steps[4].n_fast_misses < without.steps[4].n_fast_misses
+
+    def test_clamps_at_last_timestep(self, temporal_setup):
+        series, grid, context, vtable, itable = temporal_setup
+        result = run_temporal(
+            context, series, _hierarchy(series, grid), steps_per_timestep=2,
+            visible_table=vtable, importance=itable,
+        )
+        # 12 steps / 2 = would be 6 timesteps, clamped at 3: still runs.
+        assert result.n_steps == 12
+
+    def test_invalid_steps_per_timestep(self, temporal_setup):
+        series, grid, context, vtable, itable = temporal_setup
+        with pytest.raises(ValueError):
+            run_temporal(context, series, _hierarchy(series, grid), steps_per_timestep=0)
+
+    def test_extras_record_timesteps(self, temporal_setup):
+        series, grid, context, vtable, itable = temporal_setup
+        result = run_temporal(
+            context, series, _hierarchy(series, grid), steps_per_timestep=4,
+        )
+        assert result.extras["n_timesteps"] == series.n_timesteps

@@ -1,0 +1,106 @@
+"""Unit tests for the figure definitions at micro scale.
+
+The real parameter values are exercised by the benchmark suite; here we
+shrink the preset to seconds and check each figure function's *structure*
+(panel counts, axes, series keys, report rendering).
+"""
+
+import pytest
+
+from repro.camera.sampling import SamplingConfig
+from repro.experiments import figures
+from repro.experiments.figures import FigureResult
+
+_MICRO = {
+    "n_path": 10,
+    "sampling": SamplingConfig(n_directions=16, n_distances=2, distance_range=(2.3, 2.7)),
+    "spherical_degrees": [1.0, 20.0],
+    "random_ranges": [(0.0, 5.0), (15.0, 20.0)],
+    "block_divisions": [64, 216],
+    "fig7_samples": [8, 32],
+    "fig7_datasets": ["3d_ball"],
+    "fig7_blocks": 64,
+    "fig12_blocks": 216,
+    "fig13_blocks": 216,
+    "fig11_path": 10,
+}
+
+
+@pytest.fixture(autouse=True)
+def micro_preset(monkeypatch):
+    monkeypatch.setattr(figures, "_QUICK", _MICRO)
+
+
+class TestFigureResult:
+    def test_report_renders(self):
+        fr = FigureResult("figX", "demo", "x", [1, 2], {"a": [0.1, 0.2]})
+        report = fr.report
+        assert "figX" in report and "demo" in report
+        assert "a" in report.splitlines()[1]
+
+
+class TestTable1:
+    def test_text(self):
+        text = figures.table1()
+        assert "climate" in text
+
+
+class TestFig7:
+    def test_structure(self):
+        panels = figures.fig7()
+        assert [p.figure for p in panels] == ["fig7a", "fig7b"]
+        for p in panels:
+            assert p.x_values == [8, 32]
+            assert set(p.series) == {"3d_ball"}
+            assert all(len(v) == 2 for v in p.series.values())
+
+
+class TestFig9:
+    def test_structure(self):
+        panels = figures.fig9()
+        assert len(panels) == 4  # 2 spherical + 2 random
+        names = [p.figure for p in panels]
+        assert names[0].startswith("fig9_spherical")
+        assert names[-1].startswith("fig9_random")
+        for p in panels:
+            assert set(p.series) == {"fifo", "lru", "opt", "lru_mbytes"}
+            assert len(p.x_values) == 2
+
+
+class TestFig11:
+    def test_structure(self):
+        (panel,) = figures.fig11()
+        assert panel.x_values[0] == "optimal (Eq.6)"
+        assert len(panel.x_values) == 5
+        assert set(panel.series) == {"io_plus_prefetch_s", "miss_rate"}
+
+
+class TestFig12:
+    def test_structure(self):
+        a, b = figures.fig12()
+        assert a.figure == "fig12a" and b.figure == "fig12b"
+        assert a.x_values == ["1", "20"]
+        assert b.x_values == ["0-5", "15-20"]
+        for p in (a, b):
+            assert set(p.series) == {"fifo", "lru", "opt"}
+            for values in p.series.values():
+                assert all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestFig13:
+    def test_structure(self):
+        a, b = figures.fig13()
+        assert a.figure == "fig13a" and b.figure == "fig13b"
+        for p in (a, b):
+            assert set(p.series) == {"fifo", "lru", "opt"}
+            for values in p.series.values():
+                assert all(v > 0 for v in values)
+
+
+class TestAblations:
+    def test_structure(self):
+        (panel,) = figures.ablations()
+        assert {"fifo", "lru", "arc", "belady", "opt",
+                "opt(no-prefetch)", "opt(no-preload)", "opt(no-filter)",
+                "opt(adaptive-sigma)"} == set(panel.x_values)
+        assert set(panel.series) == {"miss_rate", "total_time_s"}

@@ -1,0 +1,44 @@
+"""Tests for the text report renderer."""
+
+import pytest
+
+from repro.experiments.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long_header"], [[1, 2.5], [333, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "long_header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000123], [1234.5], [0.5], [0.0]])
+        assert "1.230e-04" in out
+        assert "1.234e+03" in out or "1234" in out
+        assert "0.5" in out
+
+    def test_string_cells(self):
+        out = format_table(["name"], [["opt"], ["lru"]])
+        assert "opt" in out and "lru" in out
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        out = format_series(
+            "deg", [1, 5], {"fifo": [0.1, 0.2], "lru": [0.05, 0.15]}, title="t"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "fifo" in lines[1] and "lru" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title + header + rule + rows

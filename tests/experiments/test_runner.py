@@ -1,0 +1,103 @@
+"""Tests for the experiment runner machinery."""
+
+import numpy as np
+import pytest
+
+from repro.camera.path import random_path
+from repro.camera.sampling import SamplingConfig
+from repro.core.optimizer import OptimizerConfig
+from repro.experiments.runner import (
+    DEFAULT_VIEW_ANGLE_DEG,
+    ExperimentSetup,
+    belady_hierarchy,
+    compare_policies,
+    fresh_hierarchy,
+)
+
+SMALL_SAMPLING = SamplingConfig(n_directions=24, n_distances=2, distance_range=(2.3, 2.7))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup.for_dataset(
+        "3d_ball", target_n_blocks=64, scale=0.04, sampling=SMALL_SAMPLING, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def path(setup):
+    return random_path(
+        n_positions=10, degree_change=(5.0, 10.0), distance=2.5,
+        view_angle_deg=setup.view_angle_deg, seed=1,
+    )
+
+
+class TestFreshHierarchy:
+    def test_sized_from_grid(self, setup):
+        h = fresh_hierarchy(setup.grid, cache_ratio=0.5)
+        n = setup.grid.n_blocks
+        assert h.levels[1].capacity == max(1, round(0.5 * n))
+        assert h.levels[0].capacity == max(1, round(0.25 * n))
+
+    def test_policy_forwarded(self, setup):
+        h = fresh_hierarchy(setup.grid, policy="arc")
+        assert h.levels[0].policy.name == "arc"
+
+
+class TestExperimentSetup:
+    def test_tables_cached(self, setup):
+        assert setup.importance_table is setup.importance_table
+        assert setup.visible_table is setup.visible_table
+
+    def test_rebuild_visible_table_replaces_cache(self, setup):
+        old = setup.visible_table
+        new = setup.rebuild_visible_table(fixed_radius=0.2)
+        assert new is setup.visible_table
+        assert new is not old
+        assert new.meta["fixed_radius"] == 0.2
+
+    def test_context(self, setup, path):
+        ctx = setup.context(path)
+        assert len(ctx.visible_sets) == len(path)
+
+    def test_view_angle_default(self, setup):
+        assert setup.view_angle_deg == DEFAULT_VIEW_ANGLE_DEG
+
+    def test_optimizer_uses_tables(self, setup):
+        opt = setup.optimizer(OptimizerConfig(sigma_percentile=0.3))
+        assert opt.visible_table is setup.visible_table
+
+
+class TestComparePolicies:
+    def test_returns_all_requested(self, setup, path):
+        results = compare_policies(
+            setup, path, baselines=("fifo", "lru", "arc"),
+            include_belady=True, include_app_aware=True,
+        )
+        assert set(results) == {"fifo", "lru", "arc", "belady", "opt"}
+
+    def test_same_demand_accesses_everywhere(self, setup, path):
+        results = compare_policies(setup, path, include_belady=True)
+        accesses = {
+            name: r.hierarchy_stats.levels["dram"].accesses
+            for name, r in results.items()
+        }
+        assert len(set(accesses.values())) == 1
+
+    def test_opt_uses_overlap(self, setup, path):
+        results = compare_policies(setup, path)
+        assert results["opt"].overlap_prefetch
+        assert not results["lru"].overlap_prefetch
+
+    def test_cache_ratio_override(self, setup, path):
+        r1 = compare_policies(setup, path, baselines=("lru",), include_app_aware=False)
+        r2 = compare_policies(
+            setup, path, baselines=("lru",), include_app_aware=False, cache_ratio=0.9
+        )
+        assert r2["lru"].total_miss_rate <= r1["lru"].total_miss_rate
+
+    def test_belady_hierarchy_structure(self, setup, path):
+        ctx = setup.context(path)
+        h = belady_hierarchy(setup.grid, ctx.demand_trace())
+        assert h.levels[0].policy.name == "belady"
+        assert h.levels[1].policy.name == "lru"

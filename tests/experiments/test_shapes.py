@@ -1,0 +1,145 @@
+"""Integration tests: the paper's qualitative shapes at miniature scale.
+
+These assert the DESIGN.md §4 expectations on tiny workloads (seconds, not
+the bench-scale minutes): who wins, monotonicities, and the Eq. 6 radius
+being competitive.  The benchmark suite regenerates the figures at the
+paper's parameter values; these tests guard the *mechanisms*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera.path import random_path, spherical_path
+from repro.camera.sampling import SamplingConfig
+from repro.core.optimizer import OptimizerConfig
+from repro.experiments.runner import ExperimentSetup, compare_policies
+
+SAMPLING = SamplingConfig(n_directions=48, n_distances=2, distance_range=(2.3, 2.7))
+N_PATH = 25
+
+
+@pytest.fixture(scope="module")
+def ball():
+    return ExperimentSetup.for_dataset(
+        "3d_ball", target_n_blocks=512, sampling=SAMPLING, seed=0
+    )
+
+
+def _sph(setup, deg, seed=0):
+    return spherical_path(
+        n_positions=N_PATH, degrees_per_step=deg, distance=2.5,
+        view_angle_deg=setup.view_angle_deg, seed=seed,
+    )
+
+
+def _rnd(setup, lo, hi, seed=0):
+    return random_path(
+        n_positions=N_PATH, degree_change=(lo, hi), distance=2.5,
+        view_angle_deg=setup.view_angle_deg, seed=seed,
+    )
+
+
+class TestFig12Shape:
+    """OPT < LRU <= ~FIFO on miss rate; rates grow with degree change."""
+
+    def test_opt_beats_baselines_small_degrees(self, ball):
+        results = compare_policies(ball, _sph(ball, 5.0))
+        assert results["opt"].total_miss_rate < results["lru"].total_miss_rate
+        assert results["opt"].total_miss_rate < results["fifo"].total_miss_rate
+
+    def test_opt_beats_baselines_random_path(self, ball):
+        results = compare_policies(ball, _rnd(ball, 5.0, 10.0))
+        assert results["opt"].total_miss_rate < results["lru"].total_miss_rate
+
+    def test_miss_rate_grows_with_degree_change(self, ball):
+        small = compare_policies(ball, _sph(ball, 2.0), include_app_aware=False)
+        large = compare_policies(ball, _sph(ball, 25.0), include_app_aware=False)
+        assert large["lru"].total_miss_rate > small["lru"].total_miss_rate
+
+    def test_lru_no_worse_than_fifo_on_smooth_paths(self, ball):
+        results = compare_policies(ball, _sph(ball, 5.0), include_app_aware=False)
+        assert results["lru"].total_miss_rate <= results["fifo"].total_miss_rate + 0.02
+
+
+class TestFig13Shape:
+    """Total time: OPT lowest at small degree changes; bigger cache helps."""
+
+    def test_opt_total_time_wins_small_degrees(self, ball):
+        results = compare_policies(ball, _rnd(ball, 0.0, 5.0))
+        assert results["opt"].total_time_s < results["lru"].total_time_s
+        assert results["opt"].total_time_s < results["fifo"].total_time_s
+
+    def test_larger_cache_ratio_reduces_total_time(self, ball):
+        path = _rnd(ball, 10.0, 15.0)
+        r05 = compare_policies(ball, path, baselines=("lru",), include_app_aware=False)
+        r07 = compare_policies(
+            ball, path, baselines=("lru",), include_app_aware=False, cache_ratio=0.7
+        )
+        assert r07["lru"].total_time_s <= r05["lru"].total_time_s
+
+
+class TestFig7Shape:
+    """More sampling positions -> lower (or equal) miss rate."""
+
+    def test_miss_rate_non_increasing_in_samples(self, ball):
+        path = _rnd(ball, 10.0, 15.0)
+        context = ball.context(path)
+        rates = []
+        for n_dirs in (8, 48, 192):
+            ball.rebuild_visible_table(
+                sampling=SamplingConfig(
+                    n_directions=n_dirs, n_distances=2, distance_range=(2.3, 2.7)
+                )
+            )
+            result = ball.optimizer().run(context, ball.hierarchy("lru"))
+            rates.append(result.total_miss_rate)
+        ball.rebuild_visible_table(sampling=SAMPLING)  # restore for other tests
+        assert rates[-1] <= rates[0] + 1e-9
+        # Allow tiny non-monotonic wiggle in the middle but require trend.
+        assert rates[-1] <= rates[1] + 0.02
+
+
+class TestFig11Shape:
+    """With a zooming camera, the dynamic Eq. 6 radius beats fixed radii."""
+
+    def test_optimal_radius_beats_paper_fixed_radii(self, ball):
+        # Varying distance is the regime Fig. 11 targets (§V-B2: users
+        # zoom, d changes, the optimal r adapts per sample).
+        path = random_path(
+            n_positions=40, degree_change=(5.0, 10.0), distance=(2.1, 2.9),
+            view_angle_deg=ball.view_angle_deg, seed=0,
+        )
+        context = ball.context(path)
+        times = {}
+        for r in (None, 0.1, 0.05, 0.025):
+            ball.rebuild_visible_table(fixed_radius=r)
+            result = ball.optimizer().run(context, ball.hierarchy("lru"))
+            times[r] = result.io_plus_prefetch_time_s
+        ball.rebuild_visible_table(sampling=SAMPLING)
+        # Eq. 6 must be at least competitive with every fixed radius of the
+        # paper's comparison (strictly better at bench scale; allow 5%
+        # slack at this miniature scale).
+        for r in (0.1, 0.05, 0.025):
+            assert times[None] <= times[r] * 1.05
+
+
+class TestAblationShape:
+    def test_prefetch_is_the_main_miss_rate_lever(self, ball):
+        path = _rnd(ball, 5.0, 10.0)
+        context = ball.context(path)
+        full = ball.optimizer().run(context, ball.hierarchy("lru"))
+        no_pf = ball.optimizer(OptimizerConfig(prefetch=False)).run(
+            context, ball.hierarchy("lru")
+        )
+        assert full.total_miss_rate < no_pf.total_miss_rate
+
+    def test_importance_filter_bounds_prefetch_volume(self, ball):
+        path = _rnd(ball, 5.0, 10.0)
+        context = ball.context(path)
+        filtered = ball.optimizer(OptimizerConfig(sigma_percentile=0.5)).run(
+            context, ball.hierarchy("lru")
+        )
+        unfiltered = ball.optimizer(OptimizerConfig(use_importance_filter=False)).run(
+            context, ball.hierarchy("lru")
+        )
+        assert filtered.n_prefetched <= unfiltered.n_prefetched

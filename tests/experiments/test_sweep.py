@@ -1,0 +1,91 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.experiments.sweep import parameter_sweep
+
+
+def metric_fn(a, b, scale=1.0):
+    return {"sum": (a + b) * scale, "prod": a * b * scale}
+
+
+class TestParameterSweep:
+    def test_cartesian_coverage(self):
+        sweep = parameter_sweep(metric_fn, {"a": [1, 2], "b": [10, 20, 30]})
+        assert len(sweep) == 6
+        assert sweep.param_names == ("a", "b")
+        assert set(sweep.metric_names) == {"sum", "prod"}
+
+    def test_values_correct(self):
+        sweep = parameter_sweep(metric_fn, {"a": [2], "b": [3]})
+        params, metrics = sweep.rows[0]
+        assert params == {"a": 2, "b": 3}
+        assert metrics == {"sum": 5, "prod": 6}
+
+    def test_fixed_parameters(self):
+        sweep = parameter_sweep(metric_fn, {"a": [1], "b": [1]}, fixed={"scale": 10.0})
+        assert sweep.rows[0][1]["sum"] == 20.0
+        assert sweep.param_names == ("a", "b")  # scale is not an axis
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_sweep(metric_fn, {})
+        with pytest.raises(ValueError):
+            parameter_sweep(metric_fn, {"a": [], "b": [1]})
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = []
+
+        def flaky(a):
+            calls.append(a)
+            return {"x": 1.0} if len(calls) == 1 else {"y": 2.0}
+
+        with pytest.raises(ValueError, match="inconsistent"):
+            parameter_sweep(flaky, {"a": [1, 2]})
+
+
+class TestSeries:
+    @pytest.fixture()
+    def sweep(self):
+        return parameter_sweep(metric_fn, {"a": [1, 2, 3], "b": [10, 20]})
+
+    def test_grouped_series(self, sweep):
+        x, series = sweep.series(x="a", metric="sum", group_by="b")
+        assert x == [1, 2, 3]
+        assert series["10"] == [11, 12, 13]
+        assert series["20"] == [21, 22, 23]
+
+    def test_ungrouped_series(self):
+        sweep = parameter_sweep(metric_fn, {"a": [1, 2]}, fixed={"b": 5})
+        x, series = sweep.series(x="a", metric="prod")
+        assert x == [1, 2]
+        assert series["prod"] == [5, 10]
+
+    def test_unknown_keys(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.series(x="zzz", metric="sum")
+        with pytest.raises(KeyError):
+            sweep.series(x="a", metric="zzz")
+        with pytest.raises(KeyError):
+            sweep.series(x="a", metric="sum", group_by="zzz")
+
+
+class TestBestAndTable:
+    def test_best_minimize(self):
+        sweep = parameter_sweep(metric_fn, {"a": [1, 5], "b": [1, 5]})
+        params, metrics = sweep.best("prod")
+        assert params == {"a": 1, "b": 1}
+        params, metrics = sweep.best("prod", minimize=False)
+        assert params == {"a": 5, "b": 5}
+
+    def test_best_empty(self):
+        from repro.experiments.sweep import SweepResult
+
+        with pytest.raises(ValueError):
+            SweepResult(("a",), ("m",)).best("m")
+
+    def test_to_table(self):
+        sweep = parameter_sweep(metric_fn, {"a": [1], "b": [2]})
+        table = sweep.to_table(title="demo")
+        assert "demo" in table
+        assert "sum" in table and "prod" in table

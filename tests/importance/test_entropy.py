@@ -1,0 +1,118 @@
+"""Tests for Shannon entropy (Eq. 2) and per-block entropies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.importance.entropy import (
+    block_entropies,
+    histogram_probabilities,
+    shannon_entropy,
+)
+from repro.volume.blocks import BlockGrid
+from repro.volume.volume import Volume
+
+
+class TestShannonEntropy:
+    def test_uniform_is_log2_n(self):
+        p = np.full(8, 1 / 8)
+        assert shannon_entropy(p) == pytest.approx(3.0)
+
+    def test_delta_is_zero(self):
+        p = np.array([1.0, 0.0, 0.0])
+        assert shannon_entropy(p) == 0.0
+
+    def test_two_point(self):
+        assert shannon_entropy([0.5, 0.5]) == pytest.approx(1.0)
+
+    @given(arrays(np.float64, st.integers(1, 32), elements=st.floats(0.001, 1.0)))
+    @settings(max_examples=60)
+    def test_bounds(self, raw):
+        p = raw / raw.sum()
+        h = shannon_entropy(p)
+        assert 0.0 <= h <= np.log2(p.size) + 1e-9
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            shannon_entropy([0.5, 0.2])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            shannon_entropy([1.5, -0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            shannon_entropy([])
+
+
+class TestHistogramProbabilities:
+    def test_sums_to_one(self):
+        vals = np.random.default_rng(0).random(100)
+        p = histogram_probabilities(vals, 16, (0.0, 1.0))
+        assert p.sum() == pytest.approx(1.0)
+        assert p.shape == (16,)
+
+    def test_constant_range_single_bin(self):
+        p = histogram_probabilities(np.full(10, 3.0), 8, (3.0, 3.0))
+        assert p[0] == 1.0 and p[1:].sum() == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            histogram_probabilities(np.array([]), 8, (0, 1))
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            histogram_probabilities(np.ones(3), 8, (1.0, 0.0))
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            histogram_probabilities(np.ones(3), 0, (0, 1))
+
+
+class TestBlockEntropies:
+    def test_feature_vs_ambient(self):
+        """A volume with a noisy half and a constant half: entropy separates
+        them — Observation 2 of the paper."""
+        rng = np.random.default_rng(0)
+        data = np.zeros((16, 8, 8), dtype=np.float32)
+        data[:8] = rng.random((8, 8, 8))
+        vol = Volume(data)
+        grid = BlockGrid((16, 8, 8), (8, 8, 8))
+        h = block_entropies(vol, grid, n_bins=32)
+        assert h[0] > 3.0  # noisy block spreads across bins
+        assert h[1] == 0.0  # constant block
+
+    def test_bounds(self, small_volume, small_grid):
+        h = block_entropies(small_volume, small_grid, n_bins=64)
+        assert h.shape == (small_grid.n_blocks,)
+        assert np.all(h >= 0.0)
+        assert np.all(h <= np.log2(64) + 1e-9)
+
+    def test_matches_reference_histogram(self, small_volume, small_grid):
+        """Fast bincount path equals the straightforward per-block histogram."""
+        h = block_entropies(small_volume, small_grid, n_bins=32)
+        data = small_volume.data()
+        lo, hi = small_volume.value_range()
+        for bid in (0, small_grid.n_blocks // 2, small_grid.n_blocks - 1):
+            blk = data[small_grid.block_slices(bid)].ravel().astype(np.float64)
+            idx = np.clip(((blk - lo) * (32 / (hi - lo))).astype(int), 0, 31)
+            counts = np.bincount(idx, minlength=32)
+            p = counts[counts > 0] / blk.size
+            assert h[bid] == pytest.approx(-np.sum(p * np.log2(p)), abs=1e-9)
+
+    def test_constant_volume(self):
+        vol = Volume(np.full((8, 8, 8), 2.5, dtype=np.float32))
+        grid = BlockGrid((8, 8, 8), (4, 4, 4))
+        assert np.all(block_entropies(vol, grid) == 0.0)
+
+    def test_grid_mismatch_rejected(self, small_volume):
+        with pytest.raises(ValueError):
+            block_entropies(small_volume, BlockGrid((64, 64, 64), (8, 8, 8)))
+
+    def test_ball_center_more_interesting_than_corner(self, small_volume, small_grid):
+        h = block_entropies(small_volume, small_grid)
+        corner = small_grid.block_id(0, 0, 0)
+        center_ids = small_grid.blocks_containing([0.01, 0.01, 0.01])
+        assert h[center_ids].max() > h[corner]

@@ -1,0 +1,63 @@
+"""Tests for the alternative importance measures."""
+
+import numpy as np
+import pytest
+
+from repro.importance.measures import (
+    IMPORTANCE_MEASURES,
+    block_gradient_magnitudes,
+    block_value_ranges,
+    block_variances,
+    compute_importance,
+)
+from repro.volume.blocks import BlockGrid
+from repro.volume.volume import Volume
+
+
+@pytest.fixture(scope="module")
+def split_volume():
+    """Half noisy, half constant - every measure must rank halves the same."""
+    rng = np.random.default_rng(1)
+    data = np.zeros((16, 8, 8), dtype=np.float32)
+    data[:8] = rng.random((8, 8, 8))
+    return Volume(data), BlockGrid((16, 8, 8), (8, 8, 8))
+
+
+class TestMeasures:
+    @pytest.mark.parametrize("measure", sorted(IMPORTANCE_MEASURES))
+    def test_noisy_block_scores_higher(self, split_volume, measure):
+        vol, grid = split_volume
+        scores = compute_importance(vol, grid, measure=measure)
+        assert scores.shape == (2,)
+        assert scores[0] > scores[1]
+
+    def test_variance_values(self, split_volume):
+        vol, grid = split_volume
+        v = block_variances(vol, grid)
+        assert v[1] == 0.0
+        assert v[0] == pytest.approx(np.var(vol.data()[:8].astype(np.float64)), rel=1e-5)
+
+    def test_range_values(self, split_volume):
+        vol, grid = split_volume
+        r = block_value_ranges(vol, grid)
+        assert r[1] == 0.0
+        assert r[0] > 0.5
+
+    def test_gradient_nonnegative(self, small_volume, small_grid):
+        g = block_gradient_magnitudes(small_volume, small_grid)
+        assert np.all(g >= 0.0)
+
+    def test_unknown_measure(self, split_volume):
+        vol, grid = split_volume
+        with pytest.raises(KeyError, match="unknown importance measure"):
+            compute_importance(vol, grid, measure="magic")
+
+    def test_grid_mismatch(self, small_volume):
+        with pytest.raises(ValueError):
+            block_variances(small_volume, BlockGrid((64, 64, 64), (8, 8, 8)))
+
+    def test_entropy_is_default_registry_entry(self, split_volume):
+        vol, grid = split_volume
+        a = compute_importance(vol, grid)  # default 'entropy'
+        b = compute_importance(vol, grid, measure="entropy")
+        assert np.array_equal(a, b)

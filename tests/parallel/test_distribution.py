@@ -1,0 +1,110 @@
+"""Tests for importance-aware data distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.parallel.distribution import (
+    partition_by_importance,
+    partition_spatial,
+    partition_stats,
+)
+from repro.volume.blocks import BlockGrid
+
+
+class TestPartitionByImportance:
+    def test_every_block_assigned(self):
+        scores = np.arange(20, dtype=float)
+        a = partition_by_importance(scores, 4)
+        assert a.shape == (20,)
+        assert set(np.unique(a)) == {0, 1, 2, 3}
+
+    def test_balances_uniform_scores(self):
+        a = partition_by_importance(np.ones(12), 3)
+        counts = np.bincount(a, minlength=3)
+        assert np.all(counts == 4)
+
+    def test_balances_skewed_scores(self):
+        # One huge block + many small: the huge one gets its own light node.
+        scores = np.array([100.0] + [1.0] * 9)
+        a = partition_by_importance(scores, 2)
+        loads = np.zeros(2)
+        np.add.at(loads, a, scores)
+        # LPT guarantee: max load <= 4/3 * optimal; optimal here is 100 vs 9.
+        assert loads.max() == pytest.approx(100.0)
+
+    @given(
+        arrays(np.float64, st.integers(4, 60), elements=st.floats(0.0, 10.0)),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=50)
+    def test_lpt_bound(self, scores, n_nodes):
+        if scores.size < n_nodes:
+            return
+        a = partition_by_importance(scores, n_nodes)
+        loads = np.zeros(n_nodes)
+        np.add.at(loads, a, scores)
+        total = scores.sum()
+        if total == 0:
+            return
+        # LPT makespan bound: max <= mean * 4/3 + largest item.
+        assert loads.max() <= total / n_nodes * (4 / 3) + scores.max() + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_by_importance(np.ones(2), 3)
+        with pytest.raises(ValueError):
+            partition_by_importance(np.ones((2, 2)), 1)
+        with pytest.raises(ValueError):
+            partition_by_importance(np.ones(4), 0)
+
+
+class TestPartitionSpatial:
+    def test_slabs_along_longest_axis(self):
+        grid = BlockGrid((32, 8, 8), (4, 4, 4))  # 8x2x2 blocks, x longest
+        a = partition_spatial(grid, 4)
+        for bid in grid.iter_ids():
+            bi, _, _ = grid.block_index(bid)
+            assert a[bid] == bi // 2
+
+    def test_every_node_nonempty(self):
+        grid = BlockGrid((16, 16, 16), (4, 4, 4))
+        a = partition_spatial(grid, 4)
+        assert set(np.unique(a)) == {0, 1, 2, 3}
+
+    def test_single_node(self):
+        grid = BlockGrid((8, 8, 8), (4, 4, 4))
+        assert np.all(partition_spatial(grid, 1) == 0)
+
+
+class TestPartitionStats:
+    @pytest.fixture()
+    def grid(self):
+        return BlockGrid((16, 16, 16), (4, 4, 4))
+
+    def test_importance_partition_balances_better(self, grid):
+        """The headline trade-off: LPT balances importance, slabs localize."""
+        rng = np.random.default_rng(0)
+        # Importance concentrated in one corner (a feature region).
+        scores = rng.random(grid.n_blocks) * 0.1
+        corner = grid.centers()
+        hot = np.all(corner > 0, axis=1)
+        scores[hot] += 5.0
+
+        by_imp = partition_stats(partition_by_importance(scores, 4), scores, grid)
+        spatial = partition_stats(partition_spatial(grid, 4), scores, grid)
+
+        assert by_imp["imbalance"] < spatial["imbalance"]
+        assert by_imp["mean_scatter"] > spatial["mean_scatter"]
+
+    def test_perfect_balance_uniform(self, grid):
+        scores = np.ones(grid.n_blocks)
+        stats = partition_stats(partition_by_importance(scores, 4), scores, grid)
+        assert stats["imbalance"] == pytest.approx(1.0)
+        assert stats["count_imbalance"] == pytest.approx(1.0)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            partition_stats(np.zeros(3), np.zeros(3), grid)

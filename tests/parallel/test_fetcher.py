@@ -1,0 +1,62 @@
+"""Tests for the thread-pool block fetcher."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.fetcher import ParallelBlockFetcher
+from repro.volume.blocks import BlockGrid
+from repro.volume.store import CountingBlockStore, InMemoryBlockStore
+from repro.volume.volume import Volume
+
+
+@pytest.fixture()
+def store():
+    data = np.arange(8 * 8 * 8, dtype=np.float32).reshape(8, 8, 8)
+    grid = BlockGrid((8, 8, 8), (4, 4, 4))
+    return CountingBlockStore(InMemoryBlockStore(Volume(data), grid))
+
+
+class TestParallelBlockFetcher:
+    def test_results_in_request_order(self, store):
+        with ParallelBlockFetcher(store, n_workers=3) as fetcher:
+            blocks = fetcher.fetch_many([3, 0, 5])
+        for bid, block in zip([3, 0, 5], blocks):
+            assert np.array_equal(block, store.inner.read_block(bid))
+
+    def test_duplicates_read_once(self, store):
+        with ParallelBlockFetcher(store, n_workers=2) as fetcher:
+            blocks = fetcher.fetch_many([1, 1, 1, 2])
+        assert store.read_counts[1] == 1
+        assert len(blocks) == 4
+        assert np.array_equal(blocks[0], blocks[1])
+
+    def test_fetch_into_skips_present(self, store):
+        cache = {}
+        with ParallelBlockFetcher(store, n_workers=2) as fetcher:
+            assert fetcher.fetch_into([0, 1], cache) == 2
+            assert fetcher.fetch_into([0, 1, 2], cache) == 1
+        assert set(cache) == {0, 1, 2}
+
+    def test_total_fetched_counter(self, store):
+        with ParallelBlockFetcher(store, n_workers=2) as fetcher:
+            fetcher.fetch_many([0, 1])
+            fetcher.fetch_many([1, 2])
+            assert fetcher.total_fetched == 4  # unique per call
+
+    def test_closed_fetcher_rejected(self, store):
+        fetcher = ParallelBlockFetcher(store)
+        fetcher.close()
+        with pytest.raises(RuntimeError):
+            fetcher.fetch_many([0])
+
+    def test_worker_validation(self, store):
+        with pytest.raises(ValueError):
+            ParallelBlockFetcher(store, n_workers=0)
+
+    def test_matches_serial_reads(self, store):
+        grid = store.grid
+        all_ids = list(grid.iter_ids())
+        with ParallelBlockFetcher(store, n_workers=4) as fetcher:
+            parallel = fetcher.fetch_many(all_ids)
+        for bid, block in zip(all_ids, parallel):
+            assert np.array_equal(block, store.inner.read_block(bid))

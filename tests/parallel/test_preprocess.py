@@ -1,0 +1,53 @@
+"""Tests for the parallel T_visible builder."""
+
+import numpy as np
+import pytest
+
+from repro.camera.sampling import SamplingConfig
+from repro.parallel.preprocess import build_visible_table_parallel
+from repro.tables.builder import build_importance_table, build_visible_table
+
+VIEW = 10.0
+
+
+class TestParallelBuild:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3, 5])
+    def test_bit_identical_to_serial(self, small_grid, small_sampling, n_workers):
+        serial = build_visible_table(small_grid, small_sampling, VIEW, seed=4)
+        parallel = build_visible_table_parallel(
+            small_grid, small_sampling, VIEW, n_workers=n_workers, seed=4
+        )
+        assert np.array_equal(serial.offsets, parallel.offsets)
+        assert np.array_equal(serial.block_ids, parallel.block_ids)
+        assert np.allclose(serial.positions, parallel.positions)
+
+    def test_truncation_matches_serial(self, small_volume, small_grid, small_sampling):
+        itable = build_importance_table(small_volume, small_grid)
+        serial = build_visible_table(
+            small_grid, small_sampling, VIEW, seed=1,
+            importance=itable, max_set_size=4, fixed_radius=0.4,
+        )
+        parallel = build_visible_table_parallel(
+            small_grid, small_sampling, VIEW, n_workers=3, seed=1,
+            importance=itable, max_set_size=4, fixed_radius=0.4,
+        )
+        assert np.array_equal(serial.block_ids, parallel.block_ids)
+
+    def test_more_workers_than_samples(self, small_grid):
+        sampling = SamplingConfig(n_directions=2, n_distances=1)
+        table = build_visible_table_parallel(
+            small_grid, sampling, VIEW, n_workers=16, seed=0
+        )
+        assert table.n_entries == 2
+
+    def test_meta_records_workers(self, small_grid, small_sampling):
+        table = build_visible_table_parallel(
+            small_grid, small_sampling, VIEW, n_workers=2, seed=0
+        )
+        assert table.meta["n_workers"] == 2
+
+    def test_invalid_workers(self, small_grid, small_sampling):
+        with pytest.raises(ValueError):
+            build_visible_table_parallel(
+                small_grid, small_sampling, VIEW, n_workers=0
+            )

@@ -1,0 +1,114 @@
+"""Tests for the offline Belady-OPT policy."""
+
+import pytest
+
+from repro.policies.belady import BeladyPolicy
+
+
+def _simulate(trace, capacity, policy=None):
+    """Tiny direct cache simulation; returns (misses, policy)."""
+    p = policy or BeladyPolicy(trace)
+    resident = set()
+    misses = 0
+    for t, key in enumerate(trace):
+        if key in resident:
+            p.on_hit(key, t)
+        else:
+            misses += 1
+            if len(resident) >= capacity:
+                victim = p.choose_victim()
+                p.on_evict(victim)
+                resident.discard(victim)
+            p.on_insert(key, t)
+            resident.add(key)
+    return misses, p
+
+
+class TestNextUse:
+    def test_computation(self):
+        trace = [1, 2, 1, 3, 2]
+        nu = BeladyPolicy._compute_next_use(trace)
+        inf = float("inf")
+        assert nu == [2, 4, inf, inf, inf]
+
+    def test_empty_trace(self):
+        assert BeladyPolicy._compute_next_use([]) == []
+
+
+class TestVictimChoice:
+    def test_evicts_farthest_next_use(self):
+        # After accessing 1,2,3 the next uses are: 1 -> pos 3, 2 -> pos 4, 3 -> never.
+        trace = [1, 2, 3, 1, 2]
+        p = BeladyPolicy(trace)
+        for t, k in enumerate([1, 2, 3]):
+            p.on_insert(k, t)
+        assert p.choose_victim() == 3
+
+    def test_evicts_latest_among_reused(self):
+        trace = [1, 2, 1, 2, 2]
+        p = BeladyPolicy(trace)
+        p.on_insert(1, 0)
+        p.on_insert(2, 1)
+        # next use of 1 is position 2; next use of 2 is position 3.
+        assert p.choose_victim() == 2
+
+    def test_protected_skipped(self):
+        trace = [1, 2, 3]
+        p = BeladyPolicy(trace)
+        for t, k in enumerate(trace):
+            p.on_insert(k, t)
+        # All have next_use = inf; without protection 1 would be a valid pick.
+        v = p.choose_victim(lambda k: k == 2)
+        assert v == 2
+
+
+class TestTraceSync:
+    def test_desync_detected(self):
+        p = BeladyPolicy([1, 2, 3])
+        p.on_insert(1, 0)
+        with pytest.raises(RuntimeError, match="desync"):
+            p.on_insert(3, 1)
+
+    def test_access_beyond_trace(self):
+        p = BeladyPolicy([1])
+        p.on_insert(1, 0)
+        with pytest.raises(RuntimeError, match="beyond end"):
+            p.on_hit(1, 1)
+
+    def test_position_advances(self):
+        p = BeladyPolicy([1, 1])
+        p.on_insert(1, 0)
+        p.on_hit(1, 1)
+        assert p.position == 2
+
+    def test_reset(self):
+        p = BeladyPolicy([1, 2])
+        p.on_insert(1, 0)
+        p.reset()
+        assert p.position == 0
+        assert len(p) == 0
+
+
+class TestOptimality:
+    def test_known_optimal_trace(self):
+        # Classic example: with capacity 3, MIN on this trace misses 7 times.
+        trace = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        misses, _ = _simulate(trace, capacity=3)
+        assert misses == 7
+
+    def test_cyclic_trace(self):
+        # Cyclic access 1..4 with capacity 3: MIN misses 4 + (~half of rest).
+        trace = [1, 2, 3, 4] * 5
+        misses, _ = _simulate(trace, capacity=3)
+        # MIN keeps 2 of the cycle resident: after the 4 cold misses it
+        # misses at most every other access.
+        assert misses <= 4 + 8
+
+    def test_capacity_one(self):
+        trace = [1, 2, 1, 2]
+        misses, _ = _simulate(trace, capacity=1)
+        assert misses == 4
+
+    def test_all_same_key(self):
+        misses, _ = _simulate([7] * 10, capacity=2)
+        assert misses == 1

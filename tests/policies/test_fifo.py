@@ -1,0 +1,56 @@
+"""Tests for FIFOPolicy."""
+
+import pytest
+
+from repro.policies.fifo import FIFOPolicy
+
+
+@pytest.fixture()
+def p():
+    return FIFOPolicy()
+
+
+class TestFIFO:
+    def test_victim_is_oldest_insert(self, p):
+        for k in (4, 5, 6):
+            p.on_insert(k, 0)
+        assert p.choose_victim() == 4
+
+    def test_hits_do_not_refresh(self, p):
+        for k in (4, 5, 6):
+            p.on_insert(k, 0)
+        p.on_hit(4, 9)
+        p.on_hit(4, 10)
+        assert p.choose_victim() == 4
+
+    def test_protected_skipped_in_order(self, p):
+        for k in (4, 5, 6):
+            p.on_insert(k, 0)
+        assert p.choose_victim(lambda k: k != 4) == 5
+
+    def test_evict_then_next(self, p):
+        for k in (4, 5, 6):
+            p.on_insert(k, 0)
+        p.on_evict(4)
+        assert p.choose_victim() == 5
+
+    def test_reinsert_goes_to_back(self, p):
+        for k in (1, 2):
+            p.on_insert(k, 0)
+        p.on_evict(1)
+        p.on_insert(1, 5)
+        assert p.insertion_order() == [2, 1]
+
+    def test_double_insert_rejected(self, p):
+        p.on_insert(1, 0)
+        with pytest.raises(KeyError):
+            p.on_insert(1, 0)
+
+    def test_none_when_all_protected(self, p):
+        p.on_insert(1, 0)
+        assert p.choose_victim(lambda k: False) is None
+
+    def test_reset(self, p):
+        p.on_insert(1, 0)
+        p.reset()
+        assert len(p) == 0

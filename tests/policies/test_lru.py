@@ -1,0 +1,68 @@
+"""Tests for LRUPolicy."""
+
+import pytest
+
+from repro.policies.lru import LRUPolicy
+
+
+@pytest.fixture()
+def p():
+    return LRUPolicy()
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self, p):
+        for k in (1, 2, 3):
+            p.on_insert(k, k)
+        assert p.choose_victim() == 1
+
+    def test_hit_refreshes(self, p):
+        for k in (1, 2, 3):
+            p.on_insert(k, k)
+        p.on_hit(1, 4)
+        assert p.choose_victim() == 2
+
+    def test_protected_skipped(self, p):
+        for k in (1, 2, 3):
+            p.on_insert(k, k)
+        assert p.choose_victim(lambda k: k != 1) == 2
+
+    def test_no_candidate_returns_none(self, p):
+        p.on_insert(1, 0)
+        assert p.choose_victim(lambda k: False) is None
+
+    def test_empty_returns_none(self, p):
+        assert p.choose_victim() is None
+
+    def test_evict_removes(self, p):
+        p.on_insert(1, 0)
+        p.on_insert(2, 1)
+        p.on_evict(1)
+        assert len(p) == 1
+        assert p.choose_victim() == 2
+
+    def test_double_insert_rejected(self, p):
+        p.on_insert(1, 0)
+        with pytest.raises(KeyError):
+            p.on_insert(1, 1)
+
+    def test_reset(self, p):
+        p.on_insert(1, 0)
+        p.reset()
+        assert len(p) == 0
+
+    def test_recency_order(self, p):
+        for k in (5, 6, 7):
+            p.on_insert(k, k)
+        p.on_hit(5, 10)
+        assert p.recency_order() == [6, 7, 5]
+
+    def test_eviction_sequence(self, p):
+        """Classic LRU trace: insert 1..3, hit 1, then evict twice."""
+        for k in (1, 2, 3):
+            p.on_insert(k, k)
+        p.on_hit(1, 4)
+        v1 = p.choose_victim()
+        p.on_evict(v1)
+        v2 = p.choose_victim()
+        assert (v1, v2) == (2, 3)

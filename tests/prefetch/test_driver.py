@@ -1,0 +1,110 @@
+"""Tests for the generalized prefetcher driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineContext, run_baseline
+from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
+from repro.experiments.runner import ExperimentSetup, fresh_hierarchy
+from repro.camera.sampling import SamplingConfig
+from repro.camera.path import random_path
+from repro.prefetch.driver import run_with_prefetcher
+from repro.prefetch.strategies import (
+    MarkovPrefetcher,
+    MotionExtrapolationPrefetcher,
+    NoPrefetcher,
+    TableLookupPrefetcher,
+)
+from repro.tables.visible_table import LookupCostModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup.for_dataset(
+        "3d_ball", target_n_blocks=216, scale=0.06,
+        sampling=SamplingConfig(n_directions=24, n_distances=2, distance_range=(2.3, 2.7)),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def context(setup):
+    path = random_path(
+        n_positions=15, degree_change=(5.0, 10.0), distance=2.5,
+        view_angle_deg=setup.view_angle_deg, seed=2,
+    )
+    return setup.context(path)
+
+
+class TestDriver:
+    def test_no_prefetcher_matches_protected_baseline_io(self, setup, context):
+        """With NoPrefetcher and no preload, the driver is the baseline
+        pipeline with protected eviction."""
+        driven = run_with_prefetcher(
+            context, setup.hierarchy("lru"), NoPrefetcher()
+        )
+        base = run_baseline(
+            context, setup.hierarchy("lru"), protect_current_step=True
+        )
+        assert driven.total_miss_rate == pytest.approx(base.total_miss_rate)
+        assert driven.demand_io_time_s == pytest.approx(base.demand_io_time_s)
+
+    def test_table_strategy_matches_optimizer(self, setup, context):
+        """The paper's optimizer == driver + TableLookupPrefetcher + preload."""
+        cfg = OptimizerConfig(sigma_percentile=0.5)
+        optimizer = AppAwareOptimizer(setup.visible_table, setup.importance_table, cfg)
+        a = optimizer.run(context, setup.hierarchy("lru"))
+
+        strategy = TableLookupPrefetcher(
+            setup.visible_table,
+            setup.importance_table,
+            sigma=optimizer.sigma,
+            lookup_cost=cfg.lookup_cost,
+        )
+        b = run_with_prefetcher(
+            context,
+            setup.hierarchy("lru"),
+            strategy,
+            preload_importance=setup.importance_table,
+            preload_sigma=optimizer.sigma,
+        )
+        assert a.total_miss_rate == pytest.approx(b.total_miss_rate)
+        assert a.total_time_s == pytest.approx(b.total_time_s)
+        assert a.n_prefetched == b.n_prefetched
+
+    def test_prediction_reduces_misses(self, setup, context):
+        none = run_with_prefetcher(context, setup.hierarchy("lru"), NoPrefetcher())
+        motion = run_with_prefetcher(
+            context, setup.hierarchy("lru"),
+            MotionExtrapolationPrefetcher(setup.grid, setup.view_angle_deg),
+        )
+        assert motion.total_miss_rate < none.total_miss_rate
+
+    def test_query_cost_charged_as_lookup(self, setup, context):
+        strategy = MotionExtrapolationPrefetcher(
+            setup.grid, setup.view_angle_deg, per_block_test_s=1e-3
+        )
+        result = run_with_prefetcher(context, setup.hierarchy("lru"), strategy)
+        expect = 1e-3 * setup.grid.n_blocks * len(context.visible_sets)
+        assert result.lookup_time_s == pytest.approx(expect)
+
+    def test_prefetch_cap(self, setup, context):
+        result = run_with_prefetcher(
+            context, setup.hierarchy("lru"),
+            MotionExtrapolationPrefetcher(setup.grid, setup.view_angle_deg),
+            max_prefetch_per_step=3,
+        )
+        assert all(s.n_prefetched <= 3 for s in result.steps)
+
+    def test_markov_runs_clean(self, setup, context):
+        result = run_with_prefetcher(
+            context, setup.hierarchy("lru"), MarkovPrefetcher()
+        )
+        assert result.n_steps == len(context.visible_sets)
+        assert 0.0 <= result.total_miss_rate <= 1.0
+
+    def test_result_metadata(self, setup, context):
+        result = run_with_prefetcher(context, setup.hierarchy("lru"), NoPrefetcher())
+        assert result.policy == "prefetch-none"
+        assert result.overlap_prefetch
+        assert "bytes_moved" in result.extras

@@ -1,0 +1,136 @@
+"""Tests for the prefetch strategies."""
+
+import numpy as np
+import pytest
+
+from repro.camera.frustum import visible_blocks
+from repro.prefetch.strategies import (
+    MarkovPrefetcher,
+    MotionExtrapolationPrefetcher,
+    NoPrefetcher,
+    TableLookupPrefetcher,
+)
+from repro.tables.importance_table import ImportanceTable
+from repro.tables.visible_table import LookupCostModel, VisibleTable
+
+VIEW = 10.0
+
+
+class TestNoPrefetcher:
+    def test_always_empty(self):
+        p = NoPrefetcher()
+        out = p.predict(0, np.array([2.5, 0, 0]), np.array([1, 2]))
+        assert out.size == 0
+        assert p.query_cost_s() == 0.0
+
+
+class TestTableLookupPrefetcher:
+    @pytest.fixture()
+    def table(self):
+        positions = np.array([[2.5, 0, 0], [0, 2.5, 0]])
+        sets = [np.array([1, 2, 3]), np.array([4, 5])]
+        return VisibleTable.from_sets(positions, sets)
+
+    def test_returns_nearest_entry(self, table):
+        p = TableLookupPrefetcher(table)
+        out = p.predict(0, np.array([2.4, 0.1, 0]), np.array([]))
+        assert set(out) == {1, 2, 3}
+
+    def test_importance_filtering(self, table):
+        scores = np.array([0.0, 5.0, 1.0, 3.0, 0.0, 0.0])
+        imp = ImportanceTable(scores)
+        p = TableLookupPrefetcher(table, importance=imp, sigma=0.5)
+        out = p.predict(0, np.array([2.5, 0, 0]), np.array([]))
+        assert list(out) == [1, 3, 2]  # ranked by importance, > sigma
+
+    def test_query_cost_scales_with_table(self, table):
+        cost = LookupCostModel(base_s=0.0, per_entry_s=1.0)
+        p = TableLookupPrefetcher(table, lookup_cost=cost)
+        assert p.query_cost_s() == pytest.approx(2.0)
+
+
+class TestMotionExtrapolation:
+    def test_first_step_empty(self, small_grid):
+        p = MotionExtrapolationPrefetcher(small_grid, VIEW)
+        out = p.predict(0, np.array([2.5, 0, 0]), np.array([]))
+        assert out.size == 0
+
+    def test_predicts_continued_rotation(self, small_grid):
+        """After two positions on a circle, the prediction matches the
+        visibility of the true next position."""
+        from repro.utils.geometry import rotation_matrix_axis_angle
+
+        R = rotation_matrix_axis_angle([0, 0, 1], np.deg2rad(10.0))
+        p0 = np.array([2.5, 0.0, 0.0])
+        p1 = R @ p0
+        p2 = R @ p1
+        p = MotionExtrapolationPrefetcher(small_grid, VIEW)
+        p.predict(0, p0, np.array([]))
+        out = p.predict(1, p1, np.array([]))
+        expect = visible_blocks(p2, small_grid, VIEW)
+        # Dead reckoning on a perfect circle predicts the exact next view.
+        assert set(out) == set(expect)
+
+    def test_pure_zoom_extrapolates_distance(self, small_grid):
+        p = MotionExtrapolationPrefetcher(small_grid, VIEW)
+        p.predict(0, np.array([3.0, 0, 0]), np.array([]))
+        out = p.predict(1, np.array([2.5, 0, 0]), np.array([]))
+        expect = visible_blocks(np.array([2.5 * 2.5 / 3.0, 0, 0]), small_grid, VIEW)
+        assert set(out) == set(expect)
+
+    def test_reset_clears_history(self, small_grid):
+        p = MotionExtrapolationPrefetcher(small_grid, VIEW)
+        p.predict(0, np.array([2.5, 0, 0]), np.array([]))
+        p.reset()
+        out = p.predict(1, np.array([2.4, 0.2, 0]), np.array([]))
+        assert out.size == 0
+
+    def test_query_cost_scales_with_blocks(self, small_grid):
+        p = MotionExtrapolationPrefetcher(small_grid, VIEW, per_block_test_s=1e-6)
+        assert p.query_cost_s() == pytest.approx(small_grid.n_blocks * 1e-6)
+
+
+class TestMarkov:
+    def test_learns_successions(self):
+        p = MarkovPrefetcher()
+        pos = np.zeros(3)
+        p.predict(0, pos, np.array([1, 2]))
+        p.predict(1, pos, np.array([1, 2, 3]))  # 3 newly appeared
+        out = p.predict(2, pos, np.array([1, 2]))
+        assert 3 in set(out)
+
+    def test_no_history_empty(self):
+        p = MarkovPrefetcher()
+        out = p.predict(0, np.zeros(3), np.array([1, 2]))
+        assert out.size == 0
+
+    def test_votes_rank_frequent_successors_first(self):
+        p = MarkovPrefetcher()
+        pos = np.zeros(3)
+        # Teach: from {1} both 5 and 6 follow, but 5 follows twice.
+        p.predict(0, pos, np.array([1]))
+        p.predict(1, pos, np.array([1, 5]))
+        p.predict(2, pos, np.array([1]))  # 5 disappeared
+        p.predict(3, pos, np.array([1, 5, 6]))  # 5 (again) and 6 newly appear
+        out = p.predict(4, pos, np.array([1]))
+        assert list(out)[0] == 5
+
+    def test_successor_cap_bounds_memory(self):
+        p = MarkovPrefetcher(max_successors=2)
+        pos = np.zeros(3)
+        p.predict(0, pos, np.array([1]))
+        for step in range(1, 40):
+            p.predict(step, pos, np.array([1, 100 + step]))
+            p.predict(step, pos, np.array([1]))
+        assert len(p._succ[1]) <= 8  # 4 * max_successors worst case
+
+    def test_reset(self):
+        p = MarkovPrefetcher()
+        p.predict(0, np.zeros(3), np.array([1]))
+        p.predict(1, np.zeros(3), np.array([1, 2]))
+        p.reset()
+        assert p.predict(2, np.zeros(3), np.array([1])).size == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MarkovPrefetcher(max_successors=0)

@@ -1,0 +1,137 @@
+"""Tests for the data-dependent analysis operations (Fig. 3 style)."""
+
+import numpy as np
+import pytest
+
+from repro.render.analysis import (
+    gather_visible_values,
+    visible_correlation_matrix,
+    visible_histogram,
+    visible_statistics,
+)
+from repro.volume.blocks import BlockGrid
+from repro.volume.synthetic import climate_field
+from repro.volume.volume import Volume
+
+
+@pytest.fixture(scope="module")
+def climate():
+    fields = climate_field((24, 24, 12), n_variables=6, seed=2)
+    vol = Volume(fields, name="climate", primary="smoke_pm10")
+    grid = BlockGrid(vol.shape, (8, 8, 6))
+    return vol, grid
+
+
+class TestGather:
+    def test_counts_match_blocks(self, climate):
+        vol, grid = climate
+        ids = np.array([0, 1, 2])
+        vals = gather_visible_values(vol, grid, ids)
+        assert vals.size == sum(grid.block_n_voxels(int(b)) for b in ids)
+
+    def test_empty_ids(self, climate):
+        vol, grid = climate
+        assert gather_visible_values(vol, grid, np.array([], dtype=int)).size == 0
+
+    def test_subsampling_cap(self, climate):
+        vol, grid = climate
+        vals = gather_visible_values(vol, grid, np.arange(grid.n_blocks), max_voxels=100)
+        assert vals.size == 100
+
+    def test_subsample_deterministic(self, climate):
+        vol, grid = climate
+        a = gather_visible_values(vol, grid, np.arange(4), max_voxels=50, seed=1)
+        b = gather_visible_values(vol, grid, np.arange(4), max_voxels=50, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_grid_mismatch(self, climate):
+        vol, _ = climate
+        with pytest.raises(ValueError):
+            gather_visible_values(vol, BlockGrid((8, 8, 8), (4, 4, 4)), np.array([0]))
+
+
+class TestHistogram:
+    def test_counts_sum_to_voxels(self, climate):
+        vol, grid = climate
+        ids = np.arange(4)
+        counts, edges = visible_histogram(vol, grid, ids, n_bins=16)
+        assert counts.sum() == sum(grid.block_n_voxels(int(b)) for b in ids)
+        assert len(edges) == 17
+
+    def test_global_range_default(self, climate):
+        vol, grid = climate
+        _, edges = visible_histogram(vol, grid, np.array([0]))
+        lo, hi = vol.value_range()
+        assert edges[0] == pytest.approx(lo)
+        assert edges[-1] == pytest.approx(hi)
+
+    def test_explicit_variable(self, climate):
+        vol, grid = climate
+        counts, _ = visible_histogram(vol, grid, np.arange(2), variable="typhoon")
+        assert counts.sum() > 0
+
+
+class TestCorrelation:
+    def test_shape_and_diagonal(self, climate):
+        vol, grid = climate
+        m, names = visible_correlation_matrix(vol, grid, np.arange(grid.n_blocks))
+        assert m.shape == (6, 6)
+        assert np.allclose(np.diag(m), 1.0)
+        assert names == vol.variable_names
+
+    def test_symmetric_and_bounded(self, climate):
+        vol, grid = climate
+        m, _ = visible_correlation_matrix(vol, grid, np.arange(grid.n_blocks))
+        assert np.allclose(m, m.T)
+        assert np.all(np.abs(m) <= 1.0 + 1e-9)
+
+    def test_variable_subset(self, climate):
+        vol, grid = climate
+        m, names = visible_correlation_matrix(
+            vol, grid, np.arange(grid.n_blocks), variables=["typhoon", "wind_magnitude"]
+        )
+        assert m.shape == (2, 2)
+        # Wind is constructed from the typhoon field: strong correlation
+        # over the whole domain.
+        assert m[0, 1] > 0.3
+
+    def test_empty_blocks_identity(self, climate):
+        vol, grid = climate
+        m, _ = visible_correlation_matrix(vol, grid, np.array([], dtype=int))
+        assert np.array_equal(m, np.eye(6))
+
+    def test_needs_two_variables(self, climate):
+        vol, grid = climate
+        with pytest.raises(ValueError):
+            visible_correlation_matrix(vol, grid, np.arange(2), variables=["typhoon"])
+
+    def test_constant_variable_zeroed(self):
+        vol = Volume(
+            {"a": np.random.default_rng(0).random((8, 8, 8)).astype(np.float32),
+             "b": np.zeros((8, 8, 8), dtype=np.float32)}
+        )
+        grid = BlockGrid((8, 8, 8), (4, 4, 4))
+        m, _ = visible_correlation_matrix(vol, grid, np.arange(grid.n_blocks))
+        assert m[0, 1] == 0.0 and m[1, 1] == 1.0
+
+
+class TestStatistics:
+    def test_values(self, climate):
+        vol, grid = climate
+        stats = visible_statistics(vol, grid, np.arange(grid.n_blocks))
+        data = vol.data()
+        assert stats.n_voxels == data.size
+        assert stats.mean == pytest.approx(float(data.mean()), rel=1e-5)
+        assert stats.minimum == pytest.approx(float(data.min()))
+        assert stats.maximum == pytest.approx(float(data.max()))
+
+    def test_empty(self, climate):
+        vol, grid = climate
+        stats = visible_statistics(vol, grid, np.array([], dtype=int))
+        assert stats.n_voxels == 0
+        assert np.isnan(stats.mean)
+
+    def test_as_dict(self, climate):
+        vol, grid = climate
+        d = visible_statistics(vol, grid, np.arange(2)).as_dict()
+        assert {"n_voxels", "mean", "std", "min", "max"} == set(d)

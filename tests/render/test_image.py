@@ -1,0 +1,55 @@
+"""Tests for image metrics."""
+
+import numpy as np
+import pytest
+
+from repro.render.image import mean_abs_error, mse, psnr
+
+
+class TestMSE:
+    def test_identical_zero(self):
+        a = np.random.default_rng(0).random((8, 8, 3))
+        assert mse(a, a) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((0,)), np.zeros((0,)))
+
+
+class TestMAE:
+    def test_known_value(self):
+        assert mean_abs_error(np.zeros(4), np.array([1.0, -1.0, 0.0, 0.0])) == pytest.approx(0.5)
+
+
+class TestPSNR:
+    def test_identical_infinite(self):
+        a = np.ones((4, 4))
+        assert psnr(a, a) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.1)
+        # mse = 0.01 -> psnr = 10*log10(1/0.01) = 20 dB
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_monotone_in_error(self):
+        a = np.zeros((4, 4))
+        assert psnr(a, a + 0.01) > psnr(a, a + 0.1)
+
+    def test_data_range(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 25.5)
+        assert psnr(a, b, data_range=255.0) == pytest.approx(20.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros(2), np.zeros(2), data_range=0.0)

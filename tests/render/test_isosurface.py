@@ -1,0 +1,115 @@
+"""Tests for isosurface operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render.isosurface import (
+    isosurface_blocks,
+    isosurface_mask,
+    isosurface_statistics,
+)
+from repro.render.query import BlockRangeIndex
+from repro.volume.blocks import BlockGrid
+from repro.volume.synthetic import ball_field
+from repro.volume.volume import Volume
+
+
+@pytest.fixture(scope="module")
+def ball():
+    vol = Volume(ball_field((32, 32, 32)))
+    grid = BlockGrid(vol.shape, (8, 8, 8))
+    return vol, grid, BlockRangeIndex.build(vol, grid)
+
+
+class TestIsosurfaceBlocks:
+    def test_superset_of_surface_voxels(self, ball):
+        """Every block containing a surface voxel must be a candidate."""
+        vol, grid, index = ball
+        iso = 0.3
+        candidates = set(int(b) for b in isosurface_blocks(index, "var0", iso))
+        mask = isosurface_mask(vol, iso)
+        # Any block with an *interior* crossing straddles iso.
+        data = vol.data()
+        for bid in grid.iter_ids():
+            blk = data[grid.block_slices(bid)]
+            if float(blk.min()) < iso < float(blk.max()):
+                assert bid in candidates
+
+    def test_out_of_range_iso_empty(self, ball):
+        _, _, index = ball
+        assert isosurface_blocks(index, "var0", 99.0).size == 0
+
+    def test_mid_iso_selects_shell_not_everything(self, ball):
+        vol, grid, index = ball
+        ids = isosurface_blocks(index, "var0", 0.4)
+        assert 0 < ids.size < grid.n_blocks
+
+    def test_unknown_variable(self, ball):
+        _, _, index = ball
+        with pytest.raises(KeyError):
+            isosurface_blocks(index, "nope", 0.5)
+
+
+class TestIsosurfaceMask:
+    def test_sphere_shell(self, ball):
+        """The ball's isosurface is a spherical shell: voxels near radius
+        r(iso), none at the center or far corner."""
+        vol, _, _ = ball
+        mask = isosurface_mask(vol, 0.3)
+        assert mask.any()
+        assert not mask[16, 16, 16]  # deep inside (value ~ 0.6+)
+        assert not mask[0, 0, 0]  # far outside (value 0)
+
+    def test_mask_voxels_near_iso(self, ball):
+        vol, _, _ = ball
+        iso = 0.3
+        mask = isosurface_mask(vol, iso)
+        vals = vol.data()[mask]
+        # Shell voxels bracket the isovalue: both sides present.
+        assert (vals <= iso).any() and (vals >= iso).any()
+
+    def test_exact_hits_included(self):
+        data = np.zeros((4, 4, 4), dtype=np.float32)
+        data[1, 1, 1] = 0.5
+        mask = isosurface_mask(Volume(data), 0.5)
+        assert mask[1, 1, 1]
+
+    def test_constant_volume_no_surface(self):
+        vol = Volume(np.full((4, 4, 4), 1.0, dtype=np.float32))
+        assert not isosurface_mask(vol, 0.5).any()
+
+    @given(st.floats(0.05, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_shell_thin(self, iso):
+        """The shell is a small fraction of the volume for any isovalue."""
+        vol = Volume(ball_field((24, 24, 24)))
+        mask = isosurface_mask(vol, iso)
+        assert mask.mean() < 0.5
+
+
+class TestIsosurfaceStatistics:
+    def test_color_by_second_variable(self):
+        """Fig. 1(d,e): iso of one variable coloured by another."""
+        rng = np.random.default_rng(0)
+        surface = ball_field((24, 24, 24))
+        color = rng.random((24, 24, 24)).astype(np.float32)
+        vol = Volume({"mixfrac": surface, "oh": color}, primary="mixfrac")
+        stats = isosurface_statistics(vol, 0.3, "mixfrac", "oh")
+        assert stats.n_surface_voxels > 0
+        assert 0.0 <= stats.color_mean <= 1.0
+        assert stats.color_min <= stats.color_mean <= stats.color_max
+
+    def test_reuses_precomputed_mask(self, ball):
+        vol, _, _ = ball
+        mask = isosurface_mask(vol, 0.3)
+        a = isosurface_statistics(vol, 0.3)
+        b = isosurface_statistics(vol, 0.3, mask=mask)
+        assert a == b
+
+    def test_empty_surface_nan(self):
+        vol = Volume(np.zeros((4, 4, 4), dtype=np.float32))
+        stats = isosurface_statistics(vol, 5.0)
+        assert stats.n_surface_voxels == 0
+        assert np.isnan(stats.color_mean)

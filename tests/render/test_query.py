@@ -1,0 +1,122 @@
+"""Tests for query-based visualization (block min/max index)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render.query import BlockRangeIndex, RangeQuery, evaluate_query
+from repro.volume.blocks import BlockGrid
+from repro.volume.synthetic import climate_field
+from repro.volume.volume import Volume
+
+
+@pytest.fixture(scope="module")
+def climate():
+    fields = climate_field((16, 16, 8), n_variables=4, seed=3)
+    vol = Volume(fields, primary="smoke_pm10")
+    grid = BlockGrid(vol.shape, (4, 4, 4))
+    return vol, grid, BlockRangeIndex.build(vol, grid)
+
+
+class TestRangeQuery:
+    def test_valid(self):
+        q = RangeQuery({"a": (0.0, 1.0)})
+        assert q.variables == ("a",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery({})
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery({"a": (1.0, 0.0)})
+
+
+class TestBlockRangeIndex:
+    def test_block_ranges_match_data(self, climate):
+        vol, grid, index = climate
+        for bid in (0, grid.n_blocks // 2, grid.n_blocks - 1):
+            blk = vol.data("typhoon")[grid.block_slices(bid)]
+            lo, hi = index.block_range("typhoon", bid)
+            assert lo == pytest.approx(float(blk.min()))
+            assert hi == pytest.approx(float(blk.max()))
+
+    def test_universal_query_selects_everything(self, climate):
+        vol, grid, index = climate
+        q = RangeQuery({"typhoon": (-np.inf, np.inf)})
+        assert index.candidates(q).size == grid.n_blocks
+        assert index.selectivity(q) == 1.0
+
+    def test_impossible_query_selects_nothing(self, climate):
+        vol, grid, index = climate
+        q = RangeQuery({"typhoon": (100.0, 200.0)})
+        assert index.candidates(q).size == 0
+
+    def test_conjunction_narrows(self, climate):
+        vol, grid, index = climate
+        single = index.candidates(RangeQuery({"smoke_pm10": (0.4, 1.0)}))
+        double = index.candidates(
+            RangeQuery({"smoke_pm10": (0.4, 1.0), "typhoon": (0.3, 1.0)})
+        )
+        assert set(double) <= set(single)
+
+    def test_unknown_variable(self, climate):
+        _, _, index = climate
+        with pytest.raises(KeyError):
+            index.candidates(RangeQuery({"nope": (0, 1)}))
+
+    def test_grid_mismatch_rejected(self, climate):
+        vol, _, _ = climate
+        with pytest.raises(ValueError):
+            BlockRangeIndex.build(vol, BlockGrid((8, 8, 8), (4, 4, 4)))
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_negatives(self, climate, a, b):
+        """Every block containing a matching voxel is a candidate."""
+        vol, grid, index = climate
+        lo, hi = min(a, b), max(a, b)
+        q = RangeQuery({"smoke_pm10": (lo, hi)})
+        cands = set(int(c) for c in index.candidates(q))
+        data = vol.data("smoke_pm10")
+        for bid in grid.iter_ids():
+            blk = data[grid.block_slices(bid)]
+            if bool(((blk >= lo) & (blk <= hi)).any()):
+                assert bid in cands
+
+
+class TestEvaluateQuery:
+    def test_counts_match_bruteforce(self, climate):
+        vol, grid, index = climate
+        q = RangeQuery({"smoke_pm10": (0.3, 0.7)})
+        ids, counts = evaluate_query(vol, grid, q, index)
+        data = vol.data("smoke_pm10")
+        total = int(((data >= 0.3) & (data <= 0.7)).sum())
+        assert counts.sum() == total
+        assert len(ids) == len(counts)
+        assert np.all(counts > 0)
+
+    def test_restrict_to_visible(self, climate):
+        vol, grid, index = climate
+        q = RangeQuery({"smoke_pm10": (0.0, 1.0)})
+        visible = np.arange(0, grid.n_blocks, 2)
+        ids, _ = evaluate_query(vol, grid, q, index, restrict_to=visible)
+        assert set(ids) <= set(int(v) for v in visible)
+
+    def test_builds_index_when_missing(self, climate):
+        vol, grid, _ = climate
+        q = RangeQuery({"typhoon": (0.5, 1.0)})
+        ids_auto, counts_auto = evaluate_query(vol, grid, q)
+        ids_idx, counts_idx = evaluate_query(vol, grid, q, BlockRangeIndex.build(vol, grid))
+        assert np.array_equal(ids_auto, ids_idx)
+        assert np.array_equal(counts_auto, counts_idx)
+
+    def test_conjunction_exact(self, climate):
+        vol, grid, index = climate
+        q = RangeQuery({"smoke_pm10": (0.2, 0.9), "typhoon": (0.1, 1.0)})
+        ids, counts = evaluate_query(vol, grid, q, index)
+        a = vol.data("smoke_pm10")
+        b = vol.data("typhoon")
+        total = int(((a >= 0.2) & (a <= 0.9) & (b >= 0.1) & (b <= 1.0)).sum())
+        assert counts.sum() == total

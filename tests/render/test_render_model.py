@@ -1,0 +1,38 @@
+"""Tests for the analytic render-cost model."""
+
+import pytest
+
+from repro.render.render_model import RenderCostModel
+
+
+class TestRenderCostModel:
+    def test_affine_formula(self):
+        m = RenderCostModel(base_s=1e-3, per_block_s=1e-4)
+        assert m.render_time(10) == pytest.approx(2e-3)
+
+    def test_zero_blocks(self):
+        m = RenderCostModel(base_s=5e-3, per_block_s=1e-4)
+        assert m.render_time(0) == pytest.approx(5e-3)
+
+    def test_monotone(self):
+        m = RenderCostModel()
+        assert m.render_time(100) > m.render_time(10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RenderCostModel().render_time(-1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RenderCostModel(base_s=-1.0)
+        with pytest.raises(ValueError):
+            RenderCostModel(per_block_s=-1.0)
+
+    def test_default_regime_matches_device_costs(self):
+        """A frame with a few hundred visible blocks should cost the same
+        order of magnitude as a handful of HDD reads - the overlap regime
+        the paper's Fig. 13 depends on."""
+        from repro.storage.device import HDD
+
+        frame = RenderCostModel().render_time(300)
+        assert 1 * HDD.read_time(64 * 1024) < frame < 30 * HDD.read_time(64 * 1024)

@@ -1,0 +1,80 @@
+"""Tests for transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.render.transfer_function import TransferFunction
+
+
+class TestConstruction:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            TransferFunction([(0.0, (0, 0, 0, 0))])
+
+    def test_strictly_increasing_required(self):
+        with pytest.raises(ValueError):
+            TransferFunction([(0.5, (0, 0, 0, 0)), (0.5, (1, 1, 1, 1))])
+
+    def test_values_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            TransferFunction([(-0.1, (0, 0, 0, 0)), (1.0, (1, 1, 1, 1))])
+
+    def test_colors_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            TransferFunction([(0.0, (0, 0, 0, 0)), (1.0, (2, 1, 1, 1))])
+
+    def test_rgba_width(self):
+        with pytest.raises(ValueError):
+            TransferFunction([(0.0, (0, 0, 0)), (1.0, (1, 1, 1))])
+
+
+class TestEvaluation:
+    def test_endpoints(self):
+        tf = TransferFunction.grayscale_ramp()
+        assert np.allclose(tf(0.0), [0, 0, 0, 0])
+        assert np.allclose(tf(1.0), [1, 1, 1, 1])
+
+    def test_midpoint_interpolation(self):
+        tf = TransferFunction.grayscale_ramp()
+        assert np.allclose(tf(0.5), [0.5] * 4)
+
+    def test_clipping_outside_range(self):
+        tf = TransferFunction.grayscale_ramp()
+        assert np.allclose(tf(-5.0), tf(0.0))
+        assert np.allclose(tf(5.0), tf(1.0))
+
+    def test_array_shape(self):
+        tf = TransferFunction.fire()
+        out = tf(np.zeros((3, 4)))
+        assert out.shape == (3, 4, 4)
+
+    def test_opacity_channel(self):
+        tf = TransferFunction.grayscale_ramp()
+        assert tf.opacity(0.25) == pytest.approx(0.25)
+
+
+class TestStockFunctions:
+    @pytest.mark.parametrize("factory", ["grayscale_ramp", "fire", "cool_warm"])
+    def test_stock_valid(self, factory):
+        tf = getattr(TransferFunction, factory)()
+        out = tf(np.linspace(0, 1, 11))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_fire_is_transparent_at_zero(self):
+        assert TransferFunction.fire().opacity(0.0) == 0.0
+
+
+class TestIsolateRange:
+    def test_opaque_inside_transparent_outside(self):
+        tf = TransferFunction.isolate_range(0.4, 0.6)
+        assert tf.opacity(0.5) == pytest.approx(0.8)
+        assert tf.opacity(0.1) == pytest.approx(0.0, abs=1e-6)
+        assert tf.opacity(0.9) == pytest.approx(0.0, abs=1e-6)
+
+    def test_range_touching_bounds(self):
+        tf = TransferFunction.isolate_range(0.0, 1.0)
+        assert tf.opacity(0.5) == pytest.approx(0.8)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            TransferFunction.isolate_range(0.6, 0.4)

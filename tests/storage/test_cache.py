@@ -1,0 +1,121 @@
+"""Tests for CacheLevel: residency, constrained eviction, preload, bypass."""
+
+import pytest
+
+from repro.policies.lru import LRUPolicy
+from repro.storage.cache import CacheLevel
+
+
+@pytest.fixture()
+def cache():
+    return CacheLevel("dram", capacity_blocks=3, policy=LRUPolicy())
+
+
+class TestResidency:
+    def test_admit_and_contains(self, cache):
+        assert cache.admit(1, step=0)
+        assert 1 in cache
+        assert len(cache) == 1
+
+    def test_double_admit_rejected(self, cache):
+        cache.admit(1, 0)
+        with pytest.raises(KeyError):
+            cache.admit(1, 1)
+
+    def test_touch_updates_last_used(self, cache):
+        cache.admit(1, 0)
+        cache.touch(1, 5)
+        assert cache.last_used(1) == 5
+
+    def test_touch_nonresident_rejected(self, cache):
+        with pytest.raises(KeyError):
+            cache.touch(9, 0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel("x", 0, LRUPolicy())
+
+
+class TestEviction:
+    def test_evicts_lru_when_full(self, cache):
+        for k in (1, 2, 3):
+            cache.admit(k, k)
+        assert cache.admit(4, 4)
+        assert 1 not in cache
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+
+    def test_min_free_step_protects_current(self, cache):
+        cache.admit(1, 0)
+        cache.admit(2, 5)
+        cache.admit(3, 5)
+        # Only block 1 (last_used 0 < 5) is evictable at step 5.
+        assert cache.admit(4, 5, min_free_step=5)
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+
+    def test_bypass_when_everything_protected(self, cache):
+        for k in (1, 2, 3):
+            cache.admit(k, 5)
+        assert not cache.admit(4, 5, min_free_step=5)
+        assert 4 not in cache
+        assert cache.stats.bypasses == 1
+        assert len(cache) == 3
+
+    def test_explicit_evict(self, cache):
+        cache.admit(1, 0)
+        cache.evict(1)
+        assert 1 not in cache
+        with pytest.raises(KeyError):
+            cache.evict(1)
+
+
+class TestPreload:
+    def test_fills_up_to_capacity(self, cache):
+        placed = cache.preload([10, 11, 12, 13, 14])
+        assert placed == 3
+        assert len(cache) == 3
+
+    def test_preloaded_blocks_evictable_at_step_zero(self, cache):
+        cache.preload([10, 11, 12])
+        # last_used is -1, so min_free_step=0 still finds victims.
+        assert cache.admit(1, 0, min_free_step=0)
+        assert len(cache) == 3
+
+    def test_skips_duplicates(self, cache):
+        cache.admit(10, 0)
+        assert cache.preload([10, 11]) == 1
+
+    def test_preload_marks_minus_one(self, cache):
+        cache.preload([7])
+        assert cache.last_used(7) == -1
+
+
+class TestInvariants:
+    def test_check_invariants_clean(self, cache):
+        cache.admit(1, 0)
+        cache.check_invariants()
+
+    def test_detects_policy_divergence(self, cache):
+        cache.admit(1, 0)
+        cache.policy.on_evict(1)  # corrupt on purpose
+        with pytest.raises(AssertionError):
+            cache.check_invariants()
+
+    def test_clear_keeps_stats(self, cache):
+        cache.admit(1, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.inserts == 1
+
+    def test_resident_ids_snapshot(self, cache):
+        cache.admit(1, 0)
+        cache.admit(2, 0)
+        ids = list(cache.resident_ids())
+        assert sorted(ids) == [1, 2]
+
+    def test_is_full(self, cache):
+        assert not cache.is_full
+        for k in (1, 2, 3):
+            cache.admit(k, 0)
+        assert cache.is_full

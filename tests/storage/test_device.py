@@ -1,0 +1,45 @@
+"""Tests for storage-device cost models."""
+
+import pytest
+
+from repro.storage.device import DRAM, HDD, SSD, StorageDevice
+
+
+class TestStorageDevice:
+    def test_read_time_formula(self):
+        d = StorageDevice("x", read_latency_s=1e-3, read_bandwidth_bps=1e6)
+        assert d.read_time(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_zero_bytes_costs_latency(self):
+        d = StorageDevice("x", 5e-3, 1e6)
+        assert d.read_time(0) == pytest.approx(5e-3)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            HDD.read_time(-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StorageDevice("x", -1e-3, 1e6)
+        with pytest.raises(ValueError):
+            StorageDevice("x", 1e-3, 0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HDD.read_latency_s = 0.0  # type: ignore[misc]
+
+
+class TestDefaultCalibration:
+    """The experiment shapes only need the level ordering to hold."""
+
+    @pytest.mark.parametrize("nbytes", [4 * 1024, 64 * 1024, 1024 * 1024])
+    def test_strict_speed_ordering(self, nbytes):
+        assert DRAM.read_time(nbytes) < SSD.read_time(nbytes) < HDD.read_time(nbytes)
+
+    def test_hdd_dominated_by_seek_for_small_blocks(self):
+        t = HDD.read_time(64 * 1024)
+        assert HDD.read_latency_s / t > 0.9
+
+    def test_ssd_orders_of_magnitude_faster_than_hdd(self):
+        nbytes = 256 * 1024
+        assert HDD.read_time(nbytes) / SSD.read_time(nbytes) > 10

@@ -1,0 +1,226 @@
+"""Tests for the multi-level memory hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.lru import LRUPolicy
+from repro.storage.cache import CacheLevel
+from repro.storage.device import DRAM, HDD, SSD
+from repro.storage.hierarchy import MemoryHierarchy, make_standard_hierarchy
+
+
+def tiny(block_nbytes=1024, dram=2, ssd=4):
+    levels = [CacheLevel("dram", dram, LRUPolicy()), CacheLevel("ssd", ssd, LRUPolicy())]
+    return MemoryHierarchy(levels, [DRAM, SSD], HDD, block_nbytes)
+
+
+class TestConstruction:
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([], [], HDD, 1024)
+
+    def test_device_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([CacheLevel("a", 1, LRUPolicy())], [], HDD, 1024)
+
+    def test_duplicate_names_rejected(self):
+        levels = [CacheLevel("x", 1, LRUPolicy()), CacheLevel("x", 1, LRUPolicy())]
+        with pytest.raises(ValueError, match="duplicate"):
+            MemoryHierarchy(levels, [DRAM, SSD], HDD, 1024)
+
+    def test_callable_block_size(self):
+        h = tiny()
+        h._block_nbytes = lambda k: 10 * (k + 1)
+        assert h.block_nbytes(0) == 10
+        assert h.block_nbytes(4) == 50
+
+
+class TestReadPath:
+    def test_cold_fetch_comes_from_backing(self):
+        h = tiny()
+        res = h.fetch(1, step=0)
+        assert res.source == "hdd"
+        assert not res.fastest_hit
+        assert res.time_s == pytest.approx(HDD.read_time(1024))
+        assert h.backing_reads == 1
+
+    def test_cold_fetch_populates_all_levels(self):
+        h = tiny()
+        h.fetch(1, 0)
+        assert 1 in h.levels[0] and 1 in h.levels[1]
+
+    def test_second_fetch_hits_fastest(self):
+        h = tiny()
+        h.fetch(1, 0)
+        res = h.fetch(1, 1)
+        assert res.fastest_hit
+        assert res.source == "dram"
+        assert res.time_s == pytest.approx(DRAM.read_time(1024))
+
+    def test_ssd_hit_after_dram_eviction(self):
+        h = tiny(dram=1, ssd=4)
+        h.fetch(1, 0)
+        h.fetch(2, 1)  # evicts 1 from dram; 1 stays in ssd
+        res = h.fetch(1, 2)
+        assert res.source == "ssd"
+        assert res.time_s == pytest.approx(SSD.read_time(1024))
+        assert 1 in h.levels[0]  # promoted back
+
+    def test_miss_counted_per_level(self):
+        h = tiny()
+        h.fetch(1, 0)
+        stats = h.stats()
+        assert stats.levels["dram"].misses == 1
+        assert stats.levels["ssd"].misses == 1
+        h.fetch(1, 1)
+        assert stats.levels["dram"].hits == 1
+        assert stats.levels["ssd"].hits == 0  # served at dram, ssd untouched
+
+    def test_total_miss_rate(self):
+        h = tiny()
+        h.fetch(1, 0)  # dram miss + ssd miss
+        h.fetch(1, 1)  # dram hit
+        # accesses: dram 2, ssd 1; misses: dram 1, ssd 1
+        assert h.stats().total_miss_rate == pytest.approx(2 / 3)
+
+
+class TestPrefetchPath:
+    def test_prefetch_counts_separately(self):
+        h = tiny()
+        h.fetch(1, 0, prefetch=True)
+        stats = h.stats()
+        assert stats.levels["dram"].prefetch_misses == 1
+        assert stats.levels["dram"].misses == 0
+        assert stats.total_miss_rate == 0.0
+
+    def test_prefetch_hit_does_not_touch_recency(self):
+        h = tiny(dram=2)
+        h.fetch(1, 0)
+        h.fetch(2, 1)
+        h.fetch(1, 2, prefetch=True)  # would refresh 1 if it touched
+        h.fetch(3, 3)  # evicts LRU
+        assert 1 not in h.levels[0]  # 1 stayed LRU despite the prefetch hit
+        assert 2 in h.levels[0]
+
+    def test_demand_after_prefetch_hits(self):
+        h = tiny()
+        h.fetch(5, 0, prefetch=True)
+        res = h.fetch(5, 1)
+        assert res.fastest_hit
+        assert h.stats().levels["dram"].misses == 0
+
+
+class TestMinFreeStep:
+    def test_bypass_propagates(self):
+        h = tiny(dram=1, ssd=1)
+        h.fetch(1, step=3)
+        res = h.fetch(2, step=3, min_free_step=3)
+        # Block 1 was used at step 3 -> protected; insert bypassed.
+        assert 2 not in h.levels[0]
+        assert res.source == "hdd"
+        assert h.levels[0].stats.bypasses == 1
+
+    def test_older_blocks_replaced(self):
+        h = tiny(dram=1, ssd=2)
+        h.fetch(1, step=0)
+        h.fetch(2, step=3, min_free_step=3)
+        assert 2 in h.levels[0]
+        assert 1 not in h.levels[0]
+
+
+class TestPreload:
+    def test_inclusive_fill(self):
+        h = tiny(dram=2, ssd=4)
+        placed = h.preload([10, 11, 12, 13, 14])
+        assert placed == {"dram": 2, "ssd": 4}
+        assert 10 in h.levels[0] and 10 in h.levels[1]
+        assert 12 not in h.levels[0] and 12 in h.levels[1]
+
+    def test_preloaded_hit_costs_nothing_extra(self):
+        h = tiny()
+        h.preload([1])
+        res = h.fetch(1, 0)
+        assert res.fastest_hit
+
+
+class TestLifecycle:
+    def test_reset_stats(self):
+        h = tiny()
+        h.fetch(1, 0)
+        h.reset_stats()
+        assert h.stats().total_accesses == 0
+        assert h.backing_reads == 0
+        assert 1 in h.levels[0]  # residency preserved
+
+    def test_clear(self):
+        h = tiny()
+        h.fetch(1, 0)
+        h.clear()
+        assert len(h.levels[0]) == 0 and len(h.levels[1]) == 0
+
+    def test_check_invariants(self):
+        h = tiny()
+        h.fetch(1, 0)
+        h.check_invariants()
+
+
+class TestMakeStandardHierarchy:
+    def test_paper_ratios(self):
+        h = make_standard_hierarchy(n_blocks=100, block_nbytes=1024, cache_ratio=0.5)
+        assert h.levels[0].name == "dram"
+        assert h.levels[1].name == "ssd"
+        assert h.levels[1].capacity == 50
+        assert h.levels[0].capacity == 25
+
+    def test_ratio_07(self):
+        h = make_standard_hierarchy(n_blocks=100, block_nbytes=1024, cache_ratio=0.7)
+        assert h.levels[1].capacity == 70
+        assert h.levels[0].capacity == 49
+
+    def test_policy_instances_independent(self):
+        h = make_standard_hierarchy(10, 1024, policy="lru")
+        assert h.levels[0].policy is not h.levels[1].policy
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            make_standard_hierarchy(10, 1024, cache_ratio=0.0)
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            make_standard_hierarchy(0, 1024)
+
+
+class TestHierarchyProperties:
+    @given(
+        st.lists(st.integers(0, 20), min_size=1, max_size=200),
+        st.integers(1, 5),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_on_any_trace(self, trace, dram_cap, ssd_extra):
+        h = tiny(dram=dram_cap, ssd=dram_cap + ssd_extra)
+        for step, key in enumerate(trace):
+            h.fetch(key, step)
+            h.check_invariants()
+        stats = h.stats()
+        dram = stats.levels["dram"]
+        assert dram.hits + dram.misses == len(trace)
+        # Every block ever admitted was either evicted or is still resident.
+        for level in h.levels:
+            assert level.stats.inserts - level.stats.evictions == len(level)
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_total_time_monotone_in_misses(self, trace):
+        """A bigger DRAM never yields more backing reads."""
+        def backing_reads(dram_cap):
+            h = tiny(dram=dram_cap, ssd=16)
+            for step, key in enumerate(trace):
+                h.fetch(key, step)
+            return h.backing_reads
+
+        assert backing_reads(4) <= backing_reads(1) + len(set(trace))
+        # Backing reads are at least the compulsory misses.
+        assert backing_reads(4) >= len(set(trace))

@@ -1,0 +1,70 @@
+"""Every registered policy drives the full hierarchy correctly.
+
+Property test over random traces × all policies × demand/prefetch mixes:
+bookkeeping invariants hold at every step, and the demand hit/miss ledger
+always balances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.storage.cache import CacheLevel
+from repro.storage.device import DRAM, HDD, SSD
+from repro.storage.hierarchy import MemoryHierarchy
+
+
+def build(policy_name: str, dram: int, ssd: int) -> MemoryHierarchy:
+    levels = [
+        CacheLevel("dram", dram, make_policy(policy_name)),
+        CacheLevel("ssd", ssd, make_policy(policy_name)),
+    ]
+    return MemoryHierarchy(levels, [DRAM, SSD], HDD, block_nbytes=4096)
+
+
+traces = st.lists(
+    st.tuples(st.integers(0, 15), st.booleans()),  # (key, is_prefetch)
+    min_size=1,
+    max_size=150,
+)
+
+
+class TestAllPoliciesOnHierarchy:
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    @given(trace=traces, dram=st.integers(1, 4), extra=st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_and_ledger(self, policy_name, trace, dram, extra):
+        h = build(policy_name, dram, dram + extra)
+        demand_count = 0
+        for step, (key, is_prefetch) in enumerate(trace):
+            result = h.fetch(key, step, prefetch=is_prefetch)
+            assert result.time_s > 0
+            assert key in h.levels[0] or not result.fastest_hit or is_prefetch
+            h.check_invariants()
+            if not is_prefetch:
+                demand_count += 1
+        stats = h.stats().levels["dram"]
+        assert stats.hits + stats.misses == demand_count
+        assert 0.0 <= h.stats().total_miss_rate <= 1.0
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_min_free_step_respected(self, policy_name):
+        """Blocks touched at the current step are never evicted by it."""
+        h = build(policy_name, dram=2, ssd=4)
+        h.fetch(1, step=5)
+        h.fetch(2, step=5)
+        h.fetch(3, step=5, min_free_step=5)  # both residents protected
+        assert 1 in h.levels[0] and 2 in h.levels[0]
+        assert 3 not in h.levels[0]  # bypassed
+        h.fetch(3, step=6, min_free_step=6)  # now 1 and 2 are evictable
+        assert 3 in h.levels[0]
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_prefetch_then_demand_hit(self, policy_name):
+        h = build(policy_name, dram=3, ssd=6)
+        h.fetch(7, step=0, prefetch=True)
+        result = h.fetch(7, step=1)
+        assert result.fastest_hit
+        assert h.stats().levels["dram"].misses == 0

@@ -1,0 +1,58 @@
+"""Tests for cache/hierarchy statistics."""
+
+import pytest
+
+from repro.storage.stats import CacheStats, HierarchyStats
+
+
+class TestCacheStats:
+    def test_miss_rate(self):
+        s = CacheStats(hits=3, misses=1)
+        assert s.accesses == 4
+        assert s.miss_rate == pytest.approx(0.25)
+
+    def test_zero_accesses(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_prefetch_not_in_demand_rate(self):
+        s = CacheStats(hits=1, misses=1, prefetch_hits=10, prefetch_misses=10)
+        assert s.miss_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        s = CacheStats(hits=5, misses=2, bytes_read=100, bypasses=1)
+        s.reset()
+        assert s.accesses == 0 and s.bytes_read == 0 and s.bypasses == 0
+
+    def test_as_dict_keys(self):
+        d = CacheStats().as_dict()
+        assert {"hits", "misses", "miss_rate", "evictions", "bypasses"} <= set(d)
+
+
+class TestHierarchyStats:
+    def test_total_miss_rate_across_levels(self):
+        h = HierarchyStats(
+            levels={
+                "dram": CacheStats(hits=6, misses=4),
+                "ssd": CacheStats(hits=3, misses=1),
+            }
+        )
+        # (4 + 1) / (10 + 4)
+        assert h.total_miss_rate == pytest.approx(5 / 14)
+
+    def test_empty(self):
+        assert HierarchyStats().total_miss_rate == 0.0
+
+    def test_level_miss_rates(self):
+        h = HierarchyStats(levels={"dram": CacheStats(hits=1, misses=1)})
+        assert h.level_miss_rates() == {"dram": 0.5}
+
+    def test_total_bytes(self):
+        h = HierarchyStats(
+            levels={"a": CacheStats(bytes_read=10), "b": CacheStats(bytes_read=5)}
+        )
+        assert h.total_bytes_read == 15
+
+    def test_as_dict_nested(self):
+        h = HierarchyStats(levels={"a": CacheStats(hits=1)})
+        d = h.as_dict()
+        assert d["levels"]["a"]["hits"] == 1

@@ -1,0 +1,102 @@
+"""Tests for the Step 1/2 preprocessing builder."""
+
+import numpy as np
+import pytest
+
+from repro.camera.frustum import visible_mask
+from repro.camera.sampling import SamplingConfig, sample_positions
+from repro.tables.builder import build_importance_table, build_tables, build_visible_table
+
+VIEW = 10.0
+
+
+class TestBuildImportanceTable:
+    def test_basic(self, small_volume, small_grid):
+        t = build_importance_table(small_volume, small_grid)
+        assert t.n_blocks == small_grid.n_blocks
+        assert t.measure == "entropy"
+
+    def test_other_measure(self, small_volume, small_grid):
+        t = build_importance_table(small_volume, small_grid, measure="variance")
+        assert t.measure == "variance"
+
+
+class TestBuildVisibleTable:
+    def test_entry_per_sample(self, small_grid, small_sampling):
+        vt = build_visible_table(small_grid, small_sampling, VIEW, seed=0)
+        assert vt.n_entries == small_sampling.n_samples
+        assert vt.meta["n_blocks"] == small_grid.n_blocks
+
+    def test_sets_superset_of_center_visibility(self, small_grid, small_sampling):
+        """The vicinal union must contain the sample's own visible set."""
+        vt = build_visible_table(small_grid, small_sampling, VIEW, seed=0)
+        for idx in range(0, vt.n_entries, 7):
+            pos = vt.positions[idx]
+            own = set(np.flatnonzero(visible_mask(pos, small_grid, VIEW)))
+            assert own <= set(int(b) for b in vt.entry(idx))
+
+    def test_larger_radius_larger_sets(self, small_grid, small_sampling):
+        small_r = build_visible_table(
+            small_grid, small_sampling, VIEW, fixed_radius=0.01, seed=0
+        )
+        big_r = build_visible_table(
+            small_grid, small_sampling, VIEW, fixed_radius=0.5, seed=0
+        )
+        assert big_r.entry_sizes().mean() > small_r.entry_sizes().mean()
+
+    def test_truncation_by_importance(self, small_volume, small_grid, small_sampling):
+        itable = build_importance_table(small_volume, small_grid)
+        vt = build_visible_table(
+            small_grid,
+            small_sampling,
+            VIEW,
+            fixed_radius=0.5,
+            importance=itable,
+            max_set_size=5,
+            seed=0,
+        )
+        assert vt.entry_sizes().max() <= 5
+
+    def test_truncation_keeps_most_important(self, small_volume, small_grid, small_sampling):
+        itable = build_importance_table(small_volume, small_grid)
+        full = build_visible_table(small_grid, small_sampling, VIEW, fixed_radius=0.4, seed=0)
+        trunc = build_visible_table(
+            small_grid, small_sampling, VIEW, fixed_radius=0.4,
+            importance=itable, max_set_size=3, seed=0,
+        )
+        for idx in range(0, full.n_entries, 11):
+            ids_full = full.entry(idx)
+            ids_trunc = trunc.entry(idx)
+            if len(ids_full) > 3:
+                # Truncated entry = 3 highest-importance ids of the full set.
+                expect = sorted(
+                    ids_full, key=lambda b: -itable.scores[b]
+                )[:3]
+                assert set(int(b) for b in ids_trunc) == set(int(b) for b in expect)
+
+    def test_deterministic(self, small_grid, small_sampling):
+        a = build_visible_table(small_grid, small_sampling, VIEW, seed=5)
+        b = build_visible_table(small_grid, small_sampling, VIEW, seed=5)
+        assert np.array_equal(a.block_ids, b.block_ids)
+        assert np.array_equal(a.offsets, b.offsets)
+
+    def test_meta_records_parameters(self, small_grid, small_sampling):
+        vt = build_visible_table(
+            small_grid, small_sampling, VIEW, fixed_radius=0.2, n_vicinal=4, seed=0
+        )
+        assert vt.meta["fixed_radius"] == 0.2
+        assert vt.meta["n_vicinal"] == 4
+
+
+class TestBuildTables:
+    def test_returns_both(self, small_volume, small_grid, small_sampling):
+        vt, it = build_tables(small_volume, small_grid, small_sampling, VIEW, seed=0)
+        assert vt.n_entries == small_sampling.n_samples
+        assert it.n_blocks == small_grid.n_blocks
+
+    def test_capacity_truncation_applied(self, small_volume, small_grid, small_sampling):
+        vt, _ = build_tables(
+            small_volume, small_grid, small_sampling, VIEW,
+            truncate_to_capacity=4, seed=0,
+        )
+        assert vt.entry_sizes().max() <= 4

@@ -1,0 +1,85 @@
+"""Tests for T_important."""
+
+import numpy as np
+import pytest
+
+from repro.tables.importance_table import ImportanceTable
+
+
+@pytest.fixture()
+def table():
+    return ImportanceTable(np.array([0.5, 3.0, 1.0, 3.0, 0.0]))
+
+
+class TestRanking:
+    def test_sorted_ids_descending(self, table):
+        order = table.sorted_ids()
+        scores = table.scores[order]
+        assert np.all(np.diff(scores) <= 0)
+
+    def test_stable_ties(self, table):
+        # Ids 1 and 3 both score 3.0; stable sort keeps id order.
+        assert list(table.sorted_ids()[:2]) == [1, 3]
+
+    def test_top_k(self, table):
+        assert list(table.top_k(2)) == [1, 3]
+        assert len(table.top_k(100)) == 5
+        assert len(table.top_k(0)) == 0
+
+    def test_top_k_negative(self, table):
+        with pytest.raises(ValueError):
+            table.top_k(-1)
+
+    def test_score_accessor(self, table):
+        assert table.score(2) == 1.0
+
+
+class TestThresholds:
+    def test_ids_above(self, table):
+        assert set(table.ids_above(0.9)) == {1, 2, 3}
+        assert set(table.ids_above(3.0)) == set()
+
+    def test_ids_above_ordered_by_importance(self, table):
+        ids = table.ids_above(0.4)
+        assert list(ids) == [1, 3, 2, 0]
+
+    def test_is_above_mask(self, table):
+        mask = table.is_above(0.9)
+        assert list(np.flatnonzero(mask)) == [1, 2, 3]
+
+    def test_percentile_threshold(self, table):
+        sigma = table.threshold_for_percentile(0.5)
+        assert sigma == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            table.threshold_for_percentile(1.5)
+
+    def test_filter_and_rank(self, table):
+        out = table.filter_and_rank(np.array([0, 2, 4, 3]), sigma=0.4)
+        assert list(out) == [3, 2, 0]
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ImportanceTable(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ImportanceTable(np.ones((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ImportanceTable(np.array([1.0, np.nan]))
+
+    def test_scores_readonly(self, table):
+        with pytest.raises(ValueError):
+            table.scores[0] = 9.0
+
+
+class TestPersistence:
+    def test_roundtrip(self, table, tmp_path):
+        p = table.save(tmp_path / "imp.npz")
+        loaded = ImportanceTable.load(p)
+        assert np.array_equal(loaded.scores, table.scores)
+        assert loaded.measure == table.measure
+        assert np.array_equal(loaded.sorted_ids(), table.sorted_ids())

@@ -1,0 +1,93 @@
+"""Property-based tests for the lookup tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tables.importance_table import ImportanceTable
+from repro.tables.visible_table import VisibleTable
+
+scores_arrays = st.lists(
+    st.floats(-100.0, 100.0, allow_nan=False), min_size=1, max_size=64
+).map(np.array)
+
+
+class TestImportanceTableProperties:
+    @given(scores_arrays)
+    @settings(max_examples=60)
+    def test_sorted_ids_is_permutation_in_descending_order(self, scores):
+        t = ImportanceTable(scores)
+        order = t.sorted_ids()
+        assert sorted(order) == list(range(scores.size))
+        assert np.all(np.diff(t.scores[order]) <= 1e-12)
+
+    @given(scores_arrays, st.floats(0.0, 1.0))
+    @settings(max_examples=60)
+    def test_percentile_threshold_splits_correctly(self, scores, pct):
+        t = ImportanceTable(scores)
+        sigma = t.threshold_for_percentile(pct)
+        above = t.ids_above(sigma)
+        # Everything above sigma really is above, and nothing above is missed.
+        assert np.all(t.scores[above] > sigma)
+        missed = set(range(scores.size)) - set(int(b) for b in above)
+        for b in missed:
+            assert t.scores[b] <= sigma
+
+    @given(scores_arrays, st.floats(-50.0, 50.0))
+    @settings(max_examples=60)
+    def test_filter_and_rank_consistency(self, scores, sigma):
+        t = ImportanceTable(scores)
+        ids = np.arange(scores.size)
+        out = t.filter_and_rank(ids, sigma)
+        assert np.all(t.scores[out] > sigma)
+        assert np.all(np.diff(t.scores[out]) <= 1e-12)  # descending
+        # Same multiset as the mask-based answer.
+        expect = set(int(i) for i in ids[scores > sigma])
+        assert set(int(i) for i in out) == expect
+
+
+class TestVisibleTableProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 99), max_size=20),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=50)
+    def test_from_sets_roundtrip(self, raw_sets, seed):
+        rng = np.random.default_rng(seed)
+        positions = 2.0 + rng.random((len(raw_sets), 3))
+        sets = [np.array(sorted(set(s)), dtype=np.int64) for s in raw_sets]
+        table = VisibleTable.from_sets(positions, sets)
+        assert table.n_entries == len(sets)
+        for i, expect in enumerate(sets):
+            assert np.array_equal(table.entry(i), expect)
+        assert np.array_equal(table.entry_sizes(), [len(s) for s in sets])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_nearest_entry_is_truly_nearest(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(-3, 3, size=(10, 3))
+        table = VisibleTable.from_sets(positions, [np.array([i]) for i in range(10)])
+        q = rng.uniform(-3, 3, size=3)
+        idx, dist = table.nearest_entry(q)
+        dists = np.linalg.norm(positions - q, axis=1)
+        assert idx == int(np.argmin(dists))
+        assert dist == pytest.approx(float(dists.min()))
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_save_load_preserves_lookup(self, tmp_path_factory, seed):
+        rng = np.random.default_rng(seed)
+        positions = 2.0 + rng.random((5, 3))
+        sets = [np.sort(rng.choice(50, size=rng.integers(0, 8), replace=False)).astype(np.int64)
+                for _ in range(5)]
+        table = VisibleTable.from_sets(positions, sets)
+        path = tmp_path_factory.mktemp("vt") / "t.npz"
+        loaded = VisibleTable.load(table.save(path))
+        q = 2.0 + rng.random(3)
+        assert loaded.nearest_entry(q)[0] == table.nearest_entry(q)[0]

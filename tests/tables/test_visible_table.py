@@ -1,0 +1,103 @@
+"""Tests for T_visible and the lookup-cost model."""
+
+import numpy as np
+import pytest
+
+from repro.tables.visible_table import LookupCostModel, VisibleTable
+
+
+@pytest.fixture()
+def table():
+    positions = np.array([[2.0, 0, 0], [0, 2.0, 0], [0, 0, 2.0]])
+    sets = [np.array([1, 2, 3]), np.array([4]), np.array([], dtype=np.int64)]
+    return VisibleTable.from_sets(positions, sets, meta={"view_angle_deg": 10.0})
+
+
+class TestStructure:
+    def test_entries(self, table):
+        assert table.n_entries == 3
+        assert list(table.entry(0)) == [1, 2, 3]
+        assert list(table.entry(1)) == [4]
+        assert list(table.entry(2)) == []
+
+    def test_entry_sizes(self, table):
+        assert list(table.entry_sizes()) == [3, 1, 0]
+
+    def test_entry_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.entry(3)
+
+    def test_meta_preserved(self, table):
+        assert table.meta["view_angle_deg"] == 10.0
+
+    def test_csr_validation(self):
+        pos = np.zeros((2, 3))
+        with pytest.raises(ValueError):
+            VisibleTable(pos, np.array([0, 1]), np.array([5]))  # offsets wrong len
+        with pytest.raises(ValueError):
+            VisibleTable(pos, np.array([0, 2, 1]), np.array([5]))  # decreasing
+        with pytest.raises(ValueError):
+            VisibleTable(pos, np.array([0, 1, 3]), np.array([5]))  # end mismatch
+
+    def test_from_sets_count_mismatch(self):
+        with pytest.raises(ValueError):
+            VisibleTable.from_sets(np.zeros((2, 3)), [np.array([1])])
+
+    def test_arrays_readonly(self, table):
+        with pytest.raises(ValueError):
+            table.block_ids[0] = 9
+
+
+class TestLookup:
+    def test_nearest_entry(self, table):
+        idx, dist = table.nearest_entry(np.array([1.9, 0.1, 0.0]))
+        assert idx == 0
+        assert dist < 0.2
+
+    def test_lookup_returns_set(self, table):
+        idx, ids = table.lookup(np.array([0.0, 0.1, 2.5]))
+        assert idx == 2
+        assert len(ids) == 0
+
+    def test_lookup_shape_validation(self, table):
+        with pytest.raises(ValueError):
+            table.nearest_entry(np.zeros(2))
+
+    def test_key_of(self, table):
+        l, d = table.key_of(0)
+        assert d == pytest.approx(2.0)
+        assert np.allclose(l, [-1.0, 0.0, 0.0])
+
+
+class TestPersistence:
+    def test_roundtrip(self, table, tmp_path):
+        p = table.save(tmp_path / "vis.npz")
+        loaded = VisibleTable.load(p)
+        assert loaded.n_entries == table.n_entries
+        assert np.array_equal(loaded.block_ids, table.block_ids)
+        assert np.array_equal(loaded.offsets, table.offsets)
+        assert loaded.meta == table.meta
+        idx, _ = loaded.lookup(np.array([1.9, 0.0, 0.0]))
+        assert idx == 0
+
+
+class TestLookupCostModel:
+    def test_linear(self):
+        m = LookupCostModel(base_s=1e-6, per_entry_s=1e-9, kind="linear")
+        assert m.query_time(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_log(self):
+        m = LookupCostModel(base_s=0.0, per_entry_s=1.0, kind="log")
+        assert m.query_time(1023) == pytest.approx(10.0)
+
+    def test_monotone(self):
+        m = LookupCostModel()
+        assert m.query_time(10) < m.query_time(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LookupCostModel(base_s=-1.0)
+        with pytest.raises(ValueError):
+            LookupCostModel(kind="quadratic")
+        with pytest.raises(ValueError):
+            LookupCostModel().query_time(-1)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.dataset == "3d_ball"
+        assert args.path_type == "random"
+        assert args.policies == ["fifo", "lru"]
+
+
+class TestInfo:
+    def test_prints_datasets_and_policies(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "3d_ball" in out
+        assert "lru" in out
+        assert "repro" in out
+
+
+class TestPreprocess:
+    def test_writes_tables(self, tmp_path, capsys):
+        rc = main([
+            "preprocess", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--directions", "16", "--distances", "1",
+            "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        assert (tmp_path / "3d_ball_t_visible.npz").exists()
+        assert (tmp_path / "3d_ball_t_important.npz").exists()
+        out = capsys.readouterr().out
+        assert "T_visible" in out
+
+    def test_tables_loadable(self, tmp_path):
+        main([
+            "preprocess", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--directions", "16", "--distances", "1",
+            "--out", str(tmp_path),
+        ])
+        from repro import ImportanceTable, VisibleTable
+
+        vt = VisibleTable.load(tmp_path / "3d_ball_t_visible.npz")
+        it = ImportanceTable.load(tmp_path / "3d_ball_t_important.npz")
+        assert vt.n_entries == 16
+        assert it.n_blocks == vt.meta["n_blocks"]
+
+
+class TestReplay:
+    def test_random_replay(self, capsys):
+        rc = main([
+            "replay", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--steps", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "opt" in out and "lru" in out and "fifo" in out
+
+    def test_spherical_with_belady(self, capsys):
+        rc = main([
+            "replay", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--steps", "8", "--path-type", "spherical",
+            "--degrees", "5", "5", "--belady", "--no-app-aware",
+            "--policies", "lru",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "belady" in out
+        assert "opt" not in out.splitlines()[-2]
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--policies", "nonsense"])
+
+
+class TestRender:
+    def test_writes_ppm(self, tmp_path, capsys):
+        out = tmp_path / "f.ppm"
+        rc = main([
+            "render", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--size", "24", "--out", str(out),
+        ])
+        assert rc == 0
+        raw = out.read_bytes()
+        assert raw.startswith(b"P6\n24 24\n255\n")
+        assert len(raw) == len(b"P6\n24 24\n255\n") + 24 * 24 * 3

@@ -1,0 +1,201 @@
+"""Unit and property tests for repro.utils.geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.geometry import (
+    angle_between,
+    cartesian_to_spherical,
+    fibonacci_sphere,
+    great_circle_step,
+    latlong_sphere,
+    normalize,
+    norms,
+    perpendicular_unit_vector,
+    points_in_ball,
+    random_unit_vectors,
+    rotation_matrix_axis_angle,
+    spherical_to_cartesian,
+)
+
+finite_vec = arrays(
+    np.float64,
+    3,
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+nonzero_vec = finite_vec.filter(lambda v: np.linalg.norm(v) > 1e-6)
+
+
+class TestNormalize:
+    def test_unit_result(self):
+        v = np.array([3.0, 4.0, 0.0])
+        assert np.allclose(np.linalg.norm(normalize(v)), 1.0)
+
+    def test_batch(self):
+        vs = np.array([[1.0, 0, 0], [0, 2.0, 0], [0, 0, -3.0]])
+        out = normalize(vs)
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_zero_vector_passthrough(self):
+        assert np.allclose(normalize(np.zeros(3)), np.zeros(3))
+
+    @given(nonzero_vec)
+    def test_direction_preserved(self, v):
+        u = normalize(v)
+        cos = np.dot(u, v) / np.linalg.norm(v)
+        assert cos == pytest.approx(1.0, abs=1e-9)
+
+
+class TestNorms:
+    def test_matches_numpy(self):
+        vs = np.arange(12.0).reshape(4, 3)
+        assert np.allclose(norms(vs), np.linalg.norm(vs, axis=1))
+
+    def test_keepdims(self):
+        vs = np.ones((2, 3))
+        assert norms(vs, keepdims=True).shape == (2, 1)
+
+
+class TestAngleBetween:
+    def test_orthogonal(self):
+        a = np.array([1.0, 0, 0])
+        b = np.array([0, 1.0, 0])
+        assert angle_between(a, b) == pytest.approx(np.pi / 2)
+
+    def test_parallel_and_antiparallel(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert angle_between(a, 2 * a) == pytest.approx(0.0, abs=1e-9)
+        assert angle_between(a, -a) == pytest.approx(np.pi)
+
+    @given(nonzero_vec, nonzero_vec)
+    def test_symmetric_and_bounded(self, a, b):
+        ang = angle_between(a, b)
+        assert 0.0 <= ang <= np.pi + 1e-12
+        assert ang == pytest.approx(angle_between(b, a))
+
+    def test_batch_broadcast(self):
+        a = np.tile([1.0, 0, 0], (5, 1))
+        b = np.tile([0, 1.0, 0], (5, 1))
+        assert np.allclose(angle_between(a, b), np.pi / 2)
+
+
+class TestSphereSampling:
+    @pytest.mark.parametrize("n", [1, 2, 10, 257])
+    def test_fibonacci_unit(self, n):
+        pts = fibonacci_sphere(n)
+        assert pts.shape == (n, 3)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_fibonacci_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fibonacci_sphere(0)
+
+    def test_fibonacci_covers_hemispheres(self):
+        pts = fibonacci_sphere(100)
+        assert (pts[:, 2] > 0).sum() == pytest.approx(50, abs=2)
+
+    def test_fibonacci_near_uniform(self):
+        # Mean of uniformly distributed sphere points is ~0.
+        pts = fibonacci_sphere(500)
+        assert np.linalg.norm(pts.mean(axis=0)) < 0.02
+
+    def test_latlong_shape_and_unit(self):
+        pts = latlong_sphere(4, 8)
+        assert pts.shape == (32, 3)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_latlong_rejects_bad(self):
+        with pytest.raises(ValueError):
+            latlong_sphere(0, 5)
+
+    def test_random_unit_vectors(self):
+        rng = np.random.default_rng(0)
+        pts = random_unit_vectors(64, rng)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+
+class TestSphericalConversion:
+    @given(
+        st.floats(0.01, np.pi - 0.01),
+        st.floats(-np.pi + 0.01, np.pi - 0.01),
+        st.floats(0.1, 100.0),
+    )
+    def test_roundtrip(self, theta, phi, r):
+        v = spherical_to_cartesian(theta, phi, r)
+        t2, p2, r2 = cartesian_to_spherical(v)
+        assert t2 == pytest.approx(theta, abs=1e-9)
+        assert p2 == pytest.approx(phi, abs=1e-9)
+        assert r2 == pytest.approx(r, rel=1e-9)
+
+    def test_poles(self):
+        t, _, r = cartesian_to_spherical(np.array([0.0, 0.0, 2.0]))
+        assert t == pytest.approx(0.0)
+        assert r == pytest.approx(2.0)
+
+
+class TestRotation:
+    def test_identity_at_zero_angle(self):
+        R = rotation_matrix_axis_angle([0, 0, 1], 0.0)
+        assert np.allclose(R, np.eye(3))
+
+    def test_quarter_turn_z(self):
+        R = rotation_matrix_axis_angle([0, 0, 1], np.pi / 2)
+        assert np.allclose(R @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    @given(nonzero_vec, st.floats(-np.pi, np.pi))
+    @settings(max_examples=50)
+    def test_orthogonal_matrix(self, axis, angle):
+        R = rotation_matrix_axis_angle(axis, angle)
+        assert np.allclose(R @ R.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(R) == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_matrix_axis_angle([0, 0, 0], 1.0)
+
+    def test_great_circle_preserves_radius(self):
+        p = np.array([2.0, 0.0, 0.0])
+        q = great_circle_step(p, [0, 0, 1], 0.3)
+        assert np.linalg.norm(q) == pytest.approx(2.0)
+        assert angle_between(p, q) == pytest.approx(0.3)
+
+
+class TestPerpendicular:
+    @given(nonzero_vec)
+    def test_perpendicular_and_unit(self, v):
+        p = perpendicular_unit_vector(v)
+        assert np.linalg.norm(p) == pytest.approx(1.0)
+        assert abs(np.dot(p, v) / np.linalg.norm(v)) < 1e-9
+
+    def test_random_variant(self):
+        rng = np.random.default_rng(1)
+        v = np.array([0.0, 0.0, 5.0])
+        p = perpendicular_unit_vector(v, rng)
+        assert abs(p[2]) < 1e-9
+
+
+class TestPointsInBall:
+    def test_inside_radius(self):
+        rng = np.random.default_rng(2)
+        c = np.array([1.0, -2.0, 0.5])
+        pts = points_in_ball(c, 0.3, 200, rng)
+        assert pts.shape == (200, 3)
+        assert np.all(np.linalg.norm(pts - c, axis=1) <= 0.3 + 1e-12)
+
+    def test_zero_radius_collapses(self):
+        rng = np.random.default_rng(2)
+        pts = points_in_ball(np.zeros(3), 0.0, 5, rng)
+        assert np.allclose(pts, 0.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            points_in_ball(np.zeros(3), -1.0, 5, np.random.default_rng(0))
+
+    def test_fills_volume_not_surface(self):
+        rng = np.random.default_rng(3)
+        pts = points_in_ball(np.zeros(3), 1.0, 2000, rng)
+        # Uniform-in-ball => mean radius 3/4.
+        assert np.mean(np.linalg.norm(pts, axis=1)) == pytest.approx(0.75, abs=0.03)

@@ -1,0 +1,52 @@
+"""Tests for deterministic RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_int_seed_deterministic(self):
+        a = resolve_rng(42).random(5)
+        b = resolve_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert resolve_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = resolve_rng(np.random.SeedSequence(7)).random(3)
+        b = resolve_rng(ss).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_children_independent(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [r.random(4) for r in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic(self):
+        a = [r.random(2) for r in spawn_rngs(5, 2)]
+        b = [r.random(2) for r in spawn_rngs(5, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_from_generator(self):
+        g = np.random.default_rng(9)
+        rngs = spawn_rngs(g, 2)
+        assert len(rngs) == 2

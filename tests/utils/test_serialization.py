@@ -1,0 +1,44 @@
+"""Tests for the npz+JSON serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_arrays, save_arrays
+
+
+class TestSaveLoadArrays:
+    def test_roundtrip(self, tmp_path):
+        arrays = {"a": np.arange(5), "b": np.ones((2, 3))}
+        meta = {"name": "x", "value": 1.5, "flag": True}
+        p = save_arrays(tmp_path / "t.npz", arrays, meta)
+        loaded, loaded_meta = load_arrays(p)
+        assert set(loaded) == {"a", "b"}
+        assert np.array_equal(loaded["a"], arrays["a"])
+        assert np.array_equal(loaded["b"], arrays["b"])
+        assert loaded_meta == meta
+
+    def test_missing_meta_defaults_empty(self, tmp_path):
+        p = tmp_path / "plain.npz"
+        np.savez(p, a=np.arange(3))
+        arrays, meta = load_arrays(p)
+        assert meta == {}
+        assert "a" in arrays
+
+    def test_reserved_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_arrays(tmp_path / "t.npz", {"__meta_json__": np.arange(2)})
+
+    def test_none_meta(self, tmp_path):
+        p = save_arrays(tmp_path / "t2.npz", {"a": np.arange(2)})
+        _, meta = load_arrays(p)
+        assert meta == {}
+
+    def test_appends_npz_suffix(self, tmp_path):
+        p = save_arrays(tmp_path / "noext", {"a": np.arange(2)})
+        assert p.suffix == ".npz"
+        assert p.exists()
+
+    def test_unicode_meta(self, tmp_path):
+        p = save_arrays(tmp_path / "u.npz", {"a": np.arange(1)}, {"s": "αβγ"})
+        _, meta = load_arrays(p)
+        assert meta["s"] == "αβγ"

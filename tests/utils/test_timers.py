@@ -1,0 +1,50 @@
+"""Tests for the simulated clock and wall timer."""
+
+import pytest
+
+from repro.utils.timers import SimClock, WallTimer
+
+
+class TestSimClock:
+    def test_accumulates_per_channel(self):
+        c = SimClock()
+        c.charge("io", 1.0)
+        c.charge("io", 0.5)
+        c.charge("render", 2.0)
+        assert c.total("io") == pytest.approx(1.5)
+        assert c.total("render") == pytest.approx(2.0)
+
+    def test_unknown_channel_is_zero(self):
+        assert SimClock().total("nope") == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge("io", -0.1)
+
+    def test_channels_snapshot_is_copy(self):
+        c = SimClock()
+        c.charge("a", 1.0)
+        snap = c.channels()
+        snap["a"] = 99.0
+        assert c.total("a") == 1.0
+
+    def test_reset_one_channel(self):
+        c = SimClock()
+        c.charge("a", 1.0)
+        c.charge("b", 2.0)
+        c.reset("a")
+        assert c.total("a") == 0.0
+        assert c.total("b") == 2.0
+
+    def test_reset_all(self):
+        c = SimClock()
+        c.charge("a", 1.0)
+        c.reset()
+        assert c.channels() == {}
+
+
+class TestWallTimer:
+    def test_measures_nonnegative(self):
+        with WallTimer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0

@@ -1,0 +1,63 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_shape_3d,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.01, 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_accepts(self):
+        assert check_probability("p", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability("p", bad)
+
+
+class TestCheckShape3d:
+    def test_accepts_and_coerces(self):
+        assert check_shape_3d("s", [4, 5, 6.0]) == (4, 5, 6)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="3 dimensions"):
+            check_shape_3d("s", (1, 2))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            check_shape_3d("s", (1, 0, 2))

@@ -1,0 +1,161 @@
+"""Unit and property tests for BlockGrid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.volume.blocks import BlockGrid
+
+dims = st.integers(4, 64)
+block_dims = st.integers(1, 16)
+
+
+class TestConstruction:
+    def test_exact_division(self):
+        g = BlockGrid((32, 32, 32), (8, 8, 8))
+        assert g.blocks_per_axis == (4, 4, 4)
+        assert g.n_blocks == 64
+
+    def test_partial_edge_blocks(self):
+        g = BlockGrid((10, 10, 10), (4, 4, 4))
+        assert g.blocks_per_axis == (3, 3, 3)
+
+    def test_block_larger_than_volume_rejected(self):
+        with pytest.raises(ValueError):
+            BlockGrid((8, 8, 8), (16, 8, 8))
+
+    def test_len(self):
+        assert len(BlockGrid((8, 8, 8), (4, 4, 4))) == 8
+
+
+class TestIdScheme:
+    @given(dims, dims, dims, block_dims, block_dims, block_dims)
+    @settings(max_examples=40)
+    def test_id_roundtrip(self, nx, ny, nz, bx, by, bz):
+        bx, by, bz = min(bx, nx), min(by, ny), min(bz, nz)
+        g = BlockGrid((nx, ny, nz), (bx, by, bz))
+        for bid in (0, g.n_blocks // 2, g.n_blocks - 1):
+            assert g.block_id(*g.block_index(bid)) == bid
+
+    def test_c_order(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))  # 2x2x2 blocks
+        assert g.block_index(0) == (0, 0, 0)
+        assert g.block_index(1) == (0, 0, 1)
+        assert g.block_index(2) == (0, 1, 0)
+        assert g.block_index(4) == (1, 0, 0)
+
+    def test_out_of_range_rejected(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))
+        with pytest.raises(IndexError):
+            g.block_index(8)
+        with pytest.raises(IndexError):
+            g.block_index(-1)
+        with pytest.raises(IndexError):
+            g.block_id(2, 0, 0)
+
+
+class TestSlices:
+    def test_interior_block(self):
+        g = BlockGrid((10, 10, 10), (4, 4, 4))
+        sl = g.block_slices(g.block_id(1, 1, 1))
+        assert sl == (slice(4, 8), slice(4, 8), slice(4, 8))
+
+    def test_edge_block_clipped(self):
+        g = BlockGrid((10, 10, 10), (4, 4, 4))
+        sl = g.block_slices(g.block_id(2, 2, 2))
+        assert sl == (slice(8, 10), slice(8, 10), slice(8, 10))
+        assert g.block_voxel_shape(g.block_id(2, 2, 2)) == (2, 2, 2)
+
+    def test_slices_tile_volume_exactly(self):
+        g = BlockGrid((9, 7, 5), (4, 3, 2))
+        cover = np.zeros((9, 7, 5), dtype=int)
+        for bid in g.iter_ids():
+            cover[g.block_slices(bid)] += 1
+        assert np.all(cover == 1)
+
+    def test_block_n_voxels_sums_to_volume(self):
+        g = BlockGrid((9, 7, 5), (4, 3, 2))
+        assert sum(g.block_n_voxels(b) for b in g.iter_ids()) == 9 * 7 * 5
+
+    def test_block_nbytes(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))
+        assert g.block_nbytes(0) == 64 * 4
+        assert g.block_nbytes(0, itemsize=8, n_variables=3) == 64 * 8 * 3
+        assert g.uniform_block_nbytes() == 64 * 4
+
+
+class TestGeometry:
+    def test_corners_shape_and_range(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))
+        c = g.corners()
+        assert c.shape == (8, 8, 3)
+        assert c.min() == pytest.approx(-1.0)
+        assert c.max() == pytest.approx(1.0)
+
+    def test_first_block_corner(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))
+        c = g.corners()[0]
+        assert np.allclose(c.min(axis=0), [-1, -1, -1])
+        assert np.allclose(c.max(axis=0), [0, 0, 0])
+
+    def test_centers_inside_bounds(self):
+        g = BlockGrid((10, 12, 14), (4, 4, 4))
+        lo, hi = g.bounds()
+        centers = g.centers()
+        assert np.all(centers > lo)
+        assert np.all(centers < hi)
+
+    def test_centers_symmetric_for_even_grid(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))
+        assert np.allclose(g.centers().mean(axis=0), 0.0)
+
+    def test_bounds_cover_cube(self):
+        g = BlockGrid((9, 7, 5), (4, 3, 2))
+        lo, hi = g.bounds()
+        assert np.allclose(lo.min(axis=0), -1.0)
+        assert np.allclose(hi.max(axis=0), 1.0)
+
+    def test_corners_cached(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))
+        assert g.corners() is g.corners()
+
+    def test_blocks_containing(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))
+        ids = g.blocks_containing([-0.5, -0.5, -0.5])
+        assert list(ids) == [0]
+        # A point on an interior boundary belongs to the adjacent blocks.
+        ids = g.blocks_containing([0.0, 0.0, 0.0])
+        assert len(ids) == 8
+
+    def test_blocks_containing_outside(self):
+        g = BlockGrid((8, 8, 8), (4, 4, 4))
+        assert len(g.blocks_containing([2.0, 0.0, 0.0])) == 0
+
+
+class TestWithTargetBlocks:
+    @pytest.mark.parametrize("target", [8, 64, 512, 1000])
+    def test_close_to_target_for_cube(self, target):
+        g = BlockGrid.with_target_blocks((128, 128, 128), target)
+        assert target / 4 <= g.n_blocks <= target * 4
+
+    def test_anisotropic_volume(self):
+        g = BlockGrid.with_target_blocks((200, 100, 50), 64)
+        # Splits should follow axis proportions: more splits along x.
+        gx, gy, gz = g.blocks_per_axis
+        assert gx >= gy >= gz
+
+    def test_target_one(self):
+        g = BlockGrid.with_target_blocks((16, 16, 16), 1)
+        assert g.n_blocks == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            BlockGrid.with_target_blocks((16, 16, 16), 0)
+
+    @given(st.integers(16, 96), st.integers(16, 96), st.integers(16, 96), st.integers(1, 2048))
+    @settings(max_examples=30)
+    def test_valid_grid_always(self, nx, ny, nz, target):
+        g = BlockGrid.with_target_blocks((nx, ny, nz), target)
+        assert g.n_blocks >= 1
+        assert all(b >= 1 for b in g.block_shape)

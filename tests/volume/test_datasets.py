@@ -1,0 +1,67 @@
+"""Tests for the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.volume.datasets import DATASETS, DatasetSpec, dataset_table, make_dataset
+
+
+class TestRegistry:
+    def test_table1_entries_present(self):
+        assert set(DATASETS) == {"3d_ball", "lifted_mix_frac", "lifted_rr", "climate"}
+
+    def test_paper_resolutions_match_table1(self):
+        assert DATASETS["3d_ball"].paper_resolution == (1024, 1024, 1024)
+        assert DATASETS["lifted_mix_frac"].paper_resolution == (800, 686, 215)
+        assert DATASETS["lifted_rr"].paper_resolution == (800, 800, 400)
+        assert DATASETS["climate"].paper_resolution == (294, 258, 98)
+        assert DATASETS["climate"].paper_n_variables == 244
+
+    def test_resolution_scaling(self):
+        spec = DATASETS["3d_ball"]
+        assert spec.resolution(0.25) == (256, 256, 256)
+        assert spec.resolution(0.0625) == (64, 64, 64)
+
+    def test_resolution_floor(self):
+        spec = DATASETS["climate"]
+        assert all(r >= 16 for r in spec.resolution(0.001))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            DATASETS["3d_ball"].resolution(0.0)
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_builds_all(self, name):
+        v = make_dataset(name, scale=0.05)
+        assert v.name == name
+        assert v.n_voxels > 0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("nope")
+
+    def test_climate_multivariate(self):
+        v = make_dataset("climate", scale=0.05, n_variables=5)
+        assert v.n_variables == 5
+        assert v.primary == "smoke_pm10"
+
+    def test_deterministic_by_seed(self):
+        a = make_dataset("lifted_rr", scale=0.05, seed=1)
+        b = make_dataset("lifted_rr", scale=0.05, seed=1)
+        assert np.array_equal(a.data(), b.data())
+
+    def test_ball_ignores_seed(self):
+        a = make_dataset("3d_ball", scale=0.05, seed=1)
+        b = make_dataset("3d_ball", scale=0.05, seed=2)
+        assert np.array_equal(a.data(), b.data())
+
+
+class TestDatasetTable:
+    def test_contains_all_rows(self):
+        text = dataset_table()
+        for name in DATASETS:
+            assert name in text
+        assert "1024x1024x1024" in text
+        assert "7.2GB" in text

@@ -1,0 +1,116 @@
+"""Tests for block layout orders and the seek metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.volume.blocks import BlockGrid
+from repro.volume.layout import (
+    layout_slots,
+    mean_seek_distance,
+    morton_layout,
+    row_major_layout,
+    total_seek_distance,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return BlockGrid((32, 32, 32), (4, 4, 4))  # 8x8x8 = 512 blocks
+
+
+class TestRowMajor:
+    def test_identity(self, grid):
+        layout = row_major_layout(grid)
+        assert np.array_equal(layout, np.arange(512))
+
+
+class TestMorton:
+    def test_is_permutation(self, grid):
+        layout = morton_layout(grid)
+        assert sorted(layout) == list(range(512))
+
+    def test_power_of_two_exact_z_order(self):
+        grid = BlockGrid((8, 8, 8), (4, 4, 4))  # 2x2x2 blocks
+        layout = morton_layout(grid)
+        # Block index (i,j,k) -> morton code i j k interleaved; for 1 bit:
+        # code = 4i + 2j + k, which equals the C-order flat id here — the
+        # layouts coincide for a 2^3 grid with this axis priority.
+        assert np.array_equal(layout, np.arange(8))
+
+    def test_non_power_of_two_grid(self):
+        grid = BlockGrid((12, 8, 4), (4, 4, 4))  # 3x2x1 blocks
+        layout = morton_layout(grid)
+        assert sorted(layout) == list(range(grid.n_blocks))
+
+    def test_spatial_neighbours_close_in_file(self, grid):
+        """The Z-order property: blocks of a 2x2x2 octant occupy nearby
+        slots, whereas C order scatters the i-axis by 64."""
+        layout = morton_layout(grid)
+        octant = [
+            grid.block_id(i, j, k) for i in (0, 1) for j in (0, 1) for k in (0, 1)
+        ]
+        slots = layout[octant]
+        assert slots.max() - slots.min() == 7  # a perfect 8-slot run
+
+
+class TestSeekMetrics:
+    def test_sequential_run_costs_one_per_step(self, grid):
+        layout = row_major_layout(grid)
+        assert total_seek_distance(layout, [0, 1, 2, 3]) == 3
+        assert mean_seek_distance(layout, [0, 1, 2, 3]) == 1.0
+
+    def test_empty_and_singleton(self, grid):
+        layout = row_major_layout(grid)
+        assert total_seek_distance(layout, []) == 0
+        assert mean_seek_distance(layout, [5]) == 0.0
+
+    def test_out_of_range_rejected(self, grid):
+        with pytest.raises(IndexError):
+            total_seek_distance(row_major_layout(grid), [0, 512])
+
+    def test_layout_slots(self, grid):
+        layout = morton_layout(grid)
+        slots = layout_slots(layout, [3, 1])
+        assert slots[0] == layout[3] and slots[1] == layout[1]
+
+    @given(seq=st.lists(st.integers(0, 511), min_size=2, max_size=50))
+    @settings(max_examples=40)
+    def test_metric_bounds_any_sequence(self, grid, seq):
+        """Any permutation gives non-negative distances bounded by n-1 per hop."""
+        for layout in (row_major_layout(grid), morton_layout(grid)):
+            total = total_seek_distance(layout, seq)
+            assert 0 <= total <= (len(seq) - 1) * 511
+
+
+class TestMortonLocality:
+    """The Pascucci-Frank property this layout exists for: aligned
+    power-of-two regions (octant working sets, zoomed-in views snapped to
+    the octree) occupy *contiguous* file runs under Z-order, while C order
+    scatters them across slabs.  (For elongated full-depth regions like a
+    frustum the advantage disappears — measured and documented in the
+    layout ablation bench.)"""
+
+    def test_all_aligned_octants_are_perfect_runs(self, grid):
+        morton = morton_layout(grid)
+        row = row_major_layout(grid)
+        for oi in range(0, 8, 2):
+            for oj in range(0, 8, 2):
+                for ok in range(0, 8, 2):
+                    ids = [
+                        grid.block_id(oi + i, oj + j, ok + k)
+                        for i in (0, 1) for j in (0, 1) for k in (0, 1)
+                    ]
+                    m_slots = np.sort(morton[ids])
+                    assert m_slots[-1] - m_slots[0] == 7  # one contiguous run
+                    r_slots = np.sort(row[ids])
+                    assert r_slots[-1] - r_slots[0] > 7  # C order scatters
+
+    def test_aligned_4cubes_compact(self, grid):
+        """4x4x4 aligned regions are single 64-slot runs under Z-order."""
+        morton = morton_layout(grid)
+        ids = [grid.block_id(4 + i, 0 + j, 4 + k)
+               for i in range(4) for j in range(4) for k in range(4)]
+        slots = np.sort(morton[ids])
+        assert slots[-1] - slots[0] == 63

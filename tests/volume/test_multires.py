@@ -1,0 +1,118 @@
+"""Tests for the multi-resolution pyramid."""
+
+import numpy as np
+import pytest
+
+from repro.volume.blocks import BlockGrid
+from repro.volume.multires import MipPyramid, downsample2, select_levels_by_distance
+from repro.volume.synthetic import ball_field
+from repro.volume.volume import Volume
+
+
+class TestDownsample2:
+    def test_halves_even_axes(self):
+        out = downsample2(np.zeros((8, 6, 4), dtype=np.float32))
+        assert out.shape == (4, 3, 2)
+
+    def test_odd_axes_keep_tail(self):
+        out = downsample2(np.zeros((5, 5, 5), dtype=np.float32))
+        assert out.shape == (3, 3, 3)
+
+    def test_mean_pooling_values(self):
+        data = np.arange(8, dtype=np.float32).reshape(2, 2, 2)
+        out = downsample2(data)
+        assert out.shape == (1, 1, 1)
+        assert out[0, 0, 0] == pytest.approx(data.mean())
+
+    def test_preserves_mean_even_shapes(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((8, 8, 8)).astype(np.float32)
+        assert downsample2(data).mean() == pytest.approx(data.mean(), abs=1e-5)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            downsample2(np.zeros((4, 4)))
+
+
+class TestMipPyramid:
+    @pytest.fixture(scope="class")
+    def pyramid(self):
+        vol = Volume(ball_field((32, 32, 32)))
+        return MipPyramid(vol, block_shape=(8, 8, 8), n_levels=3)
+
+    def test_level_shapes(self, pyramid):
+        assert pyramid.n_levels == 3
+        assert pyramid.levels[0].shape == (32, 32, 32)
+        assert pyramid.levels[1].shape == (16, 16, 16)
+        assert pyramid.levels[2].shape == (8, 8, 8)
+
+    def test_grids_shrink(self, pyramid):
+        assert pyramid.grids[0].n_blocks == 64
+        assert pyramid.grids[1].n_blocks == 8
+        assert pyramid.grids[2].n_blocks == 1
+
+    def test_bytes_shrink_8x(self, pyramid):
+        assert pyramid.level_nbytes(0) == 8 * pyramid.level_nbytes(1)
+        assert pyramid.total_nbytes() < pyramid.level_nbytes(0) * 8 / 7 + 1
+
+    def test_stops_when_blocks_outgrow_volume(self):
+        vol = Volume(ball_field((16, 16, 16)))
+        pyr = MipPyramid(vol, block_shape=(8, 8, 8), n_levels=10)
+        assert pyr.n_levels <= 2
+
+    def test_block_data(self, pyramid):
+        blk = pyramid.block_data(1, 0)
+        assert blk.shape == (8, 8, 8)
+
+    def test_reconstruct_shape_and_error(self, pyramid):
+        recon = pyramid.reconstruct_full(1)
+        full = pyramid.levels[0].data()
+        assert recon.shape == full.shape
+        # Coarse reconstruction is close in the mean but not exact.
+        assert abs(float(recon.mean()) - float(full.mean())) < 0.05
+        assert float(np.abs(recon - full).max()) > 0.0
+
+    def test_reconstruct_level0_exact(self, pyramid):
+        assert np.array_equal(pyramid.reconstruct_full(0), pyramid.levels[0].data())
+
+    def test_reconstruct_bad_level(self, pyramid):
+        with pytest.raises(IndexError):
+            pyramid.reconstruct_full(5)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            MipPyramid(Volume(ball_field((16, 16, 16))), (8, 8, 8), n_levels=0)
+
+
+class TestSelectLevels:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return BlockGrid((32, 32, 32), (8, 8, 8))
+
+    def test_near_blocks_fine(self, grid):
+        levels = select_levels_by_distance(np.array([1.2, 0, 0]), grid, n_levels=3)
+        near = grid.blocks_containing([0.9, 0.1, 0.1])
+        assert np.all(levels[near] == 0)
+
+    def test_far_blocks_coarse(self, grid):
+        levels = select_levels_by_distance(np.array([6.0, 0, 0]), grid, n_levels=3)
+        far = grid.blocks_containing([-0.9, -0.9, -0.9])
+        assert np.all(levels[far] >= 1)
+
+    def test_monotone_in_distance(self, grid):
+        levels = select_levels_by_distance(np.array([3.0, 0, 0]), grid, n_levels=4)
+        d = np.linalg.norm(grid.centers() - np.array([3.0, 0, 0]), axis=1)
+        order = np.argsort(d)
+        assert np.all(np.diff(levels[order]) >= -1 + 0)  # non-strictly increasing
+        sorted_levels = levels[order]
+        assert np.all(np.diff(sorted_levels.astype(int)) >= 0)
+
+    def test_clamped_to_pyramid(self, grid):
+        levels = select_levels_by_distance(np.array([100.0, 0, 0]), grid, n_levels=2)
+        assert levels.max() <= 1
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            select_levels_by_distance(np.zeros(3), grid, n_levels=0)
+        with pytest.raises(ValueError):
+            select_levels_by_distance(np.zeros(3), grid, n_levels=2, base_distance=0)

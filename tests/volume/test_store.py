@@ -1,0 +1,79 @@
+"""Tests for block stores (in-memory and on-disk)."""
+
+import numpy as np
+import pytest
+
+from repro.volume.blocks import BlockGrid
+from repro.volume.store import CountingBlockStore, FileBlockStore, InMemoryBlockStore
+from repro.volume.volume import Volume
+
+
+@pytest.fixture()
+def volume_and_grid():
+    data = np.arange(6 * 6 * 6, dtype=np.float32).reshape(6, 6, 6)
+    return Volume(data), BlockGrid((6, 6, 6), (3, 3, 3))
+
+
+class TestInMemoryStore:
+    def test_read_matches_slices(self, volume_and_grid):
+        vol, grid = volume_and_grid
+        store = InMemoryBlockStore(vol, grid)
+        for bid in grid.iter_ids():
+            assert np.array_equal(store.read_block(bid), vol.data()[grid.block_slices(bid)])
+
+    def test_shape_mismatch_rejected(self, volume_and_grid):
+        vol, _ = volume_and_grid
+        with pytest.raises(ValueError):
+            InMemoryBlockStore(vol, BlockGrid((8, 8, 8), (4, 4, 4)))
+
+    def test_block_nbytes(self, volume_and_grid):
+        vol, grid = volume_and_grid
+        store = InMemoryBlockStore(vol, grid)
+        assert store.block_nbytes(0) == 27 * 4
+
+
+class TestFileStore:
+    def test_write_read_roundtrip(self, volume_and_grid, tmp_path):
+        vol, grid = volume_and_grid
+        store = FileBlockStore.write_volume(vol, grid, tmp_path / "blocks")
+        for bid in grid.iter_ids():
+            assert np.array_equal(store.read_block(bid), vol.data()[grid.block_slices(bid)])
+
+    def test_partial_edge_blocks(self, tmp_path):
+        data = np.arange(5 * 5 * 5, dtype=np.float32).reshape(5, 5, 5)
+        vol = Volume(data)
+        grid = BlockGrid((5, 5, 5), (3, 3, 3))
+        store = FileBlockStore.write_volume(vol, grid, tmp_path / "b")
+        last = grid.n_blocks - 1
+        assert store.read_block(last).shape == grid.block_voxel_shape(last)
+
+    def test_corrupt_file_detected(self, volume_and_grid, tmp_path):
+        vol, grid = volume_and_grid
+        store = FileBlockStore.write_volume(vol, grid, tmp_path / "b")
+        path = store.root / "block_000000.raw"
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(IOError, match="expected"):
+            store.read_block(0)
+
+    def test_missing_block_raises(self, volume_and_grid, tmp_path):
+        _, grid = volume_and_grid
+        store = FileBlockStore(tmp_path / "empty", grid)
+        with pytest.raises(FileNotFoundError):
+            store.read_block(0)
+
+    def test_invalid_id_rejected(self, volume_and_grid, tmp_path):
+        vol, grid = volume_and_grid
+        store = FileBlockStore.write_volume(vol, grid, tmp_path / "b")
+        with pytest.raises(IndexError):
+            store.read_block(grid.n_blocks)
+
+
+class TestCountingStore:
+    def test_counts_reads(self, volume_and_grid):
+        vol, grid = volume_and_grid
+        store = CountingBlockStore(InMemoryBlockStore(vol, grid))
+        store.read_block(0)
+        store.read_block(0)
+        store.read_block(1)
+        assert store.read_counts == {0: 2, 1: 1}
+        assert store.total_reads == 3

@@ -1,0 +1,100 @@
+"""Failure-injection tests for the retrying block store."""
+
+import numpy as np
+import pytest
+
+from repro.volume.blocks import BlockGrid
+from repro.volume.store import BlockStore, InMemoryBlockStore, RetryingBlockStore
+from repro.volume.volume import Volume
+
+
+class FlakyStore(BlockStore):
+    """Fails the first ``n_failures`` reads of each block, then succeeds."""
+
+    def __init__(self, inner: BlockStore, n_failures: int, error=IOError("flaky")):
+        super().__init__(inner.grid)
+        self.inner = inner
+        self.n_failures = n_failures
+        self.error = error
+        self.attempts = {}
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        self.attempts[block_id] = self.attempts.get(block_id, 0) + 1
+        if self.attempts[block_id] <= self.n_failures:
+            raise self.error
+        return self.inner.read_block(block_id)
+
+
+class TruncatingStore(BlockStore):
+    """Returns a wrong-shaped block on the first read (silent corruption)."""
+
+    def __init__(self, inner: BlockStore):
+        super().__init__(inner.grid)
+        self.inner = inner
+        self.served = set()
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        block = self.inner.read_block(block_id)
+        if block_id not in self.served:
+            self.served.add(block_id)
+            return block.ravel()[:-1]  # wrong shape
+        return block
+
+
+@pytest.fixture()
+def inner():
+    data = np.arange(4 * 4 * 4, dtype=np.float32).reshape(4, 4, 4)
+    return InMemoryBlockStore(Volume(data), BlockGrid((4, 4, 4), (2, 2, 2)))
+
+
+class TestRetryingBlockStore:
+    def test_recovers_from_transient_failures(self, inner):
+        flaky = FlakyStore(inner, n_failures=2)
+        store = RetryingBlockStore(flaky, max_retries=3)
+        block = store.read_block(0)
+        assert np.array_equal(block, inner.read_block(0))
+        assert store.retries_used == 2
+
+    def test_gives_up_after_max_retries(self, inner):
+        flaky = FlakyStore(inner, n_failures=5)
+        store = RetryingBlockStore(flaky, max_retries=2)
+        with pytest.raises(IOError, match="flaky"):
+            store.read_block(0)
+        assert flaky.attempts[0] == 3  # initial + 2 retries
+
+    def test_zero_retries_fails_immediately(self, inner):
+        flaky = FlakyStore(inner, n_failures=1)
+        store = RetryingBlockStore(flaky, max_retries=0)
+        with pytest.raises(IOError):
+            store.read_block(0)
+
+    def test_validates_block_shape(self, inner):
+        store = RetryingBlockStore(TruncatingStore(inner), max_retries=2)
+        block = store.read_block(0)  # first read corrupt, retry succeeds
+        assert block.shape == (2, 2, 2)
+        assert store.retries_used == 1
+
+    def test_persistent_corruption_raises(self, inner):
+        class AlwaysTruncating(TruncatingStore):
+            def read_block(self, block_id):
+                return self.inner.read_block(block_id).ravel()[:-1]
+
+        store = RetryingBlockStore(AlwaysTruncating(inner), max_retries=2)
+        with pytest.raises(IOError, match="expected"):
+            store.read_block(0)
+
+    def test_non_io_errors_propagate(self, inner):
+        flaky = FlakyStore(inner, n_failures=1, error=KeyError("not io"))
+        store = RetryingBlockStore(flaky, max_retries=3)
+        with pytest.raises(KeyError):
+            store.read_block(0)
+        assert store.retries_used == 0
+
+    def test_clean_store_untouched(self, inner):
+        store = RetryingBlockStore(inner, max_retries=3)
+        assert np.array_equal(store.read_block(3), inner.read_block(3))
+        assert store.retries_used == 0
+
+    def test_invalid_retries(self, inner):
+        with pytest.raises(ValueError):
+            RetryingBlockStore(inner, max_retries=-1)

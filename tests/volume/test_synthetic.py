@@ -1,0 +1,130 @@
+"""Tests for the procedural field generators."""
+
+import numpy as np
+import pytest
+
+from repro.volume.synthetic import (
+    axis_grids,
+    ball_field,
+    climate_field,
+    combustion_field,
+    multiscale_noise,
+)
+
+
+class TestAxisGrids:
+    def test_broadcastable_shapes(self):
+        x, y, z = axis_grids((4, 5, 6))
+        assert x.shape == (4, 1, 1)
+        assert y.shape == (1, 5, 1)
+        assert z.shape == (1, 1, 6)
+
+    def test_range_and_symmetry(self):
+        x, _, _ = axis_grids((8, 8, 8))
+        assert x.min() > -1.0 and x.max() < 1.0
+        assert np.allclose(x.ravel() + x.ravel()[::-1], 0.0, atol=1e-6)
+
+
+class TestBallField:
+    def test_dtype_contiguity(self):
+        f = ball_field((16, 16, 16))
+        assert f.dtype == np.float32
+        assert f.flags["C_CONTIGUOUS"]
+
+    def test_zero_outside_ball(self):
+        f = ball_field((32, 32, 32))
+        assert f[0, 0, 0] == 0.0  # corner is outside the unit ball
+
+    def test_positive_inside(self):
+        f = ball_field((32, 32, 32))
+        assert f[16, 16, 16] > 0.0
+
+    def test_radial_structure(self):
+        # Center voxel should carry more intensity envelope than mid-radius.
+        f = ball_field((64, 64, 64))
+        assert f[32, 32, 32] > f[32, 32, 56]
+
+
+class TestMultiscaleNoise:
+    def test_normalized(self):
+        n = multiscale_noise((16, 16, 16), seed=0)
+        assert n.min() == pytest.approx(0.0)
+        assert n.max() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = multiscale_noise((8, 8, 8), seed=5)
+        b = multiscale_noise((8, 8, 8), seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = multiscale_noise((8, 8, 8), seed=1)
+        b = multiscale_noise((8, 8, 8), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_octaves_add_detail(self):
+        smooth = multiscale_noise((32, 32, 32), octaves=1, seed=0)
+        rough = multiscale_noise((32, 32, 32), octaves=5, seed=0)
+        # High-frequency energy: mean absolute first difference.
+        def hf(a):
+            return np.abs(np.diff(a, axis=0)).mean()
+        assert hf(rough) > hf(smooth)
+
+    def test_rejects_zero_octaves(self):
+        with pytest.raises(ValueError):
+            multiscale_noise((8, 8, 8), octaves=0)
+
+    def test_anisotropic_shape(self):
+        n = multiscale_noise((8, 12, 20), seed=0)
+        assert n.shape == (8, 12, 20)
+
+
+class TestCombustionField:
+    def test_shape_dtype(self):
+        f = combustion_field((24, 20, 12), seed=1)
+        assert f.shape == (24, 20, 12)
+        assert f.dtype == np.float32
+
+    def test_ambient_is_quiet(self):
+        f = combustion_field((32, 32, 32), seed=1)
+        # Upstream corner (before lift-off, off-axis) is near zero.
+        assert f[0, 0, 0] < 0.05
+
+    def test_plume_hotter_than_ambient(self):
+        f = combustion_field((32, 32, 32), seed=1)
+        centerline = f[28, 16, 16]  # downstream, on axis
+        ambient = f[28, 0, 0]
+        assert centerline > ambient
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            combustion_field((16, 16, 16), seed=3), combustion_field((16, 16, 16), seed=3)
+        )
+
+
+class TestClimateField:
+    def test_variable_count_and_names(self):
+        fields = climate_field((16, 14, 8), n_variables=6, seed=0)
+        assert len(fields) == 6
+        assert list(fields)[:4] == ["typhoon", "smoke_pm10", "temperature", "wind_magnitude"]
+        assert "derived_004" in fields
+
+    def test_fewer_than_archetypes(self):
+        fields = climate_field((8, 8, 8), n_variables=2, seed=0)
+        assert list(fields) == ["typhoon", "smoke_pm10"]
+
+    def test_same_shape_all_vars(self):
+        fields = climate_field((10, 12, 6), n_variables=5, seed=0)
+        assert all(f.shape == (10, 12, 6) for f in fields.values())
+
+    def test_derived_correlated_with_archetypes(self):
+        fields = climate_field((16, 16, 8), n_variables=8, seed=0)
+        derived = fields["derived_005"].ravel().astype(np.float64)
+        best = max(
+            abs(np.corrcoef(derived, fields[k].ravel().astype(np.float64))[0, 1])
+            for k in ["typhoon", "smoke_pm10", "temperature", "wind_magnitude"]
+        )
+        assert best > 0.2
+
+    def test_rejects_zero_vars(self):
+        with pytest.raises(ValueError):
+            climate_field((8, 8, 8), n_variables=0)

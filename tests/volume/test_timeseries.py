@@ -1,0 +1,135 @@
+"""Tests for time-varying volumes."""
+
+import numpy as np
+import pytest
+
+from repro.volume.blocks import BlockGrid
+from repro.volume.timeseries import (
+    TimeVaryingVolume,
+    make_time_varying_climate,
+    split_temporal_id,
+    temporal_block_id,
+)
+from repro.volume.volume import Volume
+
+
+def _vol(fill: float, shape=(8, 8, 8)) -> Volume:
+    return Volume(np.full(shape, fill, dtype=np.float32))
+
+
+@pytest.fixture()
+def series():
+    return TimeVaryingVolume([_vol(0.0), _vol(1.0), _vol(2.0)])
+
+
+@pytest.fixture()
+def grid():
+    return BlockGrid((8, 8, 8), (4, 4, 4))
+
+
+class TestTemporalIds:
+    def test_roundtrip(self):
+        for t in (0, 1, 5):
+            for s in (0, 3, 7):
+                bid = temporal_block_id(t, s, 8)
+                assert split_temporal_id(bid, 8) == (t, s)
+
+    def test_validation(self):
+        with pytest.raises(IndexError):
+            temporal_block_id(0, 8, 8)
+        with pytest.raises(IndexError):
+            temporal_block_id(-1, 0, 8)
+        with pytest.raises(IndexError):
+            split_temporal_id(-1, 8)
+
+
+class TestTimeVaryingVolume:
+    def test_container(self, series):
+        assert len(series) == 3
+        assert series[1].data()[0, 0, 0] == 1.0
+        assert series.shape == (8, 8, 8)
+        assert series.nbytes == 3 * 8**3 * 4
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            TimeVaryingVolume([_vol(0.0), _vol(1.0, shape=(4, 4, 4))])
+
+    def test_variable_mismatch_rejected(self):
+        a = Volume({"x": np.zeros((4, 4, 4), dtype=np.float32)})
+        b = Volume({"y": np.zeros((4, 4, 4), dtype=np.float32)})
+        with pytest.raises(ValueError, match="variables"):
+            TimeVaryingVolume([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimeVaryingVolume([])
+
+    def test_n_total_blocks(self, series, grid):
+        assert series.n_total_blocks(grid) == 3 * 8
+
+    def test_temporal_visible_ids(self, series, grid):
+        ids = series.temporal_visible_ids(np.array([0, 3]), t=2, grid=grid)
+        assert list(ids) == [16, 19]
+
+    def test_temporal_visible_ids_bad_t(self, series, grid):
+        with pytest.raises(IndexError):
+            series.temporal_visible_ids(np.array([0]), t=3, grid=grid)
+
+    def test_block_data_resolves_timestep(self, series, grid):
+        blk = series.block_data(temporal_block_id(1, 0, grid.n_blocks), grid)
+        assert np.all(blk == 1.0)
+        blk = series.block_data(temporal_block_id(2, 7, grid.n_blocks), grid)
+        assert np.all(blk == 2.0)
+
+    def test_block_data_out_of_range(self, series, grid):
+        with pytest.raises(IndexError):
+            series.block_data(3 * grid.n_blocks, grid)
+
+    def test_grid_mismatch(self, series):
+        with pytest.raises(ValueError):
+            series.n_total_blocks(BlockGrid((16, 16, 16), (4, 4, 4)))
+
+
+class TestTemporalImportance:
+    def test_flat_table_size(self, grid):
+        series = make_time_varying_climate(shape=(8, 8, 8), n_timesteps=3, seed=1)
+        table = series.temporal_importance(grid)
+        assert table.n_blocks == 3 * grid.n_blocks
+
+    def test_constant_snapshots_zero_entropy(self, series, grid):
+        table = series.temporal_importance(grid)
+        assert np.all(table.scores == 0.0)
+
+
+class TestTemporalChange:
+    def test_constant_fields_change_uniform(self, series, grid):
+        change = series.temporal_change(grid)
+        assert change.shape == (2, grid.n_blocks)
+        assert np.allclose(change[0], 1.0)  # 0.0 -> 1.0 everywhere
+        assert np.allclose(change[1], 1.0)
+
+    def test_single_snapshot_empty(self, grid):
+        single = TimeVaryingVolume([_vol(0.0)])
+        assert single.temporal_change(grid).shape == (0, grid.n_blocks)
+
+
+class TestMakeTimeVaryingClimate:
+    def test_shape_and_count(self):
+        series = make_time_varying_climate(shape=(16, 12, 8), n_timesteps=3, seed=2)
+        assert series.n_timesteps == 3
+        assert series.shape == (16, 12, 8)
+
+    def test_temporal_coherence(self):
+        """Consecutive snapshots correlate more than distant ones."""
+        series = make_time_varying_climate(shape=(16, 16, 8), n_timesteps=4, seed=2)
+
+        def corr(a, b):
+            x = series[a].data().ravel().astype(np.float64)
+            y = series[b].data().ravel().astype(np.float64)
+            return np.corrcoef(x, y)[0, 1]
+
+        assert corr(0, 1) > corr(0, 3)
+
+    def test_rejects_zero_timesteps(self):
+        with pytest.raises(ValueError):
+            make_time_varying_climate(n_timesteps=0)

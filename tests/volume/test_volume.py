@@ -1,0 +1,82 @@
+"""Tests for the Volume container."""
+
+import numpy as np
+import pytest
+
+from repro.volume.volume import Volume
+
+
+def _arr(shape=(4, 5, 6), fill=0.0):
+    return np.full(shape, fill, dtype=np.float32)
+
+
+class TestConstruction:
+    def test_bare_array(self):
+        v = Volume(_arr())
+        assert v.shape == (4, 5, 6)
+        assert v.variable_names == ("var0",)
+        assert v.primary == "var0"
+
+    def test_multivariate(self):
+        v = Volume({"t": _arr(), "p": _arr(fill=1.0)}, primary="p")
+        assert v.n_variables == 2
+        assert v.primary == "p"
+        assert np.all(v.data() == 1.0)
+
+    def test_float32_conversion(self):
+        v = Volume(np.zeros((2, 2, 2), dtype=np.float64))
+        assert v.data().dtype == np.float32
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            Volume({"a": _arr((2, 2, 2)), "b": _arr((3, 3, 3))})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Volume({})
+
+    def test_bad_primary_rejected(self):
+        with pytest.raises(KeyError):
+            Volume(_arr(), primary="missing")
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            Volume(np.zeros((4, 4), dtype=np.float32))
+
+
+class TestAccessors:
+    def test_nbytes(self):
+        v = Volume({"a": _arr((2, 3, 4)), "b": _arr((2, 3, 4))})
+        assert v.nbytes == 2 * 3 * 4 * 4 * 2
+
+    def test_n_voxels(self):
+        assert Volume(_arr((2, 3, 4))).n_voxels == 24
+
+    def test_getitem_and_contains(self):
+        v = Volume({"a": _arr()})
+        assert "a" in v
+        assert "b" not in v
+        assert v["a"].shape == (4, 5, 6)
+
+    def test_value_range(self):
+        data = _arr()
+        data[0, 0, 0] = -2.0
+        data[1, 1, 1] = 3.0
+        assert Volume(data).value_range() == (-2.0, 3.0)
+
+    def test_data_returns_view(self):
+        data = _arr()
+        v = Volume(data)
+        v.data()[0, 0, 0] = 7.0
+        assert v.data()[0, 0, 0] == 7.0
+
+    def test_subvolume(self):
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        v = Volume(data)
+        sub = v.subvolume((slice(0, 1), slice(1, 3), slice(0, 2)))
+        assert sub.shape == (1, 2, 2)
+        assert np.array_equal(sub, data[0:1, 1:3, 0:2])
+
+    def test_variables_iteration(self):
+        v = Volume({"a": _arr(), "b": _arr()})
+        assert sorted(name for name, _ in v.variables()) == ["a", "b"]
