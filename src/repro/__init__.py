@@ -108,6 +108,17 @@ from repro.experiments import (
     fresh_hierarchy,
     belady_hierarchy,
 )
+from repro.trace import (
+    TraceEvent,
+    Tracer,
+    NullTracer,
+    NULL_TRACER,
+    TraceSummary,
+    aggregate,
+    write_jsonl,
+    read_jsonl,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -192,5 +203,15 @@ __all__ = [
     "compare_policies",
     "fresh_hierarchy",
     "belady_hierarchy",
+    # trace
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceSummary",
+    "aggregate",
+    "write_jsonl",
+    "read_jsonl",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -16,7 +16,6 @@ guide: vectorise and compute less).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ around the view direction (Eq. 1 / Fig. 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

@@ -6,7 +6,9 @@ Subcommands mirror a real out-of-core visualization workflow:
 - ``preprocess`` — build and save ``T_visible`` / ``T_important`` (Steps 1-2);
 - ``replay``     — replay a camera path under several policies, print the
   comparison (optionally reusing saved tables);
-- ``render``     — ray-cast one frame of a dataset to a PPM file.
+- ``render``     — ray-cast one frame of a dataset to a PPM file;
+- ``trace``      — replay one policy with the event tracer on, write a
+  Chrome-trace JSON (and optionally JSONL) plus a per-step summary table.
 
 Experiment regeneration lives under ``python -m repro.experiments``.
 """
@@ -21,7 +23,7 @@ from typing import List, Optional
 from repro.camera.path import random_path, spherical_path, zoom_path
 from repro.camera.sampling import SamplingConfig
 from repro.experiments.report import format_run_summaries
-from repro.experiments.runner import DEFAULT_VIEW_ANGLE_DEG, ExperimentSetup, compare_policies
+from repro.experiments.runner import ExperimentSetup, compare_policies
 from repro.policies.registry import POLICY_NAMES
 from repro.volume.datasets import DATASETS, dataset_table
 
@@ -45,16 +47,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     rep = sub.add_parser("replay", help="compare policies on a camera path")
     _add_dataset_args(rep)
-    rep.add_argument("--path-type", choices=("random", "spherical", "zoom"), default="random")
-    rep.add_argument("--steps", type=int, default=120, help="camera positions on the path")
-    rep.add_argument("--degrees", type=float, nargs=2, default=(5.0, 10.0),
-                     metavar=("LO", "HI"), help="per-step direction change range")
-    rep.add_argument("--distance", type=float, default=2.5)
+    _add_path_args(rep)
     rep.add_argument("--cache-ratio", type=float, default=0.5)
     rep.add_argument("--policies", nargs="+", default=["fifo", "lru"],
                      choices=list(POLICY_NAMES))
     rep.add_argument("--belady", action="store_true", help="include the offline bound")
     rep.add_argument("--no-app-aware", action="store_true")
+
+    tra = sub.add_parser(
+        "trace",
+        help="replay one policy with event tracing; write a Chrome trace + summary",
+    )
+    _add_dataset_args(tra)
+    _add_path_args(tra)
+    tra.add_argument("--cache-ratio", type=float, default=0.5)
+    tra.add_argument("--policy", default="app-aware",
+                     choices=["app-aware"] + list(POLICY_NAMES))
+    tra.add_argument("--out", type=Path, default=Path("trace.json"),
+                     help="Chrome-trace JSON output (chrome://tracing / Perfetto)")
+    tra.add_argument("--jsonl", type=Path, default=None,
+                     help="also write raw events as JSON lines")
+    tra.add_argument("--capacity", type=_positive_int, default=1_000_000,
+                     help="tracer ring-buffer capacity (events)")
 
     ren = sub.add_parser("render", help="ray-cast one frame to a PPM image")
     _add_dataset_args(ren)
@@ -67,12 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
 def _add_dataset_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dataset", choices=sorted(DATASETS), default="3d_ball")
     p.add_argument("--blocks", type=int, default=512, help="target block count")
     p.add_argument("--scale", type=float, default=None,
                    help="per-axis shrink of the paper resolution (default per dataset)")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _add_path_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--path-type", choices=("random", "spherical", "zoom"), default="random")
+    p.add_argument("--steps", type=int, default=120, help="camera positions on the path")
+    p.add_argument("--degrees", type=float, nargs=2, default=(5.0, 10.0),
+                   metavar=("LO", "HI"), help="per-step direction change range")
+    p.add_argument("--distance", type=float, default=2.5)
+
+
+def _make_path(args, setup: ExperimentSetup):
+    lo, hi = args.degrees
+    if args.path_type == "spherical":
+        return spherical_path(args.steps, degrees_per_step=max(lo, 0.1),
+                              distance=args.distance,
+                              view_angle_deg=setup.view_angle_deg, seed=args.seed)
+    if args.path_type == "zoom":
+        return zoom_path(args.steps, degrees_per_step=max(lo, 0.1),
+                         view_angle_deg=setup.view_angle_deg, seed=args.seed)
+    return random_path(args.steps, degree_change=(lo, hi), distance=args.distance,
+                       view_angle_deg=setup.view_angle_deg, seed=args.seed)
 
 
 def _make_setup(args, sampling: Optional[SamplingConfig] = None) -> ExperimentSetup:
@@ -110,17 +152,7 @@ def _cmd_preprocess(args) -> int:
 
 def _cmd_replay(args) -> int:
     setup = _make_setup(args)
-    lo, hi = args.degrees
-    if args.path_type == "spherical":
-        path = spherical_path(args.steps, degrees_per_step=max(lo, 0.1),
-                              distance=args.distance,
-                              view_angle_deg=setup.view_angle_deg, seed=args.seed)
-    elif args.path_type == "zoom":
-        path = zoom_path(args.steps, degrees_per_step=max(lo, 0.1),
-                         view_angle_deg=setup.view_angle_deg, seed=args.seed)
-    else:
-        path = random_path(args.steps, degree_change=(lo, hi), distance=args.distance,
-                           view_angle_deg=setup.view_angle_deg, seed=args.seed)
+    path = _make_path(args, setup)
     results = compare_policies(
         setup,
         path,
@@ -132,6 +164,40 @@ def _cmd_replay(args) -> int:
     title = (f"{args.dataset} ({setup.grid.n_blocks} blocks), {path.name}, "
              f"{args.steps} steps, cache ratio {args.cache_ratio}")
     print(format_run_summaries(results, title=title))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.pipeline import run_baseline
+    from repro.experiments.report import format_trace_report
+    from repro.trace import Tracer, aggregate, write_chrome_trace, write_jsonl
+
+    setup = _make_setup(args)
+    path = _make_path(args, setup)
+    context = setup.context(path)
+    tracer = Tracer(capacity=args.capacity)
+    if args.policy == "app-aware":
+        result = setup.optimizer().run(
+            context, setup.hierarchy("lru", args.cache_ratio), tracer=tracer
+        )
+    else:
+        result = run_baseline(
+            context, setup.hierarchy(args.policy, args.cache_ratio), tracer=tracer
+        )
+
+    events = tracer.events()
+    summary = aggregate(events)
+    title = (f"{args.dataset} ({setup.grid.n_blocks} blocks), {path.name}, "
+             f"{args.steps} steps, policy {args.policy}")
+    print(format_trace_report(summary, result, title=title))
+    if tracer.n_dropped:
+        print(f"warning: ring buffer dropped {tracer.n_dropped} events "
+              f"(raise --capacity for an exact ledger)")
+    out = write_chrome_trace(events, args.out)
+    print(f"chrome trace: {out} ({len(events)} events; open in chrome://tracing "
+          f"or https://ui.perfetto.dev)")
+    if args.jsonl is not None:
+        print(f"jsonl: {write_jsonl(events, args.jsonl)}")
     return 0
 
 
@@ -161,6 +227,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "preprocess": _cmd_preprocess,
     "replay": _cmd_replay,
+    "trace": _cmd_trace,
     "render": _cmd_render,
 }
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
 
 from repro.core.metrics import RunResult, StepMetrics
 from repro.core.pipeline import PipelineContext
@@ -132,9 +131,17 @@ class AppAwareOptimizer:
         context: PipelineContext,
         hierarchy: MemoryHierarchy,
         name: str = "app-aware",
+        tracer=None,
     ) -> RunResult:
-        """Replay ``context.path`` with Algorithm 1 on ``hierarchy``."""
+        """Replay ``context.path`` with Algorithm 1 on ``hierarchy``.
+
+        ``tracer`` is installed on the hierarchy for the replay and
+        receives one ``render`` event per step.
+        """
         cfg = self.config
+        if tracer is not None:
+            hierarchy.set_tracer(tracer)
+        tracer = hierarchy.tracer
         if cfg.preload:
             self.preload(hierarchy)
         sigma = self.sigma
@@ -158,6 +165,8 @@ class AppAwareOptimizer:
             n_fast_misses = fastest.stats.misses - fast_misses_before
 
             render = context.render_model.render_time(len(ids))
+            if tracer.enabled:
+                tracer.record("render", i, time_s=render)
 
             # Prefetch phase (lines 20-22), overlapped with rendering.
             lookup_time = 0.0

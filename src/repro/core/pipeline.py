@@ -94,6 +94,7 @@ def run_baseline(
     hierarchy: MemoryHierarchy,
     name: Optional[str] = None,
     protect_current_step: bool = False,
+    tracer=None,
 ) -> RunResult:
     """Replay the path with a conventional policy (FIFO/LRU/ARC/...).
 
@@ -104,7 +105,15 @@ def run_baseline(
     ``protect_current_step=True`` applies Algorithm 1's eviction constraint
     (victims must not have been used at the current step) to the baseline
     too — an ablation knob; the paper's baselines run unprotected.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) is installed on the
+    hierarchy for the replay and additionally receives one ``render``
+    event per step; pass ``None`` to keep whatever tracer the hierarchy
+    already has (the no-op tracer by default).
     """
+    if tracer is not None:
+        hierarchy.set_tracer(tracer)
+    tracer = hierarchy.tracer
     policy_name = hierarchy.fastest.policy.name
     steps: List[StepMetrics] = []
     for i, ids in enumerate(context.visible_sets):
@@ -114,6 +123,8 @@ def run_baseline(
         for b in ids:
             io += hierarchy.fetch(int(b), i, min_free_step=min_free).time_s
         render = context.render_model.render_time(len(ids))
+        if tracer.enabled:
+            tracer.record("render", i, time_s=render)
         steps.append(
             StepMetrics(
                 step=i,

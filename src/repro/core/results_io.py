@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.metrics import RunResult
 

@@ -13,18 +13,13 @@ asserted (at quick scale) in tests/experiments/test_shapes.py.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.camera.path import random_path, spherical_path
 from repro.camera.sampling import SamplingConfig
 from repro.core.optimizer import OptimizerConfig
-from repro.core.pipeline import run_baseline
-from repro.experiments.report import format_series, format_table
-from repro.experiments.runner import (
-    DEFAULT_VIEW_ANGLE_DEG,
-    ExperimentSetup,
-    compare_policies,
-)
+from repro.experiments.report import format_series
+from repro.experiments.runner import ExperimentSetup, compare_policies
 from repro.volume.datasets import dataset_table
 
 __all__ = [

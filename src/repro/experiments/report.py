@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "format_run_summaries"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_run_summaries",
+    "format_trace_report",
+]
 
 
 def _fmt(value) -> str:
@@ -48,6 +53,54 @@ def format_series(
     for i, x in enumerate(x_values):
         rows.append([x] + [series[name][i] for name in series])
     return format_table(headers, rows, title=title)
+
+
+def format_trace_report(summary, result=None, title: str = "") -> str:
+    """Tabulate a :class:`~repro.trace.aggregate.TraceSummary`.
+
+    When ``result`` (a :class:`~repro.core.metrics.RunResult`) is given,
+    a ledger line cross-checks the trace's byte total against the run's
+    ``bytes_moved`` extra — after the accounting fixes the two must agree
+    exactly.
+    """
+    headers = ["step", "hits", "fetches", "prefetches", "preloads", "evict",
+               "bypass", "demand_MB", "prefetch_MB", "coverage"]
+    rows = []
+    for s in summary.steps:
+        rows.append([
+            "preload" if s.step < 0 else s.step,
+            s.hits,
+            s.demand_fetches,
+            s.prefetches,
+            s.preloads,
+            s.evictions,
+            s.bypasses,
+            s.demand_bytes / 1e6,
+            s.prefetch_bytes / 1e6,
+            s.fast_coverage,
+        ])
+    lines = [format_table(headers, rows, title=title)]
+    lines.append(
+        f"levels: "
+        + ", ".join(
+            f"{name} {b['demand'] / 1e6:.2f} MB demand / {b['prefetch'] / 1e6:.2f} MB prefetch"
+            for name, b in summary.level_bytes.items()
+        )
+    )
+    lines.append(
+        f"trace total: {summary.total_bytes / 1e6:.3f} MB moved "
+        f"({summary.demand_bytes / 1e6:.3f} demand + {summary.prefetch_bytes / 1e6:.3f} prefetch), "
+        f"{summary.total_evictions} evictions, "
+        f"mean fast coverage {summary.mean_fast_coverage:.3f}"
+    )
+    if result is not None and "bytes_moved" in result.extras:
+        moved = result.extras["bytes_moved"]
+        agree = "agrees" if float(summary.total_bytes) == float(moved) else "MISMATCH"
+        lines.append(
+            f"ledger check: trace {summary.total_bytes / 1e6:.3f} MB vs "
+            f"hierarchy bytes_moved {moved / 1e6:.3f} MB — {agree}"
+        )
+    return "\n".join(lines)
 
 
 def format_run_summaries(results: Mapping[str, object], title: str = "") -> str:

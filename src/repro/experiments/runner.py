@@ -10,7 +10,7 @@ is the comparison every figure in the paper makes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.camera.path import CameraPath
 from repro.camera.sampling import SamplingConfig

@@ -19,7 +19,7 @@ Two schemes:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

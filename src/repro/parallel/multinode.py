@@ -15,7 +15,7 @@ node demand-fetches the visible blocks *it owns* and renders them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -29,14 +29,21 @@ def run_with_prefetcher(
     preload_sigma: float = float("-inf"),
     max_prefetch_per_step: Optional[int] = None,
     name: Optional[str] = None,
+    tracer=None,
 ) -> RunResult:
     """Replay ``context.path`` using ``prefetcher`` for predictions.
 
     ``preload_importance``/``preload_sigma`` optionally run the Step 2
     importance preload first (pass the table the paper's method uses, or
     ``None`` for a cold start).
+
+    ``tracer`` is installed on the hierarchy for the replay and receives
+    one ``render`` event per step.
     """
     prefetcher.reset()
+    if tracer is not None:
+        hierarchy.set_tracer(tracer)
+    tracer = hierarchy.tracer
     if preload_importance is not None:
         ranked = preload_importance.ids_above(preload_sigma)
         hierarchy.preload([int(b) for b in ranked])
@@ -54,17 +61,21 @@ def run_with_prefetcher(
         n_fast_misses = fastest.stats.misses - fast_misses_before
 
         render = context.render_model.render_time(len(ids))
+        if tracer.enabled:
+            tracer.record("render", i, time_s=render)
 
         candidates = prefetcher.predict(i, positions[i], ids)
         lookup_time = prefetcher.query_cost_s()
         prefetch_time = 0.0
         n_prefetched = 0
+        attempted = set()  # a predictor may repeat ids; fetch each at most once
         for b in candidates:
             if n_prefetched >= cap:
                 break
             b = int(b)
-            if hierarchy.contains_fast(b):
+            if b in attempted or hierarchy.contains_fast(b):
                 continue
+            attempted.add(b)
             prefetch_time += hierarchy.fetch(b, i, prefetch=True, min_free_step=i).time_s
             n_prefetched += 1
 

@@ -22,7 +22,6 @@ from typing import Optional
 import numpy as np
 
 from repro.render.query import BlockRangeIndex
-from repro.volume.blocks import BlockGrid
 from repro.volume.volume import Volume
 
 __all__ = ["isosurface_blocks", "isosurface_mask", "isosurface_statistics", "IsoStatistics"]

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Optional
 
 from repro.policies.base import ReplacementPolicy
 from repro.storage.stats import CacheStats
+from repro.trace.tracer import NULL_TRACER
 from repro.utils.validation import check_positive
 
 __all__ = ["CacheLevel"]
@@ -24,13 +25,20 @@ _NEVER_USED = -1  # last_used for preloaded blocks (Alg. 1 line 5: time <- -1)
 class CacheLevel:
     """A fixed-capacity cache of block ids with a pluggable policy."""
 
-    def __init__(self, name: str, capacity_blocks: int, policy: ReplacementPolicy) -> None:
+    def __init__(
+        self,
+        name: str,
+        capacity_blocks: int,
+        policy: ReplacementPolicy,
+        tracer=NULL_TRACER,
+    ) -> None:
         self.name = str(name)
         self.capacity = int(check_positive("capacity_blocks", capacity_blocks))
         self.policy = policy
         policy.set_capacity(self.capacity)
         self._last_used: Dict[int, int] = {}
         self.stats = CacheStats()
+        self.tracer = tracer
 
     # -- queries -------------------------------------------------------------
 
@@ -81,8 +89,10 @@ class CacheLevel:
             victim = self.policy.choose_victim(self._evictable_predicate(min_free_step))
             if victim is None:
                 self.stats.bypasses += 1
+                if self.tracer.enabled:
+                    self.tracer.record("bypass", step, self.name, key)
                 return False
-            self.evict(victim)
+            self.evict(victim, step=step)
         self._last_used[key] = step
         self.policy.on_insert(key, step)
         self.stats.inserts += 1
@@ -94,20 +104,28 @@ class CacheLevel:
         last_used = self._last_used
         return lambda key: last_used[key] < min_free_step
 
-    def evict(self, key: int) -> None:
-        """Remove a resident ``key`` (policy notified)."""
+    def evict(self, key: int, step: Optional[int] = None) -> None:
+        """Remove a resident ``key`` (policy notified).
+
+        ``step`` is only used for tracing: the replay step whose admission
+        forced this eviction (``None`` for evictions outside a replay).
+        """
         if key not in self._last_used:
             raise KeyError(f"{self.name}: evict of non-resident block {key}")
         del self._last_used[key]
         self.policy.on_evict(key)
         self.stats.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.record("evict", -1 if step is None else step, self.name, key)
 
     def preload(self, keys: Iterable[int]) -> int:
         """Fill the cache with ``keys`` (up to capacity) before a run.
 
         Used for Step 2's importance preload (Alg. 1 line 7).  Preloaded
         blocks get ``last_used = -1`` so any later step may evict them.
-        Returns how many were actually placed.
+        Counts toward ``stats.inserts`` like any other placement, so the
+        insert/eviction ledger stays balanced.  Returns how many were
+        actually placed.
         """
         placed = 0
         for key in keys:
@@ -117,6 +135,9 @@ class CacheLevel:
                 continue
             self._last_used[key] = _NEVER_USED
             self.policy.on_insert(key, _NEVER_USED)
+            self.stats.inserts += 1
+            if self.tracer.enabled:
+                self.tracer.record("preload", _NEVER_USED, self.name, key)
             placed += 1
         return placed
 

@@ -15,7 +15,8 @@ from typing import Callable, List, Optional, Sequence, Union
 from repro.policies.registry import make_policy
 from repro.storage.cache import CacheLevel
 from repro.storage.device import DRAM, HDD, SSD, StorageDevice
-from repro.storage.stats import CacheStats, HierarchyStats
+from repro.storage.stats import HierarchyStats
+from repro.trace.tracer import NULL_TRACER
 
 __all__ = ["FetchResult", "MemoryHierarchy", "make_standard_hierarchy"]
 
@@ -42,6 +43,7 @@ class MemoryHierarchy:
         backing: StorageDevice,
         block_nbytes: BlockSize,
         prefetch_latency_factor: float = 0.25,
+        tracer=None,
     ) -> None:
         if not levels:
             raise ValueError("hierarchy needs at least one cache level")
@@ -65,6 +67,14 @@ class MemoryHierarchy:
         self.prefetch_latency_factor = prefetch_latency_factor
         self.backing_reads = 0
         self.backing_bytes = 0
+        self.tracer = NULL_TRACER
+        self.set_tracer(tracer if tracer is not None else NULL_TRACER)
+
+    def set_tracer(self, tracer) -> None:
+        """Install ``tracer`` on the hierarchy and every cache level."""
+        self.tracer = tracer
+        for level in self.levels:
+            level.tracer = tracer
 
     # -- helpers -------------------------------------------------------------
 
@@ -96,6 +106,14 @@ class MemoryHierarchy:
         hit/miss counters; prefetch fetches update the prefetch counters and
         do not refresh recency on hits (a prediction must not perturb the
         replacement order of data the user actually touched).
+
+        Byte accounting is uniform: every fetch charges the block's size
+        exactly once at the serving source — ``bytes_read`` of the serving
+        cache level (including fastest-level hits, whose bytes the renderer
+        still reads) or ``backing_bytes`` for backing-store reads.  The
+        ``bytes_moved`` extras reported by the drivers therefore equal
+        ``backing_bytes + total_bytes_read``, and the trace's
+        hit/fetch/prefetch events sum to the same total.
         """
         nbytes = self.block_nbytes(key)
         latency_scale = self.prefetch_latency_factor if prefetch else 1.0
@@ -105,6 +123,7 @@ class MemoryHierarchy:
                 found_at = j
                 break
 
+        tracer = self.tracer
         if found_at == 0:
             level = self.levels[0]
             if prefetch:
@@ -112,7 +131,13 @@ class MemoryHierarchy:
             else:
                 level.stats.hits += 1
                 level.touch(key, step)
+            level.stats.bytes_read += nbytes
             time_s = self.level_devices[0].read_time(nbytes, latency_scale)
+            if tracer.enabled:
+                tracer.record(
+                    "prefetch" if prefetch else "hit",
+                    step, level.name, key, nbytes, time_s,
+                )
             return FetchResult(key, time_s, level.name, fastest_hit=True)
 
         # Count misses at every level above the serving one.
@@ -139,6 +164,11 @@ class MemoryHierarchy:
             source_name = serving.name
             time_s = self.level_devices[found_at].read_time(nbytes, latency_scale)
 
+        if tracer.enabled:
+            tracer.record(
+                "prefetch" if prefetch else "fetch",
+                step, source_name, key, nbytes, time_s,
+            )
         # Copy into every faster level (inclusive hierarchy).
         for level in upper:
             level.admit(key, step, min_free_step=min_free_step)
@@ -179,7 +209,7 @@ class MemoryHierarchy:
             level.check_invariants()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        lv = ", ".join(f"{l.name}:{l.capacity}" for l in self.levels)
+        lv = ", ".join(f"{lvl.name}:{lvl.capacity}" for lvl in self.levels)
         return f"MemoryHierarchy([{lv}] over {self.backing.name})"
 
 
@@ -190,6 +220,7 @@ def make_standard_hierarchy(
     policy: str = "lru",
     devices: Sequence[StorageDevice] = (DRAM, SSD),
     backing: StorageDevice = HDD,
+    tracer=None,
 ) -> MemoryHierarchy:
     """The paper's DRAM/SSD-over-HDD setup for a dataset of ``n_blocks``.
 
@@ -208,4 +239,4 @@ def make_standard_hierarchy(
         capacity = max(1, int(round(n_blocks * frac)))
         levels.append(CacheLevel(device.name, capacity, make_policy(policy)))
     levels.reverse()  # fastest first
-    return MemoryHierarchy(levels, list(devices), backing, block_nbytes)
+    return MemoryHierarchy(levels, list(devices), backing, block_nbytes, tracer=tracer)

@@ -8,7 +8,6 @@ the threshold σ, and for truncating over-predicted visible sets.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional
 
 import numpy as np
 

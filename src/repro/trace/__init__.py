@@ -1,0 +1,38 @@
+"""End-to-end event tracing and metrics for the I/O path.
+
+A :class:`Tracer` rides along the whole read path — hierarchy fetches,
+cache evictions/bypasses, preload, prefetch, render — recording typed
+:class:`TraceEvent` rows into a bounded ring buffer.  The shared
+:data:`NULL_TRACER` keeps instrumented code allocation-free when tracing
+is off.  :func:`aggregate` folds an event stream into per-step timelines
+(demand vs prefetch bytes per level, eviction churn, fast-memory
+coverage); :mod:`repro.trace.export` serialises events as JSON-lines or
+Chrome-trace JSON for ``chrome://tracing`` / Perfetto.
+"""
+
+from repro.trace.events import EVENT_KINDS, MOVEMENT_KINDS, TraceEvent
+from repro.trace.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.trace.aggregate import StepTimeline, TraceSummary, aggregate, format_timeline
+from repro.trace.export import (
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "MOVEMENT_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "StepTimeline",
+    "TraceSummary",
+    "aggregate",
+    "format_timeline",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,152 @@
+"""Per-step timeline aggregation over a raw event stream.
+
+Turns the flat event list into the quantities the paper's figures (and
+the ``repro trace`` CLI) report per step: demand vs prefetch bytes split
+by serving level, eviction churn, and fast-memory coverage (the fraction
+of demand accesses served without leaving the fastest level).
+
+The ledger invariant: ``TraceSummary.total_bytes`` — the sum of
+``nbytes`` over hit/fetch/prefetch events — equals the hierarchy's
+``bytes_moved`` extra (``backing_bytes + total_bytes_read``) when the
+trace captured the whole run.  ``tests/trace/test_integration.py`` pins
+this equality exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.trace.events import MOVEMENT_KINDS, TraceEvent
+
+__all__ = ["StepTimeline", "TraceSummary", "aggregate", "format_timeline"]
+
+
+@dataclass
+class StepTimeline:
+    """Aggregated I/O activity at one camera-path step."""
+
+    step: int
+    hits: int = 0
+    demand_fetches: int = 0
+    prefetches: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+    preloads: int = 0
+    demand_bytes: int = 0
+    prefetch_bytes: int = 0
+    demand_time_s: float = 0.0
+    prefetch_time_s: float = 0.0
+    render_time_s: float = 0.0
+
+    @property
+    def fast_coverage(self) -> float:
+        """Fraction of demand accesses served by the fastest level."""
+        n = self.hits + self.demand_fetches
+        return self.hits / n if n else 1.0
+
+
+@dataclass
+class TraceSummary:
+    """Whole-trace aggregation: per-step rows plus per-level byte splits."""
+
+    steps: List[StepTimeline] = field(default_factory=list)
+    #: level/device name -> {"demand": bytes, "prefetch": bytes}
+    level_bytes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    n_events: int = 0
+
+    @property
+    def demand_bytes(self) -> int:
+        return sum(s.demand_bytes for s in self.steps)
+
+    @property
+    def prefetch_bytes(self) -> int:
+        return sum(s.prefetch_bytes for s in self.steps)
+
+    @property
+    def total_bytes(self) -> int:
+        """Demand + prefetch bytes — must equal the hierarchy's ``bytes_moved``."""
+        return self.demand_bytes + self.prefetch_bytes
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(s.evictions for s in self.steps)
+
+    @property
+    def mean_fast_coverage(self) -> float:
+        rows = [s for s in self.steps if s.step >= 0]
+        if not rows:
+            return 1.0
+        return sum(s.fast_coverage for s in rows) / len(rows)
+
+
+def aggregate(events: Iterable[TraceEvent]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary`.
+
+    Events with ``step == -1`` (preload before the replay) are gathered
+    into their own row, kept first so the timeline stays sorted.
+    """
+    rows: Dict[int, StepTimeline] = {}
+    level_bytes: Dict[str, Dict[str, int]] = {}
+    n_events = 0
+    for e in events:
+        n_events += 1
+        row = rows.get(e.step)
+        if row is None:
+            row = rows[e.step] = StepTimeline(step=e.step)
+        if e.kind == "hit":
+            row.hits += 1
+            row.demand_bytes += e.nbytes
+            row.demand_time_s += e.time_s
+        elif e.kind == "fetch":
+            row.demand_fetches += 1
+            row.demand_bytes += e.nbytes
+            row.demand_time_s += e.time_s
+        elif e.kind == "prefetch":
+            row.prefetches += 1
+            row.prefetch_bytes += e.nbytes
+            row.prefetch_time_s += e.time_s
+        elif e.kind == "evict":
+            row.evictions += 1
+        elif e.kind == "bypass":
+            row.bypasses += 1
+        elif e.kind == "preload":
+            row.preloads += 1
+        elif e.kind == "render":
+            row.render_time_s += e.time_s
+        if e.kind in MOVEMENT_KINDS and e.level:
+            split = level_bytes.setdefault(e.level, {"demand": 0, "prefetch": 0})
+            split["prefetch" if e.kind == "prefetch" else "demand"] += e.nbytes
+    return TraceSummary(
+        steps=[rows[k] for k in sorted(rows)],
+        level_bytes=level_bytes,
+        n_events=n_events,
+    )
+
+
+def format_timeline(summary: TraceSummary, max_rows: int = 20) -> str:
+    """Human-readable per-step table (the ``repro trace`` CLI output)."""
+    header = (
+        f"{'step':>5} {'hits':>6} {'fetch':>6} {'pref':>6} {'evict':>6} "
+        f"{'byp':>5} {'dem MB':>9} {'pref MB':>9} {'cover':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    rows = summary.steps
+    shown = rows if len(rows) <= max_rows else rows[:max_rows]
+    for s in shown:
+        label = "pre" if s.step < 0 else str(s.step)
+        lines.append(
+            f"{label:>5} {s.hits:>6} {s.demand_fetches:>6} {s.prefetches:>6} "
+            f"{s.evictions:>6} {s.bypasses:>5} {s.demand_bytes / 1e6:>9.2f} "
+            f"{s.prefetch_bytes / 1e6:>9.2f} {s.fast_coverage:>6.2f}"
+        )
+    if len(rows) > len(shown):
+        lines.append(f"... ({len(rows) - len(shown)} more steps)")
+    lines.append(
+        f"totals: {summary.demand_bytes / 1e6:.2f} MB demand + "
+        f"{summary.prefetch_bytes / 1e6:.2f} MB prefetch = "
+        f"{summary.total_bytes / 1e6:.2f} MB moved, "
+        f"{summary.total_evictions} evictions, "
+        f"mean fast coverage {summary.mean_fast_coverage:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Typed trace events for the I/O path.
+
+One :class:`TraceEvent` is recorded per observable action on the
+simulated storage stack.  The event kinds mirror the hierarchy's
+read-path decisions:
+
+- ``hit``      — a demand fetch served by the fastest level (no movement
+  between levels, but the renderer still reads the bytes);
+- ``fetch``    — a demand fetch served by a slower level or the backing
+  store (the block is promoted into every faster level);
+- ``prefetch`` — a predicted fetch issued during rendering, any source;
+- ``evict``    — a victim removed from a level to make room;
+- ``bypass``   — an insert abandoned because every resident block was
+  protected (Algorithm 1's eviction constraint);
+- ``preload``  — a block placed by the Step 2 importance preload;
+- ``render``   — one frame's render phase (duration only).
+
+Exactly one of ``hit``/``fetch``/``prefetch`` is emitted per
+:meth:`repro.storage.hierarchy.MemoryHierarchy.fetch` call, carrying the
+block's size and the simulated time charged — so summing ``nbytes`` over
+those three kinds reproduces the hierarchy's ``bytes_moved`` ledger
+exactly (a property the test suite pins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+__all__ = ["EVENT_KINDS", "MOVEMENT_KINDS", "TraceEvent"]
+
+EVENT_KINDS: Tuple[str, ...] = (
+    "fetch",
+    "hit",
+    "evict",
+    "bypass",
+    "prefetch",
+    "preload",
+    "render",
+)
+
+# Kinds whose ``nbytes`` counts toward the bytes-moved ledger.
+MOVEMENT_KINDS: Tuple[str, ...] = ("fetch", "hit", "prefetch")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable action on the simulated I/O path.
+
+    Parameters
+    ----------
+    seq:
+        Monotonic sequence number assigned by the tracer (survives ring
+        wrap-around, so gaps reveal dropped events).
+    kind:
+        One of :data:`EVENT_KINDS`.
+    step:
+        Camera-path step the event belongs to (−1 when outside a replay,
+        e.g. preload).
+    level:
+        Serving level or device name (``""`` when not applicable).
+    key:
+        Block id (−1 when not applicable, e.g. render).
+    nbytes:
+        Bytes moved or read by this event (0 for evict/bypass/render).
+    time_s:
+        Simulated seconds charged for this event.
+    """
+
+    seq: int
+    kind: str
+    step: int
+    level: str
+    key: int
+    nbytes: int
+    time_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "TraceEvent":
+        return cls(
+            seq=int(d["seq"]),
+            kind=str(d["kind"]),
+            step=int(d["step"]),
+            level=str(d["level"]),
+            key=int(d["key"]),
+            nbytes=int(d["nbytes"]),
+            time_s=float(d["time_s"]),
+        )

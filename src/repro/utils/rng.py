@@ -7,7 +7,7 @@ through :func:`resolve_rng`, so whole experiments replay bit-identically.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

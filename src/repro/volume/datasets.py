@@ -10,7 +10,7 @@ documents why the substitution preserves the replacement behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Dict, Tuple
 
 from repro.utils.rng import SeedLike
 from repro.volume.synthetic import ball_field, climate_field, combustion_field

@@ -6,7 +6,6 @@ paths) and with dense in-block sampling.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -14,9 +14,9 @@ class TestCamera:
 
     def test_key_matches_position(self):
         c = Camera((0.0, 2.0, 0.0))
-        l, d = c.key()
+        look, d = c.key()
         assert d == pytest.approx(2.0)
-        assert np.allclose(l, [0.0, -1.0, 0.0])
+        assert np.allclose(look, [0.0, -1.0, 0.0])
 
     def test_half_angle(self):
         c = Camera((1.0, 0.0, 0.0), view_angle_deg=90.0)

@@ -6,8 +6,14 @@ import pytest
 from repro.camera.path import random_path
 from repro.camera.sampling import SamplingConfig
 from repro.core.interactive import BudgetedResult, render_quality_series, run_budgeted
+from repro.core.pipeline import PipelineContext
 from repro.experiments.runner import ExperimentSetup
+from repro.policies.lru import LRUPolicy
 from repro.render.raycast import Raycaster, RenderSettings
+from repro.render.render_model import RenderCostModel
+from repro.storage.cache import CacheLevel
+from repro.storage.device import HDD, StorageDevice
+from repro.storage.hierarchy import MemoryHierarchy
 
 
 @pytest.fixture(scope="module")
@@ -86,6 +92,67 @@ class TestRunBudgeted:
     def test_invalid_budget(self, setup, context):
         with pytest.raises(ValueError):
             run_budgeted(context, setup.hierarchy("lru"), io_budget_s=0.0)
+
+    def test_fully_resident_frame_renders_complete(self, setup, context):
+        """Resident blocks are free: even a minuscule budget cannot starve a
+        frame whose whole visible set is already in fast memory."""
+        hierarchy = setup.hierarchy("lru")
+        for b in context.visible_sets[0]:
+            hierarchy.fetch(int(b), 0)
+        result = run_budgeted(context, hierarchy, io_budget_s=1e-12)
+        step0 = result.steps[0]
+        assert step0.n_rendered == step0.n_visible
+        assert step0.coverage == 1.0
+
+
+class TestBudgetExcludesHits:
+    """The deadline governs *miss* I/O only (the docstring's contract)."""
+
+    def _context(self, setup, n_visible):
+        path = random_path(
+            n_positions=1, degree_change=(5.0, 10.0), distance=2.5,
+            view_angle_deg=setup.view_angle_deg, seed=0,
+        )
+        return PipelineContext(
+            path=path,
+            grid=setup.grid,
+            visible_sets=[np.arange(n_visible, dtype=np.int64)],
+            render_model=RenderCostModel(),
+        )
+
+    def test_hit_time_not_charged_against_budget(self, setup):
+        # A pathologically slow "fast" level makes resident-hit time huge
+        # relative to the budget; under the old accounting the hits alone
+        # blew the deadline and starved every miss fetch.
+        slow_fast = StorageDevice("dram", read_latency_s=1.0, read_bandwidth_bps=1e12)
+        levels = [CacheLevel("dram", 16, LRUPolicy())]
+        hierarchy = MemoryHierarchy(levels, [slow_fast], HDD, block_nbytes=1024)
+        for b in range(6):
+            hierarchy.fetch(b, 0)  # residents: 6 blocks, ~1 s per hit
+        context = self._context(setup, n_visible=12)
+        miss_cost = HDD.read_time(1024)
+        result = run_budgeted(context, hierarchy, io_budget_s=2.5 * miss_cost)
+        step0 = result.steps[0]
+        # 6 free hits + misses fetched until 2.5 read-times elapse -> 3.
+        assert step0.n_rendered == 6 + 3
+        # io_time_s still reports the full demand time, hits included.
+        assert step0.io_time_s > 6.0
+
+    def test_miss_budget_independent_of_resident_count(self, setup):
+        slow_fast = StorageDevice("dram", read_latency_s=1.0, read_bandwidth_bps=1e12)
+        miss_cost = HDD.read_time(1024)
+
+        def rendered_with_residents(n_resident):
+            levels = [CacheLevel("dram", 16, LRUPolicy())]
+            hierarchy = MemoryHierarchy(levels, [slow_fast], HDD, block_nbytes=1024)
+            for b in range(n_resident):
+                hierarchy.fetch(b, 0)
+            context = self._context(setup, n_visible=12)
+            result = run_budgeted(context, hierarchy, io_budget_s=1.5 * miss_cost)
+            return result.steps[0].n_rendered - n_resident
+
+        # The same budget always buys the same number of miss fetches.
+        assert rendered_with_residents(0) == rendered_with_residents(4) == rendered_with_residents(8)
 
 
 class TestRenderQuality:

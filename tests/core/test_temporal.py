@@ -1,6 +1,5 @@
 """Tests for the temporal replay driver."""
 
-import numpy as np
 import pytest
 
 from repro.camera.path import spherical_path

@@ -6,7 +6,6 @@ sequences across policies, balanced ledgers, Belady's DRAM optimality,
 and sane metric ranges.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

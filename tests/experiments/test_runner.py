@@ -1,6 +1,5 @@
 """Tests for the experiment runner machinery."""
 
-import numpy as np
 import pytest
 
 from repro.camera.path import random_path

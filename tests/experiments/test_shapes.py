@@ -6,7 +6,6 @@ being competitive.  The benchmark suite regenerates the figures at the
 paper's parameter values; these tests guard the *mechanisms*.
 """
 
-import numpy as np
 import pytest
 
 from repro.camera.path import random_path, spherical_path

@@ -7,7 +7,7 @@ from repro.camera.path import spherical_path
 from repro.core.pipeline import PipelineContext
 from repro.importance.entropy import block_entropies
 from repro.parallel.distribution import partition_by_importance, partition_spatial
-from repro.parallel.multinode import MultiNodeResult, run_multinode
+from repro.parallel.multinode import run_multinode
 from repro.volume.blocks import BlockGrid
 from repro.volume.synthetic import ball_field
 from repro.volume.volume import Volume

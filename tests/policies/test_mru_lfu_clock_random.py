@@ -1,6 +1,5 @@
 """Tests for MRU, LFU, CLOCK and RANDOM policies."""
 
-import pytest
 
 from repro.policies.clock import ClockPolicy
 from repro.policies.lfu import LFUPolicy

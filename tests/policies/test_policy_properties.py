@@ -4,7 +4,6 @@ LRU/FIFO match reference implementations, Belady is never worse.
 
 from collections import OrderedDict
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -84,13 +83,11 @@ class TestLRUReference:
     def test_matches_ordereddict_lru(self, trace, capacity):
         policy = LRUPolicy()
         ref: "OrderedDict[int, None]" = OrderedDict()
-        ref_misses = 0
         for t, key in enumerate(trace):
             if key in ref:
                 ref.move_to_end(key)
                 policy.on_hit(key, t)
             else:
-                ref_misses += 1
                 if len(ref) >= capacity:
                     victim_ref, _ = ref.popitem(last=False)
                     victim = policy.choose_victim()

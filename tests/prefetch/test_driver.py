@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import PipelineContext, run_baseline
+from repro.core.pipeline import run_baseline
 from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
-from repro.experiments.runner import ExperimentSetup, fresh_hierarchy
+from repro.experiments.runner import ExperimentSetup
 from repro.camera.sampling import SamplingConfig
 from repro.camera.path import random_path
 from repro.prefetch.driver import run_with_prefetcher
@@ -15,7 +15,6 @@ from repro.prefetch.strategies import (
     NoPrefetcher,
     TableLookupPrefetcher,
 )
-from repro.tables.visible_table import LookupCostModel
 
 
 @pytest.fixture(scope="module")
@@ -108,3 +107,56 @@ class TestDriver:
         assert result.policy == "prefetch-none"
         assert result.overlap_prefetch
         assert "bytes_moved" in result.extras
+
+
+class _DuplicatePrefetcher(NoPrefetcher):
+    """Stub predictor that repeats the same candidate ids every step."""
+
+    name = "duplicates"
+
+    def __init__(self, candidates, repeats=3):
+        self._candidates = list(candidates)
+        self._repeats = repeats
+
+    def predict(self, step, position, visible_ids):
+        return np.asarray(self._candidates * self._repeats, dtype=np.int64)
+
+
+class TestDuplicateCandidates:
+    def test_duplicates_fetched_at_most_once_per_step(self, setup, context):
+        """When admission bypasses (everything protected), a repeated id must
+        not be fetched — and charged — once per occurrence."""
+        from repro.policies.lru import LRUPolicy
+        from repro.storage.cache import CacheLevel
+        from repro.storage.device import DRAM, HDD
+        from repro.storage.hierarchy import MemoryHierarchy
+
+        n_visible = len(context.visible_sets[0])
+        # Fast level exactly the size of the visible set: after the demand
+        # phase every resident is protected (used at the current step), so
+        # the prefetched block is never admitted -> it stays non-resident
+        # and a duplicate would trigger a second fetch.
+        levels = [CacheLevel("dram", max(n_visible, 1), LRUPolicy())]
+        target = int(max(int(b) for ids in context.visible_sets for b in ids)) + 1
+        hierarchy = MemoryHierarchy(
+            levels, [DRAM], HDD,
+            block_nbytes=setup.grid.uniform_block_nbytes(n_variables=1),
+        )
+        result = run_with_prefetcher(
+            context, hierarchy, _DuplicatePrefetcher([target], repeats=3),
+        )
+        assert all(s.n_prefetched <= 1 for s in result.steps)
+        stats = hierarchy.stats().levels["dram"]
+        # One prefetch attempt per step at most — never one per duplicate.
+        assert stats.prefetch_misses + stats.prefetch_hits <= result.n_steps
+
+    def test_duplicates_equal_unique_results(self, setup, context):
+        dup = run_with_prefetcher(
+            context, setup.hierarchy("lru"), _DuplicatePrefetcher([3, 5, 7], repeats=4),
+        )
+        unique = run_with_prefetcher(
+            context, setup.hierarchy("lru"), _DuplicatePrefetcher([3, 5, 7], repeats=1),
+        )
+        assert dup.n_prefetched == unique.n_prefetched
+        assert dup.extras["bytes_moved"] == unique.extras["bytes_moved"]
+        assert dup.hierarchy_stats == unique.hierarchy_stats

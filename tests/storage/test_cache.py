@@ -90,6 +90,20 @@ class TestPreload:
         cache.preload([7])
         assert cache.last_used(7) == -1
 
+    def test_preload_counts_inserts(self, cache):
+        """Preloaded blocks show up in the insert/eviction ledger."""
+        cache.preload([10, 11, 12])  # fills the 3-block cache
+        assert cache.stats.inserts == 3
+        cache.admit(1, 0, min_free_step=0)  # evicts a preloaded block
+        assert cache.stats.inserts == 4
+        assert cache.stats.evictions == 1
+        assert cache.stats.inserts - cache.stats.evictions == len(cache)
+
+    def test_preload_duplicates_not_double_counted(self, cache):
+        cache.admit(10, 0)
+        cache.preload([10, 11])
+        assert cache.stats.inserts == 2  # 10 was already resident
+
 
 class TestInvariants:
     def test_check_invariants_clean(self, cache):
@@ -119,3 +133,19 @@ class TestInvariants:
         for k in (1, 2, 3):
             cache.admit(k, 0)
         assert cache.is_full
+
+    def test_invariants_after_preload_admit_evict_mix(self, cache):
+        cache.preload([10, 11, 12])
+        cache.check_invariants()
+        cache.admit(1, 0, min_free_step=0)
+        cache.check_invariants()
+        cache.evict(1)
+        cache.check_invariants()
+        assert cache.stats.inserts - cache.stats.evictions == len(cache)
+
+    def test_invariants_after_bypass(self, cache):
+        for k in (1, 2, 3):
+            cache.admit(k, 5)
+        assert not cache.admit(4, 5, min_free_step=5)
+        cache.check_invariants()
+        assert cache.stats.inserts - cache.stats.evictions == len(cache)

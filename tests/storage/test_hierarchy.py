@@ -1,6 +1,5 @@
 """Tests for the multi-level memory hierarchy."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -128,6 +127,47 @@ class TestMinFreeStep:
         h.fetch(2, step=3, min_free_step=3)
         assert 2 in h.levels[0]
         assert 1 not in h.levels[0]
+
+
+class TestByteAccounting:
+    """Bytes are charged exactly once per fetch, at the serving source."""
+
+    def test_known_trace_total_bytes_pinned(self):
+        h = tiny(block_nbytes=1024, dram=1, ssd=4)
+        h.fetch(1, 0)  # cold: hdd -> backing_bytes 1024
+        h.fetch(1, 1)  # dram hit -> dram bytes_read 1024
+        h.fetch(2, 2)  # cold: hdd (evicts 1 from dram) -> backing 1024
+        h.fetch(1, 3)  # ssd hit -> ssd bytes_read 1024
+        h.fetch(1, 4)  # dram hit -> dram bytes_read 1024
+        stats = h.stats()
+        assert h.backing_bytes == 2 * 1024
+        assert stats.levels["dram"].bytes_read == 2 * 1024
+        assert stats.levels["ssd"].bytes_read == 1 * 1024
+        # The bytes_moved ledger: one charge per fetch, five fetches.
+        assert h.backing_bytes + stats.total_bytes_read == 5 * 1024
+
+    def test_fastest_hit_charges_bytes(self):
+        h = tiny(block_nbytes=2048)
+        h.fetch(3, 0)
+        before = h.stats().levels["dram"].bytes_read
+        h.fetch(3, 1)
+        assert h.stats().levels["dram"].bytes_read == before + 2048
+
+    def test_prefetch_bytes_charged_at_source(self):
+        h = tiny(block_nbytes=512)
+        h.fetch(9, 0, prefetch=True)  # cold prefetch from backing
+        assert h.backing_bytes == 512
+        h.fetch(9, 1, prefetch=True)  # fastest-level prefetch hit
+        assert h.stats().levels["dram"].bytes_read == 512
+
+    def test_every_fetch_charges_exactly_once(self):
+        h = tiny(block_nbytes=100, dram=2, ssd=4)
+        n_fetches = 0
+        for step, key in enumerate([1, 2, 3, 1, 4, 2, 5, 1, 3]):
+            h.fetch(key, step)
+            n_fetches += 1
+        total = h.backing_bytes + h.stats().total_bytes_read
+        assert total == n_fetches * 100
 
 
 class TestPreload:

@@ -5,7 +5,6 @@ bookkeeping invariants hold at every step, and the demand hit/miss ledger
 always balances.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

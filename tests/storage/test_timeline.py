@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage.timeline import StepCosts, StepSchedule, simulate_schedule
+from repro.storage.timeline import StepCosts, simulate_schedule
 
 durations = st.floats(0.0, 5.0, allow_nan=False)
 reads = st.lists(durations, max_size=4).map(tuple)

@@ -1,10 +1,8 @@
 """Tests for the Step 1/2 preprocessing builder."""
 
 import numpy as np
-import pytest
 
 from repro.camera.frustum import visible_mask
-from repro.camera.sampling import SamplingConfig, sample_positions
 from repro.tables.builder import build_importance_table, build_tables, build_visible_table
 
 VIEW = 10.0

@@ -64,9 +64,9 @@ class TestLookup:
             table.nearest_entry(np.zeros(2))
 
     def test_key_of(self, table):
-        l, d = table.key_of(0)
+        look, d = table.key_of(0)
         assert d == pytest.approx(2.0)
-        assert np.allclose(l, [-1.0, 0.0, 0.0])
+        assert np.allclose(look, [-1.0, 0.0, 0.0])
 
 
 class TestPersistence:

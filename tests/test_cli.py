@@ -85,6 +85,44 @@ class TestReplay:
             main(["replay", "--policies", "nonsense"])
 
 
+class TestTrace:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        rc = main([
+            "trace", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--steps", "6", "--policy", "lru",
+            "--out", str(out), "--jsonl", str(jsonl),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        for ev in doc["traceEvents"]:
+            assert "ph" in ev and "pid" in ev
+        assert jsonl.exists()
+        text = capsys.readouterr().out
+        assert "ledger check" in text and "agrees" in text
+
+    def test_app_aware_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--steps", "6",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "app-aware" in text
+        assert "agrees" in text
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.policy == "app-aware"
+        assert args.capacity == 1_000_000
+
+
 class TestRender:
     def test_writes_ppm(self, tmp_path, capsys):
         out = tmp_path / "f.ppm"

@@ -1,0 +1,63 @@
+"""Tests for per-step timeline aggregation."""
+
+from repro.trace import Tracer, aggregate, format_timeline
+
+
+def _trace():
+    t = Tracer()
+    t.record("preload", step=-1, level="dram", key=5)
+    t.record("fetch", step=0, level="hdd", key=1, nbytes=1000, time_s=0.01)
+    t.record("evict", step=0, level="dram", key=5)
+    t.record("hit", step=0, level="dram", key=5, nbytes=1000, time_s=1e-6)
+    t.record("prefetch", step=0, level="ssd", key=2, nbytes=1000, time_s=0.002)
+    t.record("render", step=0, time_s=0.5)
+    t.record("hit", step=1, level="dram", key=1, nbytes=1000, time_s=1e-6)
+    t.record("bypass", step=1, level="dram", key=9)
+    return t.events()
+
+
+class TestAggregate:
+    def test_rows_sorted_with_preload_first(self):
+        s = aggregate(_trace())
+        assert [row.step for row in s.steps] == [-1, 0, 1]
+
+    def test_step_counters(self):
+        s = aggregate(_trace())
+        pre, s0, s1 = s.steps
+        assert pre.preloads == 1
+        assert s0.hits == 1 and s0.demand_fetches == 1 and s0.prefetches == 1
+        assert s0.evictions == 1
+        assert s1.hits == 1 and s1.bypasses == 1
+
+    def test_byte_split(self):
+        s = aggregate(_trace())
+        assert s.demand_bytes == 3000  # fetch + two hits
+        assert s.prefetch_bytes == 1000
+        assert s.total_bytes == 4000
+
+    def test_level_bytes(self):
+        s = aggregate(_trace())
+        assert s.level_bytes["hdd"] == {"demand": 1000, "prefetch": 0}
+        assert s.level_bytes["dram"] == {"demand": 2000, "prefetch": 0}
+        assert s.level_bytes["ssd"] == {"demand": 0, "prefetch": 1000}
+
+    def test_coverage(self):
+        s = aggregate(_trace())
+        _, s0, s1 = s.steps
+        assert s0.fast_coverage == 0.5  # 1 hit, 1 demand fetch
+        assert s1.fast_coverage == 1.0
+        assert s.mean_fast_coverage == 0.75  # preload row excluded
+
+    def test_render_time(self):
+        s = aggregate(_trace())
+        assert s.steps[1].render_time_s == 0.5
+
+    def test_empty_trace(self):
+        s = aggregate([])
+        assert s.steps == [] and s.total_bytes == 0
+        assert s.mean_fast_coverage == 1.0
+
+    def test_format_timeline_mentions_totals(self):
+        text = format_timeline(aggregate(_trace()))
+        assert "totals:" in text
+        assert "pre" in text  # the preload row label

@@ -1,0 +1,83 @@
+"""Tests for the JSONL and Chrome-trace exporters."""
+
+import json
+
+import pytest
+
+from repro.trace import TraceEvent, Tracer, read_jsonl, to_chrome_trace, write_chrome_trace, write_jsonl
+
+
+def _sample_events():
+    t = Tracer()
+    t.record("preload", step=-1, level="dram", key=7)
+    t.record("fetch", step=0, level="hdd", key=1, nbytes=1024, time_s=0.01)
+    t.record("evict", step=0, level="dram", key=7)
+    t.record("hit", step=1, level="dram", key=1, nbytes=1024, time_s=1e-6)
+    t.record("prefetch", step=1, level="ssd", key=2, nbytes=1024, time_s=0.002)
+    t.record("render", step=1, time_s=0.05)
+    t.record("bypass", step=2, level="dram", key=3)
+    return t.events()
+
+
+class TestJsonl:
+    def test_round_trip_preserves_events(self, tmp_path):
+        events = _sample_events()
+        path = write_jsonl(events, tmp_path / "t.jsonl")
+        back = read_jsonl(path)
+        assert len(back) == len(events)
+        assert back == events
+
+    def test_one_json_object_per_line(self, tmp_path):
+        events = _sample_events()
+        path = write_jsonl(events, tmp_path / "t.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(events)
+        for line in lines:
+            d = json.loads(line)
+            assert {"seq", "kind", "step", "level", "key", "nbytes", "time_s"} <= set(d)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        events = _sample_events()
+        path = write_jsonl(events, tmp_path / "t.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert read_jsonl(path) == events
+
+    def test_event_dict_round_trip(self):
+        e = TraceEvent(0, "fetch", 1, "hdd", 2, 1024, 0.5)
+        assert TraceEvent.from_dict(e.as_dict()) == e
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = to_chrome_trace(_sample_events())
+        assert isinstance(doc["traceEvents"], list)
+        # metadata event + one per trace event
+        assert len(doc["traceEvents"]) == len(_sample_events()) + 1
+        for ev in doc["traceEvents"]:
+            assert "ph" in ev and "pid" in ev and "tid" in ev
+
+    def test_duration_events_for_io_and_render(self):
+        doc = to_chrome_trace(_sample_events())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["cat"] for e in complete} == {"fetch", "hit", "prefetch", "render"}
+        for e in complete:
+            assert e["dur"] > 0
+
+    def test_instants_for_cache_maintenance(self):
+        doc = to_chrome_trace(_sample_events())
+        instants = {e["cat"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert instants == {"preload", "evict", "bypass"}
+
+    def test_timestamps_monotonic(self):
+        doc = to_chrome_trace(_sample_events())
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] in ("X", "i")]
+        assert ts == sorted(ts)
+
+    def test_serialises_to_valid_json(self, tmp_path):
+        path = write_chrome_trace(_sample_events(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_time_scale_validation(self):
+        with pytest.raises(ValueError):
+            to_chrome_trace(_sample_events(), time_scale=0)

@@ -1,0 +1,89 @@
+"""Tests for the ring-buffer tracer and its no-op twin."""
+
+import pytest
+
+from repro.trace import NULL_TRACER, EVENT_KINDS, NullTracer, Tracer
+
+
+class TestRecording:
+    def test_events_in_order(self):
+        t = Tracer(capacity=16)
+        t.record("fetch", step=0, level="hdd", key=1, nbytes=100, time_s=0.5)
+        t.record("hit", step=1, level="dram", key=1, nbytes=100, time_s=0.01)
+        t.record("render", step=1, time_s=0.2)
+        kinds = [e.kind for e in t.events()]
+        assert kinds == ["fetch", "hit", "render"]
+        assert [e.seq for e in t.events()] == [0, 1, 2]
+
+    def test_event_fields(self):
+        t = Tracer()
+        t.record("prefetch", step=3, level="ssd", key=42, nbytes=2048, time_s=1.5)
+        (e,) = t.events()
+        assert e.step == 3 and e.level == "ssd" and e.key == 42
+        assert e.nbytes == 2048 and e.time_s == 1.5
+
+    def test_unknown_kind_rejected(self):
+        t = Tracer()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            t.record("frobnicate")
+
+    def test_all_declared_kinds_accepted(self):
+        t = Tracer()
+        for kind in EVENT_KINDS:
+            t.record(kind)
+        assert len(t) == len(EVENT_KINDS)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestRingOverflow:
+    def test_oldest_dropped_first(self):
+        t = Tracer(capacity=3)
+        for k in range(5):
+            t.record("fetch", step=k, key=k)
+        events = t.events()
+        assert len(events) == 3
+        assert [e.step for e in events] == [2, 3, 4]  # 0 and 1 overwritten
+
+    def test_counters_survive_wraparound(self):
+        t = Tracer(capacity=3)
+        for k in range(10):
+            t.record("evict", key=k)
+        assert t.n_recorded == 10
+        assert t.n_dropped == 7
+        assert len(t) == 3
+
+    def test_seq_numbers_monotonic_across_wrap(self):
+        t = Tracer(capacity=2)
+        for k in range(5):
+            t.record("hit", key=k)
+        seqs = [e.seq for e in t.events()]
+        assert seqs == [3, 4]
+
+    def test_clear_resets_ring_and_counters(self):
+        t = Tracer(capacity=2)
+        for k in range(5):
+            t.record("hit", key=k)
+        t.clear()
+        assert len(t) == 0 and t.n_recorded == 0 and t.n_dropped == 0
+        t.record("hit", key=9)
+        assert [e.seq for e in t.events()] == [0]
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        n = NullTracer()
+        assert not n.enabled
+        n.record("fetch", step=0, key=1, nbytes=10, time_s=0.1)
+        assert n.events() == []
+        assert len(n) == 0
+        assert n.n_recorded == 0 and n.n_dropped == 0
+        n.clear()
+
+    def test_shared_singleton_is_disabled(self):
+        assert not NULL_TRACER.enabled
+
+    def test_tracer_enabled_flag(self):
+        assert Tracer().enabled

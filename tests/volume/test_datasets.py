@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.volume.datasets import DATASETS, DatasetSpec, dataset_table, make_dataset
+from repro.volume.datasets import DATASETS, dataset_table, make_dataset
 
 
 class TestRegistry:
