@@ -119,8 +119,19 @@ from repro.trace import (
     read_jsonl,
     write_chrome_trace,
 )
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    PhaseProfiler,
+    NullProfiler,
+    NULL_PROFILER,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # volume
@@ -213,5 +224,15 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "write_chrome_trace",
+    # obs
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
     "__version__",
 ]

@@ -8,7 +8,10 @@ Subcommands mirror a real out-of-core visualization workflow:
   comparison (optionally reusing saved tables);
 - ``render``     — ray-cast one frame of a dataset to a PPM file;
 - ``trace``      — replay one policy with the event tracer on, write a
-  Chrome-trace JSON (and optionally JSONL) plus a per-step summary table.
+  Chrome-trace JSON (and optionally JSONL) plus a per-step summary table;
+- ``bench``      — run the pinned regression suite and write a
+  schema-versioned ``BENCH_<label>.json``, or compare two such snapshots
+  (``--compare old.json new.json``, non-zero exit on regression).
 
 Experiment regeneration lives under ``python -m repro.experiments``.
 """
@@ -69,6 +72,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write raw events as JSON lines")
     tra.add_argument("--capacity", type=_positive_int, default=1_000_000,
                      help="tracer ring-buffer capacity (events)")
+
+    ben = sub.add_parser(
+        "bench",
+        help="run the pinned regression suite (BENCH_<label>.json) or compare snapshots",
+    )
+    ben.add_argument("--quick", action="store_true",
+                     help="CI-smoke variant: same suite shape, a fraction of the work")
+    ben.add_argument("--label", default="local",
+                     help="snapshot label: writes BENCH_<label>.json")
+    ben.add_argument("--out", type=Path, default=Path("."),
+                     help="directory the snapshot is written into (default: cwd)")
+    ben.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                     help="compare two snapshots instead of running the suite")
+    ben.add_argument("--threshold", type=float, default=0.10,
+                     help="relative regression threshold for --compare (default 0.10)")
+    ben.add_argument("--warn-only", action="store_true",
+                     help="report regressions but exit 0 (PR-gate mode)")
+    ben.add_argument("--verbose", action="store_true",
+                     help="show unchanged metrics in the comparison table")
 
     ren = sub.add_parser("render", help="ray-cast one frame to a PPM image")
     _add_dataset_args(ren)
@@ -190,14 +212,54 @@ def _cmd_trace(args) -> int:
     title = (f"{args.dataset} ({setup.grid.n_blocks} blocks), {path.name}, "
              f"{args.steps} steps, policy {args.policy}")
     print(format_trace_report(summary, result, title=title))
+    drops = tracer.drop_stats()
+    print(f"tracer: {drops['n_recorded']} events recorded, "
+          f"{drops['n_retained']} retained, {drops['n_dropped']} dropped "
+          f"(capacity {drops['capacity']})")
     if tracer.n_dropped:
-        print(f"warning: ring buffer dropped {tracer.n_dropped} events "
+        print(f"warning: ring buffer dropped {tracer.n_dropped} events — "
+              f"per-step aggregates above are skewed toward the end of the run "
               f"(raise --capacity for an exact ledger)")
     out = write_chrome_trace(events, args.out)
     print(f"chrome trace: {out} ({len(events)} events; open in chrome://tracing "
           f"or https://ui.perfetto.dev)")
     if args.jsonl is not None:
         print(f"jsonl: {write_jsonl(events, args.jsonl)}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.bench import (
+        compare_bench,
+        format_comparison,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        try:
+            old, new = load_bench(old_path), load_bench(new_path)
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"error: {exc}")
+            return 2
+        rows = compare_bench(old, new, threshold=args.threshold)
+        print(f"comparing {old_path} ({old['label']}) -> {new_path} ({new['label']}), "
+              f"threshold {args.threshold:.0%}")
+        print(format_comparison(rows, verbose=args.verbose))
+        n_regressions = sum(1 for r in rows if r["status"] == "regression")
+        if n_regressions and args.warn_only:
+            print(f"warn-only: {n_regressions} regression(s) ignored")
+            return 0
+        return 1 if n_regressions else 0
+
+    doc = run_bench(label=args.label, quick=args.quick, progress=print)
+    path = write_bench(doc, args.out)
+    n_runs = len(doc["runs"])
+    dropped = sum(r["trace"]["n_dropped"] for r in doc["runs"].values())
+    print(f"wrote {path} ({n_runs} runs, schema v{doc['schema_version']}, "
+          f"{dropped} trace events dropped)")
     return 0
 
 
@@ -228,6 +290,7 @@ _COMMANDS = {
     "preprocess": _cmd_preprocess,
     "replay": _cmd_replay,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
     "render": _cmd_render,
 }
 

@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.pipeline import PipelineContext
+from repro.obs.profiler import resolve_profiler
 from repro.render.image import psnr
 from repro.storage.hierarchy import MemoryHierarchy
 from repro.tables.importance_table import ImportanceTable
@@ -85,6 +86,8 @@ def run_budgeted(
     preload: bool = False,
     name: str = "budgeted",
     tracer=None,
+    registry=None,
+    profiler=None,
 ) -> BudgetedResult:
     """Replay with a per-step demand-I/O deadline.
 
@@ -100,13 +103,26 @@ def run_budgeted(
 
     ``tracer`` is installed on the hierarchy for the replay and receives
     one ``render`` event per step (cost-model time for the rendered set).
+    ``registry`` is installed likewise; on top of the hierarchy's fetch
+    metrics it records a per-step ``frame_coverage`` histogram and a
+    ``frame_time_seconds`` histogram.  ``profiler`` records wall-clock
+    preload/fetch/prefetch spans.
     """
     check_positive("io_budget_s", io_budget_s)
     if tracer is not None:
         hierarchy.set_tracer(tracer)
     tracer = hierarchy.tracer
+    if registry is not None:
+        hierarchy.set_registry(registry)
+    registry = hierarchy.registry
+    profiler = resolve_profiler(profiler)
+    frame_hist = registry.histogram("frame_time_seconds", kind="sim")
+    coverage_hist = registry.histogram(
+        "frame_coverage", buckets=tuple(k / 10.0 for k in range(11))
+    )
     if preload and importance is not None:
-        hierarchy.preload([int(b) for b in importance.ids_above(sigma)])
+        with profiler.span("preload"):
+            hierarchy.preload([int(b) for b in importance.ids_above(sigma)])
 
     fastest = hierarchy.fastest
     steps: List[BudgetedStep] = []
@@ -122,44 +138,49 @@ def run_budgeted(
             missing = [missing[k] for k in order]
 
         hit_time = 0.0
-        for b in resident:  # hits: account + touch; free wrt the budget
-            hit_time += hierarchy.fetch(b, i, min_free_step=i).time_s
         rendered = list(resident)
         miss_time = 0.0
-        for b in missing:
-            miss_time += hierarchy.fetch(b, i, min_free_step=i).time_s
-            rendered.append(b)
-            if miss_time >= io_budget_s:
-                break  # deadline: remaining blocks stay holes this frame
+        with profiler.span("fetch"):
+            for b in resident:  # hits: account + touch; free wrt the budget
+                hit_time += hierarchy.fetch(b, i, min_free_step=i).time_s
+            for b in missing:
+                miss_time += hierarchy.fetch(b, i, min_free_step=i).time_s
+                rendered.append(b)
+                if miss_time >= io_budget_s:
+                    break  # deadline: remaining blocks stay holes this frame
         io = hit_time + miss_time
 
         prefetch_time = 0.0
         if visible_table is not None:
-            _, predicted = visible_table.lookup(positions[i])
-            if importance is not None:
-                candidates = importance.filter_and_rank(predicted, sigma)
-            else:
-                candidates = predicted
-            for b in candidates[: fastest.capacity]:
-                b = int(b)
-                if hierarchy.contains_fast(b):
-                    continue
-                prefetch_time += hierarchy.fetch(b, i, prefetch=True, min_free_step=i).time_s
+            with profiler.span("prefetch"):
+                _, predicted = visible_table.lookup(positions[i])
+                if importance is not None:
+                    candidates = importance.filter_and_rank(predicted, sigma)
+                else:
+                    candidates = predicted
+                for b in candidates[: fastest.capacity]:
+                    b = int(b)
+                    if hierarchy.contains_fast(b):
+                        continue
+                    prefetch_time += hierarchy.fetch(
+                        b, i, prefetch=True, min_free_step=i
+                    ).time_s
 
+        render_time = context.render_model.render_time(len(rendered))
         if tracer.enabled:
-            tracer.record(
-                "render", i, time_s=context.render_model.render_time(len(rendered))
-            )
-        steps.append(
-            BudgetedStep(
-                step=i,
-                n_visible=len(ids),
-                n_rendered=len(rendered),
-                io_time_s=io,
-                prefetch_time_s=prefetch_time,
-                rendered_ids=np.asarray(sorted(rendered), dtype=np.int64),
-            )
+            tracer.record("render", i, time_s=render_time)
+        step_row = BudgetedStep(
+            step=i,
+            n_visible=len(ids),
+            n_rendered=len(rendered),
+            io_time_s=io,
+            prefetch_time_s=prefetch_time,
+            rendered_ids=np.asarray(sorted(rendered), dtype=np.int64),
         )
+        if registry.enabled:
+            frame_hist.observe(io + max(prefetch_time, render_time))
+            coverage_hist.observe(step_row.coverage)
+        steps.append(step_row)
 
     return BudgetedResult(name=name, io_budget_s=io_budget_s, steps=steps)
 

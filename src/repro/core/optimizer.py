@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.core.metrics import RunResult, StepMetrics
 from repro.core.pipeline import PipelineContext
+from repro.obs.profiler import resolve_profiler
 from repro.storage.hierarchy import MemoryHierarchy
 from repro.tables.importance_table import ImportanceTable
 from repro.tables.visible_table import LookupCostModel, VisibleTable
@@ -132,18 +133,36 @@ class AppAwareOptimizer:
         hierarchy: MemoryHierarchy,
         name: str = "app-aware",
         tracer=None,
+        registry=None,
+        profiler=None,
     ) -> RunResult:
         """Replay ``context.path`` with Algorithm 1 on ``hierarchy``.
 
         ``tracer`` is installed on the hierarchy for the replay and
-        receives one ``render`` event per step.
+        receives one ``render`` event per step.  ``registry`` is installed
+        likewise and additionally records per-step frame times, prefetch
+        queue depth, and prefetch precision/recall counters (a prefetch at
+        step *i* counts as *useful* when the block is demanded at step
+        *i + 1*).  ``profiler`` records wall-clock spans for the preload
+        and the per-step fetch/render/prefetch phases.
         """
         cfg = self.config
         if tracer is not None:
             hierarchy.set_tracer(tracer)
         tracer = hierarchy.tracer
+        if registry is not None:
+            hierarchy.set_registry(registry)
+        registry = hierarchy.registry
+        profiler = resolve_profiler(profiler)
+        frame_hist = registry.histogram("frame_time_seconds", kind="sim")
+        queue_gauge = registry.gauge("prefetch_queue_depth")
+        issued_counter = registry.counter("prefetch_evaluated_total")
+        useful_counter = registry.counter("prefetch_useful_total")
+        demanded_counter = registry.counter("prefetch_demand_window_total")
+        issued_prev: "set[int]" = set()
         if cfg.preload:
-            self.preload(hierarchy)
+            with profiler.span("preload"):
+                self.preload(hierarchy)
         sigma = self.sigma
         percentile = cfg.sigma_percentile
 
@@ -157,14 +176,27 @@ class AppAwareOptimizer:
         steps: List[StepMetrics] = []
         positions = context.path.positions
         for i, ids in enumerate(context.visible_sets):
+            # Prefetch usefulness: blocks prefetched at step i-1 that the
+            # demand stream touches at step i were correct predictions.
+            if registry.enabled:
+                demand_now = {int(b) for b in ids}
+                if issued_prev:
+                    issued_counter.inc(len(issued_prev))
+                    useful_counter.inc(len(issued_prev & demand_now))
+                if i > 0:
+                    demanded_counter.inc(len(demand_now))
+                issued_prev = set()
+
             # Demand phase (lines 14-19): victims must satisfy time < i.
             io = 0.0
             fast_misses_before = fastest.stats.misses
-            for b in ids:
-                io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
+            with profiler.span("fetch"):
+                for b in ids:
+                    io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
             n_fast_misses = fastest.stats.misses - fast_misses_before
 
-            render = context.render_model.render_time(len(ids))
+            with profiler.span("render"):
+                render = context.render_model.render_time(len(ids))
             if tracer.enabled:
                 tracer.record("render", i, time_s=render)
 
@@ -173,22 +205,27 @@ class AppAwareOptimizer:
             prefetch_time = 0.0
             n_prefetched = 0
             if cfg.prefetch:
-                _, predicted = self.visible_table.lookup(positions[i])
-                lookup_time = cfg.lookup_cost.query_time(self.visible_table.n_entries)
-                if cfg.use_importance_filter:
-                    candidates = self.importance_table.filter_and_rank(predicted, sigma)
-                else:
-                    candidates = predicted
-                for b in candidates:
-                    if n_prefetched >= max_prefetch:
-                        break
-                    b = int(b)
-                    if hierarchy.contains_fast(b):
-                        continue
-                    prefetch_time += hierarchy.fetch(
-                        b, i, prefetch=True, min_free_step=i
-                    ).time_s
-                    n_prefetched += 1
+                with profiler.span("prefetch"):
+                    _, predicted = self.visible_table.lookup(positions[i])
+                    lookup_time = cfg.lookup_cost.query_time(self.visible_table.n_entries)
+                    if cfg.use_importance_filter:
+                        candidates = self.importance_table.filter_and_rank(predicted, sigma)
+                    else:
+                        candidates = predicted
+                    if registry.enabled:
+                        queue_gauge.set(len(candidates))
+                    for b in candidates:
+                        if n_prefetched >= max_prefetch:
+                            break
+                        b = int(b)
+                        if hierarchy.contains_fast(b):
+                            continue
+                        prefetch_time += hierarchy.fetch(
+                            b, i, prefetch=True, min_free_step=i
+                        ).time_s
+                        n_prefetched += 1
+                        if registry.enabled:
+                            issued_prev.add(b)
 
             if cfg.adaptive_sigma and cfg.prefetch:
                 # Controller: keep the prefetch stream inside the overlap
@@ -201,19 +238,25 @@ class AppAwareOptimizer:
                     percentile = max(lo, percentile - cfg.sigma_step)
                 sigma = self.importance_table.threshold_for_percentile(percentile)
 
-            steps.append(
-                StepMetrics(
-                    step=i,
-                    n_visible=len(ids),
-                    n_fast_misses=n_fast_misses,
-                    io_time_s=io,
-                    lookup_time_s=lookup_time,
-                    prefetch_time_s=prefetch_time,
-                    render_time_s=render,
-                    n_prefetched=n_prefetched,
-                )
+            step_metrics = StepMetrics(
+                step=i,
+                n_visible=len(ids),
+                n_fast_misses=n_fast_misses,
+                io_time_s=io,
+                lookup_time_s=lookup_time,
+                prefetch_time_s=prefetch_time,
+                render_time_s=render,
+                n_prefetched=n_prefetched,
             )
+            if registry.enabled:
+                frame_hist.observe(step_metrics.step_total_overlapped_s)
+            steps.append(step_metrics)
 
+        if profiler.enabled:
+            profiler.charge_sim("io", sum(s.io_time_s for s in steps))
+            profiler.charge_sim("lookup", sum(s.lookup_time_s for s in steps))
+            profiler.charge_sim("prefetch", sum(s.prefetch_time_s for s in steps))
+            profiler.charge_sim("render", sum(s.render_time_s for s in steps))
         return RunResult(
             name=name,
             policy="app-aware",

@@ -16,6 +16,7 @@ import numpy as np
 from repro.camera.frustum import visible_masks_batch
 from repro.camera.path import CameraPath
 from repro.core.metrics import RunResult, StepMetrics
+from repro.obs.profiler import resolve_profiler
 from repro.render.render_model import RenderCostModel
 from repro.storage.hierarchy import MemoryHierarchy
 from repro.volume.blocks import BlockGrid
@@ -95,6 +96,8 @@ def run_baseline(
     name: Optional[str] = None,
     protect_current_step: bool = False,
     tracer=None,
+    registry=None,
+    profiler=None,
 ) -> RunResult:
     """Replay the path with a conventional policy (FIFO/LRU/ARC/...).
 
@@ -110,21 +113,36 @@ def run_baseline(
     hierarchy for the replay and additionally receives one ``render``
     event per step; pass ``None`` to keep whatever tracer the hierarchy
     already has (the no-op tracer by default).
+
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) is likewise
+    installed on the hierarchy (per-level fetch latency and byte metrics)
+    and receives a per-step ``frame_time_seconds`` histogram of simulated
+    step totals.  ``profiler`` (a :class:`repro.obs.PhaseProfiler`)
+    records wall-clock ``fetch``/``render`` spans per step.
     """
     if tracer is not None:
         hierarchy.set_tracer(tracer)
     tracer = hierarchy.tracer
+    if registry is not None:
+        hierarchy.set_registry(registry)
+    registry = hierarchy.registry
+    profiler = resolve_profiler(profiler)
+    frame_hist = registry.histogram("frame_time_seconds", kind="sim")
     policy_name = hierarchy.fastest.policy.name
     steps: List[StepMetrics] = []
     for i, ids in enumerate(context.visible_sets):
         io = 0.0
         fast_misses_before = hierarchy.fastest.stats.misses
         min_free = i if protect_current_step else None
-        for b in ids:
-            io += hierarchy.fetch(int(b), i, min_free_step=min_free).time_s
-        render = context.render_model.render_time(len(ids))
+        with profiler.span("fetch"):
+            for b in ids:
+                io += hierarchy.fetch(int(b), i, min_free_step=min_free).time_s
+        with profiler.span("render"):
+            render = context.render_model.render_time(len(ids))
         if tracer.enabled:
             tracer.record("render", i, time_s=render)
+        if registry.enabled:
+            frame_hist.observe(io + render)
         steps.append(
             StepMetrics(
                 step=i,
@@ -134,6 +152,9 @@ def run_baseline(
                 render_time_s=render,
             )
         )
+    if profiler.enabled:
+        profiler.charge_sim("io", sum(s.io_time_s for s in steps))
+        profiler.charge_sim("render", sum(s.render_time_s for s in steps))
     return RunResult(
         name=name or f"baseline-{policy_name}",
         policy=policy_name,

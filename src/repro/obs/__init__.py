@@ -1,0 +1,42 @@
+"""Observability: metrics registry, phase profiler, regression bench.
+
+Three layers, mirroring the tracer's opt-in design (every instrumented
+component defaults to a shared no-op so unmetered runs stay byte-identical):
+
+- :mod:`repro.obs.metrics` — labelled counters, gauges, and fixed-bucket
+  histograms with p50/p95/p99, behind :class:`MetricsRegistry` /
+  :data:`NULL_REGISTRY`;
+- :mod:`repro.obs.profiler` — nested wall-clock spans next to the
+  simulated clock (:class:`PhaseProfiler` / :data:`NULL_PROFILER`), and
+  span ids stamped onto trace events;
+- :mod:`repro.obs.bench` — the pinned ``repro bench`` suite emitting
+  schema-versioned ``BENCH_<label>.json`` snapshots and the threshold
+  comparison behind ``repro bench --compare``.  (Imported lazily — see
+  the module — to keep this package import-light for the storage layer.)
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    DEFAULT_LATENCY_BUCKETS,
+    default_latency_buckets,
+)
+from repro.obs.profiler import NullProfiler, NULL_PROFILER, PhaseProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "default_latency_buckets",
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+]

@@ -1,0 +1,335 @@
+"""The ``repro bench`` regression harness.
+
+Runs a pinned suite — two camera paths (an orbit and a zoom) × two
+policies (the LRU baseline and the paper's app-aware optimizer) on one
+synthetic dataset — with the metrics registry, event tracer, and phase
+profiler all attached, and emits a schema-versioned ``BENCH_<label>.json``
+snapshot.  Everything the comparison looks at is *simulated*-clock
+derived, so two snapshots of the same code are bit-identical regardless
+of the machine; wall-clock phase timings ride along for human inspection
+but are never compared.
+
+``compare_bench`` diffs two snapshots against per-direction relative
+thresholds and reports regressions (``repro bench --compare`` exits
+non-zero when any metric regresses past threshold).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.camera.path import spherical_path, zoom_path
+from repro.camera.sampling import SamplingConfig
+from repro.core.pipeline import run_baseline
+from repro.experiments.runner import ExperimentSetup
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profiler import PhaseProfiler
+from repro.trace import Tracer, aggregate
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchConfig",
+    "run_bench",
+    "write_bench",
+    "load_bench",
+    "comparable_metrics",
+    "compare_bench",
+    "format_comparison",
+]
+
+#: Bump when the BENCH_*.json layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Pinned parameters of the bench suite (recorded into the snapshot)."""
+
+    dataset: str = "3d_ball"
+    blocks: int = 256
+    scale: float = 0.08
+    steps: int = 40
+    cache_ratio: float = 0.5
+    seed: int = 0
+    n_directions: int = 64
+    n_distances: int = 2
+    degrees_per_step: float = 5.0
+    tracer_capacity: int = 500_000
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """The CI-smoke variant: same shape, a fraction of the work."""
+        return cls(blocks=64, scale=0.04, steps=8, n_directions=16, n_distances=1)
+
+
+def _paths(config: BenchConfig, view_angle_deg: float):
+    return {
+        "orbit": spherical_path(
+            config.steps,
+            degrees_per_step=config.degrees_per_step,
+            distance=2.5,
+            view_angle_deg=view_angle_deg,
+            seed=config.seed,
+        ),
+        "zoom": zoom_path(
+            config.steps,
+            degrees_per_step=config.degrees_per_step,
+            view_angle_deg=view_angle_deg,
+            seed=config.seed,
+        ),
+    }
+
+
+def _ratio(numer: Optional[object], denom: Optional[object]) -> Optional[float]:
+    if numer is None or denom is None or not denom.value:
+        return None
+    return numer.value / denom.value
+
+
+def _histogram_percentiles(registry: MetricsRegistry, name: str) -> Dict[str, Dict[str, float]]:
+    """``{flat-label: {count, p50, p95, p99}}`` for every histogram ``name``."""
+    out: Dict[str, Dict[str, float]] = {}
+    for metric in registry.metrics():
+        if isinstance(metric, Histogram) and metric.name == name:
+            key = ",".join(f"{k}={v}" for k, v in metric.labels) or "all"
+            out[key] = {"count": metric.count, **metric.percentiles()}
+    return out
+
+
+def _run_one(setup: ExperimentSetup, path, policy: str, config: BenchConfig) -> Dict[str, object]:
+    """One (path, policy) cell: run instrumented, snapshot everything."""
+    registry = MetricsRegistry()
+    tracer = Tracer(capacity=config.tracer_capacity)
+    profiler = PhaseProfiler(tracer=tracer)
+    context = setup.context(path)
+    hierarchy = setup.hierarchy("lru" if policy == "app-aware" else policy)
+    with profiler.span("replay"):
+        if policy == "app-aware":
+            result = setup.optimizer().run(
+                context, hierarchy, tracer=tracer, registry=registry, profiler=profiler
+            )
+        else:
+            result = run_baseline(
+                context, hierarchy, tracer=tracer, registry=registry, profiler=profiler
+            )
+
+    summary = aggregate(tracer.events())
+    precision = _ratio(
+        registry.get("prefetch_useful_total"), registry.get("prefetch_evaluated_total")
+    )
+    recall = _ratio(
+        registry.get("prefetch_useful_total"), registry.get("prefetch_demand_window_total")
+    )
+    return {
+        "summary": result.summary(),
+        "hierarchy_stats": result.hierarchy_stats.as_dict(),
+        "derived": {
+            "prefetch_precision": precision,
+            "prefetch_recall": recall,
+            "fetch_latency_seconds": _histogram_percentiles(
+                registry, "fetch_latency_seconds"
+            ),
+            "frame_time_seconds": _histogram_percentiles(registry, "frame_time_seconds"),
+        },
+        "metrics": registry.snapshot(),
+        "trace": {
+            **tracer.drop_stats(),
+            "total_bytes": summary.total_bytes,
+            "ledger_agrees": (
+                tracer.n_dropped == 0
+                and float(summary.total_bytes) == float(result.extras["bytes_moved"])
+            ),
+        },
+        "phases": profiler.report(),
+    }
+
+
+def run_bench(
+    config: Optional[BenchConfig] = None,
+    label: str = "local",
+    quick: bool = False,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the pinned suite; returns the JSON-ready snapshot document.
+
+    ``progress`` is an optional ``str -> None`` callback (the CLI passes
+    ``print``) invoked before each phase.
+    """
+    if config is None:
+        config = BenchConfig.quick() if quick else BenchConfig()
+    notify = progress if progress is not None else (lambda msg: None)
+
+    suite_profiler = PhaseProfiler()
+    with suite_profiler.span("bench"):
+        notify(f"setup: {config.dataset}, ~{config.blocks} blocks, {config.steps} steps")
+        with suite_profiler.span("setup"):
+            setup = ExperimentSetup.for_dataset(
+                config.dataset,
+                target_n_blocks=config.blocks,
+                scale=config.scale,
+                cache_ratio=config.cache_ratio,
+                sampling=SamplingConfig(
+                    n_directions=config.n_directions, n_distances=config.n_distances
+                ),
+                seed=config.seed,
+            )
+        notify("building T_visible / T_important tables")
+        with suite_profiler.span("table_build"):
+            setup.importance_table  # noqa: B018 - builds and caches
+            setup.visible_table  # noqa: B018 - builds and caches
+
+        runs: Dict[str, Dict[str, object]] = {}
+        for path_name, path in _paths(config, setup.view_angle_deg).items():
+            for policy in ("lru", "app-aware"):
+                key = f"{path_name}/{policy}"
+                notify(f"run: {key}")
+                with suite_profiler.span(f"run {path_name}:{policy}"):
+                    runs[key] = _run_one(setup, path, policy, config)
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "quick": quick,
+        "config": asdict(config),
+        "runs": runs,
+        "phases": suite_profiler.report(),
+    }
+
+
+def write_bench(doc: Dict[str, object], out_dir: PathLike = ".") -> Path:
+    """Write ``BENCH_<label>.json`` under ``out_dir``; returns the path."""
+    label = str(doc["label"]).replace("/", "-")
+    path = Path(out_dir) / f"BENCH_{label}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_bench(path: PathLike) -> Dict[str, object]:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = doc.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} != supported {BENCH_SCHEMA_VERSION}"
+        )
+    return doc
+
+
+# -- comparison ---------------------------------------------------------------
+
+#: metric suffix -> direction ("lower" = increases are regressions).
+_SUMMARY_METRICS = {
+    "total_miss_rate": "lower",
+    "fast_miss_rate": "lower",
+    "io_time_s": "lower",
+    "total_time_s": "lower",
+    "bytes_moved": "lower",
+}
+_DERIVED_METRICS = {
+    "prefetch_precision": "higher",
+    "prefetch_recall": "higher",
+}
+
+
+def comparable_metrics(doc: Dict[str, object]) -> Dict[str, Tuple[float, str]]:
+    """Flatten a snapshot to ``{metric-name: (value, direction)}``.
+
+    Only simulated-clock quantities are included — wall-clock phases and
+    event counts are reported but never compared, so a comparison of two
+    runs of identical code is machine-independent.
+    """
+    out: Dict[str, Tuple[float, str]] = {}
+    for run_key, run in sorted(doc["runs"].items()):
+        summary = run["summary"]
+        for name, direction in _SUMMARY_METRICS.items():
+            value = summary.get(name)
+            if isinstance(value, (int, float)):
+                out[f"{run_key}.{name}"] = (float(value), direction)
+        derived = run.get("derived", {})
+        for name, direction in _DERIVED_METRICS.items():
+            value = derived.get(name)
+            if isinstance(value, (int, float)):
+                out[f"{run_key}.{name}"] = (float(value), direction)
+        for hist_name in ("fetch_latency_seconds", "frame_time_seconds"):
+            for labels, row in sorted(derived.get(hist_name, {}).items()):
+                for pct in ("p50", "p95", "p99"):
+                    value = row.get(pct)
+                    if isinstance(value, (int, float)):
+                        out[f"{run_key}.{hist_name}{{{labels}}}.{pct}"] = (
+                            float(value),
+                            "lower",
+                        )
+        drops = run.get("trace", {}).get("n_dropped")
+        if isinstance(drops, int):
+            out[f"{run_key}.trace.n_dropped"] = (float(drops), "lower")
+    return out
+
+
+def compare_bench(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    threshold: float = 0.10,
+    abs_floor: float = 1e-12,
+) -> List[Dict[str, object]]:
+    """Diff two snapshots; one row per metric present in both.
+
+    A metric regresses when it moves in its bad direction by more than
+    ``threshold`` (relative, against ``max(|old|, abs_floor)``).  Metrics
+    missing from either side are reported with status ``"missing"`` and
+    do not regress.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    old_metrics = comparable_metrics(old)
+    new_metrics = comparable_metrics(new)
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(old_metrics) | set(new_metrics)):
+        if name not in old_metrics or name not in new_metrics:
+            rows.append({"metric": name, "status": "missing",
+                         "old": old_metrics.get(name, (None,))[0],
+                         "new": new_metrics.get(name, (None,))[0]})
+            continue
+        old_value, direction = old_metrics[name]
+        new_value = new_metrics[name][0]
+        denom = max(abs(old_value), abs_floor)
+        change = (new_value - old_value) / denom
+        bad = change > threshold if direction == "lower" else change < -threshold
+        good = change < 0 if direction == "lower" else change > 0
+        rows.append({
+            "metric": name,
+            "old": old_value,
+            "new": new_value,
+            "rel_change": change,
+            "direction": direction,
+            "status": "regression" if bad else ("improved" if good and change != 0 else "ok"),
+        })
+    return rows
+
+
+def format_comparison(rows: List[Dict[str, object]], verbose: bool = False) -> str:
+    """Human-readable comparison; non-ok rows always shown."""
+    lines = [f"{'metric':<58} {'old':>12} {'new':>12} {'change':>9}  status"]
+    lines.append("-" * len(lines[0]))
+    shown = 0
+    for row in rows:
+        if row["status"] == "ok" and not verbose:
+            continue
+        shown += 1
+        old = "-" if row.get("old") is None else f"{row['old']:.6g}"
+        new = "-" if row.get("new") is None else f"{row['new']:.6g}"
+        change = (
+            f"{row['rel_change']:+.1%}" if "rel_change" in row else "-"
+        )
+        lines.append(f"{row['metric']:<58} {old:>12} {new:>12} {change:>9}  {row['status']}")
+    n_reg = sum(1 for r in rows if r["status"] == "regression")
+    lines.append(
+        f"{len(rows)} metrics compared, {n_reg} regression(s), "
+        f"{len(rows) - shown} unchanged/ok hidden"
+        if not verbose
+        else f"{len(rows)} metrics compared, {n_reg} regression(s)"
+    )
+    return "\n".join(lines)

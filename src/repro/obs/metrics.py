@@ -1,0 +1,390 @@
+"""Labelled counters, gauges, and fixed-bucket histograms.
+
+The registry mirrors the tracer's two-implementation pattern
+(:mod:`repro.trace.tracer`): :class:`MetricsRegistry` records, and the
+shared :data:`NULL_REGISTRY` is a do-nothing stand-in whose ``enabled``
+flag is ``False`` — instrumented hot paths guard recording with
+``if registry.enabled:`` so an unmetered run costs one attribute load and
+a branch, and its outputs stay byte-identical to the uninstrumented code.
+
+Design notes:
+
+- Metric instances are interned by ``(kind, name, labels)``: asking for
+  the same metric twice returns the same object, so components can bind
+  metrics once at setup time and the per-event path is a plain method
+  call on a held reference — no dict lookups, no allocation.
+- :class:`Histogram` uses fixed upper-bound buckets (Prometheus style)
+  plus exact min/max/sum/count.  Quantiles are estimated by linear
+  interpolation inside the owning bucket and clamped to the observed
+  ``[min, max]``, which makes them (a) bounded by the true extremes and
+  (b) monotone in the quantile — properties the test suite pins with
+  hypothesis.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "default_latency_buckets",
+]
+
+
+def default_latency_buckets() -> Tuple[float, ...]:
+    """1-2.5-5 decade series from 100 ns to 100 s (simulated seconds).
+
+    Spans the hierarchy's device cost range: DRAM reads land in the
+    sub-microsecond buckets, SSD in the tens-of-microseconds, HDD seeks
+    in the milliseconds, and whole-step aggregates up to seconds.
+    """
+    bounds: List[float] = []
+    for exp in range(-7, 3):
+        for mant in (1.0, 2.5, 5.0):
+            bounds.append(mant * 10.0**exp)
+    return tuple(bounds)
+
+
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = default_latency_buckets()
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot decrease by {amount}")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, queue depth, ...).
+
+    Tracks the current value plus the high-water mark, which is what a
+    bench snapshot actually wants from a queue-depth or occupancy gauge.
+    """
+
+    __slots__ = ("name", "labels", "value", "max_value", "n_sets")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.max_value = 0.0
+        self.n_sets = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+        self.n_sets += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"value": self.value, "max": self.max_value, "n_sets": self.n_sets}
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact extremes and estimated quantiles.
+
+    ``buckets`` are ascending upper bounds; observations above the last
+    bound land in an implicit overflow bucket.  Observing is O(log B)
+    (bisect into a precomputed bound list) with zero allocation.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if not bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name}: bucket bounds must be strictly ascending")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1].
+
+        Bounded by the observed min/max and monotone non-decreasing in
+        ``q``; returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                lo = self.min if i == 0 else max(self.min, self.bounds[i - 1])
+                hi = self.max if i >= len(self.bounds) else min(self.max, self.bounds[i])
+                if hi < lo:  # all mass of this bucket sits at one point
+                    hi = lo
+                frac = (target - cum) / n
+                value = lo + (hi - lo) * frac
+                return min(max(value, self.min), self.max)
+            cum += n
+        return self.max
+
+    def percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+        d.update(self.percentiles())
+        # Sparse bucket encoding: only non-empty buckets, keyed by their
+        # upper bound ("+Inf" for the overflow bucket).
+        d["buckets"] = {
+            ("+Inf" if i >= len(self.bounds) else repr(self.bounds[i])): n
+            for i, n in enumerate(self.counts)
+            if n
+        }
+        return d
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_metric_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Canonical flat key: ``name`` or ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Interned store of labelled metrics with a flat JSON snapshot."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
+
+    # -- creation / lookup ---------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, str], **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {format_metric_key(*key)!r} already registered "
+                f"as {metric.kind}, requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: str
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def get(self, name: str, **labels: str):
+        """The metric registered under ``name``/``labels``, or None."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def metrics(self) -> Iterable[object]:
+        return self._metrics.values()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """JSON-ready dump grouped by metric kind, keyed by flat name."""
+        out: Dict[str, Dict[str, Dict[str, object]]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for (name, labels), metric in sorted(self._metrics.items()):
+            out[metric.kind + "s"][format_metric_key(name, labels)] = metric.as_dict()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+class _NullCounter:
+    __slots__ = ()
+    kind = "counter"
+    name = ""
+    labels = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"value": 0}
+
+
+class _NullGauge:
+    __slots__ = ()
+    kind = "gauge"
+    name = ""
+    labels = ()
+    value = 0.0
+    max_value = 0.0
+    n_sets = 0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"value": 0.0, "max": 0.0, "n_sets": 0}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    kind = "histogram"
+    name = ""
+    labels = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"count": 0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The disabled registry: every factory returns a shared no-op metric.
+
+    ``enabled`` is ``False`` so instrumented code skips recording
+    entirely; binding metrics from it at setup time is free and safe.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: str
+    ) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def get(self, name: str, **labels: str):
+        return None
+
+    def metrics(self) -> Iterable[object]:
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullRegistry()"
+
+
+#: Shared disabled registry; instrumented components default to this.
+NULL_REGISTRY = NullRegistry()

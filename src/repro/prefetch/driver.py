@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from repro.core.metrics import RunResult, StepMetrics
 from repro.core.pipeline import PipelineContext
+from repro.obs.profiler import resolve_profiler
 from repro.prefetch.base import Prefetcher
 from repro.storage.hierarchy import MemoryHierarchy
 from repro.tables.importance_table import ImportanceTable
@@ -30,6 +31,8 @@ def run_with_prefetcher(
     max_prefetch_per_step: Optional[int] = None,
     name: Optional[str] = None,
     tracer=None,
+    registry=None,
+    profiler=None,
 ) -> RunResult:
     """Replay ``context.path`` using ``prefetcher`` for predictions.
 
@@ -38,15 +41,30 @@ def run_with_prefetcher(
     ``None`` for a cold start).
 
     ``tracer`` is installed on the hierarchy for the replay and receives
-    one ``render`` event per step.
+    one ``render`` event per step.  ``registry`` is installed likewise and
+    records per-step frame times, prefetch queue depth, and prefetch
+    precision/recall counters (a prefetch at step *i* is *useful* when the
+    block is demanded at step *i + 1*).  ``profiler`` records wall-clock
+    preload/fetch/render/predict/prefetch spans.
     """
     prefetcher.reset()
     if tracer is not None:
         hierarchy.set_tracer(tracer)
     tracer = hierarchy.tracer
+    if registry is not None:
+        hierarchy.set_registry(registry)
+    registry = hierarchy.registry
+    profiler = resolve_profiler(profiler)
+    frame_hist = registry.histogram("frame_time_seconds", kind="sim")
+    queue_gauge = registry.gauge("prefetch_queue_depth")
+    issued_counter = registry.counter("prefetch_evaluated_total")
+    useful_counter = registry.counter("prefetch_useful_total")
+    demanded_counter = registry.counter("prefetch_demand_window_total")
+    issued_prev: "set[int]" = set()
     if preload_importance is not None:
-        ranked = preload_importance.ids_above(preload_sigma)
-        hierarchy.preload([int(b) for b in ranked])
+        with profiler.span("preload"):
+            ranked = preload_importance.ids_above(preload_sigma)
+            hierarchy.preload([int(b) for b in ranked])
 
     fastest = hierarchy.fastest
     cap = max_prefetch_per_step if max_prefetch_per_step is not None else fastest.capacity
@@ -54,44 +72,67 @@ def run_with_prefetcher(
     steps: List[StepMetrics] = []
     positions = context.path.positions
     for i, ids in enumerate(context.visible_sets):
+        if registry.enabled:
+            demand_now = {int(b) for b in ids}
+            if issued_prev:
+                issued_counter.inc(len(issued_prev))
+                useful_counter.inc(len(issued_prev & demand_now))
+            if i > 0:
+                demanded_counter.inc(len(demand_now))
+            issued_prev = set()
+
         io = 0.0
         fast_misses_before = fastest.stats.misses
-        for b in ids:
-            io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
+        with profiler.span("fetch"):
+            for b in ids:
+                io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
         n_fast_misses = fastest.stats.misses - fast_misses_before
 
-        render = context.render_model.render_time(len(ids))
+        with profiler.span("render"):
+            render = context.render_model.render_time(len(ids))
         if tracer.enabled:
             tracer.record("render", i, time_s=render)
 
-        candidates = prefetcher.predict(i, positions[i], ids)
+        with profiler.span("predict"):
+            candidates = prefetcher.predict(i, positions[i], ids)
         lookup_time = prefetcher.query_cost_s()
+        if registry.enabled:
+            queue_gauge.set(len(candidates))
         prefetch_time = 0.0
         n_prefetched = 0
         attempted = set()  # a predictor may repeat ids; fetch each at most once
-        for b in candidates:
-            if n_prefetched >= cap:
-                break
-            b = int(b)
-            if b in attempted or hierarchy.contains_fast(b):
-                continue
-            attempted.add(b)
-            prefetch_time += hierarchy.fetch(b, i, prefetch=True, min_free_step=i).time_s
-            n_prefetched += 1
+        with profiler.span("prefetch"):
+            for b in candidates:
+                if n_prefetched >= cap:
+                    break
+                b = int(b)
+                if b in attempted or hierarchy.contains_fast(b):
+                    continue
+                attempted.add(b)
+                prefetch_time += hierarchy.fetch(b, i, prefetch=True, min_free_step=i).time_s
+                n_prefetched += 1
+                if registry.enabled:
+                    issued_prev.add(b)
 
-        steps.append(
-            StepMetrics(
-                step=i,
-                n_visible=len(ids),
-                n_fast_misses=n_fast_misses,
-                io_time_s=io,
-                lookup_time_s=lookup_time,
-                prefetch_time_s=prefetch_time,
-                render_time_s=render,
-                n_prefetched=n_prefetched,
-            )
+        step_metrics = StepMetrics(
+            step=i,
+            n_visible=len(ids),
+            n_fast_misses=n_fast_misses,
+            io_time_s=io,
+            lookup_time_s=lookup_time,
+            prefetch_time_s=prefetch_time,
+            render_time_s=render,
+            n_prefetched=n_prefetched,
         )
+        if registry.enabled:
+            frame_hist.observe(step_metrics.step_total_overlapped_s)
+        steps.append(step_metrics)
 
+    if profiler.enabled:
+        profiler.charge_sim("io", sum(s.io_time_s for s in steps))
+        profiler.charge_sim("lookup", sum(s.lookup_time_s for s in steps))
+        profiler.charge_sim("prefetch", sum(s.prefetch_time_s for s in steps))
+        profiler.charge_sim("render", sum(s.render_time_s for s in steps))
     return RunResult(
         name=name or f"prefetch-{prefetcher.name}",
         policy=f"prefetch-{prefetcher.name}",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.policies.base import ReplacementPolicy
 from repro.storage.stats import CacheStats
 from repro.trace.tracer import NULL_TRACER
@@ -39,6 +40,19 @@ class CacheLevel:
         self._last_used: Dict[int, int] = {}
         self.stats = CacheStats()
         self.tracer = tracer
+        self.registry = NULL_REGISTRY
+        self._occupancy = NULL_REGISTRY.gauge("cache_occupancy_blocks")
+        self._evictions = NULL_REGISTRY.counter("cache_evictions_total")
+        self._bypasses = NULL_REGISTRY.counter("cache_bypasses_total")
+
+    def set_registry(self, registry) -> None:
+        """Bind this level's metrics on ``registry`` (occupancy, churn)."""
+        self.registry = registry
+        self._occupancy = registry.gauge("cache_occupancy_blocks", level=self.name)
+        self._evictions = registry.counter("cache_evictions_total", level=self.name)
+        self._bypasses = registry.counter("cache_bypasses_total", level=self.name)
+        if registry.enabled:
+            self._occupancy.set(len(self._last_used))
 
     # -- queries -------------------------------------------------------------
 
@@ -89,6 +103,8 @@ class CacheLevel:
             victim = self.policy.choose_victim(self._evictable_predicate(min_free_step))
             if victim is None:
                 self.stats.bypasses += 1
+                if self.registry.enabled:
+                    self._bypasses.inc()
                 if self.tracer.enabled:
                     self.tracer.record("bypass", step, self.name, key)
                 return False
@@ -96,6 +112,8 @@ class CacheLevel:
         self._last_used[key] = step
         self.policy.on_insert(key, step)
         self.stats.inserts += 1
+        if self.registry.enabled:
+            self._occupancy.set(len(self._last_used))
         return True
 
     def _evictable_predicate(self, min_free_step: Optional[int]):
@@ -115,6 +133,9 @@ class CacheLevel:
         del self._last_used[key]
         self.policy.on_evict(key)
         self.stats.evictions += 1
+        if self.registry.enabled:
+            self._evictions.inc()
+            self._occupancy.set(len(self._last_used))
         if self.tracer.enabled:
             self.tracer.record("evict", -1 if step is None else step, self.name, key)
 
@@ -139,12 +160,16 @@ class CacheLevel:
             if self.tracer.enabled:
                 self.tracer.record("preload", _NEVER_USED, self.name, key)
             placed += 1
+        if self.registry.enabled:
+            self._occupancy.set(len(self._last_used))
         return placed
 
     def clear(self) -> None:
         """Drop all residents and reset policy state (stats preserved)."""
         self._last_used.clear()
         self.policy.reset()
+        if self.registry.enabled:
+            self._occupancy.set(0)
 
     def check_invariants(self) -> None:
         """Raise if residency and policy bookkeeping have diverged."""

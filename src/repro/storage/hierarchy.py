@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.policies.registry import make_policy
 from repro.storage.cache import CacheLevel
 from repro.storage.device import DRAM, HDD, SSD, StorageDevice
@@ -44,6 +45,7 @@ class MemoryHierarchy:
         block_nbytes: BlockSize,
         prefetch_latency_factor: float = 0.25,
         tracer=None,
+        registry=None,
     ) -> None:
         if not levels:
             raise ValueError("hierarchy needs at least one cache level")
@@ -69,12 +71,49 @@ class MemoryHierarchy:
         self.backing_bytes = 0
         self.tracer = NULL_TRACER
         self.set_tracer(tracer if tracer is not None else NULL_TRACER)
+        self.registry = NULL_REGISTRY
+        self.set_registry(registry if registry is not None else NULL_REGISTRY)
 
     def set_tracer(self, tracer) -> None:
         """Install ``tracer`` on the hierarchy and every cache level."""
         self.tracer = tracer
         for level in self.levels:
             level.tracer = tracer
+
+    def set_registry(self, registry) -> None:
+        """Bind the read-path metrics on ``registry`` (hierarchy + levels).
+
+        Per serving source (each cache level plus the backing device) the
+        hierarchy keeps a ``fetch_latency_seconds`` histogram split by
+        demand/prefetch and a ``bytes_read_total`` counter that increments
+        exactly where the :class:`~repro.storage.stats.CacheStats` byte
+        ledger does — so registry counters and ``HierarchyStats`` totals
+        are equal by construction (pinned by the test suite).
+        """
+        self.registry = registry
+        for level in self.levels:
+            level.set_registry(registry)
+        source_names = [lv.name for lv in self.levels] + [self.backing.name]
+        self._fetch_metrics = {
+            name: (
+                registry.histogram("fetch_latency_seconds", level=name, kind="demand"),
+                registry.histogram("fetch_latency_seconds", level=name, kind="prefetch"),
+                registry.counter("bytes_read_total", level=name),
+                registry.counter("fetches_total", level=name, kind="demand"),
+                registry.counter("fetches_total", level=name, kind="prefetch"),
+            )
+            for name in source_names
+        }
+
+    def _record_fetch(self, source: str, prefetch: bool, nbytes: int, time_s: float) -> None:
+        demand_h, prefetch_h, bytes_c, demand_c, prefetch_c = self._fetch_metrics[source]
+        if prefetch:
+            prefetch_h.observe(time_s)
+            prefetch_c.inc()
+        else:
+            demand_h.observe(time_s)
+            demand_c.inc()
+        bytes_c.inc(nbytes)
 
     # -- helpers -------------------------------------------------------------
 
@@ -133,6 +172,8 @@ class MemoryHierarchy:
                 level.touch(key, step)
             level.stats.bytes_read += nbytes
             time_s = self.level_devices[0].read_time(nbytes, latency_scale)
+            if self.registry.enabled:
+                self._record_fetch(level.name, prefetch, nbytes, time_s)
             if tracer.enabled:
                 tracer.record(
                     "prefetch" if prefetch else "hit",
@@ -164,6 +205,8 @@ class MemoryHierarchy:
             source_name = serving.name
             time_s = self.level_devices[found_at].read_time(nbytes, latency_scale)
 
+        if self.registry.enabled:
+            self._record_fetch(source_name, prefetch, nbytes, time_s)
         if tracer.enabled:
             tracer.record(
                 "prefetch" if prefetch else "fetch",
@@ -221,6 +264,7 @@ def make_standard_hierarchy(
     devices: Sequence[StorageDevice] = (DRAM, SSD),
     backing: StorageDevice = HDD,
     tracer=None,
+    registry=None,
 ) -> MemoryHierarchy:
     """The paper's DRAM/SSD-over-HDD setup for a dataset of ``n_blocks``.
 
@@ -239,4 +283,6 @@ def make_standard_hierarchy(
         capacity = max(1, int(round(n_blocks * frac)))
         levels.append(CacheLevel(device.name, capacity, make_policy(policy)))
     levels.reverse()  # fastest first
-    return MemoryHierarchy(levels, list(devices), backing, block_nbytes, tracer=tracer)
+    return MemoryHierarchy(
+        levels, list(devices), backing, block_nbytes, tracer=tracer, registry=registry
+    )

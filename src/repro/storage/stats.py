@@ -38,6 +38,12 @@ class CacheStats:
         n = self.accesses
         return self.misses / n if n else 0.0
 
+    @property
+    def hit_rate(self) -> float:
+        """Demand hit rate; 0.0 when there were no accesses."""
+        n = self.accesses
+        return self.hits / n if n else 0.0
+
     def reset(self) -> None:
         self.hits = self.misses = 0
         self.prefetch_hits = self.prefetch_misses = 0
@@ -48,6 +54,7 @@ class CacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "accesses": self.accesses,
             "prefetch_hits": self.prefetch_hits,
             "prefetch_misses": self.prefetch_misses,
             "inserts": self.inserts,
@@ -55,6 +62,7 @@ class CacheStats:
             "bypasses": self.bypasses,
             "bytes_read": self.bytes_read,
             "miss_rate": self.miss_rate,
+            "hit_rate": self.hit_rate,
         }
 
 
@@ -94,5 +102,6 @@ class HierarchyStats:
             "total_miss_rate": self.total_miss_rate,
             "total_accesses": self.total_accesses,
             "total_misses": self.total_misses,
+            "total_bytes_read": self.total_bytes_read,
             "levels": {name: s.as_dict() for name, s in self.levels.items()},
         }

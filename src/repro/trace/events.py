@@ -65,6 +65,10 @@ class TraceEvent:
         Bytes moved or read by this event (0 for evict/bypass/render).
     time_s:
         Simulated seconds charged for this event.
+    span:
+        Profiler span path open when the event was recorded (``""`` when
+        no :class:`~repro.obs.profiler.PhaseProfiler` was attached), e.g.
+        ``"replay/fetch"`` — links trace events to wall-clock phases.
     """
 
     seq: int
@@ -74,6 +78,7 @@ class TraceEvent:
     key: int
     nbytes: int
     time_s: float
+    span: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -88,4 +93,5 @@ class TraceEvent:
             key=int(d["key"]),
             nbytes=int(d["nbytes"]),
             time_s=float(d["time_s"]),
+            span=str(d.get("span", "")),
         )

@@ -97,6 +97,8 @@ def to_chrome_trace(
             "nbytes": e.nbytes,
             "time_s": e.time_s,
         }
+        if e.span:
+            args["span"] = e.span
         if e.kind in _DURATION_KINDS:
             trace_events.append(
                 {

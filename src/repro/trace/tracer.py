@@ -25,9 +25,14 @@ _KINDS = frozenset(EVENT_KINDS)
 
 
 class Tracer:
-    """Fixed-capacity, overwrite-oldest event recorder."""
+    """Fixed-capacity, overwrite-oldest event recorder.
 
-    __slots__ = ("capacity", "_ring", "_next", "_total")
+    ``current_span`` is the profiler span path stamped onto every event
+    recorded while it is set (a :class:`~repro.obs.profiler.PhaseProfiler`
+    with this tracer attached maintains it; ``""`` otherwise).
+    """
+
+    __slots__ = ("capacity", "current_span", "_ring", "_next", "_total")
 
     enabled = True
 
@@ -35,6 +40,7 @@ class Tracer:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
+        self.current_span = ""
         self._ring: List[TraceEvent] = []
         self._next = 0  # ring slot the next event lands in (once full)
         self._total = 0  # events ever recorded (monotonic)
@@ -53,7 +59,9 @@ class Tracer:
         """Append one event; overwrites the oldest once the ring is full."""
         if kind not in _KINDS:
             raise ValueError(f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}")
-        event = TraceEvent(self._total, kind, step, level, key, nbytes, time_s)
+        event = TraceEvent(
+            self._total, kind, step, level, key, nbytes, time_s, self.current_span
+        )
         self._total += 1
         if len(self._ring) < self.capacity:
             self._ring.append(event)
@@ -80,6 +88,15 @@ class Tracer:
         """Events lost to ring wrap-around."""
         return self._total - len(self._ring)
 
+    def drop_stats(self) -> "dict[str, int]":
+        """Recorded/retained/dropped counts, bench- and report-friendly."""
+        return {
+            "capacity": self.capacity,
+            "n_recorded": self.n_recorded,
+            "n_retained": len(self._ring),
+            "n_dropped": self.n_dropped,
+        }
+
     def clear(self) -> None:
         """Forget retained events and the drop counter (capacity kept)."""
         self._ring.clear()
@@ -103,6 +120,7 @@ class NullTracer:
     __slots__ = ()
 
     enabled = False
+    current_span = ""
 
     def record(
         self,
@@ -128,6 +146,9 @@ class NullTracer:
     @property
     def n_dropped(self) -> int:
         return 0
+
+    def drop_stats(self) -> "dict[str, int]":
+        return {"capacity": 0, "n_recorded": 0, "n_retained": 0, "n_dropped": 0}
 
     def clear(self) -> None:
         pass

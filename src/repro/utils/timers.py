@@ -3,13 +3,13 @@
 The reproduction measures I/O cost on a *simulated* clock driven by device
 cost models (see DESIGN.md: deterministic simulated clock), so experiments
 are reproducible on any machine.  :class:`SimClock` is that clock;
-:class:`WallTimer` exists for profiling the reproduction itself.
+:class:`WallTimer` exists for profiling the reproduction itself (see
+:mod:`repro.obs.profiler` for the span-structured profiler built on it).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 __all__ = ["SimClock", "WallTimer"]
 
@@ -23,7 +23,7 @@ class SimClock:
     """
 
     def __init__(self) -> None:
-        self._channels: dict = {}
+        self._channels: dict[str, float] = {}
 
     def charge(self, channel: str, seconds: float) -> None:
         """Add ``seconds`` to ``channel``; negative charges are rejected."""
@@ -35,7 +35,7 @@ class SimClock:
         """Accumulated seconds on ``channel`` (0.0 if never charged)."""
         return self._channels.get(channel, 0.0)
 
-    def channels(self) -> dict:
+    def channels(self) -> dict[str, float]:
         """Snapshot of all channel totals."""
         return dict(self._channels)
 
@@ -47,22 +47,73 @@ class SimClock:
             self._channels.pop(channel, None)
 
 
-@dataclass
 class WallTimer:
-    """Context-manager stopwatch for real elapsed time.
+    """Stopwatch for real elapsed time, readable while still running.
+
+    ``elapsed`` is a live property: inside the context (or between
+    :meth:`start` and :meth:`stop`) it returns the running elapsed time,
+    and after exit it returns the final total.  :meth:`lap` returns the
+    time since the previous lap (or since start), also without stopping.
 
     >>> with WallTimer() as t:
-    ...     pass
-    >>> t.elapsed >= 0.0
+    ...     mid = t.elapsed  # readable in flight
+    >>> t.elapsed >= mid >= 0.0
     True
     """
 
-    elapsed: float = 0.0
-    _start: float = field(default=0.0, repr=False)
+    def __init__(self) -> None:
+        self._accum = 0.0
+        self._start: float | None = None
+        self._lap_mark: float | None = None
 
-    def __enter__(self) -> "WallTimer":
+    # -- control -------------------------------------------------------------
+
+    def start(self) -> "WallTimer":
+        """(Re)start from zero; returns self for chaining."""
+        self._accum = 0.0
         self._start = time.perf_counter()
+        self._lap_mark = self._start
         return self
 
+    def stop(self) -> float:
+        """Freeze the clock and return the total elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("WallTimer.stop() without start()")
+        self._accum += time.perf_counter() - self._start
+        self._start = None
+        self._lap_mark = None
+        return self._accum
+
+    def lap(self) -> float:
+        """Seconds since the previous lap (or start); leaves the clock running."""
+        if self._start is None:
+            raise RuntimeError("WallTimer.lap() requires a running timer")
+        now = time.perf_counter()
+        dt = now - (self._lap_mark if self._lap_mark is not None else self._start)
+        self._lap_mark = now
+        return dt
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds — live while running, final after stop."""
+        if self._start is None:
+            return self._accum
+        return self._accum + (time.perf_counter() - self._start)
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "WallTimer":
+        return self.start()
+
     def __exit__(self, *exc) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.running else "stopped"
+        return f"WallTimer(elapsed={self.elapsed:.6f}, {state})"

@@ -1,0 +1,159 @@
+"""Tests for the `repro bench` harness: schema, round-trip, comparison."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    comparable_metrics,
+    compare_bench,
+    format_comparison,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+_TINY = BenchConfig(blocks=27, scale=0.03, steps=4, n_directions=8, n_distances=1)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_bench(config=_TINY, label="test")
+
+
+class TestRunBench:
+    def test_document_shape(self, doc):
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["label"] == "test"
+        assert doc["config"]["blocks"] == 27
+        assert set(doc["runs"]) == {
+            "orbit/lru",
+            "orbit/app-aware",
+            "zoom/lru",
+            "zoom/app-aware",
+        }
+
+    def test_run_cells_have_required_sections(self, doc):
+        for run in doc["runs"].values():
+            assert {"summary", "hierarchy_stats", "derived", "metrics", "trace",
+                    "phases"} <= set(run)
+            assert 0.0 <= run["summary"]["total_miss_rate"] <= 1.0
+            assert run["trace"]["ledger_agrees"] is True
+            assert run["trace"]["n_dropped"] == 0
+
+    def test_fetch_latency_percentiles_per_level(self, doc):
+        lat = doc["runs"]["orbit/lru"]["derived"]["fetch_latency_seconds"]
+        assert any("level=" in key for key in lat)
+        for row in lat.values():
+            assert row["p50"] <= row["p95"] <= row["p99"]
+
+    def test_frame_time_histogram_present(self, doc):
+        for run in doc["runs"].values():
+            frame = run["derived"]["frame_time_seconds"]
+            assert frame and all(row["count"] > 0 for row in frame.values())
+
+    def test_prefetch_precision_recall_only_for_app_aware(self, doc):
+        lru = doc["runs"]["orbit/lru"]["derived"]
+        app = doc["runs"]["orbit/app-aware"]["derived"]
+        assert lru["prefetch_precision"] is None
+        if app["prefetch_precision"] is not None:
+            assert 0.0 <= app["prefetch_precision"] <= 1.0
+        if app["prefetch_recall"] is not None:
+            assert 0.0 <= app["prefetch_recall"] <= 1.0
+
+    def test_phase_breakdown_sim_vs_wall(self, doc):
+        suite = doc["phases"]
+        assert "bench" in suite["wall"] and "bench/setup" in suite["wall"]
+        run = doc["runs"]["orbit/app-aware"]["phases"]
+        assert "replay/fetch" in run["wall"]
+        assert "io" in run["sim"] and "render" in run["sim"]
+
+    def test_deterministic(self, doc):
+        again = run_bench(config=_TINY, label="test")
+        a = copy.deepcopy(doc)
+        b = copy.deepcopy(again)
+        for d in (a, b):  # wall timings are the only machine-dependent part
+            d.pop("phases")
+            for run in d["runs"].values():
+                run["phases"].pop("wall")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestWriteLoad:
+    def test_round_trip(self, doc, tmp_path):
+        path = write_bench(doc, tmp_path)
+        assert path.name == "BENCH_test.json"
+        assert load_bench(path)["runs"].keys() == doc["runs"].keys()
+
+    def test_label_sanitised(self, doc, tmp_path):
+        doc2 = dict(doc, label="a/b")
+        assert write_bench(doc2, tmp_path).name == "BENCH_a-b.json"
+
+    def test_schema_version_mismatch_rejected(self, doc, tmp_path):
+        bad = dict(doc, schema_version=BENCH_SCHEMA_VERSION + 1)
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps(bad), encoding="utf-8")
+        with pytest.raises(ValueError, match="schema_version"):
+            load_bench(path)
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self, doc):
+        rows = compare_bench(doc, doc)
+        assert rows
+        assert all(r["status"] == "ok" for r in rows)
+
+    def test_only_sim_metrics_compared(self, doc):
+        names = comparable_metrics(doc).keys()
+        assert not any("wall" in n for n in names)
+        assert any(".total_time_s" in n for n in names)
+        assert any("fetch_latency_seconds" in n and ".p95" in n for n in names)
+
+    def test_regression_detected(self, doc):
+        worse = copy.deepcopy(doc)
+        worse["runs"]["orbit/lru"]["summary"]["total_time_s"] *= 1.5
+        rows = compare_bench(doc, worse, threshold=0.10)
+        bad = [r for r in rows if r["status"] == "regression"]
+        assert [r["metric"] for r in bad] == ["orbit/lru.total_time_s"]
+
+    def test_improvement_not_a_regression(self, doc):
+        better = copy.deepcopy(doc)
+        better["runs"]["orbit/lru"]["summary"]["total_time_s"] *= 0.5
+        rows = compare_bench(doc, better, threshold=0.10)
+        row = next(r for r in rows if r["metric"] == "orbit/lru.total_time_s")
+        assert row["status"] == "improved"
+
+    def test_higher_is_better_direction(self, doc):
+        base = copy.deepcopy(doc)
+        base["runs"]["orbit/app-aware"]["derived"]["prefetch_precision"] = 0.8
+        worse = copy.deepcopy(base)
+        worse["runs"]["orbit/app-aware"]["derived"]["prefetch_precision"] = 0.4
+        rows = compare_bench(base, worse, threshold=0.10)
+        row = next(
+            r for r in rows if r["metric"] == "orbit/app-aware.prefetch_precision"
+        )
+        assert row["status"] == "regression"
+
+    def test_missing_metric_reported_not_regressed(self, doc):
+        partial = copy.deepcopy(doc)
+        del partial["runs"]["orbit/lru"]["summary"]["total_time_s"]
+        rows = compare_bench(doc, partial)
+        row = next(r for r in rows if r["metric"] == "orbit/lru.total_time_s")
+        assert row["status"] == "missing"
+        assert not any(r["status"] == "regression" for r in rows)
+
+    def test_bad_threshold_rejected(self, doc):
+        with pytest.raises(ValueError):
+            compare_bench(doc, doc, threshold=-0.1)
+
+    def test_format_comparison(self, doc):
+        worse = copy.deepcopy(doc)
+        worse["runs"]["orbit/lru"]["summary"]["total_time_s"] *= 1.5
+        text = format_comparison(compare_bench(doc, worse))
+        assert "orbit/lru.total_time_s" in text
+        assert "1 regression(s)" in text
+        verbose = format_comparison(compare_bench(doc, doc), verbose=True)
+        assert "0 regression(s)" in verbose

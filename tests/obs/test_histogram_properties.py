@@ -1,0 +1,81 @@
+"""Property tests: histogram quantiles are bounded and monotone.
+
+The bench harness reports p50/p95/p99 estimated from fixed buckets; these
+properties are what make those numbers trustworthy — an estimate can be
+coarse, but it must never leave the observed range or invert ordering.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+
+_values = st.lists(
+    st.floats(
+        min_value=1e-9,
+        max_value=1e4,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+_bucket_sets = st.sampled_from(
+    [
+        DEFAULT_LATENCY_BUCKETS,
+        (1.0,),
+        (1e-6, 1e-3, 1.0, 1e3),
+        tuple(float(2**k) for k in range(-10, 11)),
+    ]
+)
+
+
+@given(values=_values, buckets=_bucket_sets)
+@settings(max_examples=200, deadline=None)
+def test_quantiles_bounded_by_observed_extremes(values, buckets):
+    h = Histogram("lat", buckets=buckets)
+    for v in values:
+        h.observe(v)
+    lo, hi = min(values), max(values)
+    for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0):
+        est = h.quantile(q)
+        assert lo <= est <= hi, f"quantile({q})={est} outside [{lo}, {hi}]"
+
+
+@given(
+    values=_values,
+    buckets=_bucket_sets,
+    qs=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=8),
+)
+@settings(max_examples=200, deadline=None)
+def test_quantiles_monotone_in_q(values, buckets, qs):
+    h = Histogram("lat", buckets=buckets)
+    for v in values:
+        h.observe(v)
+    qs = sorted(qs)
+    estimates = [h.quantile(q) for q in qs]
+    assert estimates == sorted(estimates), f"non-monotone: {list(zip(qs, estimates))}"
+
+
+@given(values=_values)
+@settings(max_examples=100, deadline=None)
+def test_count_sum_extremes_exact(values):
+    h = Histogram("lat", buckets=DEFAULT_LATENCY_BUCKETS)
+    for v in values:
+        h.observe(v)
+    assert h.count == len(values)
+    assert h.min == min(values)
+    assert h.max == max(values)
+    assert abs(h.total - sum(values)) <= 1e-9 * max(1.0, abs(sum(values)))
+    assert sum(h.counts) == len(values)
+
+
+@given(values=_values)
+@settings(max_examples=100, deadline=None)
+def test_percentiles_dict_ordered(values):
+    h = Histogram("lat", buckets=DEFAULT_LATENCY_BUCKETS)
+    for v in values:
+        h.observe(v)
+    p = h.percentiles()
+    assert p["p50"] <= p["p95"] <= p["p99"]

@@ -1,0 +1,85 @@
+"""The byte ledger: registry counters, CacheStats, and summaries agree.
+
+`bytes_read_total{level=X}` increments exactly where the corresponding
+`CacheStats.bytes_read` (or `backing_bytes`) ledger does, so the two
+accountings must be equal — and a run with the NULL_REGISTRY must produce
+the same summary as an instrumented one (observation changes nothing).
+"""
+
+import pytest
+
+from repro.camera.path import spherical_path
+from repro.camera.sampling import SamplingConfig
+from repro.core.pipeline import run_baseline
+from repro.experiments.runner import ExperimentSetup
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup.for_dataset(
+        "3d_ball",
+        target_n_blocks=27,
+        scale=0.03,
+        sampling=SamplingConfig(n_directions=8, n_distances=1),
+    )
+
+
+@pytest.fixture(scope="module")
+def path(setup):
+    return spherical_path(
+        6, degrees_per_step=10.0, distance=2.5,
+        view_angle_deg=setup.view_angle_deg, seed=0,
+    )
+
+
+def _run(setup, path, registry):
+    hierarchy = setup.hierarchy("lru")
+    hierarchy.set_registry(registry)
+    return run_baseline(context=setup.context(path), hierarchy=hierarchy), hierarchy
+
+
+class TestByteLedger:
+    def test_per_level_counters_match_cache_stats(self, setup, path):
+        registry = MetricsRegistry()
+        _, hierarchy = _run(setup, path, registry)
+        for level in hierarchy.levels:
+            counter = registry.get("bytes_read_total", level=level.name)
+            assert counter is not None
+            assert counter.value == level.stats.bytes_read, level.name
+
+    def test_backing_counter_matches_backing_bytes(self, setup, path):
+        registry = MetricsRegistry()
+        _, hierarchy = _run(setup, path, registry)
+        counter = registry.get("bytes_read_total", level=hierarchy.backing.name)
+        assert counter is not None
+        assert counter.value == hierarchy.backing_bytes
+
+    def test_totals_match_hierarchy_stats_and_bytes_moved(self, setup, path):
+        registry = MetricsRegistry()
+        result, hierarchy = _run(setup, path, registry)
+        level_names = {lv.name for lv in hierarchy.levels}
+        registry_level_total = sum(
+            m.value
+            for m in registry.metrics()
+            if m.name == "bytes_read_total" and dict(m.labels)["level"] in level_names
+        )
+        assert registry_level_total == hierarchy.stats().total_bytes_read
+        backing = registry.get("bytes_read_total", level=hierarchy.backing.name)
+        assert registry_level_total + backing.value == result.extras["bytes_moved"]
+
+    def test_fetch_counters_cover_every_fetch(self, setup, path):
+        registry = MetricsRegistry()
+        result, hierarchy = _run(setup, path, registry)
+        n_fetches = sum(
+            m.value for m in registry.metrics() if m.name == "fetches_total"
+        )
+        n_observed = sum(
+            m.count for m in registry.metrics() if m.name == "fetch_latency_seconds"
+        )
+        assert n_fetches == n_observed > 0
+
+    def test_null_registry_run_summary_identical(self, setup, path):
+        instrumented, _ = _run(setup, path, MetricsRegistry())
+        bare, _ = _run(setup, path, NULL_REGISTRY)
+        assert bare.summary() == instrumented.summary()

@@ -1,0 +1,144 @@
+"""Tests for the metrics registry: counters, gauges, histograms, null path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    format_metric_key,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = MetricsRegistry().counter("reads_total")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("reads_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_tracks_high_water_mark(self):
+        g = MetricsRegistry().gauge("occupancy")
+        g.set(5)
+        g.set(9)
+        g.set(2)
+        assert g.value == 2
+        assert g.max_value == 9
+        assert g.n_sets == 3
+
+    def test_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.inc(3)
+        g.dec(1)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 2.0, 3.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 0.5 and h.max == 50.0
+        assert h.mean == pytest.approx(55.5 / 4)
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(1000.0)
+        assert h.count == 1
+        assert h.quantile(1.0) == 1000.0
+
+    def test_empty_quantile_is_zero(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_range_checked(self):
+        h = Histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-7)
+
+    def test_as_dict_has_percentiles_and_sparse_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        d = h.as_dict()
+        assert {"count", "sum", "min", "max", "mean", "p50", "p95", "p99", "buckets"} <= set(d)
+        assert sum(d["buckets"].values()) == 2
+
+
+class TestRegistry:
+    def test_interning_same_metric(self):
+        r = MetricsRegistry()
+        assert r.counter("x", level="dram") is r.counter("x", level="dram")
+        assert r.counter("x", level="dram") is not r.counter("x", level="ssd")
+
+    def test_label_order_irrelevant(self):
+        r = MetricsRegistry()
+        assert r.counter("x", a="1", b="2") is r.counter("x", b="2", a="1")
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+
+    def test_get(self):
+        r = MetricsRegistry()
+        c = r.counter("x", level="dram")
+        assert r.get("x", level="dram") is c
+        assert r.get("x", level="hdd") is None
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("reads_total", level="dram").inc(3)
+        r.gauge("occupancy").set(7)
+        r.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = r.snapshot()
+        assert snap["counters"]["reads_total{level=dram}"]["value"] == 3
+        assert snap["gauges"]["occupancy"]["value"] == 7
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_format_metric_key(self):
+        assert format_metric_key("x", ()) == "x"
+        assert format_metric_key("x", (("a", "1"), ("b", "2"))) == "x{a=1,b=2}"
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_factories_return_shared_noops(self):
+        c = NULL_REGISTRY.counter("x", level="dram")
+        assert c is NULL_REGISTRY.counter("y")
+        c.inc(100)
+        assert c.value == 0
+        g = NULL_REGISTRY.gauge("g")
+        g.set(5)
+        assert g.value == 0.0
+        h = NULL_REGISTRY.histogram("h")
+        h.observe(1.0)
+        assert h.count == 0 and h.quantile(0.5) == 0.0
+
+    def test_empty_snapshot(self):
+        assert NULL_REGISTRY.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.get("x") is None

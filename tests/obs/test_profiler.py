@@ -1,0 +1,114 @@
+"""Tests for the phase profiler: spans, sim channels, tracer span ids."""
+
+import pytest
+
+from repro.obs.profiler import NULL_PROFILER, PhaseProfiler, resolve_profiler
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_nested_paths_aggregate(self):
+        p = PhaseProfiler()
+        with p.span("replay"):
+            with p.span("fetch"):
+                pass
+            with p.span("fetch"):
+                pass
+            with p.span("render"):
+                pass
+        rep = p.report()
+        assert set(rep["wall"]) == {"replay", "replay/fetch", "replay/render"}
+        assert rep["wall"]["replay/fetch"]["count"] == 2
+        assert p.n_calls("replay/fetch") == 2
+        assert p.wall_seconds("replay") >= p.wall_seconds("replay/fetch")
+
+    def test_current_path_tracks_nesting(self):
+        p = PhaseProfiler()
+        assert p.current_path == ""
+        with p.span("a"):
+            assert p.current_path == "a"
+            with p.span("b"):
+                assert p.current_path == "a/b"
+            assert p.current_path == "a"
+        assert p.current_path == ""
+
+    def test_slash_in_name_rejected(self):
+        p = PhaseProfiler()
+        with pytest.raises(ValueError):
+            p.span("a/b")
+
+    def test_mean_seconds(self):
+        p = PhaseProfiler()
+        for _ in range(3):
+            with p.span("x"):
+                pass
+        row = p.report()["wall"]["x"]
+        assert row["mean_seconds"] == pytest.approx(row["seconds"] / 3)
+
+    def test_span_survives_exception(self):
+        p = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with p.span("outer"):
+                raise RuntimeError("boom")
+        assert p.n_calls("outer") == 1
+        assert p.current_path == ""
+
+
+class TestSimChannel:
+    def test_charge_sim_lands_in_report(self):
+        p = PhaseProfiler()
+        p.charge_sim("io", 1.5)
+        p.charge_sim("io", 0.5)
+        p.charge_sim("render", 2.0)
+        assert p.report()["sim"] == {"io": 2.0, "render": 2.0}
+
+
+class TestTracerIntegration:
+    def test_events_stamped_with_span_path(self):
+        tracer = Tracer(capacity=16)
+        p = PhaseProfiler(tracer=tracer)
+        tracer.record("fetch")
+        with p.span("replay"):
+            tracer.record("fetch")
+            with p.span("render"):
+                tracer.record("render")
+            tracer.record("fetch")
+        tracer.record("fetch")
+        spans = [e.span for e in tracer.events()]
+        assert spans == ["", "replay", "replay/render", "replay", ""]
+
+    def test_null_tracer_ignored(self):
+        # NullTracer has no state (__slots__ = ()); the profiler must not
+        # try to write current_span onto it.
+        p = PhaseProfiler(tracer=NULL_TRACER)
+        with p.span("a"):
+            pass
+        assert NULL_TRACER.current_span == ""
+
+
+class TestFormatReport:
+    def test_contains_paths_and_channels(self):
+        p = PhaseProfiler()
+        with p.span("replay"):
+            with p.span("fetch"):
+                pass
+        p.charge_sim("io", 1.0)
+        text = p.format_report()
+        assert "replay" in text and "fetch" in text and "io" in text
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self):
+        assert NULL_PROFILER.enabled is False
+        with NULL_PROFILER.span("anything/with/slashes"):
+            pass
+        NULL_PROFILER.charge_sim("io", 1.0)
+        assert NULL_PROFILER.report() == {"wall": {}, "sim": {}}
+        assert NULL_PROFILER.wall_seconds("x") == 0.0
+        assert NULL_PROFILER.n_calls("x") == 0
+        assert NULL_PROFILER.current_path == ""
+
+    def test_resolve_profiler(self):
+        p = PhaseProfiler()
+        assert resolve_profiler(p) is p
+        assert resolve_profiler(None) is NULL_PROFILER

@@ -122,6 +122,48 @@ class TestTrace:
         assert args.policy == "app-aware"
         assert args.capacity == 1_000_000
 
+    def test_reports_drop_counters(self, tmp_path, capsys):
+        rc = main([
+            "trace", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--steps", "6", "--policy", "lru",
+            "--capacity", "10", "--out", str(tmp_path / "trace.json"),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "events recorded" in text and "dropped (capacity 10)" in text
+        assert "warning: ring buffer dropped" in text
+
+
+class TestBench:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.label == "local"
+        assert args.quick is False
+        assert args.compare is None
+        assert args.threshold == 0.10
+
+    def test_quick_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        rc = main(["bench", "--quick", "--label", "smoke", "--out", str(tmp_path)])
+        assert rc == 0
+        path = tmp_path / "BENCH_smoke.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 1 and doc["quick"] is True
+        assert "wrote" in capsys.readouterr().out
+
+    def test_compare_self_exits_zero(self, tmp_path, capsys):
+        main(["bench", "--quick", "--label", "a", "--out", str(tmp_path)])
+        snap = str(tmp_path / "BENCH_a.json")
+        assert main(["bench", "--compare", snap, snap]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_compare_missing_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["bench", "--compare", missing, missing]) == 2
+        assert "error:" in capsys.readouterr().out
+
 
 class TestRender:
     def test_writes_ppm(self, tmp_path, capsys):

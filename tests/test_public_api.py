@@ -13,7 +13,7 @@ class TestPublicAPI:
             assert hasattr(repro, name), f"repro.{name} missing"
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_subpackages_importable(self):
         for pkg in (
@@ -27,6 +27,9 @@ class TestPublicAPI:
             "repro.render",
             "repro.core",
             "repro.experiments",
+            "repro.trace",
+            "repro.obs",
+            "repro.obs.bench",
         ):
             importlib.import_module(pkg)
 

@@ -48,3 +48,46 @@ class TestWallTimer:
         with WallTimer() as t:
             sum(range(1000))
         assert t.elapsed >= 0.0
+
+    def test_elapsed_readable_while_running(self):
+        with WallTimer() as t:
+            assert t.running
+            mid = t.elapsed
+            assert mid >= 0.0
+            sum(range(1000))
+            assert t.elapsed >= mid
+        assert not t.running
+        assert t.elapsed >= mid
+
+    def test_elapsed_frozen_after_stop(self):
+        t = WallTimer().start()
+        total = t.stop()
+        assert t.elapsed == total
+
+    def test_lap_splits_sum_below_total(self):
+        with WallTimer() as t:
+            a = t.lap()
+            b = t.lap()
+        assert a >= 0.0 and b >= 0.0
+        assert t.elapsed >= a + b
+
+    def test_lap_requires_running(self):
+        t = WallTimer()
+        with pytest.raises(RuntimeError):
+            t.lap()
+
+    def test_stop_requires_start(self):
+        with pytest.raises(RuntimeError):
+            WallTimer().stop()
+
+    def test_restart_resets(self):
+        t = WallTimer().start()
+        t.stop()
+        t.start()
+        t.stop()
+        assert t.elapsed < 1.0  # fresh accumulation, not a running sum
+
+    def test_start_returns_self(self):
+        t = WallTimer()
+        assert t.start() is t
+        t.stop()
