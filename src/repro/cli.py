@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="snapshot label: writes BENCH_<label>.json")
     ben.add_argument("--out", type=Path, default=Path("."),
                      help="directory the snapshot is written into (default: cwd)")
+    ben.add_argument("--workers", type=_positive_int, default=1,
+                     help="worker processes for the suite cells (default 1: serial)")
+    ben.add_argument("--engine", choices=("batched", "scalar"), default="batched",
+                     help="replay engine: vectorized fast path (default) or the "
+                          "per-block scalar compatibility path")
+    ben.add_argument("--profile", type=Path, default=None, metavar="PATH",
+                     help="also re-run one pinned cell with a span timeline and "
+                          "write a Chrome-trace JSON there")
     ben.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
                      help="compare two snapshots instead of running the suite")
     ben.add_argument("--threshold", type=float, default=0.10,
@@ -254,12 +262,22 @@ def _cmd_bench(args) -> int:
             return 0
         return 1 if n_regressions else 0
 
-    doc = run_bench(label=args.label, quick=args.quick, progress=print)
+    doc = run_bench(
+        label=args.label,
+        quick=args.quick,
+        progress=print,
+        workers=args.workers,
+        engine=args.engine,
+        profile_path=args.profile,
+    )
     path = write_bench(doc, args.out)
     n_runs = len(doc["runs"])
     dropped = sum(r["trace"]["n_dropped"] for r in doc["runs"].values())
-    print(f"wrote {path} ({n_runs} runs, schema v{doc['schema_version']}, "
-          f"{dropped} trace events dropped)")
+    print(f"wrote {path} ({n_runs} runs, engine {doc['engine']}, "
+          f"{doc['workers']} worker(s), schema v{doc['schema_version']}, "
+          f"{dropped} trace events dropped, suite {doc['suite_wall_s']:.2f}s wall)")
+    if "profile" in doc:
+        print(f"profile: {doc['profile']['path']} (cell {doc['profile']['cell']})")
     return 0
 
 

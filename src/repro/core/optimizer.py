@@ -19,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
 
 from repro.core.metrics import RunResult, StepMetrics
-from repro.core.pipeline import PipelineContext
+from repro.core.pipeline import PipelineContext, _resolve_engine
 from repro.obs.profiler import resolve_profiler
 from repro.storage.hierarchy import MemoryHierarchy
 from repro.tables.importance_table import ImportanceTable
@@ -122,8 +123,7 @@ class AppAwareOptimizer:
 
     def preload(self, hierarchy: MemoryHierarchy) -> "dict[str, int]":
         """Place important blocks into every level before the first view."""
-        ranked = self.importance_table.ids_above(self.sigma)
-        return hierarchy.preload([int(b) for b in ranked])
+        return hierarchy.preload(self.importance_table.ids_above(self.sigma))
 
     # -- Alg. 1 main loop -----------------------------------------------------------
 
@@ -135,6 +135,7 @@ class AppAwareOptimizer:
         tracer=None,
         registry=None,
         profiler=None,
+        engine: str = "batched",
     ) -> RunResult:
         """Replay ``context.path`` with Algorithm 1 on ``hierarchy``.
 
@@ -145,6 +146,11 @@ class AppAwareOptimizer:
         step *i* counts as *useful* when the block is demanded at step
         *i + 1*).  ``profiler`` records wall-clock spans for the preload
         and the per-step fetch/render/prefetch phases.
+
+        ``engine="batched"`` (default) runs the demand phase through
+        :meth:`~repro.storage.hierarchy.MemoryHierarchy.fetch_many` and
+        the prefetch phase through ``prefetch_many``; ``"scalar"`` keeps
+        the per-block loops.  Results are identical either way.
         """
         cfg = self.config
         if tracer is not None:
@@ -159,7 +165,9 @@ class AppAwareOptimizer:
         issued_counter = registry.counter("prefetch_evaluated_total")
         useful_counter = registry.counter("prefetch_useful_total")
         demanded_counter = registry.counter("prefetch_demand_window_total")
-        issued_prev: "set[int]" = set()
+        batched = _resolve_engine(engine)
+        issued_prev: "set[int]" = set()  # scalar engine
+        issued_prev_arr = np.empty(0, dtype=np.int64)  # batched engine
         if cfg.preload:
             with profiler.span("preload"):
                 self.preload(hierarchy)
@@ -179,20 +187,33 @@ class AppAwareOptimizer:
             # Prefetch usefulness: blocks prefetched at step i-1 that the
             # demand stream touches at step i were correct predictions.
             if registry.enabled:
-                demand_now = {int(b) for b in ids}
-                if issued_prev:
-                    issued_counter.inc(len(issued_prev))
-                    useful_counter.inc(len(issued_prev & demand_now))
+                if batched:
+                    if issued_prev_arr.size:
+                        issued_counter.inc(issued_prev_arr.size)
+                        # Set membership beats np.isin at visible-set sizes.
+                        demand_now = set(np.asarray(ids).tolist())
+                        useful_counter.inc(
+                            sum(1 for b in issued_prev_arr.tolist() if b in demand_now)
+                        )
+                    issued_prev_arr = np.empty(0, dtype=np.int64)
+                else:
+                    demand_now = {int(b) for b in ids}
+                    if issued_prev:
+                        issued_counter.inc(len(issued_prev))
+                        useful_counter.inc(len(issued_prev & demand_now))
+                    issued_prev = set()
                 if i > 0:
-                    demanded_counter.inc(len(demand_now))
-                issued_prev = set()
+                    demanded_counter.inc(len(ids))
 
             # Demand phase (lines 14-19): victims must satisfy time < i.
-            io = 0.0
             fast_misses_before = fastest.stats.misses
             with profiler.span("fetch"):
-                for b in ids:
-                    io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
+                if batched:
+                    io = hierarchy.fetch_many(ids, i, min_free_step=i).time_s
+                else:
+                    io = 0.0
+                    for b in ids:
+                        io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
             n_fast_misses = fastest.stats.misses - fast_misses_before
 
             with profiler.span("render"):
@@ -214,18 +235,26 @@ class AppAwareOptimizer:
                         candidates = predicted
                     if registry.enabled:
                         queue_gauge.set(len(candidates))
-                    for b in candidates:
-                        if n_prefetched >= max_prefetch:
-                            break
-                        b = int(b)
-                        if hierarchy.contains_fast(b):
-                            continue
-                        prefetch_time += hierarchy.fetch(
-                            b, i, prefetch=True, min_free_step=i
-                        ).time_s
-                        n_prefetched += 1
+                    if batched:
+                        issued, prefetch_time = hierarchy.prefetch_many(
+                            candidates, i, min_free_step=i, max_fetch=max_prefetch
+                        )
+                        n_prefetched = len(issued)
                         if registry.enabled:
-                            issued_prev.add(b)
+                            issued_prev_arr = np.asarray(issued, dtype=np.int64)
+                    else:
+                        for b in candidates:
+                            if n_prefetched >= max_prefetch:
+                                break
+                            b = int(b)
+                            if hierarchy.contains_fast(b):
+                                continue
+                            prefetch_time += hierarchy.fetch(
+                                b, i, prefetch=True, min_free_step=i
+                            ).time_s
+                            n_prefetched += 1
+                            if registry.enabled:
+                                issued_prev.add(b)
 
             if cfg.adaptive_sigma and cfg.prefetch:
                 # Controller: keep the prefetch stream inside the overlap

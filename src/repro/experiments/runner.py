@@ -80,8 +80,8 @@ def belady_hierarchy(
     ssd_cap = max(1, round(n * cache_ratio))
     dram_cap = max(1, round(n * cache_ratio * cache_ratio))
     levels = [
-        CacheLevel("dram", dram_cap, BeladyPolicy(trace)),
-        CacheLevel("ssd", ssd_cap, make_policy("lru")),
+        CacheLevel("dram", dram_cap, BeladyPolicy(trace), n_blocks=n),
+        CacheLevel("ssd", ssd_cap, make_policy("lru"), n_blocks=n),
     ]
     return MemoryHierarchy(levels, [DRAM, SSD], HDD, block_nbytes)
 

@@ -6,8 +6,16 @@ synthetic dataset — with the metrics registry, event tracer, and phase
 profiler all attached, and emits a schema-versioned ``BENCH_<label>.json``
 snapshot.  Everything the comparison looks at is *simulated*-clock
 derived, so two snapshots of the same code are bit-identical regardless
-of the machine; wall-clock phase timings ride along for human inspection
-but are never compared.
+of the machine; wall-clock phase timings (and the per-run ``wall_s`` /
+suite ``suite_wall_s`` fields) ride along for human inspection but are
+never compared.
+
+Cells run on the batched replay engine with aggregated trace emission by
+default (``engine="scalar"`` replays the per-block compatibility path —
+every simulated metric is identical by construction).  ``workers > 1``
+fans the four independent cells out over worker processes, each building
+its own tables from the pinned config, so snapshots are byte-identical
+regardless of parallelism.
 
 ``compare_bench`` diffs two snapshots against per-direction relative
 thresholds and reports regressions (``repro bench --compare`` exits
@@ -17,13 +25,15 @@ non-zero when any metric regresses past threshold).
 from __future__ import annotations
 
 import json
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.camera.path import spherical_path, zoom_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.pipeline import run_baseline
+from repro.core.pipeline import REPLAY_ENGINES, run_baseline
 from repro.experiments.runner import ExperimentSetup
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profiler import PhaseProfiler
@@ -31,6 +41,8 @@ from repro.trace import Tracer, aggregate
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "BENCH_CELLS",
+    "PROFILE_CELL",
     "BenchConfig",
     "run_bench",
     "write_bench",
@@ -101,21 +113,48 @@ def _histogram_percentiles(registry: MetricsRegistry, name: str) -> Dict[str, Di
     return out
 
 
-def _run_one(setup: ExperimentSetup, path, policy: str, config: BenchConfig) -> Dict[str, object]:
+#: The pinned (path, policy) cells of the suite, in run order.
+BENCH_CELLS: Tuple[Tuple[str, str], ...] = (
+    ("orbit", "lru"),
+    ("orbit", "app-aware"),
+    ("zoom", "lru"),
+    ("zoom", "app-aware"),
+)
+
+#: The cell ``repro bench --profile`` re-runs with a span timeline kept.
+PROFILE_CELL = "orbit/app-aware"
+
+
+def _run_one(
+    setup: ExperimentSetup,
+    path,
+    policy: str,
+    config: BenchConfig,
+    engine: str = "batched",
+    profiler: Optional[PhaseProfiler] = None,
+) -> Dict[str, object]:
     """One (path, policy) cell: run instrumented, snapshot everything."""
+    t0 = time.perf_counter()
     registry = MetricsRegistry()
     tracer = Tracer(capacity=config.tracer_capacity)
-    profiler = PhaseProfiler(tracer=tracer)
+    if profiler is None:
+        profiler = PhaseProfiler(tracer=tracer)
     context = setup.context(path)
     hierarchy = setup.hierarchy("lru" if policy == "app-aware" else policy)
+    # The batched engine emits one aggregated trace event per
+    # (step, level, kind) — same byte ledger, a fraction of the tracer
+    # cost; the scalar engine keeps the exact per-block event stream.
+    hierarchy.aggregate_trace = engine == "batched"
     with profiler.span("replay"):
         if policy == "app-aware":
             result = setup.optimizer().run(
-                context, hierarchy, tracer=tracer, registry=registry, profiler=profiler
+                context, hierarchy, tracer=tracer, registry=registry,
+                profiler=profiler, engine=engine,
             )
         else:
             result = run_baseline(
-                context, hierarchy, tracer=tracer, registry=registry, profiler=profiler
+                context, hierarchy, tracer=tracer, registry=registry,
+                profiler=profiler, engine=engine,
             )
 
     summary = aggregate(tracer.events())
@@ -126,6 +165,8 @@ def _run_one(setup: ExperimentSetup, path, policy: str, config: BenchConfig) -> 
         registry.get("prefetch_useful_total"), registry.get("prefetch_demand_window_total")
     )
     return {
+        "engine": engine,
+        "wall_s": time.perf_counter() - t0,  # informational; never compared
         "summary": result.summary(),
         "hierarchy_stats": result.hierarchy_stats.as_dict(),
         "derived": {
@@ -149,56 +190,135 @@ def _run_one(setup: ExperimentSetup, path, policy: str, config: BenchConfig) -> 
     }
 
 
+def _build_setup(config: BenchConfig) -> ExperimentSetup:
+    return ExperimentSetup.for_dataset(
+        config.dataset,
+        target_n_blocks=config.blocks,
+        scale=config.scale,
+        cache_ratio=config.cache_ratio,
+        sampling=SamplingConfig(
+            n_directions=config.n_directions, n_distances=config.n_distances
+        ),
+        seed=config.seed,
+    )
+
+
+# -- worker-process plumbing --------------------------------------------------
+# Each worker builds the full setup (dataset + tables) once from the pinned
+# config in its initializer, then serves cells from it.  Nothing non-trivial
+# crosses the process boundary: the config in, plain-JSON run dicts out, so
+# snapshots are byte-identical to a serial run.
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(config: BenchConfig) -> None:
+    setup = _build_setup(config)
+    setup.importance_table  # noqa: B018 - builds and caches
+    setup.visible_table  # noqa: B018 - builds and caches
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["setup"] = setup
+
+
+def _worker_cell(cell: Tuple[str, str, str]) -> Tuple[str, Dict[str, object]]:
+    path_name, policy, engine = cell
+    config: BenchConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
+    setup: ExperimentSetup = _WORKER_STATE["setup"]  # type: ignore[assignment]
+    path = _paths(config, setup.view_angle_deg)[path_name]
+    return f"{path_name}/{policy}", _run_one(setup, path, policy, config, engine=engine)
+
+
 def run_bench(
     config: Optional[BenchConfig] = None,
     label: str = "local",
     quick: bool = False,
     progress=None,
+    workers: int = 1,
+    engine: str = "batched",
+    profile_path: Optional[PathLike] = None,
 ) -> Dict[str, object]:
     """Run the pinned suite; returns the JSON-ready snapshot document.
 
     ``progress`` is an optional ``str -> None`` callback (the CLI passes
-    ``print``) invoked before each phase.
+    ``print``) invoked before each phase.  ``workers > 1`` runs the four
+    cells in that many worker processes (capped at the cell count); every
+    simulated metric is identical to a serial run.  ``engine`` selects the
+    replay fast path (``"batched"``, the default) or the per-block
+    ``"scalar"`` compatibility path.  ``profile_path``, when given,
+    re-runs the :data:`PROFILE_CELL` with a span timeline kept and writes
+    a Chrome-trace JSON there.
     """
     if config is None:
         config = BenchConfig.quick() if quick else BenchConfig()
+    if engine not in REPLAY_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {REPLAY_ENGINES}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     notify = progress if progress is not None else (lambda msg: None)
+    t0 = time.perf_counter()
 
     suite_profiler = PhaseProfiler()
     with suite_profiler.span("bench"):
         notify(f"setup: {config.dataset}, ~{config.blocks} blocks, {config.steps} steps")
         with suite_profiler.span("setup"):
-            setup = ExperimentSetup.for_dataset(
-                config.dataset,
-                target_n_blocks=config.blocks,
-                scale=config.scale,
-                cache_ratio=config.cache_ratio,
-                sampling=SamplingConfig(
-                    n_directions=config.n_directions, n_distances=config.n_distances
-                ),
-                seed=config.seed,
-            )
-        notify("building T_visible / T_important tables")
-        with suite_profiler.span("table_build"):
-            setup.importance_table  # noqa: B018 - builds and caches
-            setup.visible_table  # noqa: B018 - builds and caches
+            setup = _build_setup(config)
 
         runs: Dict[str, Dict[str, object]] = {}
-        for path_name, path in _paths(config, setup.view_angle_deg).items():
-            for policy in ("lru", "app-aware"):
+        n_workers = min(workers, len(BENCH_CELLS))
+        if n_workers > 1:
+            notify(f"runs: {len(BENCH_CELLS)} cells on {n_workers} workers")
+            cells = [(p, pol, engine) for p, pol in BENCH_CELLS]
+            with suite_profiler.span("runs"):
+                with ProcessPoolExecutor(
+                    max_workers=n_workers,
+                    initializer=_init_worker,
+                    initargs=(config,),
+                ) as pool:
+                    for key, run in pool.map(_worker_cell, cells):
+                        notify(f"done: {key}")
+                        runs[key] = run
+        else:
+            notify("building T_visible / T_important tables")
+            with suite_profiler.span("table_build"):
+                setup.importance_table  # noqa: B018 - builds and caches
+                setup.visible_table  # noqa: B018 - builds and caches
+            paths = _paths(config, setup.view_angle_deg)
+            for path_name, policy in BENCH_CELLS:
                 key = f"{path_name}/{policy}"
                 notify(f"run: {key}")
                 with suite_profiler.span(f"run {path_name}:{policy}"):
-                    runs[key] = _run_one(setup, path, policy, config)
+                    runs[key] = _run_one(
+                        setup, paths[path_name], policy, config, engine=engine
+                    )
 
-    return {
+    doc: Dict[str, object] = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "label": label,
         "quick": quick,
+        "engine": engine,
+        "workers": n_workers,
         "config": asdict(config),
         "runs": runs,
+        "suite_wall_s": time.perf_counter() - t0,  # informational; never compared
         "phases": suite_profiler.report(),
     }
+
+    if profile_path is not None:
+        notify(f"profile: re-running {PROFILE_CELL} with span timeline")
+        path_name, policy = PROFILE_CELL.split("/")
+        run_profiler = PhaseProfiler(keep_timeline=True)
+        _run_one(
+            setup,
+            _paths(config, setup.view_angle_deg)[path_name],
+            policy,
+            config,
+            engine=engine,
+            profiler=run_profiler,
+        )
+        out = run_profiler.write_chrome_trace(profile_path)
+        doc["profile"] = {"cell": PROFILE_CELL, "path": str(out)}
+
+    return doc
 
 
 def write_bench(doc: Dict[str, object], out_dir: PathLike = ".") -> Path:

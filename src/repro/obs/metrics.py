@@ -106,6 +106,20 @@ class Gauge:
     def dec(self, amount: float = 1.0) -> None:
         self.set(self.value - amount)
 
+    def set_n(self, value: float, n: int) -> None:
+        """Collapse ``n`` consecutive sets that end at ``value``.
+
+        The caller guarantees no intermediate value exceeded
+        ``max(max_value, value)`` — true for occupancy-style walks, where
+        an eviction's dip is always followed by an insert back up.  Then
+        value, high-water mark and ``n_sets`` all match ``n`` scalar
+        :meth:`set` calls exactly.
+        """
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+        self.n_sets += n
+
     def as_dict(self) -> Dict[str, object]:
         return {"value": self.value, "max": self.max_value, "n_sets": self.n_sets}
 
@@ -146,6 +160,23 @@ class Histogram:
         self.counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, value: float, n: int) -> None:
+        """Record ``n`` observations of the same ``value`` in O(log B).
+
+        Bucket counts, count, min and max — everything quantiles are
+        computed from — match ``n`` scalar :meth:`observe` calls exactly;
+        only ``sum`` may differ in float association.
+        """
+        if n <= 0:
+            return
+        self.counts[bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.total += value * n
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -315,6 +346,9 @@ class _NullGauge:
     def dec(self, amount: float = 1.0) -> None:
         pass
 
+    def set_n(self, value: float, n: int) -> None:
+        pass
+
     def as_dict(self) -> Dict[str, object]:
         return {"value": 0.0, "max": 0.0, "n_sets": 0}
 
@@ -331,6 +365,9 @@ class _NullHistogram:
     max = 0.0
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, value: float, n: int) -> None:
         pass
 
     def quantile(self, q: float) -> float:

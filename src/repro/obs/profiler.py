@@ -25,8 +25,10 @@ unprofiled hot paths cost one attribute load and a branch.
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 from repro.utils.timers import SimClock
 
@@ -56,7 +58,7 @@ class PhaseProfiler:
 
     enabled = True
 
-    def __init__(self, tracer=None) -> None:
+    def __init__(self, tracer=None, keep_timeline: bool = False) -> None:
         #: path -> [total_seconds, n_calls]
         self._wall: Dict[str, List[float]] = {}
         self._stack: List[str] = []
@@ -64,6 +66,14 @@ class PhaseProfiler:
         self.sim = SimClock()
         # Only a real tracer can carry span ids (NullTracer has no state).
         self._tracer = tracer if tracer is not None and tracer.enabled else None
+        #: With keep_timeline, every span close appends (path, start_s, dur_s)
+        #: relative to profiler construction — the raw material for a Chrome
+        #: trace.  Off by default: the aggregate view costs O(paths), the
+        #: timeline costs O(calls).
+        self._t_origin = time.perf_counter()
+        self._timeline: Optional[List[Tuple[str, float, float]]] = (
+            [] if keep_timeline else None
+        )
 
     # -- spans ---------------------------------------------------------------
 
@@ -91,6 +101,9 @@ class PhaseProfiler:
             entry = self._wall[path] = [0.0, 0]
         entry[0] += dt
         entry[1] += 1
+        if self._timeline is not None:
+            start = time.perf_counter() - self._t_origin - dt
+            self._timeline.append((path, start, dt))
 
     @property
     def current_path(self) -> str:
@@ -112,6 +125,42 @@ class PhaseProfiler:
     def n_calls(self, path: str) -> int:
         entry = self._wall.get(path)
         return int(entry[1]) if entry else 0
+
+    def timeline(self) -> List[Tuple[str, float, float]]:
+        """Recorded ``(path, start_s, dur_s)`` spans (``keep_timeline`` only)."""
+        return list(self._timeline) if self._timeline is not None else []
+
+    def write_chrome_trace(self, path) -> Path:
+        """Write the timeline as a Chrome-trace JSON (``keep_timeline`` only).
+
+        Emits complete ("X") events in microseconds, viewable in
+        chrome://tracing or https://ui.perfetto.dev.  Raises if the
+        profiler was constructed without ``keep_timeline=True`` — the
+        aggregate view cannot be turned back into a timeline.
+        """
+        if self._timeline is None:
+            raise RuntimeError(
+                "write_chrome_trace requires PhaseProfiler(keep_timeline=True)"
+            )
+        events = [
+            {
+                "name": span_path.rsplit("/", 1)[-1],
+                "cat": "wall",
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": dur * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": {"path": span_path},
+            }
+            for span_path, start, dur in self._timeline
+        ]
+        out = Path(path)
+        out.write_text(
+            json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}),
+            encoding="utf-8",
+        )
+        return out
 
     def report(self) -> Dict[str, object]:
         """JSON-ready sim-vs-wall breakdown.
@@ -187,6 +236,9 @@ class NullProfiler:
 
     def n_calls(self, path: str) -> int:
         return 0
+
+    def timeline(self) -> List[Tuple[str, float, float]]:
+        return []
 
     def report(self) -> Dict[str, object]:
         return {"wall": {}, "sim": {}}

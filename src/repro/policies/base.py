@@ -6,12 +6,23 @@ evictions.  When the cache is full it asks :meth:`choose_victim`, passing an
 *evictability predicate* — this is how Algorithm 1's constraint that a
 victim's last-used time must be ``< i`` (i.e. not touched at the current
 view point) is enforced uniformly across all policies.
+
+Batch hooks (:meth:`on_hit_many` / :meth:`on_insert_many`) let the batched
+replay engine notify a whole array of keys in one call; the defaults loop
+over the scalar hooks *in array order*, so a policy that only implements
+the scalar interface sees exactly the per-key call sequence the scalar
+engine would have produced.  Policies that can rank victims from dense
+per-key state (LRU) additionally set ``supports_masked_victim`` and
+implement :meth:`choose_victim_masked`, which receives a boolean
+evictability mask indexed by key instead of a predicate.
 """
 
 from __future__ import annotations
 
 import abc
 from typing import Callable, Optional
+
+import numpy as np
 
 EvictablePredicate = Callable[[int], bool]
 
@@ -64,6 +75,72 @@ class ReplacementPolicy(abc.ABC):
     @abc.abstractmethod
     def __len__(self) -> int:
         """Number of tracked (resident) keys — used by invariant checks."""
+
+    # -- batch hooks (compatibility defaults loop over the scalar hooks) ------
+
+    #: True when :meth:`choose_victim_masked` ranks victims directly from a
+    #: dense evictability mask (no per-key predicate calls).
+    supports_masked_victim: bool = False
+
+    def on_hit_many(self, keys: "np.ndarray", step: int) -> None:
+        """Batch form of :meth:`on_hit`; keys accessed in array order."""
+        for k in keys:
+            self.on_hit(int(k), step)
+
+    def on_insert_many(self, keys: "np.ndarray", step: int) -> None:
+        """Batch form of :meth:`on_insert`; keys inserted in array order."""
+        for k in keys:
+            self.on_insert(int(k), step)
+
+    def on_evict_many(self, keys: "np.ndarray") -> None:
+        """Batch form of :meth:`on_evict`; keys evicted in array order."""
+        for k in keys:
+            self.on_evict(int(k))
+
+    def choose_victim_masked(self, evictable_mask: "np.ndarray") -> Optional[int]:
+        """Pick a victim given a dense boolean evictability mask.
+
+        ``evictable_mask[k]`` is True when resident key ``k`` may be
+        evicted.  The default delegates to :meth:`choose_victim` with a
+        predicate view of the mask; array-native policies override it.
+        """
+        n = len(evictable_mask)
+
+        def _pred(key: int) -> bool:
+            return key < n and bool(evictable_mask[key])
+
+        return self.choose_victim(_pred)
+
+    #: True when :meth:`victim_order` can enumerate the full eviction order
+    #: up-front from a mask — i.e. victim choice has no side effects and
+    #: depends only on per-key state that accesses *between* evictions can
+    #: invalidate but never reorder (LRU).  Lets the cache amortise victim
+    #: selection over a whole step (see ``CacheLevel._pop_victim``).
+    supports_victim_order: bool = False
+
+    def victim_order(self, evictable_mask: "np.ndarray") -> "np.ndarray":
+        """Candidate keys in eviction order (``supports_victim_order`` only)."""
+        raise NotImplementedError
+
+    def victim_order_token(self) -> int:
+        """Opaque marker for *when* :meth:`victim_order` was computed.
+
+        Used by the unconstrained (``min_free_step=None``) eviction queue:
+        an entry is still the true next victim iff
+        :meth:`victim_still_ordered` holds for the token captured at
+        order-build time (``supports_victim_order`` only).
+        """
+        raise NotImplementedError
+
+    def victim_still_ordered(self, key: int, token: int) -> bool:
+        """Has ``key`` kept its rank since ``token`` was captured?"""
+        raise NotImplementedError
+
+    def victim_still_ordered_many(self, keys: "np.ndarray", token: int) -> "np.ndarray":
+        """Vectorized :meth:`victim_still_ordered` over a key array."""
+        return np.array(
+            [self.victim_still_ordered(int(k), token) for k in keys], dtype=bool
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(tracked={len(self)})"

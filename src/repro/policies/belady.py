@@ -14,7 +14,9 @@ trace position; candidate selection uses a lazy max-heap.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.policies.base import EvictablePredicate, ReplacementPolicy, always_evictable
 
@@ -24,7 +26,7 @@ _NEVER = float("inf")
 
 
 class BeladyPolicy(ReplacementPolicy):
-    """Offline MIN over a fixed access ``trace`` (sequence of keys).
+    """Offline MIN over a fixed access ``trace`` (int array or sequence).
 
     Every ``on_hit``/``on_insert`` must correspond, in order, to the next
     element of the trace; a mismatch raises, catching desynchronised
@@ -33,23 +35,31 @@ class BeladyPolicy(ReplacementPolicy):
 
     name = "belady"
 
-    def __init__(self, trace: Sequence[int]) -> None:
-        self._trace: List[int] = [int(k) for k in trace]
-        self._next_use: List[float] = self._compute_next_use(self._trace)
+    def __init__(self, trace: Union[np.ndarray, Sequence[int]]) -> None:
+        arr = np.ascontiguousarray(trace, dtype=np.int64)
+        self._trace: List[int] = arr.tolist()
+        self._next_use: List[float] = self._compute_next_use(arr)
         self._pos = 0
         self._resident_next: Dict[int, float] = {}
         self._heap: List[tuple] = []  # (-next_use, key), lazy
 
     @staticmethod
-    def _compute_next_use(trace: List[int]) -> List[float]:
-        """``next_use[t]`` = position of the next occurrence of trace[t] after t."""
-        last_seen: Dict[int, int] = {}
-        next_use: List[float] = [_NEVER] * len(trace)
-        for t in range(len(trace) - 1, -1, -1):
-            key = trace[t]
-            next_use[t] = last_seen.get(key, _NEVER)
-            last_seen[key] = t
-        return next_use
+    def _compute_next_use(trace: Union[np.ndarray, Sequence[int]]) -> List[float]:
+        """``next_use[t]`` = position of the next occurrence of trace[t] after t.
+
+        Vectorized: a stable sort groups equal keys while keeping their
+        trace positions ascending, so each position's successor within its
+        group is its next use (``inf`` at group ends).
+        """
+        trace = np.ascontiguousarray(trace, dtype=np.int64)
+        n = trace.size
+        next_use = np.full(n, _NEVER)
+        if n > 1:
+            idx = np.argsort(trace, kind="stable")
+            sorted_keys = trace[idx]
+            same = sorted_keys[:-1] == sorted_keys[1:]
+            next_use[idx[:-1][same]] = idx[1:][same]
+        return next_use.tolist()
 
     def reset(self) -> None:
         self._pos = 0

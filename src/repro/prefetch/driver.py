@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.core.metrics import RunResult, StepMetrics
-from repro.core.pipeline import PipelineContext
+from repro.core.pipeline import PipelineContext, _resolve_engine
 from repro.obs.profiler import resolve_profiler
 from repro.prefetch.base import Prefetcher
 from repro.storage.hierarchy import MemoryHierarchy
@@ -33,6 +35,7 @@ def run_with_prefetcher(
     tracer=None,
     registry=None,
     profiler=None,
+    engine: str = "batched",
 ) -> RunResult:
     """Replay ``context.path`` using ``prefetcher`` for predictions.
 
@@ -46,6 +49,11 @@ def run_with_prefetcher(
     precision/recall counters (a prefetch at step *i* is *useful* when the
     block is demanded at step *i + 1*).  ``profiler`` records wall-clock
     preload/fetch/render/predict/prefetch spans.
+
+    ``engine="batched"`` (default) drives demand fetches through
+    :meth:`~repro.storage.hierarchy.MemoryHierarchy.fetch_many` and the
+    prefetch loop through ``prefetch_many``; ``"scalar"`` keeps the
+    per-block loops.  Results are identical either way.
     """
     prefetcher.reset()
     if tracer is not None:
@@ -60,11 +68,12 @@ def run_with_prefetcher(
     issued_counter = registry.counter("prefetch_evaluated_total")
     useful_counter = registry.counter("prefetch_useful_total")
     demanded_counter = registry.counter("prefetch_demand_window_total")
-    issued_prev: "set[int]" = set()
+    batched = _resolve_engine(engine)
+    issued_prev: "set[int]" = set()  # scalar engine
+    issued_prev_arr = np.empty(0, dtype=np.int64)  # batched engine
     if preload_importance is not None:
         with profiler.span("preload"):
-            ranked = preload_importance.ids_above(preload_sigma)
-            hierarchy.preload([int(b) for b in ranked])
+            hierarchy.preload(preload_importance.ids_above(preload_sigma))
 
     fastest = hierarchy.fastest
     cap = max_prefetch_per_step if max_prefetch_per_step is not None else fastest.capacity
@@ -73,19 +82,34 @@ def run_with_prefetcher(
     positions = context.path.positions
     for i, ids in enumerate(context.visible_sets):
         if registry.enabled:
-            demand_now = {int(b) for b in ids}
-            if issued_prev:
-                issued_counter.inc(len(issued_prev))
-                useful_counter.inc(len(issued_prev & demand_now))
+            # Prefetch usefulness: blocks prefetched at step i-1 that the
+            # demand stream touches at step i were correct predictions.
+            if batched:
+                if issued_prev_arr.size:
+                    issued_counter.inc(issued_prev_arr.size)
+                    # Set membership beats np.isin at visible-set sizes.
+                    demand_now = set(np.asarray(ids).tolist())
+                    useful_counter.inc(
+                        sum(1 for b in issued_prev_arr.tolist() if b in demand_now)
+                    )
+                issued_prev_arr = np.empty(0, dtype=np.int64)
+            else:
+                demand_now = {int(b) for b in ids}
+                if issued_prev:
+                    issued_counter.inc(len(issued_prev))
+                    useful_counter.inc(len(issued_prev & demand_now))
+                issued_prev = set()
             if i > 0:
-                demanded_counter.inc(len(demand_now))
-            issued_prev = set()
+                demanded_counter.inc(len(ids))
 
-        io = 0.0
         fast_misses_before = fastest.stats.misses
         with profiler.span("fetch"):
-            for b in ids:
-                io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
+            if batched:
+                io = hierarchy.fetch_many(ids, i, min_free_step=i).time_s
+            else:
+                io = 0.0
+                for b in ids:
+                    io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
         n_fast_misses = fastest.stats.misses - fast_misses_before
 
         with profiler.span("render"):
@@ -98,21 +122,32 @@ def run_with_prefetcher(
         lookup_time = prefetcher.query_cost_s()
         if registry.enabled:
             queue_gauge.set(len(candidates))
-        prefetch_time = 0.0
-        n_prefetched = 0
-        attempted = set()  # a predictor may repeat ids; fetch each at most once
         with profiler.span("prefetch"):
-            for b in candidates:
-                if n_prefetched >= cap:
-                    break
-                b = int(b)
-                if b in attempted or hierarchy.contains_fast(b):
-                    continue
-                attempted.add(b)
-                prefetch_time += hierarchy.fetch(b, i, prefetch=True, min_free_step=i).time_s
-                n_prefetched += 1
+            if batched:
+                # dedupe=True: a predictor may repeat ids; fetch each at most once
+                issued, prefetch_time = hierarchy.prefetch_many(
+                    candidates, i, min_free_step=i, max_fetch=cap, dedupe=True
+                )
+                n_prefetched = len(issued)
                 if registry.enabled:
-                    issued_prev.add(b)
+                    issued_prev_arr = np.asarray(issued, dtype=np.int64)
+            else:
+                prefetch_time = 0.0
+                n_prefetched = 0
+                attempted = set()  # a predictor may repeat ids; fetch each at most once
+                for b in candidates:
+                    if n_prefetched >= cap:
+                        break
+                    b = int(b)
+                    if b in attempted or hierarchy.contains_fast(b):
+                        continue
+                    attempted.add(b)
+                    prefetch_time += hierarchy.fetch(
+                        b, i, prefetch=True, min_free_step=i
+                    ).time_s
+                    n_prefetched += 1
+                    if registry.enabled:
+                        issued_prev.add(b)
 
         step_metrics = StepMetrics(
             step=i,

@@ -6,11 +6,20 @@ eviction candidates.  Algorithm 1's eviction constraint — a victim's
 last-used time must be ``< i`` (lines 16 and 22) — is realised by the
 ``min_free_step`` argument of :meth:`admit`: blocks touched at or after
 that step are not evictable.
+
+Residency is a pair of dense arrays indexed by block id — ``_resident``
+(bool) and ``_last_used`` (int64) — grown by doubling as larger ids show
+up.  Membership is one array load, whole visible sets partition with one
+fancy-indexed read (:meth:`contains_many`), and the evictable-candidate
+set under ``min_free_step`` is a single vectorized compare, which policies
+that implement ``choose_victim_masked`` consume directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Iterable, Optional
+
+import numpy as np
 
 from repro.obs.metrics import NULL_REGISTRY
 from repro.policies.base import ReplacementPolicy
@@ -32,12 +41,24 @@ class CacheLevel:
         capacity_blocks: int,
         policy: ReplacementPolicy,
         tracer=NULL_TRACER,
+        n_blocks: Optional[int] = None,
     ) -> None:
         self.name = str(name)
         self.capacity = int(check_positive("capacity_blocks", capacity_blocks))
         self.policy = policy
         policy.set_capacity(self.capacity)
-        self._last_used: Dict[int, int] = {}
+        size = max(64, int(n_blocks)) if n_blocks else 64
+        self._resident = np.zeros(size, dtype=bool)
+        self._last_used = np.full(size, _NEVER_USED, dtype=np.int64)
+        self._n_resident = 0
+        # Amortised victim selection: when the policy supports victim_order,
+        # the full eviction order for one (step, min_free_step) epoch is
+        # computed once and consumed entry-by-entry, with entries validated
+        # against live state on pop (see _pop_victim).
+        self._vq: Optional[np.ndarray] = None  # victim queue, consumed via cursor
+        self._vq_pos = 0
+        self._vq_epoch: Optional[tuple] = None
+        self._vq_token = 0  # policy order token (unconstrained-queue mode)
         self.stats = CacheStats()
         self.tracer = tracer
         self.registry = NULL_REGISTRY
@@ -52,42 +73,80 @@ class CacheLevel:
         self._evictions = registry.counter("cache_evictions_total", level=self.name)
         self._bypasses = registry.counter("cache_bypasses_total", level=self.name)
         if registry.enabled:
-            self._occupancy.set(len(self._last_used))
+            self._occupancy.set(self._n_resident)
+
+    def ensure_ids(self, max_key: int) -> None:
+        """Grow the residency arrays to cover ids up to ``max_key``."""
+        if max_key >= len(self._resident):
+            size = max(len(self._resident) * 2, int(max_key) + 1)
+            resident = np.zeros(size, dtype=bool)
+            resident[: len(self._resident)] = self._resident
+            last_used = np.full(size, _NEVER_USED, dtype=np.int64)
+            last_used[: len(self._last_used)] = self._last_used
+            self._resident = resident
+            self._last_used = last_used
 
     # -- queries -------------------------------------------------------------
 
     def __contains__(self, key: int) -> bool:
-        return key in self._last_used
+        return key < len(self._resident) and bool(self._resident[key])
 
     def __len__(self) -> int:
-        return len(self._last_used)
+        return self._n_resident
 
     @property
     def is_full(self) -> bool:
-        return len(self._last_used) >= self.capacity
+        return self._n_resident >= self.capacity
+
+    def contains_many(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean residency mask for an id array (grows arrays as needed)."""
+        if keys.size:
+            self.ensure_ids(int(keys.max()))
+        return self._resident[keys]
 
     def resident_ids(self) -> Iterable[int]:
-        """Snapshot iterator over resident block ids."""
-        return iter(tuple(self._last_used))
+        """Snapshot iterator over resident block ids (ascending)."""
+        return iter(np.flatnonzero(self._resident).tolist())
 
     def last_used(self, key: int) -> int:
         """Step at which ``key`` was last touched (−1 for untouched preloads)."""
-        return self._last_used[key]
+        if key not in self:
+            raise KeyError(key)
+        return int(self._last_used[key])
+
+    def evictable_mask(self, min_free_step: Optional[int]) -> np.ndarray:
+        """Residents whose ``last_used < min_free_step`` (all, when None)."""
+        if min_free_step is None:
+            return self._resident
+        return self._resident & (self._last_used < min_free_step)
 
     # -- mutation --------------------------------------------------------------
 
     def touch(self, key: int, step: int) -> None:
         """Record a hit on a resident ``key`` at ``step``."""
-        if key not in self._last_used:
+        resident = self._resident
+        if key >= len(resident) or not resident[key]:
             raise KeyError(f"{self.name}: touch of non-resident block {key}")
+        epoch = self._vq_epoch
+        if epoch is not None and epoch[1] is not None and step < epoch[1]:
+            self._vq_epoch = None  # touch keeps the key evictable: order stale
         self._last_used[key] = step
         self.policy.on_hit(key, step)
+
+    def touch_many(self, keys: np.ndarray, step: int) -> None:
+        """Record hits on an array of resident keys at ``step``."""
+        epoch = self._vq_epoch
+        if epoch is not None and epoch[1] is not None and step < epoch[1]:
+            self._vq_epoch = None
+        self._last_used[keys] = step
+        self.policy.on_hit_many(keys, step)
 
     def admit(
         self,
         key: int,
         step: int,
         min_free_step: Optional[int] = None,
+        agg: Optional[dict] = None,
     ) -> bool:
         """Make ``key`` resident, evicting if full; returns False on bypass.
 
@@ -96,25 +155,235 @@ class CacheLevel:
         cache is full and no candidate exists, the insert is *bypassed*
         (the caller still gets the data, it just is not cached) — this is
         the safe degradation when the working set exceeds capacity.
+
+        ``agg`` is the batched engine's trace-aggregation accumulator:
+        when given, evict/bypass events are counted into it per
+        (kind, level) instead of recorded individually.
         """
-        if key in self._last_used:
+        self.ensure_ids(key)
+        if self._resident[key]:
             raise KeyError(f"{self.name}: block {key} already resident")
-        while len(self._last_used) >= self.capacity:
-            victim = self.policy.choose_victim(self._evictable_predicate(min_free_step))
-            if victim is None:
-                self.stats.bypasses += 1
-                if self.registry.enabled:
-                    self._bypasses.inc()
-                if self.tracer.enabled:
-                    self.tracer.record("bypass", step, self.name, key)
-                return False
-            self.evict(victim, step=step)
+        if self._n_resident >= self.capacity:
+            # One victim frees one slot, but loop for safety with
+            # pathological policies.
+            use_queue = self.policy.supports_victim_order and (
+                min_free_step is None or min_free_step <= step
+            )
+            while self._n_resident >= self.capacity:
+                if use_queue:
+                    victim = self._pop_victim(step, min_free_step)
+                elif self.policy.supports_masked_victim:
+                    victim = self.policy.choose_victim_masked(
+                        self.evictable_mask(min_free_step)
+                    )
+                else:
+                    victim = self.policy.choose_victim(
+                        self._evictable_predicate(min_free_step)
+                    )
+                if victim is None:
+                    self.stats.bypasses += 1
+                    if self.registry.enabled:
+                        self._bypasses.inc()
+                    if agg is not None:
+                        acc = agg.setdefault(("bypass", self.name), [0, 0, 0.0])
+                        acc[0] += 1
+                    elif self.tracer.enabled:
+                        self.tracer.record("bypass", step, self.name, key)
+                    return False
+                self.evict(victim, step=step, agg=agg)
+        self._resident[key] = True
         self._last_used[key] = step
+        self._n_resident += 1
         self.policy.on_insert(key, step)
+        epoch = self._vq_epoch
+        if epoch is not None and epoch[1] is not None and step < epoch[1]:
+            self._vq_epoch = None  # insert is immediately evictable: not queued
         self.stats.inserts += 1
         if self.registry.enabled:
-            self._occupancy.set(len(self._last_used))
+            self._occupancy.set(self._n_resident)
         return True
+
+    def _pop_victim(self, step: int, min_free_step: Optional[int]) -> Optional[int]:
+        """Next victim from the amortised eviction queue.
+
+        The policy's full eviction order over the *current* candidates is
+        computed once and consumed entry-by-entry; each popped entry is
+        re-validated against live state, so the result is exactly what a
+        fresh ``choose_victim_masked`` would return.
+
+        With a ``min_free_step`` constraint the queue lives for one
+        ``(step, min_free_step)`` epoch: later accesses within it can only
+        *shrink* the candidate set (a touch sets ``last_used = step >=
+        min_free_step``; an insert is never an immediate candidate), and
+        mutations that could grow or reorder it invalidate the epoch at
+        the mutation site.  Validation is ``resident & last_used <
+        min_free_step``.
+
+        Unconstrained (``min_free_step is None``), candidates never leave
+        the set, but a touch *reorders* — it makes the key more recent
+        than every queue entry (policy token contract), so the first entry
+        that still holds its rank is the global victim.  The queue then
+        survives across steps and is rebuilt only when exhausted.
+        """
+        policy = self.policy
+        if min_free_step is None:
+            while True:
+                if self._vq_epoch != ("*", None):
+                    order = policy.victim_order(self._resident)
+                    if order.size == 0:
+                        return None
+                    self._vq = order
+                    self._vq_pos = 0
+                    self._vq_token = policy.victim_order_token()
+                    self._vq_epoch = ("*", None)
+                queue = self._vq
+                pos = self._vq_pos
+                end = len(queue)
+                token = self._vq_token
+                while pos < end:
+                    key = int(queue[pos])
+                    pos += 1
+                    if policy.victim_still_ordered(key, token):
+                        self._vq_pos = pos
+                        return key
+                self._vq_pos = pos
+                self._vq_epoch = None  # every entry moved since build: rebuild
+        epoch = (step, min_free_step)
+        if self._vq_epoch != epoch:
+            self._vq = policy.victim_order(self.evictable_mask(min_free_step))
+            self._vq_pos = 0
+            self._vq_epoch = epoch
+        queue = self._vq
+        pos = self._vq_pos
+        end = len(queue)
+        resident = self._resident
+        last_used = self._last_used
+        while pos < end:
+            key = int(queue[pos])
+            pos += 1
+            if resident[key] and last_used[key] < min_free_step:
+                self._vq_pos = pos
+                return key
+        self._vq_pos = pos
+        return None
+
+    def admit_many_absent(
+        self,
+        keys: np.ndarray,
+        step: int,
+        min_free_step: Optional[int] = None,
+        agg: Optional[dict] = None,
+    ) -> None:
+        """Admit an array of unique *non-resident* keys, in array order.
+
+        Vectorized equivalent of calling :meth:`admit` per key — same
+        inserts, same victims in the same order, same bypasses: free slots
+        go to the leading keys, then one victim-queue entry per key while
+        candidates last; keys beyond that fall back to scalar
+        :meth:`admit` (which bypasses, or rebuilds the unconstrained
+        queue).  Requires ``policy.supports_victim_order``; the victim
+        choices are batch-safe because nothing else touches this level
+        between the admissions (see :meth:`_pop_victim` for why accesses
+        *between* victim picks cannot reorder the queue).
+
+        Bookkeeping (stats, registry counters/occupancy, ``agg`` counts)
+        is grouped but total-identical to the scalar calls.
+        """
+        m = int(keys.size)
+        if m == 0:
+            return
+        if m <= 2:
+            # Vectorization overhead beats the win at this size; the scalar
+            # path is the reference semantics anyway.
+            for key in keys.tolist():
+                self.admit(key, step, min_free_step=min_free_step, agg=agg)
+            return
+        try:
+            resident_in = self._resident[keys]
+        except IndexError:
+            self.ensure_ids(int(keys.max()))
+            resident_in = self._resident[keys]
+        if resident_in.any():
+            raise KeyError(f"{self.name}: admit_many_absent got a resident key")
+        policy = self.policy
+        free = self.capacity - self._n_resident
+        k1 = min(free, m) if free > 0 else 0
+        r = 0
+        victims = None
+        if k1 < m:
+            # Build/reuse the victim queue exactly as _pop_victim would,
+            # then take the next (m - k1) valid entries — validated in a
+            # window that grows toward the tail end, not the whole tail.
+            if min_free_step is None:
+                if self._vq_epoch != ("*", None):
+                    self._vq = policy.victim_order(self._resident)
+                    self._vq_pos = 0
+                    self._vq_token = policy.victim_order_token()
+                    self._vq_epoch = ("*", None)
+            else:
+                epoch = (step, min_free_step)
+                if self._vq_epoch != epoch:
+                    self._vq = policy.victim_order(self.evictable_mask(min_free_step))
+                    self._vq_pos = 0
+                    self._vq_epoch = epoch
+            queue = self._vq
+            end = len(queue)
+            pos = self._vq_pos
+            need = m - k1
+            taken: list = []
+            while pos < end and r < need:
+                hi = min(end, pos + max(2 * (need - r), 8))
+                window = queue[pos:hi]
+                if min_free_step is None:
+                    valid = policy.victim_still_ordered_many(window, self._vq_token)
+                else:
+                    valid = self._resident[window] & (
+                        self._last_used[window] < min_free_step
+                    )
+                idx = np.flatnonzero(valid)
+                take = min(need - r, int(idx.size))
+                if take:
+                    taken.append(window[idx[:take]])
+                    r += take
+                    # Entries skipped over as invalid are consumed for good,
+                    # exactly like the scalar pops would discard them.
+                    pos += int(idx[take - 1]) + 1
+                else:
+                    pos = hi
+            self._vq_pos = pos
+            if r:
+                victims = taken[0] if len(taken) == 1 else np.concatenate(taken)
+        if r:
+            self._resident[victims] = False
+            self._last_used[victims] = _NEVER_USED
+            self._n_resident -= r
+            policy.on_evict_many(victims)
+            self.stats.evictions += r
+            if self.registry.enabled:
+                self._evictions.inc(r)
+            if agg is not None:
+                acc = agg.setdefault(("evict", self.name), [0, 0, 0.0])
+                acc[0] += r
+            elif self.tracer.enabled:
+                for key in victims.tolist():
+                    self.tracer.record("evict", step, self.name, key)
+        n_ins = k1 + r
+        if n_ins:
+            ins = keys[:n_ins]
+            self._resident[ins] = True
+            self._last_used[ins] = step
+            self._n_resident += n_ins
+            policy.on_insert_many(ins, step)
+            self.stats.inserts += n_ins
+            if self.registry.enabled:
+                # n_ins insert-sets plus r evict-sets, ending at the live
+                # occupancy (the walk never exceeds it — evict dips recover).
+                self._occupancy.set_n(self._n_resident, n_ins + r)
+        if n_ins < m:
+            # Queue exhausted: scalar admits bypass (constrained) or
+            # rebuild over the freshly inserted keys (unconstrained).
+            for key in keys[n_ins:].tolist():
+                self.admit(key, step, min_free_step=min_free_step, agg=agg)
 
     def _evictable_predicate(self, min_free_step: Optional[int]):
         if min_free_step is None:
@@ -122,68 +391,102 @@ class CacheLevel:
         last_used = self._last_used
         return lambda key: last_used[key] < min_free_step
 
-    def evict(self, key: int, step: Optional[int] = None) -> None:
+    def evict(self, key: int, step: Optional[int] = None, agg: Optional[dict] = None) -> None:
         """Remove a resident ``key`` (policy notified).
 
         ``step`` is only used for tracing: the replay step whose admission
         forced this eviction (``None`` for evictions outside a replay).
+        ``agg`` aggregates the evict event instead of recording it
+        (see :meth:`admit`).
         """
-        if key not in self._last_used:
+        resident = self._resident
+        if key >= len(resident) or not resident[key]:
             raise KeyError(f"{self.name}: evict of non-resident block {key}")
-        del self._last_used[key]
+        self._resident[key] = False
+        self._last_used[key] = _NEVER_USED
+        self._n_resident -= 1
         self.policy.on_evict(key)
         self.stats.evictions += 1
         if self.registry.enabled:
             self._evictions.inc()
-            self._occupancy.set(len(self._last_used))
-        if self.tracer.enabled:
+            self._occupancy.set(self._n_resident)
+        if agg is not None:
+            acc = agg.setdefault(("evict", self.name), [0, 0, 0.0])
+            acc[0] += 1
+        elif self.tracer.enabled:
             self.tracer.record("evict", -1 if step is None else step, self.name, key)
 
-    def preload(self, keys: Iterable[int]) -> int:
+    def preload(self, keys: Iterable[int], aggregate_trace: bool = False) -> int:
         """Fill the cache with ``keys`` (up to capacity) before a run.
 
         Used for Step 2's importance preload (Alg. 1 line 7).  Preloaded
         blocks get ``last_used = -1`` so any later step may evict them.
         Counts toward ``stats.inserts`` like any other placement, so the
         insert/eviction ledger stays balanced.  Returns how many were
-        actually placed.
+        actually placed.  ``aggregate_trace`` emits one counted preload
+        event for the batch instead of one per key.
         """
-        placed = 0
-        for key in keys:
-            if len(self._last_used) >= self.capacity:
-                break
-            if key in self._last_used:
-                continue
-            self._last_used[key] = _NEVER_USED
-            self.policy.on_insert(key, _NEVER_USED)
-            self.stats.inserts += 1
+        if isinstance(keys, np.ndarray):
+            arr = keys.astype(np.int64, copy=False)
+        else:
+            arr = np.fromiter(keys, dtype=np.int64)
+        free = self.capacity - self._n_resident
+        if free <= 0 or arr.size == 0:
+            return 0
+        self.ensure_ids(int(arr.max()))
+        # First occurrence of each key, in priority order, non-resident only —
+        # exactly what a skip-duplicates/skip-resident scan would place.
+        _, first = np.unique(arr, return_index=True)
+        arr = arr[np.sort(first)]
+        arr = arr[~self._resident[arr]][:free]
+        placed = int(arr.size)
+        if placed:
+            self._vq_epoch = None  # preloads are evictable: any queue is stale
+            self._resident[arr] = True
+            self._last_used[arr] = _NEVER_USED
+            self._n_resident += placed
+            self.policy.on_insert_many(arr, _NEVER_USED)
+            self.stats.inserts += placed
             if self.tracer.enabled:
-                self.tracer.record("preload", _NEVER_USED, self.name, key)
-            placed += 1
+                if aggregate_trace:
+                    self.tracer.record(
+                        "preload", _NEVER_USED, self.name, -1, count=placed
+                    )
+                else:
+                    for key in arr.tolist():
+                        self.tracer.record("preload", _NEVER_USED, self.name, key)
         if self.registry.enabled:
-            self._occupancy.set(len(self._last_used))
+            self._occupancy.set(self._n_resident)
         return placed
 
     def clear(self) -> None:
         """Drop all residents and reset policy state (stats preserved)."""
-        self._last_used.clear()
+        self._resident.fill(False)
+        self._last_used.fill(_NEVER_USED)
+        self._n_resident = 0
+        self._vq_epoch = None
         self.policy.reset()
         if self.registry.enabled:
             self._occupancy.set(0)
 
     def check_invariants(self) -> None:
         """Raise if residency and policy bookkeeping have diverged."""
-        if len(self._last_used) > self.capacity:
+        if self._n_resident != int(self._resident.sum()):
             raise AssertionError(
-                f"{self.name}: {len(self._last_used)} residents exceed capacity {self.capacity}"
+                f"{self.name}: resident counter {self._n_resident} != mask "
+                f"population {int(self._resident.sum())}"
             )
-        if len(self.policy) != len(self._last_used):
+        if self._n_resident > self.capacity:
             raise AssertionError(
-                f"{self.name}: policy tracks {len(self.policy)} keys, cache has {len(self._last_used)}"
+                f"{self.name}: {self._n_resident} residents exceed capacity {self.capacity}"
+            )
+        if len(self.policy) != self._n_resident:
+            raise AssertionError(
+                f"{self.name}: policy tracks {len(self.policy)} keys, cache has {self._n_resident}"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CacheLevel(name={self.name!r}, capacity={self.capacity}, "
-            f"resident={len(self._last_used)}, policy={self.policy.name!r})"
+            f"resident={self._n_resident}, policy={self.policy.name!r})"
         )

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.obs.metrics import NULL_REGISTRY
 from repro.policies.registry import make_policy
 from repro.storage.cache import CacheLevel
@@ -19,7 +21,7 @@ from repro.storage.device import DRAM, HDD, SSD, StorageDevice
 from repro.storage.stats import HierarchyStats
 from repro.trace.tracer import NULL_TRACER
 
-__all__ = ["FetchResult", "MemoryHierarchy", "make_standard_hierarchy"]
+__all__ = ["FetchResult", "BatchFetchResult", "MemoryHierarchy", "make_standard_hierarchy"]
 
 BlockSize = Union[int, Callable[[int], int]]
 
@@ -32,6 +34,20 @@ class FetchResult:
     time_s: float
     source: str  # name of the level/device that served the data
     fastest_hit: bool  # True when the block was already in the fastest level
+
+
+@dataclass(frozen=True)
+class BatchFetchResult:
+    """Outcome of one :meth:`MemoryHierarchy.fetch_many` call.
+
+    ``time_s`` is the left-fold sum of the per-block charged times in id
+    order — bit-identical to accumulating ``fetch(...).time_s`` over the
+    same ids with ``+=``.
+    """
+
+    n: int
+    n_fastest_hits: int
+    time_s: float
 
 
 class MemoryHierarchy:
@@ -69,6 +85,16 @@ class MemoryHierarchy:
         self.prefetch_latency_factor = prefetch_latency_factor
         self.backing_reads = 0
         self.backing_bytes = 0
+        # Uniform-block fast path: block size and device read times are
+        # then pure constants per (source, demand/prefetch) pair.
+        self._uniform_nbytes = None if callable(block_nbytes) else int(block_nbytes)
+        self._read_time_cache: dict = {}
+        #: When True, :meth:`fetch_many`/:meth:`prefetch_many` emit one
+        #: aggregated trace event per (step, level, kind) for the
+        #: hit/fetch/prefetch kinds (``count`` carries the multiplicity,
+        #: byte/time totals are preserved) instead of one event per block.
+        #: Evict/bypass/preload/render events are always per-event.
+        self.aggregate_trace = False
         self.tracer = NULL_TRACER
         self.set_tracer(tracer if tracer is not None else NULL_TRACER)
         self.registry = NULL_REGISTRY
@@ -154,11 +180,45 @@ class MemoryHierarchy:
         ``backing_bytes + total_bytes_read``, and the trace's
         hit/fetch/prefetch events sum to the same total.
         """
-        nbytes = self.block_nbytes(key)
+        return self._fetch_one(key, step, prefetch, min_free_step, None, None)
+
+    def _read_time(self, source_idx: int, nbytes: int, latency_scale: float) -> float:
+        """Device read time, memoised per (source, scale) for uniform blocks.
+
+        ``source_idx`` indexes ``level_devices``; ``-1`` is the backing
+        device.  Identical values to calling ``read_time`` directly.
+        """
+        if self._uniform_nbytes is None:
+            dev = self.backing if source_idx < 0 else self.level_devices[source_idx]
+            return dev.read_time(nbytes, latency_scale)
+        cache_key = (source_idx, latency_scale)
+        time_s = self._read_time_cache.get(cache_key)
+        if time_s is None:
+            dev = self.backing if source_idx < 0 else self.level_devices[source_idx]
+            time_s = self._read_time_cache[cache_key] = dev.read_time(nbytes, latency_scale)
+        return time_s
+
+    def _fetch_one(
+        self,
+        key: int,
+        step: int,
+        prefetch: bool,
+        min_free_step: Optional[int],
+        agg: "Optional[dict]",
+        rec: "Optional[dict]" = None,
+    ) -> FetchResult:
+        """Scalar fetch; ``agg`` (batch mode) accumulates the movement
+        event per (kind, source) instead of recording it immediately, and
+        ``rec`` (uniform block size only) likewise accumulates the registry
+        fetch metrics per (source, time) for a grouped flush."""
+        nbytes = self._uniform_nbytes
+        if nbytes is None:
+            nbytes = self.block_nbytes(key)
         latency_scale = self.prefetch_latency_factor if prefetch else 1.0
         found_at = None
         for j, level in enumerate(self.levels):
-            if key in level:
+            resident = level._resident
+            if key < len(resident) and resident[key]:
                 found_at = j
                 break
 
@@ -171,14 +231,20 @@ class MemoryHierarchy:
                 level.stats.hits += 1
                 level.touch(key, step)
             level.stats.bytes_read += nbytes
-            time_s = self.level_devices[0].read_time(nbytes, latency_scale)
-            if self.registry.enabled:
+            time_s = self._read_time(0, nbytes, latency_scale)
+            if rec is not None:
+                k = (level.name, time_s)
+                rec[k] = rec.get(k, 0) + 1
+            elif self.registry.enabled:
                 self._record_fetch(level.name, prefetch, nbytes, time_s)
-            if tracer.enabled:
-                tracer.record(
-                    "prefetch" if prefetch else "hit",
-                    step, level.name, key, nbytes, time_s,
-                )
+            kind = "prefetch" if prefetch else "hit"
+            if agg is not None:
+                acc = agg.setdefault((kind, level.name), [0, 0, 0.0])
+                acc[0] += 1
+                acc[1] += nbytes
+                acc[2] += time_s
+            elif tracer.enabled:
+                tracer.record(kind, step, level.name, key, nbytes, time_s)
             return FetchResult(key, time_s, level.name, fastest_hit=True)
 
         # Count misses at every level above the serving one.
@@ -191,7 +257,7 @@ class MemoryHierarchy:
 
         if found_at is None:
             source_name = self.backing.name
-            time_s = self.backing.read_time(nbytes, latency_scale)
+            time_s = self._read_time(-1, nbytes, latency_scale)
             self.backing_reads += 1
             self.backing_bytes += nbytes
         else:
@@ -203,19 +269,458 @@ class MemoryHierarchy:
                 serving.touch(key, step)
             serving.stats.bytes_read += nbytes
             source_name = serving.name
-            time_s = self.level_devices[found_at].read_time(nbytes, latency_scale)
+            time_s = self._read_time(found_at, nbytes, latency_scale)
 
-        if self.registry.enabled:
+        if rec is not None:
+            k = (source_name, time_s)
+            rec[k] = rec.get(k, 0) + 1
+        elif self.registry.enabled:
             self._record_fetch(source_name, prefetch, nbytes, time_s)
-        if tracer.enabled:
-            tracer.record(
-                "prefetch" if prefetch else "fetch",
-                step, source_name, key, nbytes, time_s,
-            )
+        kind = "prefetch" if prefetch else "fetch"
+        if agg is not None:
+            acc = agg.setdefault((kind, source_name), [0, 0, 0.0])
+            acc[0] += 1
+            acc[1] += nbytes
+            acc[2] += time_s
+        elif tracer.enabled:
+            tracer.record(kind, step, source_name, key, nbytes, time_s)
         # Copy into every faster level (inclusive hierarchy).
         for level in upper:
-            level.admit(key, step, min_free_step=min_free_step)
+            level.admit(key, step, min_free_step=min_free_step, agg=agg)
         return FetchResult(key, time_s, source_name, fastest_hit=False)
+
+    # -- the batched read path -------------------------------------------------
+
+    def _serve_fast_hits(
+        self,
+        run: np.ndarray,
+        step: int,
+        prefetch: bool,
+        latency_scale: float,
+        agg: "Optional[dict]",
+    ):
+        """Bulk-process a verified run of fastest-level hits.
+
+        Returns the per-block charged times — a scalar (uniform block
+        size: every block charges the same) or an array; either broadcasts
+        into the caller's ``times`` slice.  Values are identical to what a
+        scalar fetch would charge.
+        """
+        fast = self.levels[0]
+        n = run.size
+        if prefetch:
+            fast.stats.prefetch_hits += n
+        else:
+            fast.stats.hits += n
+            fast.touch_many(run, step)
+        nb = self._uniform_nbytes
+        uniform = nb is not None
+        if uniform:
+            nbs = None
+            time_s = self._read_time(0, nb, latency_scale)
+            times = None
+            total_nb = nb * n
+        else:
+            dev = self.level_devices[0]
+            nbs = [int(self._block_nbytes(int(k))) for k in run]
+            times = np.array([dev.read_time(b, latency_scale) for b in nbs])
+            time_s = 0.0
+            total_nb = sum(nbs)
+        fast.stats.bytes_read += total_nb
+        if self.registry.enabled:
+            demand_h, prefetch_h, bytes_c, demand_c, prefetch_c = self._fetch_metrics[fast.name]
+            hist = prefetch_h if prefetch else demand_h
+            if uniform:
+                hist.observe_many(time_s, n)
+            else:
+                for t in times.tolist():
+                    hist.observe(t)
+            (prefetch_c if prefetch else demand_c).inc(n)
+            bytes_c.inc(total_nb)
+        kind = "prefetch" if prefetch else "hit"
+        if agg is not None:
+            acc = agg.setdefault((kind, fast.name), [0, 0, 0.0])
+            acc[0] += n
+            acc[1] += total_nb
+            # Repeated scalar adds keep the accumulation order (and hence
+            # the float result) identical to per-event aggregation.
+            t = acc[2]
+            if uniform:
+                for _ in range(n):
+                    t += time_s
+            else:
+                for v in times.tolist():
+                    t += v
+            acc[2] = t
+        elif self.tracer.enabled:
+            if uniform:
+                for k_ in run.tolist():
+                    self.tracer.record(kind, step, fast.name, k_, nb, time_s)
+            else:
+                for k_, nb_, t_ in zip(run.tolist(), nbs, times.tolist()):
+                    self.tracer.record(kind, step, fast.name, k_, nb_, t_)
+        return time_s if uniform else times
+
+    def _fetch_miss_run(
+        self,
+        run: np.ndarray,
+        step: int,
+        prefetch: bool,
+        min_free_step: Optional[int],
+        agg: "Optional[dict]",
+        latency_scale: float,
+        times: np.ndarray,
+        pos: int,
+    ) -> None:
+        """Bulk-process a run of fastest-level misses (uniform block size).
+
+        Bookkeeping that commutes across the run — miss/hit/byte counters,
+        fetch histograms, backing totals, aggregated movement events — is
+        grouped per serving source and flushed once after the run; recency
+        touches and admissions, whose interleaving is observable through
+        victim choice, stay per-key in scalar order.  The serving source
+        is probed against *live* residency per key (an admission can evict
+        a later run member from an intermediate level).  Requires unique
+        ids (a fastest-level miss cannot turn resident mid-run) and an
+        aggregated-or-disabled tracer (per-event emission order is not
+        preserved).
+        """
+        levels = self.levels
+        fast = levels[0]
+        lowers = levels[1:]
+        n_lowers = len(lowers)
+        nb = self._uniform_nbytes
+        n = run.size
+        if prefetch:
+            fast.stats.prefetch_misses += n
+        else:
+            fast.stats.misses += n
+        t_src = [self._read_time(j + 1, nb, latency_scale) for j in range(n_lowers)]
+        t_back = self._read_time(-1, nb, latency_scale)
+        counts = [0] * (n_lowers + 1)  # keys per serving source; [-1] = backing
+        # Admissions into the fastest level are order-independent of the
+        # per-key work below (no fast-level probe or touch happens inside a
+        # miss run), so they can go through the bulk path in one call.
+        batch_fast = fast.policy.supports_victim_order
+        i = pos
+        for key in run.tolist():
+            found = -1
+            for j in range(n_lowers):
+                if lowers[j]._resident[key]:
+                    found = j
+                    break
+            if found < 0:
+                counts[-1] += 1
+                times[i] = t_back
+                for level in lowers:
+                    level.admit(key, step, min_free_step=min_free_step, agg=agg)
+            else:
+                counts[found] += 1
+                if not prefetch:
+                    lowers[found].touch(key, step)
+                times[i] = t_src[found]
+                for level in lowers[:found]:
+                    level.admit(key, step, min_free_step=min_free_step, agg=agg)
+            if not batch_fast:
+                fast.admit(key, step, min_free_step=min_free_step, agg=agg)
+            i += 1
+        if batch_fast:
+            fast.admit_many_absent(run, step, min_free_step=min_free_step, agg=agg)
+        # -- grouped flushes (order-independent bookkeeping) -------------------
+        n_back = counts[-1]
+        if n_back:
+            self.backing_reads += n_back
+            self.backing_bytes += n_back * nb
+        served_below = n_back  # keys served strictly deeper than lowers[j]
+        for j in range(n_lowers - 1, -1, -1):
+            lower = lowers[j]
+            if served_below:  # each of those missed this level on the way down
+                if prefetch:
+                    lower.stats.prefetch_misses += served_below
+                else:
+                    lower.stats.misses += served_below
+            c = counts[j]
+            if c:
+                if prefetch:
+                    lower.stats.prefetch_hits += c
+                else:
+                    lower.stats.hits += c
+                lower.stats.bytes_read += c * nb
+            served_below += c
+        kind = "prefetch" if prefetch else "fetch"
+        record = self.registry.enabled
+        for j in range(n_lowers + 1):
+            c = counts[j]
+            if not c:
+                continue
+            if j < n_lowers:
+                source_name, t = lowers[j].name, t_src[j]
+            else:
+                source_name, t = self.backing.name, t_back
+            if record:
+                demand_h, prefetch_h, bytes_c, demand_c, prefetch_c = (
+                    self._fetch_metrics[source_name]
+                )
+                (prefetch_h if prefetch else demand_h).observe_many(t, c)
+                (prefetch_c if prefetch else demand_c).inc(c)
+                bytes_c.inc(c * nb)
+            if agg is not None:
+                acc = agg.setdefault((kind, source_name), [0, 0, 0.0])
+                acc[0] += c
+                acc[1] += c * nb
+                # Repeated adds of the per-source constant reproduce the
+                # per-event accumulation bit-for-bit.
+                tt = acc[2]
+                for _ in range(c):
+                    tt += t
+                acc[2] = tt
+
+    def fetch_many(
+        self,
+        ids: np.ndarray,
+        step: int,
+        prefetch: bool = False,
+        min_free_step: Optional[int] = None,
+    ) -> BatchFetchResult:
+        """Fetch a whole id array; result-identical to scalar :meth:`fetch`.
+
+        ``ids`` must be *unique* (a visible set is — ids come from
+        ``np.flatnonzero``).  The fastest level's residency mask partitions
+        the array into hit runs and misses in one vectorized pass; the mask
+        is a *hint* — an admit during a miss can evict a later batch member
+        from the fastest level (``min_free_step`` only protects blocks
+        already touched this step), so every tentative hit run is
+        re-verified against live residency and demoted to the scalar miss
+        path where stale.  Uniqueness guarantees the opposite staleness
+        (absent at partition time, resident later) cannot happen: only
+        batch members are admitted, each at its own position.
+
+        The total ``time_s`` is accumulated with a sequential left fold
+        (``np.add.accumulate``), so it is bit-identical to the scalar
+        loop's ``io += fetch(...).time_s``.
+        """
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        n = ids.size
+        if n == 0:
+            return BatchFetchResult(0, 0, 0.0)
+        mx = int(ids.max())
+        for level in self.levels:
+            level.ensure_ids(mx)
+        fast = self.levels[0]
+        hint = fast._resident[ids]
+        latency_scale = self.prefetch_latency_factor if prefetch else 1.0
+        times = np.zeros(n, dtype=np.float64)
+        agg: "Optional[dict]" = {} if (self.aggregate_trace and self.tracer.enabled) else None
+        # Miss runs can be bulk-processed when block size is uniform and the
+        # tracer is aggregated (or off): per-event emission order is the only
+        # thing the grouped path does not preserve.
+        batch_miss = self._uniform_nbytes is not None and (
+            agg is not None or not self.tracer.enabled
+        )
+        rec: "Optional[dict]" = (
+            {} if (self.registry.enabled and self._uniform_nbytes is not None) else None
+        )
+        n_fast_hits = 0
+        # Hints can only go stale through a fastest-level eviction, so while
+        # the eviction counter still reads its partition-time value every
+        # hinted hit run is provably live and needs no re-verification.
+        ev0 = fast.stats.evictions
+        if n == 1:
+            bounds = np.array([0, 1])
+        else:
+            change = np.flatnonzero(hint[1:] != hint[:-1])
+            bounds = np.concatenate(([0], change + 1, [n]))
+        for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            if hint[a]:
+                if fast.stats.evictions == ev0:
+                    times[a:b] = self._serve_fast_hits(
+                        ids[a:b], step, prefetch, latency_scale, agg
+                    )
+                    n_fast_hits += b - a
+                    continue
+                pos = a
+                seg = ids[a:b]
+                while seg.size:
+                    live = fast._resident[seg]
+                    k = int(seg.size) if live.all() else int(np.argmin(live))
+                    if k:
+                        times[pos: pos + k] = self._serve_fast_hits(
+                            seg[:k], step, prefetch, latency_scale, agg
+                        )
+                        n_fast_hits += k
+                    if k < seg.size:  # stale hint: evicted mid-batch
+                        times[pos + k] = self._fetch_one(
+                            int(seg[k]), step, prefetch, min_free_step, agg, rec
+                        ).time_s
+                    seg = seg[k + 1:]
+                    pos += k + 1
+            elif batch_miss:
+                self._fetch_miss_run(
+                    ids[a:b], step, prefetch, min_free_step, agg, latency_scale, times, a
+                )
+            else:
+                for p, key in enumerate(ids[a:b].tolist(), start=a):
+                    result = self._fetch_one(key, step, prefetch, min_free_step, agg, rec)
+                    times[p] = result.time_s
+                    if result.fastest_hit:  # unreachable for unique ids; stay exact anyway
+                        n_fast_hits += 1
+        total = float(np.add.accumulate(times)[-1]) if n > 1 else float(times[0])
+        self._flush_agg(agg, step)
+        self._flush_rec(rec, prefetch)
+        return BatchFetchResult(n, n_fast_hits, total)
+
+    def prefetch_many(
+        self,
+        candidates,
+        step: int,
+        min_free_step: Optional[int] = None,
+        max_fetch: Optional[int] = None,
+        dedupe: bool = False,
+    ) -> "tuple[List[int], float]":
+        """Issue prefetches for ``candidates`` in order; returns
+        ``(issued ids, total prefetch time)``.
+
+        Replicates the drivers' scalar prefetch loop exactly: candidates
+        already resident in the fastest level are skipped against *live*
+        residency (an earlier prefetch in the same batch may have evicted
+        a later candidate), at most ``max_fetch`` fetches are issued
+        (None = unlimited; the cap check precedes the skip checks, as in
+        the scalar loops), and ``dedupe=True`` fetches each candidate id
+        at most once (the attempted-set semantics of
+        ``run_with_prefetcher`` — note a duplicate of a *skipped* resident
+        candidate may still be fetched later if it was evicted in between).
+
+        Vectorization mirrors :meth:`fetch_many`: the initial residency
+        mask partitions the candidates; runs of hinted-resident candidates
+        are skipped wholesale once a fancy-indexed probe confirms they are
+        all still resident (skips mutate nothing, so skipping past the
+        cap is unobservable — the cap only gates *fetches*); stale
+        entries and hinted-miss candidates go through the scalar per-block
+        checks.  A hinted-miss candidate can still turn resident mid-batch
+        when the candidate list has duplicates (the first copy was
+        fetched), so the live ``in fast`` probe stays.
+        """
+        arr = np.ascontiguousarray(candidates, dtype=np.int64)
+        n = arr.size
+        issued: List[int] = []
+        total_time = 0.0
+        if n == 0:
+            return issued, total_time
+        mx = int(arr.max())
+        for level in self.levels:
+            level.ensure_ids(mx)
+        fast = self.levels[0]
+        hint = fast._resident[arr]
+        latency_scale = self.prefetch_latency_factor
+        agg: "Optional[dict]" = {} if (self.aggregate_trace and self.tracer.enabled) else None
+        rec: "Optional[dict]" = (
+            {} if (self.registry.enabled and self._uniform_nbytes is not None) else None
+        )
+        attempted = set() if dedupe else None
+        if n == 1:
+            bounds = [0, 1]
+        else:
+            change = np.flatnonzero(hint[1:] != hint[:-1])
+            bounds = np.concatenate(([0], change + 1, [n])).tolist()
+        # With unique candidates a hinted miss can never turn resident
+        # mid-batch (only batch members are admitted), so whole miss runs
+        # can go through the bulk path — same conditions as fetch_many,
+        # and dedupe/live-residency checks trivially pass.  Uniqueness is
+        # one sort, computed lazily the first time a run is worth batching.
+        unique: Optional[bool] = True if n == 1 else None
+        batch_ok = self._uniform_nbytes is not None and (
+            agg is not None or not self.tracer.enabled
+        )
+        capped = False
+        # As in fetch_many: hints only go stale via a fastest-level eviction.
+        ev0 = fast.stats.evictions
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            if capped:
+                break
+            if hint[a]:
+                if fast.stats.evictions == ev0:
+                    continue  # whole run provably still resident: skip it
+                seg = arr[a:b]
+                while seg.size:
+                    live = fast._resident[seg]
+                    k = int(seg.size) if live.all() else int(np.argmin(live))
+                    # seg[:k] still resident: skipped, no state change.
+                    if k == seg.size:
+                        break
+                    key = int(seg[k])  # stale hint: evicted mid-batch
+                    if max_fetch is not None and len(issued) >= max_fetch:
+                        capped = True
+                        break
+                    if attempted is None or key not in attempted:
+                        if attempted is not None:
+                            attempted.add(key)
+                        total_time += self._fetch_one(
+                            key, step, True, min_free_step, agg, rec
+                        ).time_s
+                        issued.append(key)
+                    seg = seg[k + 1:]
+            elif batch_ok and b - a >= 4 and (
+                unique
+                if unique is not None
+                else (unique := bool(np.unique(arr).size == n))
+            ):
+                run = arr[a:b]
+                if max_fetch is not None:
+                    left = max_fetch - len(issued)
+                    if left <= 0:
+                        capped = True
+                        break
+                    if left < run.size:
+                        run = run[:left]  # the cap cut; next check trips it
+                tbuf = np.empty(run.size, dtype=np.float64)
+                self._fetch_miss_run(
+                    run, step, True, min_free_step, agg, latency_scale, tbuf, 0
+                )
+                # Scalar-order left fold, bit-identical to `total_time +=`.
+                for t in tbuf.tolist():
+                    total_time += t
+                issued.extend(run.tolist())
+            else:
+                # Live probe via the residency array directly; binding it is
+                # safe because every candidate id is covered by the upfront
+                # ensure_ids, so no admit in this batch can regrow it.
+                fast_resident = fast._resident
+                for key in arr[a:b].tolist():
+                    if max_fetch is not None and len(issued) >= max_fetch:
+                        capped = True
+                        break
+                    if attempted is not None and key in attempted:
+                        continue
+                    if fast_resident[key]:
+                        continue
+                    if attempted is not None:
+                        attempted.add(key)
+                    total_time += self._fetch_one(
+                        key, step, True, min_free_step, agg, rec
+                    ).time_s
+                    issued.append(key)
+        self._flush_agg(agg, step)
+        self._flush_rec(rec, True)
+        return issued, total_time
+
+    def _flush_agg(self, agg: "Optional[dict]", step: int) -> None:
+        """Emit one aggregated trace event per accumulated (kind, source)."""
+        if agg:
+            for (kind, src), (cnt, nb, t) in agg.items():
+                self.tracer.record(kind, step, src, -1, nb, t, count=cnt)
+
+    def _flush_rec(self, rec: "Optional[dict]", prefetch: bool) -> None:
+        """Flush grouped registry fetch metrics (uniform block size only)."""
+        if not rec:
+            return
+        nb = self._uniform_nbytes
+        for (source_name, t), c in rec.items():
+            demand_h, prefetch_h, bytes_c, demand_c, prefetch_c = (
+                self._fetch_metrics[source_name]
+            )
+            (prefetch_h if prefetch else demand_h).observe_many(t, c)
+            (prefetch_c if prefetch else demand_c).inc(c)
+            bytes_c.inc(c * nb)
 
     # -- preload (Step 2 / Alg. 1 line 7) -----------------------------------------
 
@@ -227,8 +732,9 @@ class MemoryHierarchy:
         levels hold supersets.  Returns blocks placed per level.
         """
         placed = {}
+        aggregate = self.aggregate_trace and self.tracer.enabled
         for level in self.levels:
-            placed[level.name] = level.preload(keys_by_priority)
+            placed[level.name] = level.preload(keys_by_priority, aggregate_trace=aggregate)
         return placed
 
     # -- stats & lifecycle -------------------------------------------------------
@@ -281,7 +787,7 @@ def make_standard_hierarchy(
     for device in reversed(devices):  # slowest cache level first for sizing
         frac *= cache_ratio
         capacity = max(1, int(round(n_blocks * frac)))
-        levels.append(CacheLevel(device.name, capacity, make_policy(policy)))
+        levels.append(CacheLevel(device.name, capacity, make_policy(policy), n_blocks=n_blocks))
     levels.reverse()  # fastest first
     return MemoryHierarchy(
         levels, list(devices), backing, block_nbytes, tracer=tracer, registry=registry

@@ -95,23 +95,23 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceSummary:
         if row is None:
             row = rows[e.step] = StepTimeline(step=e.step)
         if e.kind == "hit":
-            row.hits += 1
+            row.hits += e.count
             row.demand_bytes += e.nbytes
             row.demand_time_s += e.time_s
         elif e.kind == "fetch":
-            row.demand_fetches += 1
+            row.demand_fetches += e.count
             row.demand_bytes += e.nbytes
             row.demand_time_s += e.time_s
         elif e.kind == "prefetch":
-            row.prefetches += 1
+            row.prefetches += e.count
             row.prefetch_bytes += e.nbytes
             row.prefetch_time_s += e.time_s
         elif e.kind == "evict":
-            row.evictions += 1
+            row.evictions += e.count
         elif e.kind == "bypass":
-            row.bypasses += 1
+            row.bypasses += e.count
         elif e.kind == "preload":
-            row.preloads += 1
+            row.preloads += e.count
         elif e.kind == "render":
             row.render_time_s += e.time_s
         if e.kind in MOVEMENT_KINDS and e.level:

@@ -69,6 +69,13 @@ class TraceEvent:
         Profiler span path open when the event was recorded (``""`` when
         no :class:`~repro.obs.profiler.PhaseProfiler` was attached), e.g.
         ``"replay/fetch"`` — links trace events to wall-clock phases.
+    count:
+        Number of per-block actions this event stands for.  ``1`` in exact
+        mode (one event per action); the batched engine's aggregated mode
+        folds a step's hits/fetches/prefetches per (step, level, kind) into
+        one event with ``count > 1``, ``nbytes``/``time_s`` summed, and
+        ``key = -1`` — the byte ledger is unchanged because aggregation
+        only re-buckets the same totals.
     """
 
     seq: int
@@ -79,6 +86,7 @@ class TraceEvent:
     nbytes: int
     time_s: float
     span: str = ""
+    count: int = 1
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -94,4 +102,5 @@ class TraceEvent:
             nbytes=int(d["nbytes"]),
             time_s=float(d["time_s"]),
             span=str(d.get("span", "")),
+            count=int(d.get("count", 1)),
         )

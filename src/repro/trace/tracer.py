@@ -55,12 +55,17 @@ class Tracer:
         key: int = -1,
         nbytes: int = 0,
         time_s: float = 0.0,
+        count: int = 1,
     ) -> None:
-        """Append one event; overwrites the oldest once the ring is full."""
+        """Append one event; overwrites the oldest once the ring is full.
+
+        ``count > 1`` marks an aggregated event standing for that many
+        per-block actions (batched engine's per-step roll-up).
+        """
         if kind not in _KINDS:
             raise ValueError(f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}")
         event = TraceEvent(
-            self._total, kind, step, level, key, nbytes, time_s, self.current_span
+            self._total, kind, step, level, key, nbytes, time_s, self.current_span, count
         )
         self._total += 1
         if len(self._ring) < self.capacity:
@@ -130,6 +135,7 @@ class NullTracer:
         key: int = -1,
         nbytes: int = 0,
         time_s: float = 0.0,
+        count: int = 1,
     ) -> None:
         pass
 

@@ -33,14 +33,15 @@ class TestCollectDemandTrace:
     def test_flattens_in_order(self, short_random_path, small_grid):
         sets = compute_visible_sets(short_random_path, small_grid)
         trace = collect_demand_trace(short_random_path, small_grid, sets)
+        assert trace.dtype == np.int64
         assert len(trace) == sum(len(s) for s in sets)
-        assert trace[: len(sets[0])] == [int(b) for b in sets[0]]
+        assert np.array_equal(trace[: len(sets[0])], sets[0])
 
     def test_reuses_precomputed_sets(self, short_random_path, small_grid):
         sets = compute_visible_sets(short_random_path, small_grid)
         a = collect_demand_trace(short_random_path, small_grid, sets)
         b = collect_demand_trace(short_random_path, small_grid)
-        assert a == b
+        assert np.array_equal(a, b)
 
 
 class TestPipelineContext:
@@ -51,7 +52,9 @@ class TestPipelineContext:
 
     def test_demand_trace(self, short_random_path, small_grid):
         ctx = PipelineContext.create(short_random_path, small_grid)
-        assert ctx.demand_trace() == collect_demand_trace(short_random_path, small_grid)
+        assert np.array_equal(
+            ctx.demand_trace(), collect_demand_trace(short_random_path, small_grid)
+        )
 
 
 class TestRunBaseline:

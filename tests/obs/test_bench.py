@@ -19,6 +19,19 @@ from repro.obs.bench import (
 _TINY = BenchConfig(blocks=27, scale=0.03, steps=4, n_directions=8, n_distances=1)
 
 
+def _sim_only(doc):
+    """Strip every machine-dependent (wall-clock) field from a snapshot."""
+    d = copy.deepcopy(doc)
+    d.pop("phases")
+    d.pop("suite_wall_s")
+    d.pop("workers")
+    d.pop("profile", None)
+    for run in d["runs"].values():
+        run["phases"].pop("wall")
+        run.pop("wall_s")
+    return d
+
+
 @pytest.fixture(scope="module")
 def doc():
     return run_bench(config=_TINY, label="test")
@@ -73,13 +86,60 @@ class TestRunBench:
 
     def test_deterministic(self, doc):
         again = run_bench(config=_TINY, label="test")
-        a = copy.deepcopy(doc)
-        b = copy.deepcopy(again)
-        for d in (a, b):  # wall timings are the only machine-dependent part
-            d.pop("phases")
+        assert json.dumps(_sim_only(doc), sort_keys=True) == \
+            json.dumps(_sim_only(again), sort_keys=True)
+
+    def test_batched_engine_is_default(self, doc):
+        assert doc["engine"] == "batched"
+        assert all(run["engine"] == "batched" for run in doc["runs"].values())
+
+    def test_wall_clock_fields_present(self, doc):
+        assert doc["suite_wall_s"] > 0
+        assert doc["workers"] == 1
+        assert all(run["wall_s"] > 0 for run in doc["runs"].values())
+
+    def test_scalar_engine_sim_identical(self, doc):
+        scalar = run_bench(config=_TINY, label="test", engine="scalar")
+        a, b = _sim_only(doc), _sim_only(scalar)
+        # Engine, trace *counts* (aggregated vs per-block events), and
+        # histogram sum/mean (observe_many associates value*n, a last-bit
+        # float difference) legitimately differ; everything else must not.
+        for d in (a, b):
+            d.pop("engine")
             for run in d["runs"].values():
-                run["phases"].pop("wall")
+                run.pop("engine")
+                for key in ("n_recorded", "n_retained"):
+                    run["trace"].pop(key)
+                for hist in run["metrics"]["histograms"].values():
+                    hist.pop("sum")
+                    hist.pop("mean")
         assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_bench(config=_TINY, engine="warp")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_bench(config=_TINY, workers=0)
+
+
+class TestParallelAndProfile:
+    def test_workers_match_serial(self, doc):
+        parallel = run_bench(config=_TINY, label="test", workers=2)
+        assert parallel["workers"] == 2
+        a, b = _sim_only(doc), _sim_only(parallel)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_profile_writes_chrome_trace(self, tmp_path):
+        out = tmp_path / "profile.json"
+        d = run_bench(config=_TINY, label="test", profile_path=out)
+        assert d["profile"]["cell"] == "orbit/app-aware"
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        events = trace["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        assert "replay" in names and "fetch" in names
 
 
 class TestWriteLoad:

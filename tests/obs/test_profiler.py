@@ -1,5 +1,7 @@
 """Tests for the phase profiler: spans, sim channels, tracer span ids."""
 
+import json
+
 import pytest
 
 from repro.obs.profiler import NULL_PROFILER, PhaseProfiler, resolve_profiler
@@ -112,3 +114,40 @@ class TestNullProfiler:
         p = PhaseProfiler()
         assert resolve_profiler(p) is p
         assert resolve_profiler(None) is NULL_PROFILER
+
+
+class TestTimeline:
+    def test_off_by_default(self):
+        p = PhaseProfiler()
+        with p.span("replay"):
+            pass
+        assert p.timeline() == []
+        with pytest.raises(RuntimeError, match="keep_timeline"):
+            p.write_chrome_trace("unused.json")
+
+    def test_records_nested_spans_in_close_order(self):
+        p = PhaseProfiler(keep_timeline=True)
+        with p.span("replay"):
+            with p.span("fetch"):
+                pass
+            with p.span("fetch"):
+                pass
+        paths = [path for path, _, _ in p.timeline()]
+        assert paths == ["replay/fetch", "replay/fetch", "replay"]
+        for _, start, dur in p.timeline():
+            assert start >= 0.0 and dur >= 0.0
+
+    def test_chrome_trace_export(self, tmp_path):
+        p = PhaseProfiler(keep_timeline=True)
+        with p.span("replay"):
+            with p.span("fetch"):
+                pass
+        out = p.write_chrome_trace(tmp_path / "trace.json")
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["fetch", "replay"]
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["args"]["path"] == "replay/fetch"
+
+    def test_null_profiler_timeline_empty(self):
+        assert NULL_PROFILER.timeline() == []
