@@ -27,6 +27,7 @@ from repro.camera.path import random_path, spherical_path, zoom_path
 from repro.camera.sampling import SamplingConfig
 from repro.experiments.report import format_run_summaries
 from repro.experiments.runner import ExperimentSetup, compare_policies
+from repro.faults import FAULT_PROFILES
 from repro.policies.registry import POLICY_NAMES
 from repro.volume.datasets import DATASETS, dataset_table
 
@@ -56,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=list(POLICY_NAMES))
     rep.add_argument("--belady", action="store_true", help="include the offline bound")
     rep.add_argument("--no-app-aware", action="store_true")
+    _add_fault_args(rep)
 
     tra = sub.add_parser(
         "trace",
@@ -91,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--profile", type=Path, default=None, metavar="PATH",
                      help="also re-run one pinned cell with a span timeline and "
                           "write a Chrome-trace JSON there")
+    _add_fault_args(ben)
     ben.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
                      help="compare two snapshots instead of running the suite")
     ben.add_argument("--threshold", type=float, default=0.10,
@@ -124,6 +127,14 @@ def _add_dataset_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=None,
                    help="per-axis shrink of the paper resolution (default per dataset)")
     p.add_argument("--seed", type=int, default=0)
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--faults", choices=list(FAULT_PROFILES), default="none",
+                   help="inject seeded storage faults from a named profile "
+                        "(default: none — fault-free fast path)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the deterministic fault draws (default 0)")
 
 
 def _add_path_args(p: argparse.ArgumentParser) -> None:
@@ -190,10 +201,23 @@ def _cmd_replay(args) -> int:
         include_belady=args.belady,
         include_app_aware=not args.no_app_aware,
         cache_ratio=args.cache_ratio,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
     title = (f"{args.dataset} ({setup.grid.n_blocks} blocks), {path.name}, "
              f"{args.steps} steps, cache ratio {args.cache_ratio}")
+    if args.faults != "none":
+        title += f", faults {args.faults} (seed {args.fault_seed})"
     print(format_run_summaries(results, title=title))
+    if args.faults != "none":
+        for res in results.values():
+            dropped = int(res.extras.get("dropped_blocks", 0))
+            degraded = int(res.extras.get("degraded_frames", 0))
+            stats = res.extras.get("fault_stats", {})
+            print(f"{res.name}: {stats.get('errors', 0)} injected errors, "
+                  f"{stats.get('retries', 0)} retries, "
+                  f"{stats.get('breaker_opens', 0)} breaker opens, "
+                  f"{dropped} dropped blocks over {degraded} degraded frames")
     return 0
 
 
@@ -269,6 +293,8 @@ def _cmd_bench(args) -> int:
         workers=args.workers,
         engine=args.engine,
         profile_path=args.profile,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
     path = write_bench(doc, args.out)
     n_runs = len(doc["runs"])
@@ -276,6 +302,11 @@ def _cmd_bench(args) -> int:
     print(f"wrote {path} ({n_runs} runs, engine {doc['engine']}, "
           f"{doc['workers']} worker(s), schema v{doc['schema_version']}, "
           f"{dropped} trace events dropped, suite {doc['suite_wall_s']:.2f}s wall)")
+    if args.faults != "none":
+        for key, run in sorted(doc["runs"].items()):
+            fs = run["faults"]["stats"]
+            print(f"faults[{key}]: {fs['errors']} errors, {fs['retries']} retries, "
+                  f"{fs['timeouts']} timeouts, {fs['dropped_blocks']} dropped blocks")
     if "profile" in doc:
         print(f"profile: {doc['profile']['path']} (cell {doc['profile']['cell']})")
     return 0

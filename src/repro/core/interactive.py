@@ -43,6 +43,7 @@ class BudgetedStep:
     io_time_s: float
     prefetch_time_s: float
     rendered_ids: np.ndarray  # the resident visible ids (for image eval)
+    n_dropped: int = 0  # blocks the (fault-injected) storage failed to deliver
 
     @property
     def coverage(self) -> float:
@@ -74,6 +75,16 @@ class BudgetedResult:
     def full_frames(self) -> int:
         """Frames rendered with the complete visible set."""
         return sum(1 for s in self.steps if s.n_rendered == s.n_visible)
+
+    @property
+    def dropped_blocks(self) -> int:
+        """Blocks dropped by fault injection across the replay."""
+        return sum(s.n_dropped for s in self.steps)
+
+    @property
+    def degraded_frames(self) -> int:
+        """Frames that rendered without at least one dropped block."""
+        return sum(1 for s in self.steps if s.n_dropped)
 
 
 def run_budgeted(
@@ -159,17 +170,31 @@ def run_budgeted(
             rendered = list(resident)
 
         miss_time = 0.0
+        step_dropped = 0
         with profiler.span("fetch"):
             # Hits: account + touch; free wrt the budget.
             if batched:
-                hit_time = hierarchy.fetch_many(resident, i, min_free_step=i).time_s
+                res = hierarchy.fetch_many(resident, i, min_free_step=i)
+                hit_time = res.time_s
+                if res.n_dropped:  # resident copy unreadable, nothing served
+                    step_dropped += res.n_dropped
+                    gone = set(res.dropped_ids)
+                    rendered = [b for b in rendered if b not in gone]
             else:
                 hit_time = 0.0
                 for b in resident:
-                    hit_time += hierarchy.fetch(b, i, min_free_step=i).time_s
+                    r = hierarchy.fetch(b, i, min_free_step=i)
+                    hit_time += r.time_s
+                    if r.dropped:
+                        step_dropped += 1
+                        rendered.remove(b)
             for b in missing:
-                miss_time += hierarchy.fetch(b, i, min_free_step=i).time_s
-                rendered.append(b)
+                r = hierarchy.fetch(b, i, min_free_step=i)
+                miss_time += r.time_s
+                if r.dropped:
+                    step_dropped += 1  # charged time but no data: a hole
+                else:
+                    rendered.append(b)
                 if miss_time >= io_budget_s:
                     break  # deadline: remaining blocks stay holes this frame
         io = hit_time + miss_time
@@ -207,6 +232,7 @@ def run_budgeted(
             io_time_s=io,
             prefetch_time_s=prefetch_time,
             rendered_ids=np.asarray(sorted(rendered), dtype=np.int64),
+            n_dropped=step_dropped,
         )
         if registry.enabled:
             frame_hist.observe(io + max(prefetch_time, render_time))

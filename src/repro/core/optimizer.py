@@ -183,6 +183,9 @@ class AppAwareOptimizer:
 
         steps: List[StepMetrics] = []
         positions = context.path.positions
+        faulty = hierarchy.fault_injector is not None
+        dropped_blocks = 0
+        degraded_frames = 0
         for i, ids in enumerate(context.visible_sets):
             # Prefetch usefulness: blocks prefetched at step i-1 that the
             # demand stream touches at step i were correct predictions.
@@ -207,17 +210,27 @@ class AppAwareOptimizer:
 
             # Demand phase (lines 14-19): victims must satisfy time < i.
             fast_misses_before = fastest.stats.misses
+            step_dropped = 0
             with profiler.span("fetch"):
                 if batched:
-                    io = hierarchy.fetch_many(ids, i, min_free_step=i).time_s
+                    res = hierarchy.fetch_many(ids, i, min_free_step=i)
+                    io = res.time_s
+                    step_dropped = res.n_dropped
                 else:
                     io = 0.0
                     for b in ids:
-                        io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
+                        r = hierarchy.fetch(int(b), i, min_free_step=i)
+                        io += r.time_s
+                        if r.dropped:
+                            step_dropped += 1
             n_fast_misses = fastest.stats.misses - fast_misses_before
+            if step_dropped:
+                dropped_blocks += step_dropped
+                degraded_frames += 1
 
             with profiler.span("render"):
-                render = context.render_model.render_time(len(ids))
+                # Dropped blocks are holes this frame: render what arrived.
+                render = context.render_model.render_time(len(ids) - step_dropped)
             if tracer.enabled:
                 tracer.record("render", i, time_s=render)
 
@@ -286,18 +299,24 @@ class AppAwareOptimizer:
             profiler.charge_sim("lookup", sum(s.lookup_time_s for s in steps))
             profiler.charge_sim("prefetch", sum(s.prefetch_time_s for s in steps))
             profiler.charge_sim("render", sum(s.render_time_s for s in steps))
+        extras = {
+            "sigma": self.sigma,
+            "final_sigma": sigma,
+            "backing_bytes": float(hierarchy.backing_bytes),
+            "bytes_moved": float(
+                hierarchy.backing_bytes + hierarchy.stats().total_bytes_read
+            ),
+        }
+        if faulty:
+            # Gated on the injector so fault-free summaries stay byte-identical.
+            extras["dropped_blocks"] = float(dropped_blocks)
+            extras["degraded_frames"] = float(degraded_frames)
+            extras["fault_stats"] = hierarchy.fault_injector.stats.as_dict()
         return RunResult(
             name=name,
             policy="app-aware",
             overlap_prefetch=True,
             steps=steps,
             hierarchy_stats=hierarchy.stats(),
-            extras={
-                "sigma": self.sigma,
-                "final_sigma": sigma,
-                "backing_bytes": float(hierarchy.backing_bytes),
-                "bytes_moved": float(
-                    hierarchy.backing_bytes + hierarchy.stats().total_bytes_read
-                ),
-            },
+            extras=extras,
         )

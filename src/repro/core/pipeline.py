@@ -153,19 +153,33 @@ def run_baseline(
     frame_hist = registry.histogram("frame_time_seconds", kind="sim")
     policy_name = hierarchy.fastest.policy.name
     batched = _resolve_engine(engine)
+    faulty = hierarchy.fault_injector is not None
+    dropped_blocks = 0
+    degraded_frames = 0
     steps: List[StepMetrics] = []
     for i, ids in enumerate(context.visible_sets):
         fast_misses_before = hierarchy.fastest.stats.misses
         min_free = i if protect_current_step else None
+        step_dropped = 0
         with profiler.span("fetch"):
             if batched:
-                io = hierarchy.fetch_many(ids, i, min_free_step=min_free).time_s
+                res = hierarchy.fetch_many(ids, i, min_free_step=min_free)
+                io = res.time_s
+                step_dropped = res.n_dropped
             else:
                 io = 0.0
                 for b in ids:
-                    io += hierarchy.fetch(int(b), i, min_free_step=min_free).time_s
+                    r = hierarchy.fetch(int(b), i, min_free_step=min_free)
+                    io += r.time_s
+                    if r.dropped:
+                        step_dropped += 1
+        if step_dropped:
+            # Graceful degradation: the frame renders without the blocks
+            # the storage stack could not deliver.
+            dropped_blocks += step_dropped
+            degraded_frames += 1
         with profiler.span("render"):
-            render = context.render_model.render_time(len(ids))
+            render = context.render_model.render_time(len(ids) - step_dropped)
         if tracer.enabled:
             tracer.record("render", i, time_s=render)
         if registry.enabled:
@@ -182,16 +196,23 @@ def run_baseline(
     if profiler.enabled:
         profiler.charge_sim("io", sum(s.io_time_s for s in steps))
         profiler.charge_sim("render", sum(s.render_time_s for s in steps))
+    extras = {
+        "backing_bytes": float(hierarchy.backing_bytes),
+        "bytes_moved": float(
+            hierarchy.backing_bytes + hierarchy.stats().total_bytes_read
+        ),
+    }
+    if faulty:
+        # Added only under fault injection so fault-free summaries stay
+        # byte-identical to pre-faults snapshots.
+        extras["dropped_blocks"] = float(dropped_blocks)
+        extras["degraded_frames"] = float(degraded_frames)
+        extras["fault_stats"] = hierarchy.fault_injector.stats.as_dict()
     return RunResult(
         name=name or f"baseline-{policy_name}",
         policy=policy_name,
         overlap_prefetch=False,
         steps=steps,
         hierarchy_stats=hierarchy.stats(),
-        extras={
-            "backing_bytes": float(hierarchy.backing_bytes),
-            "bytes_moved": float(
-                hierarchy.backing_bytes + hierarchy.stats().total_bytes_read
-            ),
-        },
+        extras=extras,
     )

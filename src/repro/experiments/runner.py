@@ -183,16 +183,37 @@ def compare_policies(
     include_belady: bool = False,
     optimizer_config: Optional[OptimizerConfig] = None,
     cache_ratio: Optional[float] = None,
+    faults: str = "none",
+    fault_seed: int = 0,
 ) -> Dict[str, RunResult]:
     """Replay ``path`` under each policy with identical demand sequences.
 
     Returns results keyed by policy name (``'opt'`` is the app-aware
     method, matching the paper's figure legends).
+
+    ``faults`` names a profile from :data:`repro.faults.FAULT_PROFILES`;
+    anything but ``"none"`` installs a fresh seeded
+    :class:`~repro.faults.FaultInjector` on every hierarchy.  The fault
+    draws are counter-based over ``(seed, device, block, step, attempt)``,
+    so every policy replays against the *same* fault environment — the
+    comparison stays apples-to-apples under failure.
     """
+
+    def _hierarchy(policy_hierarchy):
+        if faults != "none":
+            from repro.faults import FaultInjector, FaultPlan
+
+            policy_hierarchy.set_fault_injector(
+                FaultInjector(FaultPlan.from_profile(faults, seed=fault_seed))
+            )
+        return policy_hierarchy
+
     context = setup.context(path)
     results: Dict[str, RunResult] = {}
     for policy in baselines:
-        results[policy] = run_baseline(context, setup.hierarchy(policy, cache_ratio))
+        results[policy] = run_baseline(
+            context, _hierarchy(setup.hierarchy(policy, cache_ratio))
+        )
     if include_belady:
         trace = context.demand_trace()
         hierarchy = belady_hierarchy(
@@ -200,8 +221,12 @@ def compare_policies(
             trace,
             cache_ratio=setup.cache_ratio if cache_ratio is None else cache_ratio,
         )
-        results["belady"] = run_baseline(context, hierarchy, name="baseline-belady")
+        results["belady"] = run_baseline(
+            context, _hierarchy(hierarchy), name="baseline-belady"
+        )
     if include_app_aware:
         optimizer = setup.optimizer(optimizer_config)
-        results["opt"] = optimizer.run(context, setup.hierarchy("lru", cache_ratio))
+        results["opt"] = optimizer.run(
+            context, _hierarchy(setup.hierarchy("lru", cache_ratio))
+        )
     return results

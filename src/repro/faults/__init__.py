@@ -1,0 +1,31 @@
+"""Deterministic fault injection and resilience for the storage stack.
+
+- :mod:`repro.faults.plan` — seeded, immutable per-device fault plans
+  (transient errors, latency spikes, degraded-bandwidth windows,
+  payload corruption) with counter-based deterministic draws.
+- :mod:`repro.faults.injector` — per-run injector: plan queries plus
+  per-device stats of what was actually injected.
+- :mod:`repro.faults.resilience` — retry policy (deterministic
+  exponential backoff) and per-device circuit breaker, clock-agnostic.
+- :mod:`repro.faults.store` — :class:`FaultyBlockStore`, the payload-path
+  wrapper for any :class:`~repro.volume.store.BlockStore`.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FAULT_PROFILES, DeviceFaultProfile, FaultPlan, unit_draw
+from repro.faults.resilience import CircuitBreaker, RetryPolicy
+from repro.faults.store import CorruptPayloadError, FaultInjectedError, FaultyBlockStore
+
+__all__ = [
+    "DeviceFaultProfile",
+    "FaultPlan",
+    "FAULT_PROFILES",
+    "unit_draw",
+    "FaultInjector",
+    "FaultStats",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FaultyBlockStore",
+    "FaultInjectedError",
+    "CorruptPayloadError",
+]

@@ -1,0 +1,121 @@
+"""Resilience primitives: retry policy and per-device circuit breaker.
+
+Both are clock-agnostic — the caller passes "now" in explicitly — so the
+same classes serve the simulated clock in
+:class:`~repro.storage.hierarchy.MemoryHierarchy` (deterministic replay)
+and the wall clock in :class:`~repro.parallel.fetcher.ParallelBlockFetcher`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    A read is attempted up to ``1 + max_retries`` times; after a failed
+    attempt ``a`` (0-based) the reader waits ``backoff_s(a)`` seconds:
+
+        ``min(backoff_base_s * backoff_factor ** a, backoff_max_s)``
+
+    No jitter — replay determinism requires the backoff schedule to be a
+    pure function of the attempt index.  ``read_timeout_s`` bounds one
+    attempt: an attempt whose (simulated or wall) cost would exceed it is
+    abandoned at the timeout and treated as a failure, so a pathological
+    latency spike costs at most the timeout plus the backoff schedule.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 50e-3
+    read_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.read_timeout_s is not None and self.read_timeout_s <= 0:
+            raise ValueError(f"read_timeout_s must be > 0, got {self.read_timeout_s}")
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff after failed attempt ``attempt`` (0-based)."""
+        return min(self.backoff_base_s * self.backoff_factor**attempt, self.backoff_max_s)
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-device health tracking with the classic three-state breaker.
+
+    - ``closed``: reads flow normally; consecutive failures are counted.
+    - ``open``: after ``failure_threshold`` consecutive failures the
+      breaker opens and ``allows(now)`` returns False until ``cooldown_s``
+      has elapsed — callers skip the device and fall back to the next
+      slower level instead of hammering a sick one.
+    - ``half-open``: after the cooldown one probe read is allowed; success
+      closes the breaker, failure re-opens it (with a fresh cooldown).
+
+    Time is injected by the caller, so the breaker runs equally well on
+    the deterministic simulated clock and on the wall clock.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 0.25) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0  # total times the breaker tripped
+        self._opened_at = 0.0
+
+    def allows(self, now: float) -> bool:
+        """May a read be attempted at time ``now``?  (May move open → half-open.)"""
+        if self.state == BREAKER_OPEN:
+            if now - self._opened_at >= self.cooldown_s:
+                self.state = BREAKER_HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> bool:
+        """Record a failed read; returns True when this failure tripped the
+        breaker open."""
+        self.consecutive_failures += 1
+        if self.state == BREAKER_HALF_OPEN or (
+            self.state == BREAKER_CLOSED and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BREAKER_OPEN
+            self._opened_at = now
+            self.consecutive_failures = 0
+            self.opens += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state}, "
+            f"failures={self.consecutive_failures}/{self.failure_threshold})"
+        )

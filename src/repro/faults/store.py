@@ -1,0 +1,160 @@
+"""FaultyBlockStore: wrap any :class:`~repro.volume.store.BlockStore`
+with a deterministic, seeded :class:`~repro.faults.plan.FaultPlan`.
+
+Where the hierarchy-side injection perturbs the *timing model*, this
+wrapper perturbs the *payload path*: reads raise transient
+:class:`FaultInjectedError`, pay optional wall-clock latency spikes, or
+return corrupted bytes that a checksum verify catches.  Per-block attempt
+counters make each retry a fresh draw from the plan, so a wrapped store
+composes correctly with :class:`~repro.volume.store.RetryingBlockStore`
+and :class:`~repro.parallel.fetcher.ParallelBlockFetcher` retries.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.volume.store import BlockStore
+
+__all__ = ["FaultInjectedError", "CorruptPayloadError", "FaultyBlockStore"]
+
+
+class FaultInjectedError(IOError):
+    """A transient read error injected by a :class:`FaultPlan`."""
+
+    def __init__(self, device: str, block_id: int, attempt: int) -> None:
+        super().__init__(
+            f"injected transient read error on {device!r} for block {block_id} "
+            f"(attempt {attempt})"
+        )
+        self.device = device
+        self.block_id = block_id
+        self.attempt = attempt
+
+
+class CorruptPayloadError(IOError):
+    """A payload failed checksum verification."""
+
+    def __init__(self, device: str, block_id: int) -> None:
+        super().__init__(f"checksum mismatch on {device!r} for block {block_id}")
+        self.device = device
+        self.block_id = block_id
+
+
+def payload_checksum(block: np.ndarray) -> int:
+    """crc32 of the block's bytes — cheap, deterministic, dtype-exact."""
+    return zlib.crc32(np.ascontiguousarray(block).tobytes())
+
+
+class FaultyBlockStore(BlockStore):
+    """Inject plan-driven faults into another store's read path.
+
+    Parameters
+    ----------
+    inner:
+        The store actually holding the payloads.
+    plan:
+        Seeded fault plan; the profile for ``device`` governs this store.
+    device:
+        Device name this store plays in the plan (default ``"store"``).
+    wall_delay_scale:
+        When > 0, latency spikes are also *slept* for
+        ``spike_s * wall_delay_scale`` wall seconds — lets timeout tests
+        exercise real slow reads without modelling full device costs.
+        Default 0 keeps reads instant (pure simulation).
+
+    Each block carries its own attempt counter, so a retry of a failed
+    read redraws from the plan (the transient-fault model: retries can
+    succeed).  Checksums of the *true* payloads are cached lazily on
+    first read, making :meth:`verify` and :meth:`read_verified` cheap.
+    """
+
+    def __init__(
+        self,
+        inner: BlockStore,
+        plan: FaultPlan,
+        device: str = "store",
+        wall_delay_scale: float = 0.0,
+    ) -> None:
+        if wall_delay_scale < 0:
+            raise ValueError(f"wall_delay_scale must be >= 0, got {wall_delay_scale}")
+        super().__init__(inner.grid)
+        self.inner = inner
+        self.plan = plan
+        self.device = device
+        self.wall_delay_scale = wall_delay_scale
+        self.reads = 0
+        self.errors_injected = 0
+        self.corruptions_injected = 0
+        self.spikes_injected = 0
+        self._attempts: Dict[int, int] = {}
+        self._checksums: Dict[int, int] = {}
+
+    # -- faulty read path ------------------------------------------------------
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        attempt = self._attempts.get(block_id, 0)
+        self._attempts[block_id] = attempt + 1
+        self.reads += 1
+        spike = self.plan.spike_s(self.device, block_id, 0, attempt)
+        if spike > 0.0:
+            self.spikes_injected += 1
+            if self.wall_delay_scale > 0.0:
+                time.sleep(spike * self.wall_delay_scale)
+        if self.plan.fails(self.device, block_id, 0, attempt):
+            self.errors_injected += 1
+            raise FaultInjectedError(self.device, block_id, attempt)
+        block = self.inner.read_block(block_id)
+        if block_id not in self._checksums:
+            self._checksums[block_id] = payload_checksum(block)
+        if self.plan.corrupts(self.device, block_id, attempt):
+            self.corruptions_injected += 1
+            return self._corrupt(block)
+        return block
+
+    @staticmethod
+    def _corrupt(block: np.ndarray) -> np.ndarray:
+        """A copy of ``block`` with its first byte flipped — guaranteed to
+        change the checksum while keeping shape/dtype valid."""
+        out = np.ascontiguousarray(block).copy()
+        flat = out.view(np.uint8).reshape(-1)
+        flat[0] ^= 0xFF
+        return out
+
+    # -- verification ----------------------------------------------------------
+
+    def true_checksum(self, block_id: int) -> int:
+        """Checksum of the uncorrupted payload (reads through on first use)."""
+        cs = self._checksums.get(block_id)
+        if cs is None:
+            cs = self._checksums[block_id] = payload_checksum(self.inner.read_block(block_id))
+        return cs
+
+    def verify(self, block_id: int, block: np.ndarray) -> bool:
+        """Does ``block`` match the true payload's checksum?"""
+        return payload_checksum(block) == self.true_checksum(block_id)
+
+    def read_verified(self, block_id: int) -> np.ndarray:
+        """Read and checksum-verify; corrupted payloads raise
+        :class:`CorruptPayloadError` (an ``IOError``, so retry wrappers
+        treat corruption as one more transient failure)."""
+        block = self.read_block(block_id)
+        if not self.verify(block_id, block):
+            raise CorruptPayloadError(self.device, block_id)
+        return block
+
+    def make_validator(self) -> "callable":
+        """A ``validate(block_id, block)`` callable for
+        :class:`~repro.parallel.fetcher.ParallelBlockFetcher` — raises
+        :class:`CorruptPayloadError` on checksum mismatch."""
+
+        def validate(block_id: int, block: Optional[np.ndarray]) -> None:
+            if block is not None and not self.verify(block_id, block):
+                raise CorruptPayloadError(self.device, block_id)
+
+        return validate

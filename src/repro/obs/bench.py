@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -35,6 +35,7 @@ from repro.camera.path import spherical_path, zoom_path
 from repro.camera.sampling import SamplingConfig
 from repro.core.pipeline import REPLAY_ENGINES, run_baseline
 from repro.experiments.runner import ExperimentSetup
+from repro.faults import FAULT_PROFILES, FaultInjector, FaultPlan
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profiler import PhaseProfiler
 from repro.trace import Tracer, aggregate
@@ -72,6 +73,11 @@ class BenchConfig:
     n_distances: int = 2
     degrees_per_step: float = 5.0
     tracer_capacity: int = 500_000
+    #: Named fault profile (see :data:`repro.faults.FAULT_PROFILES`);
+    #: ``"none"`` keeps the fault-free fast path and a byte-identical
+    #: snapshot layout (no ``faults`` section in the runs).
+    faults: str = "none"
+    fault_seed: int = 0
 
     @classmethod
     def quick(cls) -> "BenchConfig":
@@ -145,6 +151,10 @@ def _run_one(
     # (step, level, kind) — same byte ledger, a fraction of the tracer
     # cost; the scalar engine keeps the exact per-block event stream.
     hierarchy.aggregate_trace = engine == "batched"
+    injector = None
+    if config.faults != "none":
+        injector = FaultInjector(FaultPlan.from_profile(config.faults, seed=config.fault_seed))
+        hierarchy.set_fault_injector(injector)
     with profiler.span("replay"):
         if policy == "app-aware":
             result = setup.optimizer().run(
@@ -164,7 +174,7 @@ def _run_one(
     recall = _ratio(
         registry.get("prefetch_useful_total"), registry.get("prefetch_demand_window_total")
     )
-    return {
+    run: Dict[str, object] = {
         "engine": engine,
         "wall_s": time.perf_counter() - t0,  # informational; never compared
         "summary": result.summary(),
@@ -188,6 +198,21 @@ def _run_one(
         },
         "phases": profiler.report(),
     }
+    if injector is not None:
+        # Gated on the injector so fault-free snapshots stay byte-identical
+        # to pre-faults baselines.
+        run["faults"] = {
+            "profile": config.faults,
+            "seed": config.fault_seed,
+            "stats": injector.stats.as_dict(),
+            "trace": {
+                "faults": summary.total_faults,
+                "retries": summary.total_retries,
+                "degraded": summary.total_degraded,
+                "fault_time_s": summary.fault_time_s,
+            },
+        }
+    return run
 
 
 def _build_setup(config: BenchConfig) -> ExperimentSetup:
@@ -236,6 +261,8 @@ def run_bench(
     workers: int = 1,
     engine: str = "batched",
     profile_path: Optional[PathLike] = None,
+    faults: Optional[str] = None,
+    fault_seed: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the pinned suite; returns the JSON-ready snapshot document.
 
@@ -247,9 +274,26 @@ def run_bench(
     ``"scalar"`` compatibility path.  ``profile_path``, when given,
     re-runs the :data:`PROFILE_CELL` with a span timeline kept and writes
     a Chrome-trace JSON there.
+
+    ``faults``/``fault_seed`` (when not None) override the config's fault
+    profile: each cell then runs with a seeded
+    :class:`~repro.faults.FaultInjector` installed on its hierarchy, and
+    every run grows a ``faults`` section (injector stats + trace fault
+    totals).  The default (``"none"``) keeps fault-free snapshots
+    byte-identical to pre-faults baselines.
     """
     if config is None:
         config = BenchConfig.quick() if quick else BenchConfig()
+    if faults is not None or fault_seed is not None:
+        config = replace(
+            config,
+            faults=faults if faults is not None else config.faults,
+            fault_seed=fault_seed if fault_seed is not None else config.fault_seed,
+        )
+    if config.faults not in FAULT_PROFILES:
+        raise ValueError(
+            f"unknown fault profile {config.faults!r}; expected one of {FAULT_PROFILES}"
+        )
     if engine not in REPLAY_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {REPLAY_ENGINES}")
     if workers < 1:

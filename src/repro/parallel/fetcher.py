@@ -4,18 +4,41 @@ Real out-of-core sessions read many blocks per view; issuing those reads
 concurrently overlaps seek/transfer latency.  The fetcher wraps any
 :class:`~repro.volume.store.BlockStore` with a persistent thread pool and
 returns results in request order.
+
+Failure semantics: a read that keeps failing after ``max_retries``
+re-reads raises :class:`BlockFetchError` carrying the failing block id
+and the underlying cause, and every sibling future still outstanding in
+the batch is cancelled — a bad block fails the batch fast instead of
+leaving orphan reads running.  With ``on_error="drop"`` the batch
+degrades gracefully instead: failed blocks come back as ``None`` (and
+are skipped by :meth:`ParallelBlockFetcher.fetch_into`), matching the
+renderer's render-with-missing-blocks behaviour under fault injection.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.volume.store import BlockStore
 
-__all__ = ["ParallelBlockFetcher"]
+__all__ = ["BlockFetchError", "ParallelBlockFetcher"]
+
+#: ``validate(block_id, block)`` hook; raise to reject a payload (treated
+#: as one more transient failure, so it participates in the retry loop).
+Validator = Callable[[int, np.ndarray], None]
+
+
+class BlockFetchError(IOError):
+    """A block read failed (after retries); carries the block id and cause."""
+
+    def __init__(self, block_id: int, cause: BaseException) -> None:
+        super().__init__(f"failed to fetch block {block_id}: {cause!r}")
+        self.block_id = block_id
+        self.cause = cause
 
 
 class ParallelBlockFetcher:
@@ -25,17 +48,68 @@ class ParallelBlockFetcher:
 
     >>> with ParallelBlockFetcher(store, n_workers=4) as fetcher:
     ...     blocks = fetcher.fetch_many([0, 5, 9])
+
+    Parameters
+    ----------
+    store:
+        The payload source.
+    n_workers:
+        Thread-pool size.
+    max_retries:
+        Extra read attempts per block after the first fails with an
+        ``OSError`` (or a validation rejection).  Retries back off
+        ``backoff_base_s * 2**attempt`` wall seconds, capped at
+        ``backoff_max_s``.
+    timeout_s:
+        Collection deadline in wall seconds: the batch waits at most this
+        long for its reads, and any read still running after the deadline
+        counts as a timeout failure (the worker thread itself cannot be
+        interrupted, but the batch stops waiting for it).
+    validate:
+        Optional payload check called as ``validate(block_id, block)``;
+        raising rejects the payload (e.g. a checksum mismatch from
+        :meth:`repro.faults.store.FaultyBlockStore.make_validator`).
+    on_error:
+        ``"raise"`` (default) — a block that exhausts its retries raises
+        :class:`BlockFetchError` and cancels the batch's outstanding
+        futures.  ``"drop"`` — failed blocks are returned as ``None``
+        placeholders and the rest of the batch completes.
     """
 
-    def __init__(self, store: BlockStore, n_workers: int = 4) -> None:
+    def __init__(
+        self,
+        store: BlockStore,
+        n_workers: int = 4,
+        max_retries: int = 0,
+        timeout_s: Optional[float] = None,
+        validate: Optional[Validator] = None,
+        on_error: str = "raise",
+        backoff_base_s: float = 1e-3,
+        backoff_max_s: float = 0.05,
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        if on_error not in ("raise", "drop"):
+            raise ValueError(f"on_error must be 'raise' or 'drop', got {on_error!r}")
         self.store = store
         self.n_workers = int(n_workers)
+        self.max_retries = int(max_retries)
+        self.timeout_s = timeout_s
+        self.validate = validate
+        self.on_error = on_error
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
         self._pool: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
             max_workers=self.n_workers, thread_name_prefix="block-fetch"
         )
         self.total_fetched = 0
+        self.total_retries = 0
+        self.total_timeouts = 0
+        self.total_dropped = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -57,22 +131,82 @@ class ParallelBlockFetcher:
 
     # -- fetching ---------------------------------------------------------------
 
-    def fetch_many(self, block_ids: Sequence[int]) -> List[np.ndarray]:
-        """Blocks in the order requested (duplicates read once, shared)."""
+    def _read_with_retries(self, block_id: int) -> np.ndarray:
+        """One block, retried in the worker thread; raises the last error."""
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.total_retries += 1
+                time.sleep(min(self.backoff_base_s * 2 ** (attempt - 1), self.backoff_max_s))
+            try:
+                block = self.store.read_block(block_id)
+                if self.validate is not None:
+                    self.validate(block_id, block)
+                return block
+            except OSError as exc:  # includes IOError and injected faults
+                last = exc
+        assert last is not None
+        raise last
+
+    def fetch_many(self, block_ids: Sequence[int]) -> List[Optional[np.ndarray]]:
+        """Blocks in the order requested (duplicates read once, shared).
+
+        On failure: ``on_error="raise"`` cancels the batch's outstanding
+        futures and raises :class:`BlockFetchError` for the failing block;
+        ``on_error="drop"`` substitutes ``None`` for each failed block.
+        """
         pool = self._require_pool()
         ids = [int(b) for b in block_ids]
         unique = sorted(set(ids))
-        futures = {b: pool.submit(self.store.read_block, b) for b in unique}
-        results: Dict[int, np.ndarray] = {b: f.result() for b, f in futures.items()}
-        self.total_fetched += len(unique)
+        futures: Dict[int, Future] = {
+            b: pool.submit(self._read_with_retries, b) for b in unique
+        }
+        results: Dict[int, Optional[np.ndarray]] = {}
+        try:
+            if self.timeout_s is not None:
+                # One shared deadline pass: anything not done in time is a
+                # timeout failure, without serialising per-future waits.
+                wait(futures.values(), timeout=self.timeout_s)
+            for b in unique:
+                f = futures[b]
+                if self.timeout_s is not None and not f.done():
+                    self.total_timeouts += 1
+                    err: BaseException = TimeoutError(
+                        f"block {b}: read exceeded {self.timeout_s}s"
+                    )
+                else:
+                    try:
+                        results[b] = f.result()
+                        continue
+                    except Exception as exc:
+                        err = exc
+                if self.on_error == "drop":
+                    self.total_dropped += 1
+                    results[b] = None
+                    continue
+                raise BlockFetchError(b, err) from err
+        except BaseException:
+            # Fail fast: don't leave sibling reads running for a batch
+            # nobody will consume.  (Running futures cannot be interrupted,
+            # but everything still queued is cancelled.)
+            for f in futures.values():
+                f.cancel()
+            raise
+        self.total_fetched += sum(1 for b in unique if results[b] is not None)
         return [results[b] for b in ids]
 
     def fetch_into(self, block_ids: Sequence[int], out: Dict[int, np.ndarray]) -> int:
-        """Fetch only the ids missing from ``out``; returns how many were read."""
+        """Fetch only the ids missing from ``out``; returns how many were read.
+
+        Dropped blocks (``on_error="drop"``) stay missing, so a later call
+        can retry them."""
         missing = [int(b) for b in block_ids if int(b) not in out]
         if not missing:
             return 0
         blocks = self.fetch_many(missing)
+        n = 0
         for b, data in zip(missing, blocks):
-            out[b] = data
-        return len(set(missing))
+            if data is not None and b not in out:
+                out[b] = data
+                n += 1
+        return n

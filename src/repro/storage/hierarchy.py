@@ -21,19 +21,36 @@ from repro.storage.device import DRAM, HDD, SSD, StorageDevice
 from repro.storage.stats import HierarchyStats
 from repro.trace.tracer import NULL_TRACER
 
-__all__ = ["FetchResult", "BatchFetchResult", "MemoryHierarchy", "make_standard_hierarchy"]
+__all__ = [
+    "DROPPED",
+    "FetchResult",
+    "BatchFetchResult",
+    "MemoryHierarchy",
+    "make_standard_hierarchy",
+]
 
 BlockSize = Union[int, Callable[[int], int]]
 
 
+#: ``FetchResult.source`` when every source (including the backing store)
+#: failed and the block could not be delivered.
+DROPPED = "dropped"
+
+
 @dataclass(frozen=True)
 class FetchResult:
-    """Outcome of one block fetch."""
+    """Outcome of one block fetch.
+
+    ``dropped`` is True only under fault injection, when every candidate
+    source exhausted its retries: the charged ``time_s`` is the wasted
+    attempt/backoff time and no data moved (``source`` is :data:`DROPPED`).
+    """
 
     key: int
     time_s: float
     source: str  # name of the level/device that served the data
     fastest_hit: bool  # True when the block was already in the fastest level
+    dropped: bool = False
 
 
 @dataclass(frozen=True)
@@ -42,12 +59,15 @@ class BatchFetchResult:
 
     ``time_s`` is the left-fold sum of the per-block charged times in id
     order — bit-identical to accumulating ``fetch(...).time_s`` over the
-    same ids with ``+=``.
+    same ids with ``+=``.  ``n_dropped``/``dropped_ids`` are non-trivial
+    only under fault injection (see :meth:`MemoryHierarchy.set_fault_injector`).
     """
 
     n: int
     n_fastest_hits: int
     time_s: float
+    n_dropped: int = 0
+    dropped_ids: "tuple[int, ...]" = ()
 
 
 class MemoryHierarchy:
@@ -95,6 +115,13 @@ class MemoryHierarchy:
         #: byte/time totals are preserved) instead of one event per block.
         #: Evict/bypass/preload/render events are always per-event.
         self.aggregate_trace = False
+        # Fault injection (None = fault-free: the resilient read path is
+        # bypassed entirely, keeping fault-free runs byte-identical).
+        self.fault_injector = None
+        self.retry_policy = None
+        self.breakers: dict = {}
+        self._sim_now = 0.0  # accumulated charged io; drives breaker cooldowns
+        self._fault_metrics: dict = {}
         self.tracer = NULL_TRACER
         self.set_tracer(tracer if tracer is not None else NULL_TRACER)
         self.registry = NULL_REGISTRY
@@ -129,6 +156,68 @@ class MemoryHierarchy:
                 registry.counter("fetches_total", level=name, kind="prefetch"),
             )
             for name in source_names
+        }
+        if self.fault_injector is not None:
+            self._bind_fault_metrics()
+
+    def set_fault_injector(
+        self,
+        injector,
+        retry_policy=None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 0.25,
+    ) -> None:
+        """Install a :class:`~repro.faults.injector.FaultInjector` (or None).
+
+        With an injector installed, every read — scalar and batched, demand
+        and prefetch — routes through the resilient path: per-attempt fault
+        draws, bounded retries with deterministic sim-clock exponential
+        backoff (``retry_policy``, default :class:`~repro.faults.resilience.
+        RetryPolicy`), a per-device circuit breaker that skips a sick level
+        and falls back to the next slower one, and graceful drops when even
+        the backing store fails.  Without one, the fault-free fast paths are
+        byte-identical to a hierarchy that never heard of faults.
+
+        Accounting under faults keeps the PR-1 invariants: every probed
+        level records exactly one hit or miss per fetch, bytes are charged
+        only at the source that actually served, and the trace's
+        movement + ``fault`` + ``retry`` event times sum to the charged io
+        exactly (``degraded`` events are informational and carry only the
+        *extra* seconds above the nominal read cost).
+        """
+        # Imported lazily: repro.faults pulls in repro.volume, and eager
+        # top-level imports would tie the two packages' init order together.
+        from repro.faults.resilience import CircuitBreaker, RetryPolicy
+
+        self.fault_injector = injector
+        if injector is None:
+            self.retry_policy = None
+            self.breakers = {}
+            self._fault_metrics = {}
+            return
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        device_names = [dev.name for dev in self.level_devices] + [self.backing.name]
+        self.breakers = {
+            name: CircuitBreaker(breaker_threshold, breaker_cooldown_s)
+            for name in device_names
+        }
+        self._bind_fault_metrics()
+
+    def _bind_fault_metrics(self) -> None:
+        """(Re)bind the per-device fault metrics on the current registry —
+        called at injector install and again if a registry is installed
+        later (drivers call ``set_registry`` at replay start)."""
+        registry = self.registry
+        device_names = [dev.name for dev in self.level_devices] + [self.backing.name]
+        self._fault_metrics = {
+            name: (
+                registry.counter("fault_errors_total", device=name),
+                registry.counter("fault_retries_total", device=name),
+                registry.counter("fault_timeouts_total", device=name),
+                registry.counter("fault_dropped_blocks_total", device=name),
+                registry.histogram("fault_spike_seconds", device=name),
+            )
+            for name in device_names
         }
 
     def _record_fetch(self, source: str, prefetch: bool, nbytes: int, time_s: float) -> None:
@@ -180,6 +269,8 @@ class MemoryHierarchy:
         ``backing_bytes + total_bytes_read``, and the trace's
         hit/fetch/prefetch events sum to the same total.
         """
+        if self.fault_injector is not None:
+            return self._fetch_one_resilient(key, step, prefetch, min_free_step)
         return self._fetch_one(key, step, prefetch, min_free_step, None, None)
 
     def _read_time(self, source_idx: int, nbytes: int, latency_scale: float) -> float:
@@ -288,6 +379,231 @@ class MemoryHierarchy:
         for level in upper:
             level.admit(key, step, min_free_step=min_free_step, agg=agg)
         return FetchResult(key, time_s, source_name, fastest_hit=False)
+
+    # -- the resilient read path (fault injection) -----------------------------
+
+    def _fetch_one_resilient(
+        self,
+        key: int,
+        step: int,
+        prefetch: bool,
+        min_free_step: Optional[int],
+    ) -> FetchResult:
+        """Scalar fetch with fault draws, retries, breakers, and fallback.
+
+        Candidate sources are probed fastest-first (every level holding the
+        key, then the backing store).  Each candidate gets up to
+        ``retry_policy.max_attempts`` reads; a failed attempt charges its
+        cost (a timed-out one charges the deadline), emits a ``fault``
+        trace event, and — if retries remain — a ``retry`` event carrying
+        the deterministic backoff.  A candidate whose circuit breaker is
+        open is skipped without a read (the backing store, the last
+        resort, is never skipped).  When every candidate fails the block
+        is *dropped*: the wasted time is still charged, but no bytes move
+        and nothing is admitted.
+
+        Accounting preserves the fault-free invariants: every level above
+        the final serving source (all levels, on a drop) records exactly
+        one miss, the serving source records the hit/bytes, and the
+        movement + ``fault`` + ``retry`` event times sum to the charged
+        ``time_s`` exactly.  ``degraded`` events are informational: they
+        carry only the seconds *above* the nominal read cost, outside the
+        time ledger.
+        """
+        inj = self.fault_injector
+        policy = self.retry_policy
+        tracer = self.tracer
+        record = self.registry.enabled
+        nbytes = self._uniform_nbytes
+        if nbytes is None:
+            nbytes = self.block_nbytes(key)
+        latency_scale = self.prefetch_latency_factor if prefetch else 1.0
+
+        candidates: List[int] = []
+        for j, level in enumerate(self.levels):
+            resident = level._resident
+            if key < len(resident) and resident[key]:
+                candidates.append(j)
+        candidates.append(-1)  # the backing store always holds everything
+
+        total_t = 0.0  # everything charged: attempts, backoffs, the serve
+        serve_t = 0.0  # the successful attempt's cost alone
+        served: Optional[int] = None
+        for j in candidates:
+            if j < 0:
+                device = source_name = self.backing.name
+            else:
+                device = self.level_devices[j].name
+                source_name = self.levels[j].name
+            breaker = self.breakers.get(device)
+            if j >= 0 and breaker is not None and not breaker.allows(self._sim_now + total_t):
+                inj.record_breaker_skip(device)
+                continue
+            base_t = self._read_time(j, nbytes, latency_scale)
+            metrics = self._fault_metrics.get(device) if record else None
+            for attempt in range(policy.max_attempts):
+                slow = inj.slowdown(device, step)
+                spike = inj.spike_s(device, key, step, attempt)
+                attempt_t = base_t * slow + spike
+                if spike > 0.0 and metrics is not None:
+                    metrics[4].observe(spike)
+                timed_out = (
+                    policy.read_timeout_s is not None and attempt_t > policy.read_timeout_s
+                )
+                if timed_out:
+                    attempt_t = policy.read_timeout_s  # abandoned at the deadline
+                    inj.record_timeout(device)
+                    if metrics is not None:
+                        metrics[2].inc()
+                if timed_out or inj.fails(device, key, step, attempt):
+                    if not timed_out and metrics is not None:
+                        metrics[0].inc()
+                    total_t += attempt_t
+                    if tracer.enabled:
+                        tracer.record("fault", step, source_name, key, 0, attempt_t)
+                    if breaker is not None and breaker.record_failure(self._sim_now + total_t):
+                        inj.record_breaker_open(device)
+                    if attempt + 1 < policy.max_attempts:
+                        back = policy.backoff_s(attempt)
+                        total_t += back
+                        inj.record_retry(device)
+                        if metrics is not None:
+                            metrics[1].inc()
+                        if tracer.enabled:
+                            tracer.record("retry", step, source_name, key, 0, back)
+                    continue
+                total_t += attempt_t
+                serve_t = attempt_t
+                if breaker is not None:
+                    breaker.record_success(self._sim_now + total_t)
+                if attempt_t > base_t:
+                    inj.record_degraded(device)
+                    if tracer.enabled:
+                        tracer.record(
+                            "degraded", step, source_name, key, 0, attempt_t - base_t
+                        )
+                served = j
+                break
+            if served is not None:
+                break
+        self._sim_now += total_t
+
+        if served == 0:
+            level = self.levels[0]
+            if prefetch:
+                level.stats.prefetch_hits += 1
+            else:
+                level.stats.hits += 1
+                level.touch(key, step)
+            level.stats.bytes_read += nbytes
+            if record:
+                self._record_fetch(level.name, prefetch, nbytes, serve_t)
+            if tracer.enabled:
+                tracer.record(
+                    "prefetch" if prefetch else "hit", step, level.name, key, nbytes, serve_t
+                )
+            return FetchResult(key, total_t, level.name, fastest_hit=True)
+
+        # One miss at every level above the serving source; a drop missed
+        # everywhere.  A resident-but-unreadable level counts a miss too —
+        # it was probed and failed to serve.
+        upto = len(self.levels) if (served is None or served < 0) else served
+        for level in self.levels[:upto]:
+            if prefetch:
+                level.stats.prefetch_misses += 1
+            else:
+                level.stats.misses += 1
+
+        if served is None:
+            inj.record_drop(self.backing.name)
+            if record:
+                metrics = self._fault_metrics.get(self.backing.name)
+                if metrics is not None:
+                    metrics[3].inc()
+            return FetchResult(key, total_t, DROPPED, fastest_hit=False, dropped=True)
+
+        if served < 0:
+            source_name = self.backing.name
+            self.backing_reads += 1
+            self.backing_bytes += nbytes
+        else:
+            serving = self.levels[served]
+            if prefetch:
+                serving.stats.prefetch_hits += 1
+            else:
+                serving.stats.hits += 1
+                serving.touch(key, step)
+            serving.stats.bytes_read += nbytes
+            source_name = serving.name
+        if record:
+            self._record_fetch(source_name, prefetch, nbytes, serve_t)
+        if tracer.enabled:
+            tracer.record(
+                "prefetch" if prefetch else "fetch", step, source_name, key, nbytes, serve_t
+            )
+        # Copy into every faster level that does not already hold the key;
+        # transient faults do not evict, so a resident-but-unreadable copy
+        # stays where it is.
+        for level in self.levels[:upto]:
+            resident = level._resident
+            if not (key < len(resident) and resident[key]):
+                level.admit(key, step, min_free_step=min_free_step, agg=None)
+        return FetchResult(key, total_t, source_name, fastest_hit=False)
+
+    def _fetch_many_resilient(
+        self,
+        ids: np.ndarray,
+        step: int,
+        prefetch: bool,
+        min_free_step: Optional[int],
+    ) -> BatchFetchResult:
+        """Batched fetch under fault injection: the scalar resilient path
+        per id, with the same left-fold time accumulation as the fast
+        path.  Fault draws are pure functions of (seed, device, key, step,
+        attempt), so this is deterministic and engine-independent."""
+        n = ids.size
+        times = np.zeros(n, dtype=np.float64)
+        n_fast = 0
+        dropped: List[int] = []
+        for p, key in enumerate(ids.tolist()):
+            r = self._fetch_one_resilient(key, step, prefetch, min_free_step)
+            times[p] = r.time_s
+            if r.fastest_hit:
+                n_fast += 1
+            if r.dropped:
+                dropped.append(key)
+        total = float(np.add.accumulate(times)[-1]) if n > 1 else float(times[0])
+        return BatchFetchResult(n, n_fast, total, len(dropped), tuple(dropped))
+
+    def _prefetch_many_resilient(
+        self,
+        arr: np.ndarray,
+        step: int,
+        min_free_step: Optional[int],
+        max_fetch: Optional[int],
+        dedupe: bool,
+    ) -> "tuple[List[int], float]":
+        """Prefetch under fault injection: the drivers' scalar loop
+        semantics (cap before skip, optional dedupe, live fastest-level
+        residency) over the resilient fetch.  A dropped prefetch still
+        counts as issued — the prediction was acted on, it just failed."""
+        issued: List[int] = []
+        total_time = 0.0
+        attempted = set() if dedupe else None
+        fast = self.levels[0]
+        for key in arr.tolist():
+            if max_fetch is not None and len(issued) >= max_fetch:
+                break
+            if attempted is not None and key in attempted:
+                continue
+            resident = fast._resident
+            if key < len(resident) and resident[key]:
+                continue
+            if attempted is not None:
+                attempted.add(key)
+            total_time += self._fetch_one_resilient(key, step, True, min_free_step).time_s
+            issued.append(key)
+        return issued, total_time
 
     # -- the batched read path -------------------------------------------------
 
@@ -503,6 +819,8 @@ class MemoryHierarchy:
         n = ids.size
         if n == 0:
             return BatchFetchResult(0, 0, 0.0)
+        if self.fault_injector is not None:
+            return self._fetch_many_resilient(ids, step, prefetch, min_free_step)
         mx = int(ids.max())
         for level in self.levels:
             level.ensure_ids(mx)
@@ -606,6 +924,8 @@ class MemoryHierarchy:
         total_time = 0.0
         if n == 0:
             return issued, total_time
+        if self.fault_injector is not None:
+            return self._prefetch_many_resilient(arr, step, min_free_step, max_fetch, dedupe)
         mx = int(arr.max())
         for level in self.levels:
             level.ensure_ids(mx)

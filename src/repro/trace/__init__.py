@@ -10,7 +10,7 @@ coverage); :mod:`repro.trace.export` serialises events as JSON-lines or
 Chrome-trace JSON for ``chrome://tracing`` / Perfetto.
 """
 
-from repro.trace.events import EVENT_KINDS, MOVEMENT_KINDS, TraceEvent
+from repro.trace.events import EVENT_KINDS, FAULT_KINDS, MOVEMENT_KINDS, TraceEvent
 from repro.trace.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.trace.aggregate import StepTimeline, TraceSummary, aggregate, format_timeline
 from repro.trace.export import (
@@ -23,6 +23,7 @@ from repro.trace.export import (
 __all__ = [
     "EVENT_KINDS",
     "MOVEMENT_KINDS",
+    "FAULT_KINDS",
     "TraceEvent",
     "Tracer",
     "NullTracer",

@@ -38,6 +38,11 @@ class StepTimeline:
     demand_time_s: float = 0.0
     prefetch_time_s: float = 0.0
     render_time_s: float = 0.0
+    # Fault-injection activity (all zero on a fault-free run).
+    faults: int = 0
+    retries: int = 0
+    degraded: int = 0
+    fault_time_s: float = 0.0  # failed attempts + backoffs (charged io)
 
     @property
     def fast_coverage(self) -> float:
@@ -71,6 +76,23 @@ class TraceSummary:
     @property
     def total_evictions(self) -> int:
         return sum(s.evictions for s in self.steps)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(s.faults for s in self.steps)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(s.retries for s in self.steps)
+
+    @property
+    def total_degraded(self) -> int:
+        return sum(s.degraded for s in self.steps)
+
+    @property
+    def fault_time_s(self) -> float:
+        """Charged io lost to failed attempts and backoffs."""
+        return sum(s.fault_time_s for s in self.steps)
 
     @property
     def mean_fast_coverage(self) -> float:
@@ -114,6 +136,16 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceSummary:
             row.preloads += e.count
         elif e.kind == "render":
             row.render_time_s += e.time_s
+        elif e.kind == "fault":
+            row.faults += e.count
+            row.fault_time_s += e.time_s
+        elif e.kind == "retry":
+            row.retries += e.count
+            row.fault_time_s += e.time_s
+        elif e.kind == "degraded":
+            # Informational: the extra seconds are already inside the
+            # movement event's time, so only the count is aggregated.
+            row.degraded += e.count
         if e.kind in MOVEMENT_KINDS and e.level:
             split = level_bytes.setdefault(e.level, {"demand": 0, "prefetch": 0})
             split["prefetch" if e.kind == "prefetch" else "demand"] += e.nbytes
@@ -149,4 +181,11 @@ def format_timeline(summary: TraceSummary, max_rows: int = 20) -> str:
         f"{summary.total_evictions} evictions, "
         f"mean fast coverage {summary.mean_fast_coverage:.2f}"
     )
+    if summary.total_faults or summary.total_retries or summary.total_degraded:
+        lines.append(
+            f"faults: {summary.total_faults} failed reads, "
+            f"{summary.total_retries} retries, "
+            f"{summary.total_degraded} degraded reads, "
+            f"{summary.fault_time_s * 1e3:.3f} ms lost"
+        )
     return "\n".join(lines)

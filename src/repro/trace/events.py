@@ -13,7 +13,16 @@ read-path decisions:
 - ``bypass``   — an insert abandoned because every resident block was
   protected (Algorithm 1's eviction constraint);
 - ``preload``  — a block placed by the Step 2 importance preload;
-- ``render``   — one frame's render phase (duration only).
+- ``render``   — one frame's render phase (duration only);
+- ``fault``    — one failed read attempt under fault injection, carrying
+  the simulated time the failed attempt cost;
+- ``retry``    — the deterministic backoff wait before re-attempting a
+  failed read (duration only);
+- ``degraded`` — informational marker on a read that succeeded slower
+  than its nominal cost (latency spike / degraded-bandwidth window);
+  ``time_s`` carries only the *extra* seconds above nominal, which are
+  already included in the movement event, so degraded events are
+  excluded from every time ledger.
 
 Exactly one of ``hit``/``fetch``/``prefetch`` is emitted per
 :meth:`repro.storage.hierarchy.MemoryHierarchy.fetch` call, carrying the
@@ -27,7 +36,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, Tuple
 
-__all__ = ["EVENT_KINDS", "MOVEMENT_KINDS", "TraceEvent"]
+__all__ = ["EVENT_KINDS", "MOVEMENT_KINDS", "FAULT_KINDS", "TraceEvent"]
 
 EVENT_KINDS: Tuple[str, ...] = (
     "fetch",
@@ -37,10 +46,18 @@ EVENT_KINDS: Tuple[str, ...] = (
     "prefetch",
     "preload",
     "render",
+    "fault",
+    "retry",
+    "degraded",
 )
 
 # Kinds whose ``nbytes`` counts toward the bytes-moved ledger.
 MOVEMENT_KINDS: Tuple[str, ...] = ("fetch", "hit", "prefetch")
+
+# Kinds emitted only under fault injection.  The time invariant under
+# faults: movement times + ``fault`` + ``retry`` times sum to the charged
+# io exactly; ``degraded`` is outside the ledger (see module docstring).
+FAULT_KINDS: Tuple[str, ...] = ("fault", "retry", "degraded")
 
 
 @dataclass(frozen=True)

@@ -52,8 +52,11 @@ def read_jsonl(path: PathLike) -> List[TraceEvent]:
 # -- Chrome trace -------------------------------------------------------------
 
 # Events that occupy the I/O timeline (duration events); everything else
-# becomes an instant marker on its own track.
-_DURATION_KINDS = frozenset({"hit", "fetch", "prefetch", "render"})
+# becomes an instant marker on its own track.  Failed attempts ("fault")
+# and backoffs ("retry") are charged io, so they advance the clock like
+# movement events; "degraded" stays an instant marker — its time is the
+# extra already inside the adjacent movement event's duration.
+_DURATION_KINDS = frozenset({"hit", "fetch", "prefetch", "render", "fault", "retry"})
 
 
 def _track_for(event: TraceEvent) -> str:

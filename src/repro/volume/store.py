@@ -23,7 +23,13 @@ import numpy as np
 from repro.volume.blocks import BlockGrid
 from repro.volume.volume import Volume
 
-__all__ = ["BlockStore", "InMemoryBlockStore", "FileBlockStore"]
+__all__ = [
+    "BlockStore",
+    "InMemoryBlockStore",
+    "FileBlockStore",
+    "RetryingBlockStore",
+    "CountingBlockStore",
+]
 
 
 class BlockStore(abc.ABC):

@@ -1,0 +1,164 @@
+"""Chaos property tests: under *any* seeded fault plan the storage
+hierarchy keeps its accounting invariants.
+
+Marked ``slow``: the default tier-1 run (``-m "not slow"``) skips these;
+CI's chaos job runs them with ``pytest -m slow``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import DeviceFaultProfile, FaultInjector, FaultPlan
+from repro.policies.registry import make_policy
+from repro.storage.cache import CacheLevel
+from repro.storage.device import DRAM, HDD, SSD
+from repro.storage.hierarchy import MemoryHierarchy
+from repro.trace import MOVEMENT_KINDS, Tracer
+
+pytestmark = pytest.mark.slow
+
+POLICIES = ["fifo", "lru", "arc"]
+
+
+def _make_hierarchy(policy, n_blocks, cap_fast, cap_slow, block_nbytes=256):
+    levels = [
+        CacheLevel("dram", cap_fast, make_policy(policy), n_blocks=n_blocks),
+        CacheLevel("ssd", cap_slow, make_policy(policy), n_blocks=n_blocks),
+    ]
+    return MemoryHierarchy(levels, [DRAM, SSD], HDD, block_nbytes)
+
+
+@st.composite
+def fault_plans(draw):
+    """Arbitrary plans over the standard dram/ssd/hdd device names."""
+    profiles = []
+    for device in ("dram", "ssd", "hdd"):
+        if not draw(st.booleans()):
+            continue
+        windows = ()
+        if draw(st.booleans()):
+            start = draw(st.integers(0, 4))
+            end = draw(st.integers(start + 1, 8))
+            windows = ((start, end, draw(st.floats(1.0, 5.0))),)
+        profiles.append(
+            DeviceFaultProfile(
+                device,
+                error_rate=draw(st.floats(0.0, 0.7)),
+                spike_rate=draw(st.floats(0.0, 0.5)),
+                spike_s=draw(st.floats(0.0, 0.05)),
+                slow_windows=windows,
+            )
+        )
+    return FaultPlan(seed=draw(st.integers(0, 2**32)), profiles=tuple(profiles))
+
+
+@st.composite
+def chaos_cases(draw):
+    n_blocks = draw(st.integers(6, 24))
+    cap_fast = draw(st.integers(1, max(1, n_blocks // 2)))
+    cap_slow = draw(st.integers(cap_fast, n_blocks))
+    n_steps = draw(st.integers(1, 5))
+    steps = [
+        np.array(
+            sorted(draw(st.sets(st.integers(0, n_blocks - 1), max_size=n_blocks))),
+            dtype=np.int64,
+        )
+        for _ in range(n_steps)
+    ]
+    return n_blocks, cap_fast, cap_slow, steps
+
+
+class TestChaosInvariants:
+    @given(case=chaos_cases(), plan=fault_plans(), policy=st.sampled_from(POLICIES))
+    @settings(max_examples=80, deadline=None)
+    def test_byte_ledger_exact_under_any_plan(self, case, plan, policy):
+        n_blocks, cap_fast, cap_slow, steps = case
+        h = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow)
+        h.set_fault_injector(FaultInjector(plan))
+        h.set_tracer(Tracer())
+        total_io = 0.0
+        n_fetches = 0
+        for i, ids in enumerate(steps):
+            for k in ids.tolist():
+                total_io += h.fetch(k, i, min_free_step=i).time_s
+                n_fetches += 1
+        # Byte ledger: traced movement equals charged movement, exactly.
+        moved = sum(ev.nbytes for ev in h.tracer.events() if ev.kind in MOVEMENT_KINDS)
+        assert moved == h.backing_bytes + h.stats().total_bytes_read
+        # Time ledger: movement + fault + retry event times re-sum to the
+        # charged io (re-association tolerance only).
+        ledger = sum(
+            ev.time_s
+            for ev in h.tracer.events()
+            if ev.kind in MOVEMENT_KINDS or ev.kind in ("fault", "retry")
+        )
+        assert math.isclose(ledger, total_io, rel_tol=1e-9, abs_tol=1e-15)
+        # Accounting symmetry: the fastest level sees exactly one hit or
+        # miss per demand fetch, faults or not.
+        fast = h.levels[0].stats
+        assert fast.hits + fast.misses == n_fetches
+        for level in h.levels:
+            level.check_invariants()
+
+    @given(case=chaos_cases(), plan=fault_plans(), policy=st.sampled_from(POLICIES))
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_batched_identical_under_any_plan(self, case, plan, policy):
+        n_blocks, cap_fast, cap_slow, steps = case
+        a = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow)
+        b = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow)
+        a.set_fault_injector(FaultInjector(plan))
+        b.set_fault_injector(FaultInjector(plan))
+        for i, ids in enumerate(steps):
+            io = 0.0
+            dropped = []
+            for k in ids.tolist():
+                r = a.fetch(k, i, min_free_step=i)
+                io += r.time_s
+                if r.dropped:
+                    dropped.append(k)
+            batch = b.fetch_many(ids, i, min_free_step=i)
+            assert batch.time_s == io  # bit-identical, not approx
+            assert batch.n_dropped == len(dropped)
+            assert list(batch.dropped_ids) == dropped
+        assert a.stats() == b.stats()
+        assert a.backing_bytes == b.backing_bytes
+        assert a.fault_injector.stats.as_dict() == b.fault_injector.stats.as_dict()
+        for la, lb in zip(a.levels, b.levels):
+            np.testing.assert_array_equal(
+                np.flatnonzero(la._resident), np.flatnonzero(lb._resident)
+            )
+
+    @given(case=chaos_cases(), plan=fault_plans(), policy=st.sampled_from(POLICIES))
+    @settings(max_examples=60, deadline=None)
+    def test_same_seed_replays_identically(self, case, plan, policy):
+        n_blocks, cap_fast, cap_slow, steps = case
+
+        def replay():
+            h = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow)
+            h.set_fault_injector(FaultInjector(plan))
+            io = 0.0
+            for i, ids in enumerate(steps):
+                io += h.fetch_many(ids, i, min_free_step=i).time_s
+            return io, h.stats(), h.fault_injector.stats.as_dict()
+
+        assert replay() == replay()
+
+    @given(case=chaos_cases(), plan=fault_plans(), policy=st.sampled_from(POLICIES))
+    @settings(max_examples=40, deadline=None)
+    def test_drops_never_admit(self, case, plan, policy):
+        n_blocks, cap_fast, cap_slow, steps = case
+        h = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow)
+        h.set_fault_injector(FaultInjector(plan))
+        for i, ids in enumerate(steps):
+            for k in ids.tolist():
+                resident_before = [bool(lv._resident[k]) for lv in h.levels]
+                r = h.fetch(k, i, min_free_step=i)
+                if r.dropped:
+                    # A drop admits nothing new; transient faults never
+                    # evict, so prior residency is untouched.
+                    for lv, was in zip(h.levels, resident_before):
+                        assert bool(lv._resident[k]) == was

@@ -1,0 +1,156 @@
+"""Tests for the deterministic fault plan and its counter-based draws."""
+
+import pytest
+
+from repro.faults import FAULT_PROFILES, DeviceFaultProfile, FaultPlan, unit_draw
+
+
+class TestUnitDraw:
+    def test_deterministic(self):
+        assert unit_draw(42, 1, 2, 3) == unit_draw(42, 1, 2, 3)
+
+    def test_in_unit_interval(self):
+        for seed in range(20):
+            for parts in [(0,), (1, 2), (7, 8, 9, 10)]:
+                u = unit_draw(seed, *parts)
+                assert 0.0 <= u < 1.0
+
+    def test_sensitive_to_every_argument(self):
+        base = unit_draw(1, 2, 3, 4)
+        assert unit_draw(2, 2, 3, 4) != base
+        assert unit_draw(1, 9, 3, 4) != base
+        assert unit_draw(1, 2, 9, 4) != base
+        assert unit_draw(1, 2, 3, 9) != base
+
+    def test_roughly_uniform(self):
+        n = 4000
+        draws = [unit_draw(0, k) for k in range(n)]
+        assert abs(sum(draws) / n - 0.5) < 0.03
+        assert sum(1 for u in draws if u < 0.25) / n == pytest.approx(0.25, abs=0.03)
+
+
+class TestDeviceFaultProfile:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            DeviceFaultProfile("hdd", error_rate=1.5)
+        with pytest.raises(ValueError):
+            DeviceFaultProfile("hdd", spike_rate=-0.1)
+        with pytest.raises(ValueError):
+            DeviceFaultProfile("hdd", corruption_rate=2.0)
+        with pytest.raises(ValueError):
+            DeviceFaultProfile("hdd", spike_s=-1.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DeviceFaultProfile("hdd", slow_windows=((5, 5, 2.0),))
+        with pytest.raises(ValueError):
+            DeviceFaultProfile("hdd", slow_windows=((0, 10, 0.5),))
+        with pytest.raises(ValueError):
+            DeviceFaultProfile("hdd", slow_windows=((0, 10),))  # type: ignore[arg-type]
+
+    def test_is_null(self):
+        assert DeviceFaultProfile("hdd").is_null
+        assert not DeviceFaultProfile("hdd", error_rate=0.1).is_null
+        assert not DeviceFaultProfile("hdd", slow_windows=((0, 4, 2.0),)).is_null
+
+
+class TestFaultPlan:
+    def test_duplicate_device_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(profiles=(DeviceFaultProfile("hdd"), DeviceFaultProfile("hdd")))
+
+    def test_null_plan_never_injects(self):
+        plan = FaultPlan(seed=3)
+        assert plan.is_null
+        for key in range(50):
+            assert not plan.fails("hdd", key, 0, 0)
+            assert plan.spike_s("hdd", key, 0, 0) == 0.0
+            assert plan.slowdown("hdd", key) == 1.0
+            assert not plan.corrupts("hdd", key, 0)
+
+    def test_queries_are_pure(self):
+        plan = FaultPlan.from_profile("chaos", seed=11)
+        args = ("hdd", 17, 3, 1)
+        assert plan.fails(*args) == plan.fails(*args)
+        assert plan.spike_s(*args) == plan.spike_s(*args)
+        assert plan.corrupts("hdd", 17, 1) == plan.corrupts("hdd", 17, 1)
+
+    def test_seed_changes_draws(self):
+        a = FaultPlan.from_profile("lossy", seed=0)
+        b = FaultPlan.from_profile("lossy", seed=1)
+        diffs = sum(
+            a.fails("hdd", k, s, 0) != b.fails("hdd", k, s, 0)
+            for k in range(40)
+            for s in range(5)
+        )
+        assert diffs > 0
+
+    def test_retries_draw_independently(self):
+        plan = FaultPlan(
+            seed=0, profiles=(DeviceFaultProfile("hdd", error_rate=0.5),)
+        )
+        outcomes = {plan.fails("hdd", 3, 0, attempt) for attempt in range(16)}
+        assert outcomes == {True, False}
+
+    def test_error_rate_respected_empirically(self):
+        plan = FaultPlan(
+            seed=9, profiles=(DeviceFaultProfile("hdd", error_rate=0.3),)
+        )
+        n = 3000
+        rate = sum(plan.fails("hdd", k, 0, 0) for k in range(n)) / n
+        assert rate == pytest.approx(0.3, abs=0.04)
+
+    def test_unlisted_device_unaffected(self):
+        plan = FaultPlan(
+            seed=0, profiles=(DeviceFaultProfile("hdd", error_rate=1.0),)
+        )
+        assert plan.fails("hdd", 0, 0, 0)
+        assert not plan.fails("ssd", 0, 0, 0)
+        assert plan.profile_for("ssd") is None
+
+    def test_slowdown_windows(self):
+        plan = FaultPlan(
+            profiles=(
+                DeviceFaultProfile(
+                    "ssd", slow_windows=((4, 8, 2.0), (6, 10, 5.0))
+                ),
+            )
+        )
+        assert plan.slowdown("ssd", 3) == 1.0
+        assert plan.slowdown("ssd", 4) == 2.0
+        assert plan.slowdown("ssd", 7) == 5.0  # overlapping: the max wins
+        assert plan.slowdown("ssd", 9) == 5.0
+        assert plan.slowdown("ssd", 10) == 1.0
+
+    def test_spike_magnitude(self):
+        plan = FaultPlan(
+            seed=1,
+            profiles=(DeviceFaultProfile("hdd", spike_rate=1.0, spike_s=0.04),),
+        )
+        assert plan.spike_s("hdd", 0, 0, 0) == 0.04
+
+
+class TestNamedProfiles:
+    def test_registry_contents(self):
+        assert FAULT_PROFILES == ("chaos", "degraded-ssd", "flaky-hdd", "lossy", "none")
+
+    def test_all_profiles_construct(self):
+        for name in FAULT_PROFILES:
+            plan = FaultPlan.from_profile(name, seed=5)
+            assert plan.seed == 5
+            assert plan.is_null == (name == "none")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            FaultPlan.from_profile("cosmic-rays")
+
+    def test_as_dict_round_trips_shape(self):
+        doc = FaultPlan.from_profile("chaos", seed=2).as_dict()
+        assert doc["seed"] == 2
+        devices = {d["device"] for d in doc["devices"]}
+        assert devices == {"hdd", "ssd"}
+        for d in doc["devices"]:
+            assert set(d) == {
+                "device", "error_rate", "spike_rate", "spike_s",
+                "slow_windows", "corruption_rate",
+            }

@@ -1,0 +1,80 @@
+"""Tests for the retry policy and the per-device circuit breaker."""
+
+import pytest
+
+from repro.faults import CircuitBreaker, RetryPolicy
+from repro.faults.resilience import BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        p = RetryPolicy()
+        assert p.max_attempts == 4
+        assert p.read_timeout_s is None
+
+    def test_backoff_schedule(self):
+        p = RetryPolicy(backoff_base_s=1e-3, backoff_factor=2.0, backoff_max_s=50e-3)
+        assert p.backoff_s(0) == 1e-3
+        assert p.backoff_s(1) == 2e-3
+        assert p.backoff_s(2) == 4e-3
+        assert p.backoff_s(10) == 50e-3  # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(read_timeout_s=0.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        b = CircuitBreaker(failure_threshold=3, cooldown_s=1.0)
+        assert not b.record_failure(0.0)
+        assert not b.record_failure(0.1)
+        assert b.record_failure(0.2)  # third consecutive failure trips it
+        assert b.state == BREAKER_OPEN
+        assert b.opens == 1
+        assert not b.allows(0.3)
+
+    def test_success_resets_failure_streak(self):
+        b = CircuitBreaker(failure_threshold=2, cooldown_s=1.0)
+        b.record_failure(0.0)
+        b.record_success(0.1)
+        assert not b.record_failure(0.2)  # streak restarted
+        assert b.state == BREAKER_CLOSED
+
+    def test_half_open_after_cooldown(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown_s=0.5)
+        b.record_failure(0.0)
+        assert not b.allows(0.4)
+        assert b.allows(0.5)  # cooldown elapsed: one probe allowed
+        assert b.state == BREAKER_HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown_s=0.5)
+        b.record_failure(0.0)
+        assert b.allows(0.6)
+        b.record_success(0.6)
+        assert b.state == BREAKER_CLOSED
+        assert b.allows(0.61)
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        b = CircuitBreaker(failure_threshold=3, cooldown_s=0.5)
+        for t in (0.0, 0.0, 0.0):
+            b.record_failure(t)
+        assert b.allows(0.5)
+        assert b.record_failure(0.5)  # the probe failed: straight back open
+        assert b.state == BREAKER_OPEN
+        assert b.opens == 2
+        assert not b.allows(0.9)
+        assert b.allows(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)

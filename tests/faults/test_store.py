@@ -1,0 +1,113 @@
+"""Tests for the payload-path fault wrapper (FaultyBlockStore)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CorruptPayloadError,
+    DeviceFaultProfile,
+    FaultInjectedError,
+    FaultPlan,
+    FaultyBlockStore,
+)
+from repro.faults.store import payload_checksum
+from repro.volume.blocks import BlockGrid
+from repro.volume.store import InMemoryBlockStore, RetryingBlockStore
+from repro.volume.volume import Volume
+
+
+@pytest.fixture()
+def inner():
+    data = np.arange(8 * 8 * 8, dtype=np.float32).reshape(8, 8, 8)
+    return InMemoryBlockStore(Volume(data), BlockGrid((8, 8, 8), (4, 4, 4)))
+
+
+def _plan(**kwargs):
+    return FaultPlan(seed=0, profiles=(DeviceFaultProfile("store", **kwargs),))
+
+
+class TestFaultyBlockStore:
+    def test_null_plan_is_passthrough(self, inner):
+        store = FaultyBlockStore(inner, FaultPlan())
+        for bid in inner.grid.iter_ids():
+            assert np.array_equal(store.read_block(bid), inner.read_block(bid))
+        assert store.errors_injected == 0
+        assert store.corruptions_injected == 0
+        assert store.spikes_injected == 0
+
+    def test_certain_error_raises_with_context(self, inner):
+        store = FaultyBlockStore(inner, _plan(error_rate=1.0))
+        with pytest.raises(FaultInjectedError) as info:
+            store.read_block(3)
+        assert info.value.block_id == 3
+        assert info.value.device == "store"
+        assert info.value.attempt == 0
+        assert store.errors_injected == 1
+
+    def test_retries_are_fresh_draws(self, inner):
+        store = FaultyBlockStore(inner, _plan(error_rate=0.5))
+        # With per-block attempt counters every retry redraws; at rate 0.5
+        # a handful of retries must eventually succeed.
+        block = RetryingBlockStore(store, max_retries=32).read_block(0)
+        assert np.array_equal(block, inner.read_block(0))
+        assert store.reads > 0
+
+    def test_certain_corruption_flips_payload(self, inner):
+        store = FaultyBlockStore(inner, _plan(corruption_rate=1.0))
+        corrupted = store.read_block(2)
+        true = inner.read_block(2)
+        assert corrupted.shape == true.shape
+        assert corrupted.dtype == true.dtype
+        assert not np.array_equal(corrupted, true)
+        assert not store.verify(2, corrupted)
+        assert store.verify(2, true)
+        # The inner store is untouched — corruption is copy-on-read.
+        assert np.array_equal(inner.read_block(2), true)
+
+    def test_read_verified_raises_on_corruption(self, inner):
+        store = FaultyBlockStore(inner, _plan(corruption_rate=1.0))
+        with pytest.raises(CorruptPayloadError) as info:
+            store.read_verified(4)
+        assert info.value.block_id == 4
+        assert store.corruptions_injected == 1
+
+    def test_true_checksum_reads_through(self, inner):
+        store = FaultyBlockStore(inner, _plan(error_rate=1.0))
+        # Never successfully read, but the checksum comes from the inner store.
+        assert store.true_checksum(1) == payload_checksum(inner.read_block(1))
+
+    def test_validator_accepts_clean_rejects_corrupt(self, inner):
+        store = FaultyBlockStore(inner, FaultPlan())
+        validate = store.make_validator()
+        clean = inner.read_block(5)
+        validate(5, clean)  # no raise
+        validate(5, None)  # dropped blocks are skipped
+        bad = clean.copy()
+        bad.flat[0] += 1.0
+        with pytest.raises(CorruptPayloadError):
+            validate(5, bad)
+
+    def test_spike_counter(self, inner):
+        store = FaultyBlockStore(inner, _plan(spike_rate=1.0, spike_s=0.001))
+        store.read_block(0)
+        assert store.spikes_injected == 1
+
+    def test_wall_delay_scale_validation(self, inner):
+        with pytest.raises(ValueError):
+            FaultyBlockStore(inner, FaultPlan(), wall_delay_scale=-1.0)
+
+    def test_deterministic_across_instances(self, inner):
+        plan = FaultPlan.from_profile("chaos", seed=6)
+        a = FaultyBlockStore(inner, plan, device="hdd")
+        b = FaultyBlockStore(inner, plan, device="hdd")
+
+        def observe(store):
+            out = []
+            for bid in store.grid.iter_ids():
+                try:
+                    out.append(("ok", payload_checksum(store.read_block(bid))))
+                except FaultInjectedError:
+                    out.append(("err", None))
+            return out
+
+        assert observe(a) == observe(b)

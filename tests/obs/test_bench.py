@@ -217,3 +217,47 @@ class TestCompare:
         assert "1 regression(s)" in text
         verbose = format_comparison(compare_bench(doc, doc), verbose=True)
         assert "0 regression(s)" in verbose
+
+
+class TestFaultedBench:
+    @pytest.fixture(scope="class")
+    def faulty(self):
+        return run_bench(config=_TINY, label="chaos", faults="lossy", fault_seed=7)
+
+    def test_runs_gain_a_faults_section(self, faulty):
+        assert faulty["config"]["faults"] == "lossy"
+        assert faulty["config"]["fault_seed"] == 7
+        for run in faulty["runs"].values():
+            section = run["faults"]
+            assert section["profile"] == "lossy"
+            assert section["seed"] == 7
+            assert {"errors", "retries", "timeouts", "dropped_blocks"} <= \
+                set(section["stats"])
+            assert {"faults", "retries", "degraded", "fault_time_s"} <= \
+                set(section["trace"])
+        # A lossy hdd at seed 7 injects *something* somewhere in the suite.
+        assert any(
+            run["faults"]["stats"]["errors"] > 0 for run in faulty["runs"].values()
+        )
+
+    def test_fault_free_doc_has_no_faults_section(self, doc):
+        assert doc["config"]["faults"] == "none"
+        assert all("faults" not in run for run in doc["runs"].values())
+
+    def test_faulted_bench_deterministic(self, faulty):
+        again = run_bench(config=_TINY, label="chaos", faults="lossy", fault_seed=7)
+        assert json.dumps(_sim_only(faulty), sort_keys=True) == \
+            json.dumps(_sim_only(again), sort_keys=True)
+
+    def test_engines_identical_under_faults(self, faulty):
+        scalar = run_bench(
+            config=_TINY, label="chaos", faults="lossy", fault_seed=7,
+            engine="scalar",
+        )
+        for key, run in faulty["runs"].items():
+            assert scalar["runs"][key]["faults"] == run["faults"]
+            assert scalar["runs"][key]["summary"] == run["summary"]
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            run_bench(config=_TINY, faults="gremlins")

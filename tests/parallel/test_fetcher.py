@@ -1,11 +1,14 @@
 """Tests for the thread-pool block fetcher."""
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.parallel.fetcher import ParallelBlockFetcher
+from repro.faults import FaultPlan, FaultyBlockStore
+from repro.parallel.fetcher import BlockFetchError, ParallelBlockFetcher
 from repro.volume.blocks import BlockGrid
-from repro.volume.store import CountingBlockStore, InMemoryBlockStore
+from repro.volume.store import BlockStore, CountingBlockStore, InMemoryBlockStore
 from repro.volume.volume import Volume
 
 
@@ -14,6 +17,23 @@ def store():
     data = np.arange(8 * 8 * 8, dtype=np.float32).reshape(8, 8, 8)
     grid = BlockGrid((8, 8, 8), (4, 4, 4))
     return CountingBlockStore(InMemoryBlockStore(Volume(data), grid))
+
+
+class FailingStore(BlockStore):
+    """Fails reads of the listed ids ``n_failures`` times, then succeeds."""
+
+    def __init__(self, inner: BlockStore, bad_ids, n_failures=10**9):
+        super().__init__(inner.grid)
+        self.inner = inner
+        self.bad_ids = set(bad_ids)
+        self.n_failures = n_failures
+        self.attempts = {}
+
+    def read_block(self, block_id: int) -> np.ndarray:
+        self.attempts[block_id] = self.attempts.get(block_id, 0) + 1
+        if block_id in self.bad_ids and self.attempts[block_id] <= self.n_failures:
+            raise IOError(f"injected failure for block {block_id}")
+        return self.inner.read_block(block_id)
 
 
 class TestParallelBlockFetcher:
@@ -60,3 +80,124 @@ class TestParallelBlockFetcher:
             parallel = fetcher.fetch_many(all_ids)
         for bid, block in zip(all_ids, parallel):
             assert np.array_equal(block, store.inner.read_block(bid))
+
+
+class TestFetcherResilience:
+    def test_error_carries_block_id_and_cause(self, store):
+        failing = FailingStore(store, bad_ids=[5])
+        with ParallelBlockFetcher(failing, n_workers=2) as fetcher:
+            with pytest.raises(BlockFetchError) as info:
+                fetcher.fetch_many([0, 5, 7])
+        assert info.value.block_id == 5
+        assert isinstance(info.value.cause, IOError)
+        assert "block 5" in str(info.value)
+
+    def test_failure_cancels_outstanding_siblings(self, store):
+        # Single worker: block 0 fails first, so its siblings are still
+        # queued when the batch raises — they must never reach the store.
+        failing = FailingStore(store, bad_ids=[0])
+        with ParallelBlockFetcher(failing, n_workers=1) as fetcher:
+            with pytest.raises(BlockFetchError):
+                fetcher.fetch_many([0, 1, 2, 3, 4, 5, 6, 7])
+        assert failing.attempts.get(0) == 1
+        # At most the already-running read slipped through; the queued
+        # tail was cancelled rather than read for a dead batch.
+        assert sum(failing.attempts.values()) <= 2
+
+    def test_retries_recover_transient_failures(self, store):
+        failing = FailingStore(store, bad_ids=[3], n_failures=2)
+        with ParallelBlockFetcher(
+            failing, n_workers=2, max_retries=3, backoff_base_s=0.0
+        ) as fetcher:
+            blocks = fetcher.fetch_many([3, 1])
+        assert np.array_equal(blocks[0], store.inner.read_block(3))
+        assert failing.attempts[3] == 3
+        assert fetcher.total_retries == 2
+        assert fetcher.total_fetched == 2
+
+    def test_drop_mode_degrades_gracefully(self, store):
+        failing = FailingStore(store, bad_ids=[2])
+        with ParallelBlockFetcher(failing, n_workers=2, on_error="drop") as fetcher:
+            blocks = fetcher.fetch_many([0, 2, 4])
+        assert blocks[1] is None
+        assert np.array_equal(blocks[0], store.inner.read_block(0))
+        assert np.array_equal(blocks[2], store.inner.read_block(4))
+        assert fetcher.total_dropped == 1
+        assert fetcher.total_fetched == 2
+
+    def test_fetch_into_skips_dropped(self, store):
+        failing = FailingStore(store, bad_ids=[1], n_failures=1)
+        cache = {}
+        with ParallelBlockFetcher(failing, n_workers=2, on_error="drop") as fetcher:
+            assert fetcher.fetch_into([0, 1], cache) == 1
+            assert set(cache) == {0}
+            # The drop left 1 missing, so a later call can retry it.
+            assert fetcher.fetch_into([0, 1], cache) == 1
+        assert set(cache) == {0, 1}
+
+    def test_timeout_counts_and_raises(self, store):
+        release = threading.Event()
+
+        class StallingStore(BlockStore):
+            def __init__(self, inner):
+                super().__init__(inner.grid)
+                self.inner = inner
+
+            def read_block(self, block_id):
+                if block_id == 6:
+                    release.wait(5.0)
+                return self.inner.read_block(block_id)
+
+        stalling = StallingStore(store)
+        try:
+            with ParallelBlockFetcher(stalling, n_workers=2, timeout_s=0.05) as fetcher:
+                with pytest.raises(BlockFetchError) as info:
+                    fetcher.fetch_many([0, 6])
+                assert info.value.block_id == 6
+                assert isinstance(info.value.cause, TimeoutError)
+                assert fetcher.total_timeouts == 1
+                release.set()  # unblock the worker before pool shutdown
+        finally:
+            release.set()
+
+    def test_validator_rejection_retries_then_raises(self, store):
+        calls = []
+
+        def validate(block_id, block):
+            calls.append(block_id)
+            raise IOError(f"checksum mismatch for {block_id}")
+
+        with ParallelBlockFetcher(
+            store, n_workers=1, max_retries=1, validate=validate, backoff_base_s=0.0
+        ) as fetcher:
+            with pytest.raises(BlockFetchError) as info:
+                fetcher.fetch_many([4])
+        assert info.value.block_id == 4
+        assert calls == [4, 4]  # initial + one retry
+
+    def test_checksum_validator_detects_corruption(self, store):
+        # chaos hdd profile corrupts some payloads; the FaultyBlockStore
+        # validator rejects them, and retries (fresh draws) eventually pass.
+        plan = FaultPlan.from_profile("chaos", seed=3)
+        faulty = FaultyBlockStore(store.inner, plan, device="hdd")
+        ids = list(store.grid.iter_ids())
+        with ParallelBlockFetcher(
+            faulty,
+            n_workers=2,
+            max_retries=8,
+            validate=faulty.make_validator(),
+            on_error="drop",
+            backoff_base_s=0.0,
+        ) as fetcher:
+            blocks = fetcher.fetch_many(ids)
+        for bid, block in zip(ids, blocks):
+            if block is not None:
+                assert np.array_equal(block, store.inner.read_block(bid))
+
+    def test_invalid_arguments(self, store):
+        with pytest.raises(ValueError):
+            ParallelBlockFetcher(store, max_retries=-1)
+        with pytest.raises(ValueError):
+            ParallelBlockFetcher(store, timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ParallelBlockFetcher(store, on_error="explode")

@@ -18,6 +18,7 @@ from repro.camera.path import spherical_path
 from repro.core.interactive import run_budgeted
 from repro.core.pipeline import PipelineContext, run_baseline
 from repro.experiments.runner import fresh_hierarchy
+from repro.faults import FaultInjector, FaultPlan
 from repro.policies.registry import make_policy
 from repro.prefetch.driver import run_with_prefetcher
 from repro.prefetch.strategies import MotionExtrapolationPrefetcher
@@ -221,6 +222,68 @@ class TestTraceByteLedger:
         # The ledger invariant: traced movement equals charged movement.
         for h, moved in ((a, moved_a), (b, moved_b)):
             assert moved == h.backing_bytes + h.stats().total_bytes_read
+
+
+#: (profile, seed) pairs covering light, degraded, and drop-heavy injection.
+FAULT_CASES = [("flaky-hdd", 42), ("degraded-ssd", 3), ("lossy", 7)]
+
+
+class TestFaultedEquivalence:
+    """The engine-equivalence contract extends to fault injection: both
+    engines issue the same reads in the same order, and fault draws are
+    pure functions of (seed, device, key, step, attempt) — so injected
+    runs stay bit-identical too."""
+
+    @given(case=replay_cases(), policy=st.sampled_from(POLICIES),
+           fault=st.sampled_from(FAULT_CASES))
+    @settings(max_examples=40, deadline=None)
+    def test_demand_path_identical_under_faults(self, case, policy, fault):
+        profile, seed = fault
+        n_blocks, cap_fast, cap_slow, steps, uniform = case
+        nb = _nbytes_model(uniform)
+        a = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow, nb)
+        b = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow, nb)
+        a.set_fault_injector(FaultInjector(FaultPlan.from_profile(profile, seed=seed)))
+        b.set_fault_injector(FaultInjector(FaultPlan.from_profile(profile, seed=seed)))
+        for i, ids in enumerate(steps):
+            io = 0.0
+            dropped = []
+            for k in ids.tolist():
+                r = a.fetch(k, i, min_free_step=i)
+                io += r.time_s
+                if r.dropped:
+                    dropped.append(k)
+            batch = b.fetch_many(ids, i, min_free_step=i)
+            assert batch.time_s == io  # bit-identical, not approx
+            assert batch.n_dropped == len(dropped)
+            assert list(batch.dropped_ids) == dropped
+        _assert_same_state(a, b)
+        assert (
+            a.fault_injector.stats.as_dict() == b.fault_injector.stats.as_dict()
+        )
+
+    @given(case=prefetch_cases(), policy=st.sampled_from(POLICIES),
+           fault=st.sampled_from(FAULT_CASES))
+    @settings(max_examples=30, deadline=None)
+    def test_prefetch_identical_under_faults(self, case, policy, fault):
+        profile, seed = fault
+        n_blocks, cap_fast, cap_slow, steps, cands, uniform, cap, dedupe = case
+        nb = _nbytes_model(uniform)
+        a = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow, nb)
+        b = _make_hierarchy(policy, n_blocks, cap_fast, cap_slow, nb)
+        plan = FaultPlan.from_profile(profile, seed=seed)
+        a.set_fault_injector(FaultInjector(plan))
+        b.set_fault_injector(FaultInjector(plan))
+        for i, (ids, cand) in enumerate(zip(steps, cands)):
+            io = sum(a.fetch(k, i, min_free_step=i).time_s for k in ids.tolist())
+            assert b.fetch_many(ids, i, min_free_step=i).time_s == io
+            issued_a, t_a = _scalar_prefetch(a, cand, i, cap, dedupe)
+            issued_b, t_b = b.prefetch_many(
+                cand, i, min_free_step=i, max_fetch=cap, dedupe=dedupe
+            )
+            assert issued_b == issued_a
+            assert t_b == t_a
+        _assert_same_state(a, b)
 
 
 @pytest.fixture(scope="module")

@@ -84,6 +84,21 @@ class TestReplay:
         with pytest.raises(SystemExit):
             main(["replay", "--policies", "nonsense"])
 
+    def test_faults_flag_prints_fault_summary(self, capsys):
+        rc = main([
+            "replay", "--dataset", "3d_ball", "--blocks", "64",
+            "--scale", "0.04", "--steps", "8", "--policies", "lru",
+            "--no-app-aware", "--faults", "lossy", "--fault-seed", "7",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults lossy (seed 7)" in out
+        assert "injected errors" in out and "retries" in out
+
+    def test_unknown_fault_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--faults", "gremlins"])
+
 
 class TestTrace:
     def test_writes_valid_chrome_trace(self, tmp_path, capsys):
@@ -163,6 +178,19 @@ class TestBench:
         missing = str(tmp_path / "nope.json")
         assert main(["bench", "--compare", missing, missing]) == 2
         assert "error:" in capsys.readouterr().out
+
+    def test_faulted_quick_bench(self, tmp_path, capsys):
+        import json
+
+        rc = main([
+            "bench", "--quick", "--label", "chaos", "--out", str(tmp_path),
+            "--faults", "flaky-hdd", "--fault-seed", "42",
+        ])
+        assert rc == 0
+        doc = json.loads((tmp_path / "BENCH_chaos.json").read_text())
+        assert doc["config"]["faults"] == "flaky-hdd"
+        assert all("faults" in run for run in doc["runs"].values())
+        assert "faults[" in capsys.readouterr().out
 
 
 class TestRender:
