@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.camera.path import random_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.optimizer import OptimizerConfig
+from repro.runtime import OptimizerConfig
 from repro.experiments import figures
 from repro.experiments.runner import ExperimentSetup
 from repro.tables.visible_table import LookupCostModel

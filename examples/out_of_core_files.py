@@ -26,7 +26,7 @@ from repro import (
     VisibleTable,
     random_path,
 )
-from repro.core.pipeline import run_baseline
+from repro.runtime import run_baseline
 from repro.volume.store import CountingBlockStore, FileBlockStore
 
 

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro import BlockGrid, RangeQuery, SamplingConfig, spherical_path
 from repro.core.pipeline import PipelineContext, compute_visible_sets
-from repro.core.temporal import run_temporal
+from repro.runtime import run_temporal
 from repro.parallel.distribution import (
     partition_by_importance,
     partition_spatial,

@@ -23,12 +23,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.camera.path import random_path, spherical_path, zoom_path
 from repro.camera.sampling import SamplingConfig
 from repro.experiments.report import format_run_summaries
 from repro.experiments.runner import ExperimentSetup, compare_policies
 from repro.faults import FAULT_PROFILES
 from repro.policies.registry import POLICY_NAMES
+from repro.runtime.config import REPLAY_ENGINES, RunConfig
+from repro.runtime.registries import WORKLOADS, make_workload
 from repro.volume.datasets import DATASETS, dataset_table
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=list(POLICY_NAMES))
     rep.add_argument("--belady", action="store_true", help="include the offline bound")
     rep.add_argument("--no-app-aware", action="store_true")
+    rep.add_argument("--engine", choices=REPLAY_ENGINES, default="batched",
+                     help="replay engine: vectorized fast path (default) or the "
+                          "per-block scalar compatibility path")
     _add_fault_args(rep)
 
     tra = sub.add_parser(
@@ -87,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory the snapshot is written into (default: cwd)")
     ben.add_argument("--workers", type=_positive_int, default=1,
                      help="worker processes for the suite cells (default 1: serial)")
-    ben.add_argument("--engine", choices=("batched", "scalar"), default="batched",
+    ben.add_argument("--engine", choices=REPLAY_ENGINES, default="batched",
                      help="replay engine: vectorized fast path (default) or the "
                           "per-block scalar compatibility path")
     ben.add_argument("--profile", type=Path, default=None, metavar="PATH",
@@ -146,16 +150,14 @@ def _add_path_args(p: argparse.ArgumentParser) -> None:
 
 
 def _make_path(args, setup: ExperimentSetup):
-    lo, hi = args.degrees
-    if args.path_type == "spherical":
-        return spherical_path(args.steps, degrees_per_step=max(lo, 0.1),
-                              distance=args.distance,
-                              view_angle_deg=setup.view_angle_deg, seed=args.seed)
-    if args.path_type == "zoom":
-        return zoom_path(args.steps, degrees_per_step=max(lo, 0.1),
-                         view_angle_deg=setup.view_angle_deg, seed=args.seed)
-    return random_path(args.steps, degree_change=(lo, hi), distance=args.distance,
-                       view_angle_deg=setup.view_angle_deg, seed=args.seed)
+    return WORKLOADS.create(
+        args.path_type,
+        steps=args.steps,
+        degrees=tuple(args.degrees),
+        distance=args.distance,
+        view_angle_deg=setup.view_angle_deg,
+        seed=args.seed,
+    )
 
 
 def _make_setup(args, sampling: Optional[SamplingConfig] = None) -> ExperimentSetup:
@@ -192,24 +194,30 @@ def _cmd_preprocess(args) -> int:
 
 
 def _cmd_replay(args) -> int:
+    try:
+        config = RunConfig.from_cli(args, command="replay")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     setup = _make_setup(args)
-    path = _make_path(args, setup)
+    path = make_workload(config, setup.view_angle_deg)
     results = compare_policies(
         setup,
         path,
-        baselines=tuple(args.policies),
-        include_belady=args.belady,
-        include_app_aware=not args.no_app_aware,
-        cache_ratio=args.cache_ratio,
-        faults=args.faults,
-        fault_seed=args.fault_seed,
+        baselines=config.policies,
+        include_belady=config.belady,
+        include_app_aware=config.app_aware,
+        cache_ratio=config.cache_ratio,
+        faults=config.faults,
+        fault_seed=config.fault_seed,
+        engine=config.engine,
     )
-    title = (f"{args.dataset} ({setup.grid.n_blocks} blocks), {path.name}, "
-             f"{args.steps} steps, cache ratio {args.cache_ratio}")
-    if args.faults != "none":
-        title += f", faults {args.faults} (seed {args.fault_seed})"
+    title = (f"{config.dataset} ({setup.grid.n_blocks} blocks), {path.name}, "
+             f"{config.steps} steps, cache ratio {config.cache_ratio}")
+    if config.faults != "none":
+        title += f", faults {config.faults} (seed {config.fault_seed})"
     print(format_run_summaries(results, title=title))
-    if args.faults != "none":
+    if config.faults != "none":
         for res in results.values():
             dropped = int(res.extras.get("dropped_blocks", 0))
             degraded = int(res.extras.get("degraded_frames", 0))
@@ -222,7 +230,7 @@ def _cmd_replay(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.core.pipeline import run_baseline
+    from repro.runtime.drivers import run_baseline
     from repro.experiments.report import format_trace_report
     from repro.trace import Tracer, aggregate, write_chrome_trace, write_jsonl
 
@@ -286,15 +294,20 @@ def _cmd_bench(args) -> int:
             return 0
         return 1 if n_regressions else 0
 
+    try:
+        config = RunConfig.from_cli(args, command="bench")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     doc = run_bench(
         label=args.label,
         quick=args.quick,
         progress=print,
         workers=args.workers,
-        engine=args.engine,
+        engine=config.engine,
         profile_path=args.profile,
-        faults=args.faults,
-        fault_seed=args.fault_seed,
+        faults=config.faults,
+        fault_seed=config.fault_seed,
     )
     path = write_bench(doc, args.out)
     n_runs = len(doc["runs"])

@@ -12,16 +12,23 @@ from repro.core.metrics import StepMetrics, RunResult
 from repro.core.pipeline import (
     compute_visible_sets,
     collect_demand_trace,
-    run_baseline,
     PipelineContext,
 )
-from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
-from repro.core.temporal import run_temporal
 from repro.core.interactive import (
     BudgetedResult,
     BudgetedStep,
-    run_budgeted,
     render_quality_series,
+)
+
+# Canonical drivers live in repro.runtime; the package-level names resolve
+# there so `from repro.core import run_baseline` stays warning-free.  The
+# module paths (repro.core.pipeline.run_baseline, ...) are deprecation shims.
+from repro.runtime.config import OptimizerConfig
+from repro.runtime.drivers import (
+    AppAwareOptimizer,
+    run_baseline,
+    run_budgeted,
+    run_temporal,
 )
 from repro.core.session import OutOfCoreSession
 from repro.core.results_io import run_to_dict, save_run_json, save_steps_csv, load_run_json

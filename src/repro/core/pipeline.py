@@ -8,6 +8,7 @@ so :func:`compute_visible_sets` is shared by every driver and
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -15,8 +16,7 @@ import numpy as np
 
 from repro.camera.frustum import visible_masks_batch
 from repro.camera.path import CameraPath
-from repro.core.metrics import RunResult, StepMetrics
-from repro.obs.profiler import resolve_profiler
+from repro.core.metrics import RunResult
 from repro.render.render_model import RenderCostModel
 from repro.storage.hierarchy import MemoryHierarchy
 from repro.volume.blocks import BlockGrid
@@ -115,104 +115,28 @@ def run_baseline(
     profiler=None,
     engine: str = "batched",
 ) -> RunResult:
-    """Replay the path with a conventional policy (FIFO/LRU/ARC/...).
+    """Deprecated shim: the driver moved to :func:`repro.runtime.run_baseline`.
 
-    Per step: fetch every visible block through the hierarchy, then render;
-    no prediction, no prefetch, so the step time is ``io + render`` (§IV-D:
-    "I/O is idle during the rendering time").
-
-    ``protect_current_step=True`` applies Algorithm 1's eviction constraint
-    (victims must not have been used at the current step) to the baseline
-    too — an ablation knob; the paper's baselines run unprotected.
-
-    ``engine`` selects the replay fast path: ``"batched"`` (default)
-    fetches each step's visible set with one
-    :meth:`~repro.storage.hierarchy.MemoryHierarchy.fetch_many` call,
-    ``"scalar"`` issues one ``fetch`` per block.  Both produce identical
-    results (simulated clocks, stats, byte ledger — pinned by the
-    equivalence tests); batched is simply faster.
-
-    ``tracer`` (a :class:`repro.trace.Tracer`) is installed on the
-    hierarchy for the replay and additionally receives one ``render``
-    event per step; pass ``None`` to keep whatever tracer the hierarchy
-    already has (the no-op tracer by default).
-
-    ``registry`` (a :class:`repro.obs.MetricsRegistry`) is likewise
-    installed on the hierarchy (per-level fetch latency and byte metrics)
-    and receives a per-step ``frame_time_seconds`` histogram of simulated
-    step totals.  ``profiler`` (a :class:`repro.obs.PhaseProfiler`)
-    records wall-clock ``fetch``/``render`` spans per step.
+    Delegates unchanged (results are pinned identical by the runtime
+    equivalence suite).  For the shared ``tracer``/``registry``/``profiler``
+    and ``engine="batched"|"scalar"`` semantics see the
+    :mod:`repro.runtime.engine` reference.
     """
-    if tracer is not None:
-        hierarchy.set_tracer(tracer)
-    tracer = hierarchy.tracer
-    if registry is not None:
-        hierarchy.set_registry(registry)
-    registry = hierarchy.registry
-    profiler = resolve_profiler(profiler)
-    frame_hist = registry.histogram("frame_time_seconds", kind="sim")
-    policy_name = hierarchy.fastest.policy.name
-    batched = _resolve_engine(engine)
-    faulty = hierarchy.fault_injector is not None
-    dropped_blocks = 0
-    degraded_frames = 0
-    steps: List[StepMetrics] = []
-    for i, ids in enumerate(context.visible_sets):
-        fast_misses_before = hierarchy.fastest.stats.misses
-        min_free = i if protect_current_step else None
-        step_dropped = 0
-        with profiler.span("fetch"):
-            if batched:
-                res = hierarchy.fetch_many(ids, i, min_free_step=min_free)
-                io = res.time_s
-                step_dropped = res.n_dropped
-            else:
-                io = 0.0
-                for b in ids:
-                    r = hierarchy.fetch(int(b), i, min_free_step=min_free)
-                    io += r.time_s
-                    if r.dropped:
-                        step_dropped += 1
-        if step_dropped:
-            # Graceful degradation: the frame renders without the blocks
-            # the storage stack could not deliver.
-            dropped_blocks += step_dropped
-            degraded_frames += 1
-        with profiler.span("render"):
-            render = context.render_model.render_time(len(ids) - step_dropped)
-        if tracer.enabled:
-            tracer.record("render", i, time_s=render)
-        if registry.enabled:
-            frame_hist.observe(io + render)
-        steps.append(
-            StepMetrics(
-                step=i,
-                n_visible=len(ids),
-                n_fast_misses=hierarchy.fastest.stats.misses - fast_misses_before,
-                io_time_s=io,
-                render_time_s=render,
-            )
-        )
-    if profiler.enabled:
-        profiler.charge_sim("io", sum(s.io_time_s for s in steps))
-        profiler.charge_sim("render", sum(s.render_time_s for s in steps))
-    extras = {
-        "backing_bytes": float(hierarchy.backing_bytes),
-        "bytes_moved": float(
-            hierarchy.backing_bytes + hierarchy.stats().total_bytes_read
-        ),
-    }
-    if faulty:
-        # Added only under fault injection so fault-free summaries stay
-        # byte-identical to pre-faults snapshots.
-        extras["dropped_blocks"] = float(dropped_blocks)
-        extras["degraded_frames"] = float(degraded_frames)
-        extras["fault_stats"] = hierarchy.fault_injector.stats.as_dict()
-    return RunResult(
-        name=name or f"baseline-{policy_name}",
-        policy=policy_name,
-        overlap_prefetch=False,
-        steps=steps,
-        hierarchy_stats=hierarchy.stats(),
-        extras=extras,
+    warnings.warn(
+        "repro.core.pipeline.run_baseline is deprecated; "
+        "use repro.runtime.run_baseline",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.drivers import run_baseline as _impl
+
+    return _impl(
+        context,
+        hierarchy,
+        name=name,
+        protect_current_step=protect_current_step,
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
+        engine=engine,
     )

@@ -1,25 +1,22 @@
-"""Temporal replay: time-varying data under the app-aware policy.
+"""Deprecated import path for the temporal replay driver.
 
-The paper's climate workload is time-varying; as the user orbits, the
-simulation time also advances, so the working set is the *visible blocks
-of the current timestep*.  This driver extends Algorithm 1 with temporal
-prefetch (an extension the paper leaves to future work): during rendering
-it prefetches the predicted visible set of the **next timestep** — the
-same spatial prediction, shifted one step forward in time.
+The driver moved to :func:`repro.runtime.run_temporal`, where it is a
+:class:`~repro.runtime.engine.SimulationEngine` recipe (temporal remap →
+demand fetch → render → next-timestep prefetch) instead of a hand-rolled
+loop.  This shim delegates unchanged — results are pinned identical by
+the runtime equivalence suite.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import warnings
+from typing import Optional
 
-import numpy as np
-
-from repro.core.metrics import RunResult, StepMetrics
+from repro.core.metrics import RunResult
 from repro.core.pipeline import PipelineContext
 from repro.storage.hierarchy import MemoryHierarchy
 from repro.tables.importance_table import ImportanceTable
 from repro.tables.visible_table import LookupCostModel, VisibleTable
-from repro.volume.blocks import BlockGrid
 from repro.volume.timeseries import TimeVaryingVolume
 
 __all__ = ["run_temporal"]
@@ -37,93 +34,24 @@ def run_temporal(
     lookup_cost: Optional[LookupCostModel] = None,
     name: str = "temporal",
 ) -> RunResult:
-    """Replay a camera path over a time-varying volume.
+    """Deprecated shim: use :func:`repro.runtime.run_temporal`."""
+    warnings.warn(
+        "repro.core.temporal.run_temporal is deprecated; "
+        "use repro.runtime.run_temporal",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.drivers import run_temporal as _impl
 
-    Parameters
-    ----------
-    context:
-        The spatial replay context (path + grid + visible sets).
-    series:
-        The time-varying volume; timestep at path step ``i`` is
-        ``min(i // steps_per_timestep, n_timesteps - 1)``.
-    hierarchy:
-        Must be sized for the *temporal* id space
-        (``series.n_total_blocks(grid)`` blocks).
-    visible_table, importance, sigma:
-        The paper's tables; when given, prefetch pulls the σ-filtered
-        predicted set of the next timestep during rendering.
-    prefetch_next_timestep:
-        Turn the temporal prefetch off to measure its contribution.
-    """
-    grid: BlockGrid = context.grid
-    if steps_per_timestep < 1:
-        raise ValueError(f"steps_per_timestep must be >= 1, got {steps_per_timestep}")
-    lookup_cost = lookup_cost or LookupCostModel()
-
-    if importance is not None:
-        hierarchy.preload([int(b) for b in importance.ids_above(sigma)])
-
-    fastest = hierarchy.fastest
-    steps: List[StepMetrics] = []
-    positions = context.path.positions
-    n_spatial = grid.n_blocks
-
-    for i, spatial_ids in enumerate(context.visible_sets):
-        t = min(i // steps_per_timestep, series.n_timesteps - 1)
-        ids = series.temporal_visible_ids(spatial_ids, t, grid)
-
-        io = 0.0
-        fast_misses_before = fastest.stats.misses
-        for b in ids:
-            io += hierarchy.fetch(int(b), i, min_free_step=i).time_s
-        n_fast_misses = fastest.stats.misses - fast_misses_before
-
-        render = context.render_model.render_time(len(ids))
-
-        lookup_time = 0.0
-        prefetch_time = 0.0
-        n_prefetched = 0
-        t_next = min((i + 1) // steps_per_timestep, series.n_timesteps - 1)
-        if prefetch_next_timestep and visible_table is not None:
-            _, predicted = visible_table.lookup(positions[i])
-            lookup_time = lookup_cost.query_time(visible_table.n_entries)
-            if importance is not None:
-                # Importance is over the temporal id space; rank the
-                # predicted spatial set within the *next* timestep.
-                shifted = np.asarray(predicted, dtype=np.int64) + t_next * n_spatial
-                candidates = importance.filter_and_rank(shifted, sigma)
-            else:
-                candidates = np.asarray(predicted, dtype=np.int64) + t_next * n_spatial
-            for b in candidates:
-                if n_prefetched >= fastest.capacity:
-                    break
-                b = int(b)
-                if hierarchy.contains_fast(b):
-                    continue
-                prefetch_time += hierarchy.fetch(b, i, prefetch=True, min_free_step=i).time_s
-                n_prefetched += 1
-
-        steps.append(
-            StepMetrics(
-                step=i,
-                n_visible=len(ids),
-                n_fast_misses=n_fast_misses,
-                io_time_s=io,
-                lookup_time_s=lookup_time,
-                prefetch_time_s=prefetch_time,
-                render_time_s=render,
-                n_prefetched=n_prefetched,
-            )
-        )
-
-    return RunResult(
+    return _impl(
+        context,
+        series,
+        hierarchy,
+        steps_per_timestep,
+        visible_table=visible_table,
+        importance=importance,
+        sigma=sigma,
+        prefetch_next_timestep=prefetch_next_timestep,
+        lookup_cost=lookup_cost,
         name=name,
-        policy="temporal-app-aware" if prefetch_next_timestep else "temporal-lru",
-        overlap_prefetch=True,
-        steps=steps,
-        hierarchy_stats=hierarchy.stats(),
-        extras={
-            "n_timesteps": float(series.n_timesteps),
-            "backing_bytes": float(hierarchy.backing_bytes),
-        },
     )

@@ -25,10 +25,10 @@ import numpy as np
 from repro.camera.frustum import visible_blocks
 from repro.camera.path import random_path, spherical_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.interactive import render_quality_series, run_budgeted
+from repro.core.interactive import render_quality_series
 from repro.core.pipeline import PipelineContext
 from repro.core.schedule import event_driven_total_time
-from repro.core.temporal import run_temporal
+from repro.runtime.drivers import run_budgeted, run_temporal
 from repro.experiments.figures import FigureResult
 from repro.experiments.runner import ExperimentSetup, compare_policies
 from repro.prefetch import (

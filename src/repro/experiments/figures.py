@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.camera.path import random_path, spherical_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.optimizer import OptimizerConfig
+from repro.runtime.config import OptimizerConfig
 from repro.experiments.report import format_series
 from repro.experiments.runner import ExperimentSetup, compare_policies
 from repro.volume.datasets import dataset_table

@@ -15,8 +15,10 @@ from typing import Dict, Optional, Sequence
 from repro.camera.path import CameraPath
 from repro.camera.sampling import SamplingConfig
 from repro.core.metrics import RunResult
-from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
-from repro.core.pipeline import PipelineContext, run_baseline
+from repro.core.pipeline import PipelineContext
+from repro.runtime.config import OptimizerConfig
+from repro.runtime.context import RunContext
+from repro.runtime.drivers import AppAwareOptimizer, run_baseline
 from repro.policies.belady import BeladyPolicy
 from repro.policies.registry import make_policy
 from repro.render.render_model import RenderCostModel
@@ -185,6 +187,7 @@ def compare_policies(
     cache_ratio: Optional[float] = None,
     faults: str = "none",
     fault_seed: int = 0,
+    engine: str = "batched",
 ) -> Dict[str, RunResult]:
     """Replay ``path`` under each policy with identical demand sequences.
 
@@ -192,27 +195,22 @@ def compare_policies(
     method, matching the paper's figure legends).
 
     ``faults`` names a profile from :data:`repro.faults.FAULT_PROFILES`;
-    anything but ``"none"`` installs a fresh seeded
-    :class:`~repro.faults.FaultInjector` on every hierarchy.  The fault
-    draws are counter-based over ``(seed, device, block, step, attempt)``,
-    so every policy replays against the *same* fault environment — the
-    comparison stays apples-to-apples under failure.
+    anything but ``"none"`` gives every run a fresh seeded
+    :class:`~repro.faults.FaultInjector` (via
+    :meth:`repro.runtime.RunContext.create`).  The fault draws are
+    counter-based over ``(seed, device, block, step, attempt)``, so every
+    policy replays against the *same* fault environment — the comparison
+    stays apples-to-apples under failure.
     """
 
-    def _hierarchy(policy_hierarchy):
-        if faults != "none":
-            from repro.faults import FaultInjector, FaultPlan
-
-            policy_hierarchy.set_fault_injector(
-                FaultInjector(FaultPlan.from_profile(faults, seed=fault_seed))
-            )
-        return policy_hierarchy
+    def _ctx() -> RunContext:
+        return RunContext.create(faults=faults, fault_seed=fault_seed)
 
     context = setup.context(path)
     results: Dict[str, RunResult] = {}
     for policy in baselines:
         results[policy] = run_baseline(
-            context, _hierarchy(setup.hierarchy(policy, cache_ratio))
+            context, setup.hierarchy(policy, cache_ratio), engine=engine, ctx=_ctx()
         )
     if include_belady:
         trace = context.demand_trace()
@@ -222,11 +220,11 @@ def compare_policies(
             cache_ratio=setup.cache_ratio if cache_ratio is None else cache_ratio,
         )
         results["belady"] = run_baseline(
-            context, _hierarchy(hierarchy), name="baseline-belady"
+            context, hierarchy, name="baseline-belady", engine=engine, ctx=_ctx()
         )
     if include_app_aware:
         optimizer = setup.optimizer(optimizer_config)
         results["opt"] = optimizer.run(
-            context, _hierarchy(setup.hierarchy("lru", cache_ratio))
+            context, setup.hierarchy("lru", cache_ratio), engine=engine, ctx=_ctx()
         )
     return results

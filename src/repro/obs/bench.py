@@ -33,7 +33,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.camera.path import spherical_path, zoom_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.pipeline import REPLAY_ENGINES, run_baseline
+from repro.runtime.config import REPLAY_ENGINES
+from repro.runtime.drivers import run_baseline
 from repro.experiments.runner import ExperimentSetup
 from repro.faults import FAULT_PROFILES, FaultInjector, FaultPlan
 from repro.obs.metrics import Histogram, MetricsRegistry

@@ -12,8 +12,9 @@ prediction:
 - :class:`MarkovPrefetcher` — application-agnostic history-based
   prediction (first-order successor counting on block appearances).
 
-:func:`repro.prefetch.driver.run_with_prefetcher` replays a camera path
-with any strategy under the same accounting as the core pipeline.
+:func:`repro.runtime.run_with_prefetcher` replays a camera path with
+any strategy under the same accounting as the core pipeline (the
+``repro.prefetch.driver`` path is a deprecation shim).
 """
 
 from repro.prefetch.base import Prefetcher
@@ -23,7 +24,7 @@ from repro.prefetch.strategies import (
     MotionExtrapolationPrefetcher,
     MarkovPrefetcher,
 )
-from repro.prefetch.driver import run_with_prefetcher
+from repro.runtime.drivers import run_with_prefetcher
 
 __all__ = [
     "Prefetcher",

@@ -1,22 +1,21 @@
-"""Replay a camera path with any prefetch strategy.
+"""Deprecated import path for the prefetch replay driver.
 
-Generalises the core pipeline: per step, demand-fetch the visible blocks
-(Algorithm 1's protected eviction), render, and overlap the strategy's
-prediction + prefetch with the render, charging the strategy's own query
-cost.  The paper's optimizer is equivalent to this driver with
-:class:`~repro.prefetch.strategies.TableLookupPrefetcher` plus the
-importance preload.
+The driver moved to :func:`repro.runtime.run_with_prefetcher`, where it is
+a :class:`~repro.runtime.engine.SimulationEngine` recipe (demand fetch →
+render → strategy prefetch) instead of a hand-rolled loop.  This shim
+delegates unchanged — results are pinned identical by the runtime
+equivalence suite.  For the shared ``tracer``/``registry``/``profiler``
+and ``engine="batched"|"scalar"`` semantics see the
+:mod:`repro.runtime.engine` reference.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import warnings
+from typing import Optional
 
-import numpy as np
-
-from repro.core.metrics import RunResult, StepMetrics
-from repro.core.pipeline import PipelineContext, _resolve_engine
-from repro.obs.profiler import resolve_profiler
+from repro.core.metrics import RunResult
+from repro.core.pipeline import PipelineContext
 from repro.prefetch.base import Prefetcher
 from repro.storage.hierarchy import MemoryHierarchy
 from repro.tables.importance_table import ImportanceTable
@@ -37,166 +36,25 @@ def run_with_prefetcher(
     profiler=None,
     engine: str = "batched",
 ) -> RunResult:
-    """Replay ``context.path`` using ``prefetcher`` for predictions.
+    """Deprecated shim: use :func:`repro.runtime.run_with_prefetcher`."""
+    warnings.warn(
+        "repro.prefetch.driver.run_with_prefetcher is deprecated; "
+        "use repro.runtime.run_with_prefetcher",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.drivers import run_with_prefetcher as _impl
 
-    ``preload_importance``/``preload_sigma`` optionally run the Step 2
-    importance preload first (pass the table the paper's method uses, or
-    ``None`` for a cold start).
-
-    ``tracer`` is installed on the hierarchy for the replay and receives
-    one ``render`` event per step.  ``registry`` is installed likewise and
-    records per-step frame times, prefetch queue depth, and prefetch
-    precision/recall counters (a prefetch at step *i* is *useful* when the
-    block is demanded at step *i + 1*).  ``profiler`` records wall-clock
-    preload/fetch/render/predict/prefetch spans.
-
-    ``engine="batched"`` (default) drives demand fetches through
-    :meth:`~repro.storage.hierarchy.MemoryHierarchy.fetch_many` and the
-    prefetch loop through ``prefetch_many``; ``"scalar"`` keeps the
-    per-block loops.  Results are identical either way.
-    """
-    prefetcher.reset()
-    if tracer is not None:
-        hierarchy.set_tracer(tracer)
-    tracer = hierarchy.tracer
-    if registry is not None:
-        hierarchy.set_registry(registry)
-    registry = hierarchy.registry
-    profiler = resolve_profiler(profiler)
-    frame_hist = registry.histogram("frame_time_seconds", kind="sim")
-    queue_gauge = registry.gauge("prefetch_queue_depth")
-    issued_counter = registry.counter("prefetch_evaluated_total")
-    useful_counter = registry.counter("prefetch_useful_total")
-    demanded_counter = registry.counter("prefetch_demand_window_total")
-    batched = _resolve_engine(engine)
-    issued_prev: "set[int]" = set()  # scalar engine
-    issued_prev_arr = np.empty(0, dtype=np.int64)  # batched engine
-    if preload_importance is not None:
-        with profiler.span("preload"):
-            hierarchy.preload(preload_importance.ids_above(preload_sigma))
-
-    fastest = hierarchy.fastest
-    cap = max_prefetch_per_step if max_prefetch_per_step is not None else fastest.capacity
-
-    steps: List[StepMetrics] = []
-    positions = context.path.positions
-    faulty = hierarchy.fault_injector is not None
-    dropped_blocks = 0
-    degraded_frames = 0
-    for i, ids in enumerate(context.visible_sets):
-        if registry.enabled:
-            # Prefetch usefulness: blocks prefetched at step i-1 that the
-            # demand stream touches at step i were correct predictions.
-            if batched:
-                if issued_prev_arr.size:
-                    issued_counter.inc(issued_prev_arr.size)
-                    # Set membership beats np.isin at visible-set sizes.
-                    demand_now = set(np.asarray(ids).tolist())
-                    useful_counter.inc(
-                        sum(1 for b in issued_prev_arr.tolist() if b in demand_now)
-                    )
-                issued_prev_arr = np.empty(0, dtype=np.int64)
-            else:
-                demand_now = {int(b) for b in ids}
-                if issued_prev:
-                    issued_counter.inc(len(issued_prev))
-                    useful_counter.inc(len(issued_prev & demand_now))
-                issued_prev = set()
-            if i > 0:
-                demanded_counter.inc(len(ids))
-
-        fast_misses_before = fastest.stats.misses
-        step_dropped = 0
-        with profiler.span("fetch"):
-            if batched:
-                res = hierarchy.fetch_many(ids, i, min_free_step=i)
-                io = res.time_s
-                step_dropped = res.n_dropped
-            else:
-                io = 0.0
-                for b in ids:
-                    r = hierarchy.fetch(int(b), i, min_free_step=i)
-                    io += r.time_s
-                    if r.dropped:
-                        step_dropped += 1
-        n_fast_misses = fastest.stats.misses - fast_misses_before
-        if step_dropped:
-            dropped_blocks += step_dropped
-            degraded_frames += 1
-
-        with profiler.span("render"):
-            # Dropped blocks are holes this frame: render what arrived.
-            render = context.render_model.render_time(len(ids) - step_dropped)
-        if tracer.enabled:
-            tracer.record("render", i, time_s=render)
-
-        with profiler.span("predict"):
-            candidates = prefetcher.predict(i, positions[i], ids)
-        lookup_time = prefetcher.query_cost_s()
-        if registry.enabled:
-            queue_gauge.set(len(candidates))
-        with profiler.span("prefetch"):
-            if batched:
-                # dedupe=True: a predictor may repeat ids; fetch each at most once
-                issued, prefetch_time = hierarchy.prefetch_many(
-                    candidates, i, min_free_step=i, max_fetch=cap, dedupe=True
-                )
-                n_prefetched = len(issued)
-                if registry.enabled:
-                    issued_prev_arr = np.asarray(issued, dtype=np.int64)
-            else:
-                prefetch_time = 0.0
-                n_prefetched = 0
-                attempted = set()  # a predictor may repeat ids; fetch each at most once
-                for b in candidates:
-                    if n_prefetched >= cap:
-                        break
-                    b = int(b)
-                    if b in attempted or hierarchy.contains_fast(b):
-                        continue
-                    attempted.add(b)
-                    prefetch_time += hierarchy.fetch(
-                        b, i, prefetch=True, min_free_step=i
-                    ).time_s
-                    n_prefetched += 1
-                    if registry.enabled:
-                        issued_prev.add(b)
-
-        step_metrics = StepMetrics(
-            step=i,
-            n_visible=len(ids),
-            n_fast_misses=n_fast_misses,
-            io_time_s=io,
-            lookup_time_s=lookup_time,
-            prefetch_time_s=prefetch_time,
-            render_time_s=render,
-            n_prefetched=n_prefetched,
-        )
-        if registry.enabled:
-            frame_hist.observe(step_metrics.step_total_overlapped_s)
-        steps.append(step_metrics)
-
-    if profiler.enabled:
-        profiler.charge_sim("io", sum(s.io_time_s for s in steps))
-        profiler.charge_sim("lookup", sum(s.lookup_time_s for s in steps))
-        profiler.charge_sim("prefetch", sum(s.prefetch_time_s for s in steps))
-        profiler.charge_sim("render", sum(s.render_time_s for s in steps))
-    extras = {
-        "backing_bytes": float(hierarchy.backing_bytes),
-        "bytes_moved": float(
-            hierarchy.backing_bytes + hierarchy.stats().total_bytes_read
-        ),
-    }
-    if faulty:
-        # Gated on the injector so fault-free summaries stay byte-identical.
-        extras["dropped_blocks"] = float(dropped_blocks)
-        extras["degraded_frames"] = float(degraded_frames)
-        extras["fault_stats"] = hierarchy.fault_injector.stats.as_dict()
-    return RunResult(
-        name=name or f"prefetch-{prefetcher.name}",
-        policy=f"prefetch-{prefetcher.name}",
-        overlap_prefetch=True,
-        steps=steps,
-        hierarchy_stats=hierarchy.stats(),
-        extras=extras,
+    return _impl(
+        context,
+        hierarchy,
+        prefetcher,
+        preload_importance=preload_importance,
+        preload_sigma=preload_sigma,
+        max_prefetch_per_step=max_prefetch_per_step,
+        name=name,
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
+        engine=engine,
     )

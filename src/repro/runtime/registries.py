@@ -1,0 +1,231 @@
+"""Name-based registries: stages, prefetchers, workloads (and policies).
+
+New behaviours are *registered*, not threaded through driver signatures:
+
+- **stages** — custom :class:`~repro.runtime.stages.Stage` subclasses,
+  resolvable by name when assembling a recipe;
+- **prefetchers** — the strategy names a :class:`~repro.runtime.config.RunConfig`
+  may reference (``none``/``table``/``motion``/``markov`` built in);
+- **workloads** — camera-path generators (``random``/``spherical``/``zoom``);
+- **policies** — re-exported from :mod:`repro.policies.registry`, the
+  registry that predates this module.
+
+Each registry rejects duplicate names, and ``make_*`` raises ``KeyError``
+with the known names on a miss.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.policies.registry import POLICY_NAMES, make_policy, register_policy
+from repro.runtime.stages import (
+    AdaptiveSigmaStage,
+    BudgetedFetchStage,
+    BudgetedPrefetchStage,
+    DemandFetchStage,
+    PreloadStage,
+    RenderStage,
+    Stage,
+    StrategyPrefetchStage,
+    TablePrefetchStage,
+    TemporalPrefetchStage,
+    TemporalRemapStage,
+)
+
+__all__ = [
+    "Registry",
+    "STAGES",
+    "PREFETCHERS",
+    "WORKLOADS",
+    "register_stage",
+    "make_stage",
+    "register_prefetcher",
+    "make_prefetcher",
+    "register_workload",
+    "make_workload",
+    "make_policy",
+    "register_policy",
+    "POLICY_NAMES",
+]
+
+
+class Registry:
+    """A small name -> factory map with duplicate/missing-name errors."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable[..., Any]] = {}
+
+    def register(self, name: str, factory: Callable[..., Any]) -> None:
+        if name in self._factories:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; known: {self.names()}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def names(self) -> "list[str]":
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+# ---------------------------------------------------------------------------
+# stages
+
+STAGES = Registry("stage")
+for _cls in (
+    PreloadStage,
+    DemandFetchStage,
+    BudgetedFetchStage,
+    RenderStage,
+    StrategyPrefetchStage,
+    TablePrefetchStage,
+    AdaptiveSigmaStage,
+    BudgetedPrefetchStage,
+    TemporalRemapStage,
+    TemporalPrefetchStage,
+):
+    STAGES.register(_cls.name, _cls)
+
+
+def register_stage(name: str, factory: Optional[Callable[..., Stage]] = None):
+    """Register a custom stage; usable as ``register_stage("x", Cls)`` or as
+    a class decorator ``@register_stage("x")``."""
+    if factory is not None:
+        STAGES.register(name, factory)
+        return factory
+
+    def _decorator(cls: Callable[..., Stage]) -> Callable[..., Stage]:
+        STAGES.register(name, cls)
+        return cls
+
+    return _decorator
+
+
+def make_stage(name: str, *args: Any, **kwargs: Any) -> Stage:
+    return STAGES.create(name, *args, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# prefetchers
+
+
+def _make_none_prefetcher(**_kwargs: Any):
+    from repro.prefetch.strategies import NoPrefetcher
+
+    return NoPrefetcher()
+
+
+def _make_table_prefetcher(
+    visible_table=None, importance=None, sigma: float = float("-inf"),
+    lookup_cost=None, **_kwargs: Any,
+):
+    from repro.prefetch.strategies import TableLookupPrefetcher
+
+    if visible_table is None:
+        raise ValueError("the 'table' prefetcher requires visible_table=")
+    return TableLookupPrefetcher(
+        visible_table, importance=importance, sigma=sigma, lookup_cost=lookup_cost
+    )
+
+
+def _make_motion_prefetcher(grid=None, view_angle_deg=None, **_kwargs: Any):
+    from repro.prefetch.strategies import MotionExtrapolationPrefetcher
+
+    if grid is None or view_angle_deg is None:
+        raise ValueError("the 'motion' prefetcher requires grid= and view_angle_deg=")
+    return MotionExtrapolationPrefetcher(grid, view_angle_deg)
+
+
+def _make_markov_prefetcher(**_kwargs: Any):
+    from repro.prefetch.strategies import MarkovPrefetcher
+
+    return MarkovPrefetcher()
+
+
+PREFETCHERS = Registry("prefetcher")
+PREFETCHERS.register("none", _make_none_prefetcher)
+PREFETCHERS.register("table", _make_table_prefetcher)
+PREFETCHERS.register("motion", _make_motion_prefetcher)
+PREFETCHERS.register("markov", _make_markov_prefetcher)
+
+
+def register_prefetcher(name: str, factory: Callable[..., Any]) -> None:
+    PREFETCHERS.register(name, factory)
+
+
+def make_prefetcher(name: str, **kwargs: Any):
+    """Build a prefetch strategy by registry name.
+
+    Extra keyword arguments are the dependency pool (``visible_table``,
+    ``importance``, ``sigma``, ``lookup_cost``, ``grid``,
+    ``view_angle_deg``); each factory picks what it needs and ignores the
+    rest, so one call site can serve every strategy.
+    """
+    return PREFETCHERS.create(name, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# workloads (camera paths)
+
+
+def _make_random_path(steps, degrees, distance, view_angle_deg, seed):
+    from repro.camera.path import random_path
+
+    lo, hi = degrees
+    return random_path(
+        steps, degree_change=(lo, hi), distance=distance,
+        view_angle_deg=view_angle_deg, seed=seed,
+    )
+
+
+def _make_spherical_path(steps, degrees, distance, view_angle_deg, seed):
+    from repro.camera.path import spherical_path
+
+    lo, _hi = degrees
+    return spherical_path(
+        steps, degrees_per_step=max(lo, 0.1), distance=distance,
+        view_angle_deg=view_angle_deg, seed=seed,
+    )
+
+
+def _make_zoom_path(steps, degrees, distance, view_angle_deg, seed):
+    from repro.camera.path import zoom_path
+
+    lo, _hi = degrees
+    return zoom_path(
+        steps, degrees_per_step=max(lo, 0.1),
+        view_angle_deg=view_angle_deg, seed=seed,
+    )
+
+
+WORKLOADS = Registry("workload")
+WORKLOADS.register("random", _make_random_path)
+WORKLOADS.register("spherical", _make_spherical_path)
+WORKLOADS.register("zoom", _make_zoom_path)
+
+
+def register_workload(name: str, factory: Callable[..., Any]) -> None:
+    WORKLOADS.register(name, factory)
+
+
+def make_workload(config, view_angle_deg: float):
+    """Build the camera path a :class:`~repro.runtime.config.RunConfig`
+    describes (``workload``/``steps``/``degrees``/``distance``/``seed``)."""
+    return WORKLOADS.create(
+        config.workload,
+        steps=config.steps,
+        degrees=config.degrees,
+        distance=config.distance,
+        view_angle_deg=view_angle_deg,
+        seed=config.seed,
+    )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.camera.path import random_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
+from repro.runtime import AppAwareOptimizer, OptimizerConfig
 from repro.experiments.runner import ExperimentSetup
 
 

@@ -5,7 +5,8 @@ import pytest
 
 from repro.camera.path import random_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.interactive import BudgetedResult, render_quality_series, run_budgeted
+from repro.core.interactive import BudgetedResult, render_quality_series
+from repro.runtime import run_budgeted
 from repro.core.pipeline import PipelineContext
 from repro.experiments.runner import ExperimentSetup
 from repro.policies.lru import LRUPolicy

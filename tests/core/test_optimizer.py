@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
-from repro.core.pipeline import PipelineContext, run_baseline
+from repro.core.pipeline import PipelineContext
+from repro.runtime import AppAwareOptimizer, OptimizerConfig, run_baseline
 from repro.experiments.runner import fresh_hierarchy
 from repro.tables.builder import build_importance_table, build_visible_table
 from repro.tables.visible_table import LookupCostModel

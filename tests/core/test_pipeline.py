@@ -8,8 +8,8 @@ from repro.core.pipeline import (
     PipelineContext,
     collect_demand_trace,
     compute_visible_sets,
-    run_baseline,
 )
+from repro.runtime import run_baseline
 from repro.experiments.runner import belady_hierarchy, fresh_hierarchy
 from repro.render.render_model import RenderCostModel
 

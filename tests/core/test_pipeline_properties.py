@@ -6,7 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.camera.path import spherical_path
-from repro.core.pipeline import PipelineContext, compute_visible_sets, run_baseline
+from repro.core.pipeline import PipelineContext, compute_visible_sets
+from repro.runtime import run_baseline
 from repro.experiments.runner import fresh_hierarchy
 from repro.volume.blocks import BlockGrid
 

@@ -5,7 +5,7 @@ import pytest
 from repro.camera.path import spherical_path
 from repro.camera.sampling import SamplingConfig
 from repro.core.pipeline import PipelineContext
-from repro.core.temporal import run_temporal
+from repro.runtime import run_temporal
 from repro.storage.hierarchy import make_standard_hierarchy
 from repro.tables.builder import build_visible_table
 from repro.volume.blocks import BlockGrid

@@ -4,7 +4,7 @@ import pytest
 
 from repro.camera.path import random_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.optimizer import OptimizerConfig
+from repro.runtime import OptimizerConfig
 from repro.experiments.runner import (
     DEFAULT_VIEW_ANGLE_DEG,
     ExperimentSetup,

@@ -10,7 +10,7 @@ import pytest
 
 from repro.camera.path import random_path, spherical_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.optimizer import OptimizerConfig
+from repro.runtime import OptimizerConfig
 from repro.experiments.runner import ExperimentSetup, compare_policies
 
 SAMPLING = SamplingConfig(n_directions=48, n_distances=2, distance_range=(2.3, 2.7))

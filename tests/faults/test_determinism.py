@@ -3,7 +3,8 @@
 import pytest
 
 from repro.camera.path import spherical_path
-from repro.core.pipeline import PipelineContext, run_baseline
+from repro.core.pipeline import PipelineContext
+from repro.runtime import run_baseline
 from repro.experiments.runner import compare_policies, fresh_hierarchy
 from repro.faults import FaultInjector, FaultPlan
 from repro.trace import Tracer

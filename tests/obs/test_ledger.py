@@ -10,7 +10,7 @@ import pytest
 
 from repro.camera.path import spherical_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.pipeline import run_baseline
+from repro.runtime import run_baseline
 from repro.experiments.runner import ExperimentSetup
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 

@@ -3,12 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import run_baseline
-from repro.core.optimizer import AppAwareOptimizer, OptimizerConfig
+from repro.runtime import AppAwareOptimizer, OptimizerConfig, run_baseline
 from repro.experiments.runner import ExperimentSetup
 from repro.camera.sampling import SamplingConfig
 from repro.camera.path import random_path
-from repro.prefetch.driver import run_with_prefetcher
+from repro.runtime import run_with_prefetcher
 from repro.prefetch.strategies import (
     MarkovPrefetcher,
     MotionExtrapolationPrefetcher,

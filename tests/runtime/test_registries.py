@@ -1,0 +1,113 @@
+"""Registries: duplicate/unknown names, decorator form, custom stages."""
+
+import pytest
+
+from repro.camera.path import random_path
+from repro.core.pipeline import PipelineContext
+from repro.runtime import (
+    PREFETCHERS,
+    STAGES,
+    WORKLOADS,
+    DemandFetchStage,
+    Registry,
+    RenderStage,
+    RunConfig,
+    RunContext,
+    SimulationEngine,
+    Stage,
+    StepMetricsCollector,
+    make_prefetcher,
+    make_stage,
+    make_workload,
+    movement_extras,
+    register_stage,
+)
+from repro.storage.hierarchy import make_standard_hierarchy
+
+VIEW = 10.0
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        r = Registry("thing")
+        r.register("x", dict)
+        with pytest.raises(ValueError, match="already registered"):
+            r.register("x", list)
+
+    def test_unknown_name_lists_known(self):
+        r = Registry("thing")
+        r.register("a", dict)
+        with pytest.raises(KeyError, match="unknown thing 'b'.*'a'"):
+            r.create("b")
+
+    def test_contains(self):
+        assert "demand-fetch" in STAGES
+        assert "table" in PREFETCHERS
+        assert "zoom" in WORKLOADS
+
+
+class TestBuiltins:
+    def test_builtin_stage_names(self):
+        for name in ("preload", "demand-fetch", "render", "strategy-prefetch"):
+            assert name in STAGES
+
+    def test_make_prefetcher_unknown(self):
+        with pytest.raises(KeyError, match="unknown prefetcher"):
+            make_prefetcher("psychic")
+
+    def test_make_prefetcher_missing_dependency(self):
+        with pytest.raises(ValueError, match="visible_table"):
+            make_prefetcher("table")
+
+    def test_make_prefetcher_ignores_extra_deps(self):
+        p = make_prefetcher("markov", visible_table=object(), grid=object())
+        assert p.name == "markov"
+
+    def test_make_workload_from_config(self):
+        cfg = RunConfig(workload="spherical", steps=7, seed=2)
+        path = make_workload(cfg, VIEW)
+        assert len(path.positions) == 7
+
+    def test_make_stage(self):
+        stage = make_stage("demand-fetch", protect=True)
+        assert isinstance(stage, DemandFetchStage)
+        assert stage.protect
+
+
+class TestCustomStage:
+    def test_register_and_run_custom_stage(self, small_grid):
+        """The TUTORIAL's worked example: a logging stage rides a recipe."""
+
+        @register_stage("test_step_logger")
+        class StepLogger(Stage):
+            name = "test_step_logger"
+
+            def __init__(self):
+                self.lines = []
+
+            def step(self, engine, frame):
+                self.lines.append((frame.step, frame.n_visible))
+
+        logger = STAGES.create("test_step_logger")
+        path = random_path(
+            n_positions=6, degree_change=(5.0, 10.0), distance=2.5,
+            view_angle_deg=VIEW, seed=3,
+        )
+        context = PipelineContext.create(path, small_grid)
+        hierarchy = make_standard_hierarchy(
+            n_blocks=small_grid.n_blocks,
+            block_nbytes=small_grid.uniform_block_nbytes(),
+            cache_ratio=0.5,
+        )
+        collector = StepMetricsCollector(
+            name="custom", policy="lru", overlap_prefetch=False,
+            observe="serial", charge=("io", "render"),
+            extras_fn=movement_extras,
+        )
+        result = SimulationEngine(
+            context, hierarchy,
+            [DemandFetchStage(), RenderStage(), logger],
+            collector, ctx=RunContext(),
+        ).run()
+        assert [step for step, _ in logger.lines] == list(range(6))
+        assert [n for _, n in logger.lines] == [m.n_visible for m in result.steps]

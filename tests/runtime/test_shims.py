@@ -1,0 +1,168 @@
+"""The legacy driver entry points still work — as deprecation shims.
+
+Each historical import path must (a) stay importable, (b) emit exactly one
+``DeprecationWarning`` per call naming its ``repro.runtime`` replacement,
+and (c) delegate — produce the identical result the canonical driver does.
+The *package-level* names (``from repro.core import run_baseline``, ...)
+resolve straight to the runtime and must stay warning-free.
+"""
+
+import warnings
+
+import pytest
+
+from repro.camera.path import random_path, spherical_path
+from repro.core.pipeline import PipelineContext
+from repro.runtime import (
+    AppAwareOptimizer,
+    OptimizerConfig,
+    run_baseline,
+    run_budgeted,
+    run_temporal,
+    run_with_prefetcher,
+)
+from repro.storage.hierarchy import make_standard_hierarchy
+from repro.volume.blocks import BlockGrid
+from repro.volume.timeseries import make_time_varying_climate
+
+VIEW = 10.0
+
+
+@pytest.fixture(scope="module")
+def replay_setup(small_grid):
+    path = random_path(
+        n_positions=8, degree_change=(5.0, 10.0), distance=2.5,
+        view_angle_deg=VIEW, seed=3,
+    )
+    context = PipelineContext.create(path, small_grid)
+    return small_grid, context
+
+
+def _hierarchy(grid, cache_ratio=0.5):
+    return make_standard_hierarchy(
+        n_blocks=grid.n_blocks,
+        block_nbytes=grid.uniform_block_nbytes(),
+        cache_ratio=cache_ratio,
+    )
+
+
+def _call_shim(fn, *args, match, **kwargs):
+    """Call ``fn`` asserting exactly one DeprecationWarning naming runtime."""
+    with pytest.warns(DeprecationWarning, match=match) as record:
+        result = fn(*args, **kwargs)
+    deprecations = [w for w in record if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+    assert "repro.runtime" in str(deprecations[0].message)
+    return result
+
+
+def _same_run(a, b):
+    assert a.name == b.name
+    assert a.steps == b.steps
+    assert a.hierarchy_stats == b.hierarchy_stats
+    assert a.extras == b.extras
+
+
+class TestShimDelegation:
+    def test_pipeline_run_baseline(self, replay_setup):
+        from repro.core.pipeline import run_baseline as legacy
+
+        grid, context = replay_setup
+        got = _call_shim(
+            legacy, context, _hierarchy(grid), match="run_baseline is deprecated"
+        )
+        _same_run(got, run_baseline(context, _hierarchy(grid)))
+
+    def test_prefetch_driver(self, replay_setup, small_sampling):
+        from repro.prefetch.driver import run_with_prefetcher as legacy
+        from repro.prefetch.strategies import MarkovPrefetcher
+
+        grid, context = replay_setup
+        got = _call_shim(
+            legacy, context, _hierarchy(grid), MarkovPrefetcher(),
+            match="run_with_prefetcher is deprecated",
+        )
+        _same_run(
+            got, run_with_prefetcher(context, _hierarchy(grid), MarkovPrefetcher())
+        )
+
+    def test_interactive_run_budgeted(self, replay_setup):
+        from repro.core.interactive import run_budgeted as legacy
+
+        grid, context = replay_setup
+        got = _call_shim(
+            legacy, context, _hierarchy(grid), 0.05,
+            match="run_budgeted is deprecated",
+        )
+        want = run_budgeted(context, _hierarchy(grid), 0.05)
+        assert got.name == want.name
+        assert got.io_budget_s == want.io_budget_s
+        import dataclasses
+
+        import numpy as np
+
+        for g, w in zip(got.steps, want.steps):
+            for f in dataclasses.fields(g):
+                gv, wv = getattr(g, f.name), getattr(w, f.name)
+                if isinstance(gv, np.ndarray):
+                    assert np.array_equal(gv, wv)
+                else:
+                    assert gv == wv
+
+    def test_temporal_run_temporal(self):
+        from repro.core.temporal import run_temporal as legacy
+
+        series = make_time_varying_climate(shape=(16, 16, 8), n_timesteps=2, seed=5)
+        grid = BlockGrid(series.shape, (8, 8, 8))
+        path = spherical_path(
+            n_positions=8, degrees_per_step=5.0, distance=2.5,
+            view_angle_deg=VIEW, seed=1,
+        )
+        context = PipelineContext.create(path, grid)
+
+        def hierarchy():
+            return make_standard_hierarchy(
+                n_blocks=series.n_total_blocks(grid),
+                block_nbytes=grid.uniform_block_nbytes(),
+                cache_ratio=0.5,
+            )
+
+        got = _call_shim(
+            legacy, context, series, hierarchy(), 4,
+            match="run_temporal is deprecated",
+        )
+        _same_run(got, run_temporal(context, series, hierarchy(), 4))
+
+    def test_optimizer_class(self, replay_setup, small_sampling):
+        from repro.core.optimizer import AppAwareOptimizer as LegacyOptimizer
+        from repro.tables.builder import build_importance_table, build_visible_table
+        from repro.volume.synthetic import ball_field
+        from repro.volume.volume import Volume
+
+        grid, context = replay_setup
+        volume = Volume(ball_field((32, 32, 32)), name="shim_ball")
+        vtable = build_visible_table(grid, small_sampling, VIEW, seed=0)
+        itable = build_importance_table(volume, grid)
+        with pytest.warns(DeprecationWarning, match="AppAwareOptimizer is deprecated"):
+            legacy = LegacyOptimizer(vtable, itable, OptimizerConfig())
+        got = legacy.run(context, _hierarchy(grid))
+        want = AppAwareOptimizer(vtable, itable, OptimizerConfig()).run(
+            context, _hierarchy(grid)
+        )
+        _same_run(got, want)
+        assert isinstance(legacy, AppAwareOptimizer)
+
+
+class TestPackageLevelNamesAreWarningFree:
+    def test_package_imports_and_calls(self, replay_setup):
+        """`from repro import run_baseline` is the canonical spelling."""
+        grid, context = replay_setup
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro import run_baseline as top_level
+            from repro.core import run_baseline as core_level
+            from repro.prefetch import run_with_prefetcher as _pf  # noqa: F401
+
+            assert top_level is run_baseline
+            assert core_level is run_baseline
+            top_level(context, _hierarchy(grid))

@@ -15,12 +15,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.camera.path import spherical_path
-from repro.core.interactive import run_budgeted
-from repro.core.pipeline import PipelineContext, run_baseline
+from repro.runtime import run_baseline, run_budgeted, run_with_prefetcher
+from repro.core.pipeline import PipelineContext
 from repro.experiments.runner import fresh_hierarchy
 from repro.faults import FaultInjector, FaultPlan
 from repro.policies.registry import make_policy
-from repro.prefetch.driver import run_with_prefetcher
 from repro.prefetch.strategies import MotionExtrapolationPrefetcher
 from repro.storage.cache import CacheLevel
 from repro.storage.device import DRAM, HDD, SSD

@@ -10,10 +10,10 @@ import pytest
 
 from repro.camera.path import random_path
 from repro.camera.sampling import SamplingConfig
-from repro.core.interactive import run_budgeted
-from repro.core.pipeline import run_baseline
+from repro.runtime import run_budgeted
+from repro.runtime import run_baseline
 from repro.experiments.runner import ExperimentSetup
-from repro.prefetch.driver import run_with_prefetcher
+from repro.runtime import run_with_prefetcher
 from repro.prefetch.strategies import MotionExtrapolationPrefetcher
 from repro.trace import Tracer, aggregate
 
