@@ -29,7 +29,15 @@ from repro.utils.geometry import (
 from repro.utils.rng import SeedLike, resolve_rng
 from repro.utils.validation import check_positive
 
-__all__ = ["CameraPath", "spherical_path", "random_path", "zoom_path", "waypoint_path", "composite_path"]
+__all__ = [
+    "CameraPath",
+    "spherical_path",
+    "random_path",
+    "zoom_path",
+    "waypoint_path",
+    "flythrough_path",
+    "composite_path",
+]
 
 
 @dataclass(frozen=True)
@@ -209,6 +217,45 @@ def waypoint_path(
             d = (1 - t) * d0 + t * d1
             positions.append(direction * d)
     return CameraPath(np.asarray(positions), view_angle_deg, name=name)
+
+
+def flythrough_path(
+    n_positions: int = 100,
+    distance: float = 2.5,
+    distance_spread: float = 0.4,
+    n_waypoints: int = 5,
+    view_angle_deg: float = DEFAULT_VIEW_ANGLE_DEG,
+    seed: SeedLike = 0,
+) -> CameraPath:
+    """A seeded tour through random saved viewpoints (a "flythrough").
+
+    Draws ``n_waypoints`` random directions at distances uniform in
+    ``distance ± distance_spread * distance`` and reconstructs the motion
+    between them with :func:`waypoint_path` — long smooth sweeps across
+    the sphere with drifting distance, the third workload family of the
+    multi-viewer load mix (alongside orbit and zoom).  Exactly
+    ``n_positions`` positions are returned.
+    """
+    check_positive("n_positions", n_positions)
+    check_positive("distance", distance)
+    if not 0.0 <= distance_spread < 1.0:
+        raise ValueError(f"distance_spread must be in [0, 1), got {distance_spread}")
+    if n_waypoints < 2:
+        raise ValueError(f"n_waypoints must be >= 2, got {n_waypoints}")
+    rng = resolve_rng(seed)
+    dirs = np.stack([normalize(rng.standard_normal(3)) for _ in range(n_waypoints)])
+    lo = distance * (1.0 - distance_spread)
+    hi = distance * (1.0 + distance_spread)
+    dists = rng.uniform(lo, hi, size=n_waypoints)
+    waypoints = dirs * dists[:, None]
+    steps = max(1, -(-(n_positions - 1) // (n_waypoints - 1)))  # ceil division
+    path = waypoint_path(
+        waypoints, steps_per_segment=steps, view_angle_deg=view_angle_deg,
+        name="flythrough",
+    )
+    return CameraPath(
+        path.positions[:n_positions].copy(), view_angle_deg, name="flythrough"
+    )
 
 
 def composite_path(paths: Sequence[CameraPath], name: str = "composite") -> CameraPath:

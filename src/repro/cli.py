@@ -11,7 +11,10 @@ Subcommands mirror a real out-of-core visualization workflow:
   Chrome-trace JSON (and optionally JSONL) plus a per-step summary table;
 - ``bench``      — run the pinned regression suite and write a
   schema-versioned ``BENCH_<label>.json``, or compare two such snapshots
-  (``--compare old.json new.json``, non-zero exit on regression).
+  (``--compare old.json new.json``, non-zero exit on regression);
+- ``serve-sim``  — simulate N concurrent viewer sessions over one shared
+  hierarchy (tenant quotas, fairness, per-tenant tail latencies) and
+  write ``SERVE_<label>.json``, or compare two such snapshots.
 
 Experiment regeneration lives under ``python -m repro.experiments``.
 """
@@ -28,7 +31,7 @@ from repro.experiments.report import format_run_summaries
 from repro.experiments.runner import ExperimentSetup, compare_policies
 from repro.faults import FAULT_PROFILES
 from repro.policies.registry import POLICY_NAMES
-from repro.runtime.config import REPLAY_ENGINES, RunConfig
+from repro.runtime.config import REPLAY_ENGINES, WORKLOAD_NAMES, RunConfig
 from repro.runtime.registries import WORKLOADS, make_workload
 from repro.volume.datasets import DATASETS, dataset_table
 
@@ -107,6 +110,46 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--verbose", action="store_true",
                      help="show unchanged metrics in the comparison table")
 
+    srv = sub.add_parser(
+        "serve-sim",
+        help="simulate N concurrent viewer sessions over a shared hierarchy "
+             "(SERVE_<label>.json) or compare snapshots",
+    )
+    srv.add_argument("--sessions", type=_positive_int, default=8,
+                     help="number of concurrent viewer sessions (default 8)")
+    srv.add_argument("--session-steps", type=_positive_int, default=24,
+                     help="camera positions per session (default 24)")
+    srv.add_argument("--mix", type=float, nargs=3, default=(0.5, 0.25, 0.25),
+                     metavar=("ORBIT", "ZOOM", "FLYTHROUGH"),
+                     help="workload mix weights (default 0.5 0.25 0.25)")
+    srv.add_argument("--arrival-rate", type=float, default=2.0,
+                     help="mean session arrivals per simulated second "
+                          "(exponential inter-arrivals; <= 0: all at t=0)")
+    srv.add_argument("--serve-blocks", type=_positive_int, default=256,
+                     help="target block count of the shared dataset (default 256)")
+    srv.add_argument("--serve-scale", type=float, default=0.08,
+                     help="per-axis shrink of the paper resolution (default 0.08)")
+    srv.add_argument("--cache-ratio", type=float, default=0.5)
+    srv.add_argument("--policy", choices=list(POLICY_NAMES), default="lru")
+    srv.add_argument("--partition", choices=("equal", "none"), default="equal",
+                     help="tenant cache partition: equal per-tenant quotas "
+                          "(default) or none (free-for-all sharing)")
+    srv.add_argument("--serve-seed", type=int, default=0,
+                     help="seed of the whole scenario (mix, arrivals, paths)")
+    srv.add_argument("--label", default="local",
+                     help="snapshot label: writes SERVE_<label>.json")
+    srv.add_argument("--out", type=Path, default=Path("."),
+                     help="directory the snapshot is written into (default: cwd)")
+    srv.add_argument("--engine", choices=REPLAY_ENGINES, default="batched")
+    srv.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                     help="compare two snapshots instead of running the scenario")
+    srv.add_argument("--threshold", type=float, default=0.25,
+                     help="relative regression threshold for --compare (default 0.25)")
+    srv.add_argument("--warn-only", action="store_true",
+                     help="report regressions but exit 0 (PR-gate mode)")
+    srv.add_argument("--verbose", action="store_true",
+                     help="show unchanged metrics in the comparison table")
+
     ren = sub.add_parser("render", help="ray-cast one frame to a PPM image")
     _add_dataset_args(ren)
     ren.add_argument("--out", type=Path, default=Path("frame.ppm"))
@@ -142,7 +185,7 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
 
 
 def _add_path_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--path-type", choices=("random", "spherical", "zoom"), default="random")
+    p.add_argument("--path-type", choices=WORKLOAD_NAMES, default="random")
     p.add_argument("--steps", type=int, default=120, help="camera positions on the path")
     p.add_argument("--degrees", type=float, nargs=2, default=(5.0, 10.0),
                    metavar=("LO", "HI"), help="per-step direction change range")
@@ -325,6 +368,65 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve_sim(args) -> int:
+    from repro.experiments.loadgen import (
+        LoadGenConfig,
+        compare_serve,
+        format_serve_comparison,
+        load_serve,
+        run_load,
+        write_serve,
+    )
+
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        try:
+            old, new = load_serve(old_path), load_serve(new_path)
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"error: {exc}")
+            return 2
+        rows = compare_serve(old, new, threshold=args.threshold)
+        print(f"comparing {old_path} -> {new_path}, threshold {args.threshold:.0%}")
+        print(format_serve_comparison(rows, verbose=args.verbose))
+        n_regressions = sum(1 for r in rows if r["status"] == "regressed")
+        if n_regressions and args.warn_only:
+            print(f"warn-only: {n_regressions} regression(s) ignored")
+            return 0
+        return 1 if n_regressions else 0
+
+    try:
+        config = LoadGenConfig(
+            n_sessions=args.sessions,
+            mix=tuple(args.mix),
+            arrival_rate_hz=args.arrival_rate,
+            steps=args.session_steps,
+            blocks=args.serve_blocks,
+            scale=args.serve_scale,
+            cache_ratio=args.cache_ratio,
+            policy=args.policy,
+            partition=args.partition,
+            seed=args.serve_seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    doc = run_load(config, engine=args.engine)
+    path = write_serve(doc, args.label, args.out)
+    mt = doc["multi_tenant"]
+    frames = mt["frame_times"]
+    print(f"wrote {path} ({mt['n_sessions']} sessions, partition {args.partition}, "
+          f"schema v{doc['schema_version']}, makespan {mt['makespan_s']:.3f}s sim)")
+    print(f"fairness (Jain, hit rate): {frames['fairness_jain']:.4f}; "
+          f"pooled frame time p99 {frames['pooled']['p99'] * 1e3:.2f} ms; "
+          f"cross-tenant evictions: {mt['cross_evictions']}")
+    for tenant in sorted(frames["per_tenant"]):
+        s = frames["per_tenant"][tenant]
+        print(f"  {tenant}: p50 {s['p50'] * 1e3:7.2f} ms  p95 {s['p95'] * 1e3:7.2f} ms  "
+              f"p99 {s['p99'] * 1e3:7.2f} ms  ({s['count']} frames, "
+              f"{doc['workloads'].get(tenant, '?')})")
+    return 0
+
+
 def _cmd_render(args) -> int:
     from repro.camera.model import Camera
     from repro.render.raycast import Raycaster, RenderSettings
@@ -353,6 +455,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "serve-sim": _cmd_serve_sim,
     "render": _cmd_render,
 }
 

@@ -101,6 +101,7 @@ def run_budgeted(
     registry=None,
     profiler=None,
     engine: str = "batched",
+    ctx=None,
 ) -> BudgetedResult:
     """Deprecated shim: the driver moved to :func:`repro.runtime.run_budgeted`.
 
@@ -130,6 +131,7 @@ def run_budgeted(
         registry=registry,
         profiler=profiler,
         engine=engine,
+        ctx=ctx,
     )
 
 

@@ -114,6 +114,7 @@ def run_baseline(
     registry=None,
     profiler=None,
     engine: str = "batched",
+    ctx=None,
 ) -> RunResult:
     """Deprecated shim: the driver moved to :func:`repro.runtime.run_baseline`.
 
@@ -139,4 +140,5 @@ def run_baseline(
         registry=registry,
         profiler=profiler,
         engine=engine,
+        ctx=ctx,
     )

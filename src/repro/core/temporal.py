@@ -33,6 +33,7 @@ def run_temporal(
     prefetch_next_timestep: bool = True,
     lookup_cost: Optional[LookupCostModel] = None,
     name: str = "temporal",
+    ctx=None,
 ) -> RunResult:
     """Deprecated shim: use :func:`repro.runtime.run_temporal`."""
     warnings.warn(
@@ -54,4 +55,5 @@ def run_temporal(
         prefetch_next_timestep=prefetch_next_timestep,
         lookup_cost=lookup_cost,
         name=name,
+        ctx=ctx,
     )

@@ -11,6 +11,11 @@ Run from the command line::
     python -m repro.experiments --figure fig12
 """
 
+from repro.experiments.loadgen import (
+    LoadGenConfig,
+    make_session_specs,
+    run_load,
+)
 from repro.experiments.runner import (
     ExperimentSetup,
     fresh_hierarchy,
@@ -26,6 +31,9 @@ __all__ = [
     "fresh_hierarchy",
     "belady_hierarchy",
     "compare_policies",
+    "LoadGenConfig",
+    "make_session_specs",
+    "run_load",
     "format_table",
     "format_series",
     "parameter_sweep",

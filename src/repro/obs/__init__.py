@@ -13,6 +13,9 @@ component defaults to a shared no-op so unmetered runs stay byte-identical):
   schema-versioned ``BENCH_<label>.json`` snapshots and the threshold
   comparison behind ``repro bench --compare``.  (Imported lazily — see
   the module — to keep this package import-light for the storage layer.)
+
+:mod:`repro.obs.fairness` adds the multi-tenant summaries (Jain fairness
+index, per-tenant frame-time tails) the session scheduler reports.
 """
 
 from repro.obs.metrics import (
@@ -25,9 +28,13 @@ from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     default_latency_buckets,
 )
+from repro.obs.fairness import TenantFrameStats, jain_index, percentile_summary
 from repro.obs.profiler import NullProfiler, NULL_PROFILER, PhaseProfiler
 
 __all__ = [
+    "TenantFrameStats",
+    "jain_index",
+    "percentile_summary",
     "Counter",
     "Gauge",
     "Histogram",

@@ -46,6 +46,7 @@ __all__ = [
     "BENCH_CELLS",
     "PROFILE_CELL",
     "BenchConfig",
+    "derive_fault_seed",
     "run_bench",
     "write_bench",
     "load_bench",
@@ -132,6 +133,22 @@ BENCH_CELLS: Tuple[Tuple[str, str], ...] = (
 PROFILE_CELL = "orbit/app-aware"
 
 
+def derive_fault_seed(base: int, index: int) -> int:
+    """Deterministic per-cell fault seed: hash of ``(base, cell index)``.
+
+    Every suite cell must see a *distinct* fault draw (seeding each cell's
+    injector with the raw base seed would fire the identical fault
+    schedule into four different workloads), yet the derivation has to be
+    a pure function of the pinned config so serial and ``--workers N``
+    runs produce byte-identical snapshots.  SeedSequence's spawn-stable
+    hashing gives both.
+    """
+    import numpy as np
+
+    seq = np.random.SeedSequence([int(base) & (2**63 - 1), int(index)])
+    return int(seq.generate_state(1, dtype=np.uint64)[0] & (2**63 - 1))
+
+
 def _run_one(
     setup: ExperimentSetup,
     path,
@@ -139,6 +156,7 @@ def _run_one(
     config: BenchConfig,
     engine: str = "batched",
     profiler: Optional[PhaseProfiler] = None,
+    cell_index: int = 0,
 ) -> Dict[str, object]:
     """One (path, policy) cell: run instrumented, snapshot everything."""
     t0 = time.perf_counter()
@@ -153,8 +171,9 @@ def _run_one(
     # cost; the scalar engine keeps the exact per-block event stream.
     hierarchy.aggregate_trace = engine == "batched"
     injector = None
+    derived_seed = derive_fault_seed(config.fault_seed, cell_index)
     if config.faults != "none":
-        injector = FaultInjector(FaultPlan.from_profile(config.faults, seed=config.fault_seed))
+        injector = FaultInjector(FaultPlan.from_profile(config.faults, seed=derived_seed))
         hierarchy.set_fault_injector(injector)
     with profiler.span("replay"):
         if policy == "app-aware":
@@ -205,6 +224,7 @@ def _run_one(
         run["faults"] = {
             "profile": config.faults,
             "seed": config.fault_seed,
+            "derived_seed": derived_seed,
             "stats": injector.stats.as_dict(),
             "trace": {
                 "faults": summary.total_faults,
@@ -246,12 +266,14 @@ def _init_worker(config: BenchConfig) -> None:
     _WORKER_STATE["setup"] = setup
 
 
-def _worker_cell(cell: Tuple[str, str, str]) -> Tuple[str, Dict[str, object]]:
-    path_name, policy, engine = cell
+def _worker_cell(cell: Tuple[int, str, str, str]) -> Tuple[str, Dict[str, object]]:
+    index, path_name, policy, engine = cell
     config: BenchConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
     setup: ExperimentSetup = _WORKER_STATE["setup"]  # type: ignore[assignment]
     path = _paths(config, setup.view_angle_deg)[path_name]
-    return f"{path_name}/{policy}", _run_one(setup, path, policy, config, engine=engine)
+    return f"{path_name}/{policy}", _run_one(
+        setup, path, policy, config, engine=engine, cell_index=index
+    )
 
 
 def run_bench(
@@ -312,7 +334,7 @@ def run_bench(
         n_workers = min(workers, len(BENCH_CELLS))
         if n_workers > 1:
             notify(f"runs: {len(BENCH_CELLS)} cells on {n_workers} workers")
-            cells = [(p, pol, engine) for p, pol in BENCH_CELLS]
+            cells = [(i, p, pol, engine) for i, (p, pol) in enumerate(BENCH_CELLS)]
             with suite_profiler.span("runs"):
                 with ProcessPoolExecutor(
                     max_workers=n_workers,
@@ -328,13 +350,45 @@ def run_bench(
                 setup.importance_table  # noqa: B018 - builds and caches
                 setup.visible_table  # noqa: B018 - builds and caches
             paths = _paths(config, setup.view_angle_deg)
-            for path_name, policy in BENCH_CELLS:
+            for index, (path_name, policy) in enumerate(BENCH_CELLS):
                 key = f"{path_name}/{policy}"
                 notify(f"run: {key}")
                 with suite_profiler.span(f"run {path_name}:{policy}"):
                     runs[key] = _run_one(
-                        setup, paths[path_name], policy, config, engine=engine
+                        setup, paths[path_name], policy, config,
+                        engine=engine, cell_index=index,
                     )
+
+        # The multi-tenant serving scenario: a pinned 8-session
+        # orbit/zoom/flythrough mix over one shared hierarchy with equal
+        # tenant quotas, capped so the DRAM level can hold at least one
+        # block per tenant on the tiniest configs.  Every number in it is
+        # simulated-clock derived, so per-tenant tail latencies and the
+        # fairness gauge gate the same way the single-stream cells do.
+        from repro.experiments.loadgen import LoadGenConfig, run_load
+
+        dram_capacity = max(
+            1, int(round(setup.grid.n_blocks * config.cache_ratio**2))
+        )
+        n_sessions = min(4 if quick else 8, dram_capacity)
+        notify(f"multi-tenant: {n_sessions}-session mixed serve scenario")
+        with suite_profiler.span("multi_tenant"):
+            serve_doc = run_load(
+                LoadGenConfig(
+                    n_sessions=n_sessions,
+                    steps=6 if quick else 12,
+                    blocks=config.blocks,
+                    scale=config.scale,
+                    cache_ratio=config.cache_ratio,
+                    seed=config.seed,
+                ),
+                engine=engine,
+            )
+        multi_tenant = {
+            "config": serve_doc["config"],
+            "workloads": serve_doc["workloads"],
+            **serve_doc["multi_tenant"],
+        }
 
     doc: Dict[str, object] = {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -344,6 +398,7 @@ def run_bench(
         "workers": n_workers,
         "config": asdict(config),
         "runs": runs,
+        "multi_tenant": multi_tenant,
         "suite_wall_s": time.perf_counter() - t0,  # informational; never compared
         "phases": suite_profiler.report(),
     }
@@ -359,6 +414,7 @@ def run_bench(
             config,
             engine=engine,
             profiler=run_profiler,
+            cell_index=BENCH_CELLS.index((path_name, policy)),
         )
         out = run_profiler.write_chrome_trace(profile_path)
         doc["profile"] = {"cell": PROFILE_CELL, "path": str(out)}
@@ -431,6 +487,19 @@ def comparable_metrics(doc: Dict[str, object]) -> Dict[str, Tuple[float, str]]:
         drops = run.get("trace", {}).get("n_dropped")
         if isinstance(drops, int):
             out[f"{run_key}.trace.n_dropped"] = (float(drops), "lower")
+    # Multi-tenant serving metrics (absent from pre-multi-tenant snapshots:
+    # they then report "missing" on one side and never regress).
+    mt = doc.get("multi_tenant")
+    if mt:
+        frames = mt["frame_times"]
+        out["multi_tenant.fairness_jain"] = (float(frames["fairness_jain"]), "higher")
+        out["multi_tenant.cross_evictions"] = (float(mt["cross_evictions"]), "lower")
+        out["multi_tenant.makespan_s"] = (float(mt["makespan_s"]), "lower")
+        for pct in ("p50", "p95", "p99"):
+            out[f"multi_tenant.pooled.{pct}"] = (float(frames["pooled"][pct]), "lower")
+        for tenant, row in sorted(frames["per_tenant"].items()):
+            for pct in ("p50", "p95", "p99"):
+                out[f"multi_tenant.{tenant}.{pct}"] = (float(row[pct]), "lower")
     return out
 
 

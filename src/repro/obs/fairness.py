@@ -1,0 +1,137 @@
+"""Fairness and tail-latency summaries for multi-tenant runs.
+
+A shared :class:`~repro.storage.hierarchy.MemoryHierarchy` serves many
+concurrent viewer sessions; what matters at that scale is not one
+stream's mean latency but the *distribution across tenants* — does a hot
+session starve its neighbours?  Two standard summaries cover this:
+
+- **Jain's fairness index** on a per-tenant quality signal (hit rate,
+  throughput): ``J = (Σx)² / (n·Σx²)``, which is 1 when every tenant gets
+  the same share and ``1/n`` when one tenant gets everything.
+- **Tail percentiles** (p50/p95/p99) of per-tenant frame times, the
+  interactive-visualization SLO currency.
+
+Both are pure functions of simulated quantities, so their values are
+machine-independent and safe to gate CI on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["jain_index", "percentile_summary", "TenantFrameStats"]
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index of an allocation: ``(Σx)² / (n·Σx²)``.
+
+    1.0 means perfectly even; ``1/n`` means one tenant holds everything.
+    Empty input and the all-zero allocation both report 1.0 (nothing is
+    unfairly shared).  Negative values are rejected — the index is only
+    meaningful for non-negative allocations.
+    """
+    xs = [float(v) for v in values]
+    if any(x < 0 for x in xs):
+        raise ValueError("jain_index requires non-negative values")
+    if not xs:
+        return 1.0
+    s2 = sum(x * x for x in xs)
+    if s2 == 0.0:
+        return 1.0
+    s = sum(xs)
+    return (s * s) / (len(xs) * s2)
+
+
+def percentile_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 plus mean/max/count of a sample list.
+
+    Quantiles are computed from the raw samples (linear interpolation),
+    not histogram buckets, so two runs with identical frame times report
+    bit-identical summaries — the property the serve-smoke CI gate relies
+    on.  Empty input returns all-zero.
+    """
+    if len(samples) == 0:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0, "count": 0}
+    arr = np.asarray(samples, dtype=np.float64)
+    q50, q95, q99 = np.quantile(arr, [0.50, 0.95, 0.99])
+    return {
+        "p50": float(q50),
+        "p95": float(q95),
+        "p99": float(q99),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+        "count": int(arr.size),
+    }
+
+
+class TenantFrameStats:
+    """Accumulates per-tenant frame times and hit counts for one run.
+
+    The session scheduler feeds one ``observe`` per completed frame; the
+    report side produces per-tenant tail summaries, the pooled summary
+    across every frame of every tenant, and the Jain index over per-tenant
+    hit rates.  When a registry is supplied, each observation also lands
+    in a ``tenant_frame_time_seconds{tenant=...}`` histogram and the final
+    fairness value in a ``tenant_fairness_jain`` gauge, so the standard
+    metrics surface sees the same numbers.
+    """
+
+    def __init__(self, registry=None) -> None:
+        self._frames: Dict[str, list] = {}
+        self._hits: Dict[str, int] = {}
+        self._lookups: Dict[str, int] = {}
+        self._registry = registry
+        self._hists: Dict[str, object] = {}
+
+    def observe(self, tenant: str, frame_time_s: float, n_visible: int, n_misses: int) -> None:
+        """Record one finished frame for ``tenant``."""
+        self._frames.setdefault(tenant, []).append(float(frame_time_s))
+        self._hits[tenant] = self._hits.get(tenant, 0) + (int(n_visible) - int(n_misses))
+        self._lookups[tenant] = self._lookups.get(tenant, 0) + int(n_visible)
+        if self._registry is not None and self._registry.enabled:
+            hist = self._hists.get(tenant)
+            if hist is None:
+                hist = self._hists[tenant] = self._registry.histogram(
+                    "tenant_frame_time_seconds", tenant=tenant, kind="sim"
+                )
+            hist.observe(float(frame_time_s))
+
+    @property
+    def tenants(self) -> tuple:
+        return tuple(self._frames)
+
+    def hit_rates(self) -> Dict[str, float]:
+        """Demand hit rate of the fastest level, per tenant."""
+        return {
+            t: (self._hits[t] / self._lookups[t]) if self._lookups[t] else 0.0
+            for t in self._frames
+        }
+
+    def fairness(self) -> float:
+        """Jain index over per-tenant hit rates (1.0 with no tenants)."""
+        value = jain_index(self.hit_rates().values())
+        if self._registry is not None and self._registry.enabled:
+            self._registry.gauge("tenant_fairness_jain").set(value)
+        return value
+
+    def per_tenant(self) -> Dict[str, Dict[str, float]]:
+        """Frame-time tail summary per tenant."""
+        return {t: percentile_summary(frames) for t, frames in self._frames.items()}
+
+    def pooled(self) -> Dict[str, float]:
+        """Frame-time tail summary across every tenant's frames."""
+        merged: list = []
+        for frames in self._frames.values():
+            merged.extend(frames)
+        return percentile_summary(merged)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-plain report: per-tenant tails, pooled tails, fairness."""
+        return {
+            "per_tenant": self.per_tenant(),
+            "pooled": self.pooled(),
+            "hit_rates": self.hit_rates(),
+            "fairness_jain": self.fairness(),
+        }

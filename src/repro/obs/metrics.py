@@ -196,6 +196,13 @@ class Histogram:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        # Exact endpoints and the degenerate single-point distribution:
+        # these also guard the interpolation below against ever leaving
+        # [min, max] when all mass sits in the overflow bucket.
+        if q == 0.0 or self.min == self.max:
+            return self.min
+        if q == 1.0:
+            return self.max
         target = q * self.count
         cum = 0
         for i, n in enumerate(self.counts):

@@ -35,6 +35,7 @@ def run_with_prefetcher(
     registry=None,
     profiler=None,
     engine: str = "batched",
+    ctx=None,
 ) -> RunResult:
     """Deprecated shim: use :func:`repro.runtime.run_with_prefetcher`."""
     warnings.warn(
@@ -57,4 +58,5 @@ def run_with_prefetcher(
         registry=registry,
         profiler=profiler,
         engine=engine,
+        ctx=ctx,
     )

@@ -18,7 +18,10 @@ in ``core/pipeline.py``, ``prefetch/driver.py``, ``core/interactive.py``,
   ~20-line recipe; the old import paths delegate here via deprecation
   shims;
 - :mod:`~repro.runtime.registries` — stage/prefetcher/workload/policy
-  registries, so new behaviours are registered rather than threaded.
+  registries, so new behaviours are registered rather than threaded;
+- :mod:`~repro.runtime.sessions` — the event-driven multi-tenant session
+  scheduler interleaving N viewer sessions over one shared hierarchy
+  (``repro serve-sim``).
 
 See ``DESIGN.md`` ("The runtime engine") for the architecture diagram and
 ``docs/TUTORIAL.md`` ("Writing a custom stage") for an extension example.
@@ -59,6 +62,7 @@ from repro.runtime.registries import (
     register_stage,
     register_workload,
 )
+from repro.runtime.sessions import SessionSpec, SessionsResult, run_sessions
 from repro.runtime.stages import (
     AdaptiveSigmaStage,
     BudgetedFetchStage,
@@ -92,6 +96,9 @@ __all__ = [
     "run_with_prefetcher",
     "run_budgeted",
     "run_temporal",
+    "run_sessions",
+    "SessionSpec",
+    "SessionsResult",
     "AppAwareOptimizer",
     "Frame",
     "Stage",

@@ -44,7 +44,7 @@ __all__ = [
 REPLAY_ENGINES = ("batched", "scalar")
 
 #: Workload (camera path) generators the runtime knows how to build.
-WORKLOAD_NAMES = ("random", "spherical", "zoom")
+WORKLOAD_NAMES = ("random", "spherical", "zoom", "flythrough")
 
 #: Prefetcher names resolvable by the runtime registry.
 PREFETCHER_NAMES = ("none", "table", "motion", "markov")
@@ -150,7 +150,10 @@ RUN_CONFIG_SCHEMA: Dict[str, Tuple[Callable[[str, Any, "RunConfig"], None], str]
     "blocks": (_check_positive_int, "target block count for the grid"),
     "scale": (_check_optional_positive, "per-axis shrink of the paper resolution"),
     "seed": (_check_int, "seed for dataset synthesis and the camera path"),
-    "workload": (_check_workload, "camera-path generator (random/spherical/zoom)"),
+    "workload": (
+        _check_workload,
+        "camera-path generator (random/spherical/zoom/flythrough)",
+    ),
     "steps": (_check_positive_int, "view points on the camera path"),
     "degrees": (_check_degrees, "per-step direction change range (lo, hi)"),
     "distance": (_check_positive_float, "camera distance from the volume center"),

@@ -44,10 +44,12 @@ class RunContext:
     clock: SimClock = field(default_factory=SimClock)
     rng: Any = None
     seed: SeedLike = 0
+    session_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rng is None:
             self.rng = resolve_rng(self.seed)
+        self._fork_count = 0
 
     @classmethod
     def create(
@@ -97,6 +99,62 @@ class RunContext:
         self.registry = hierarchy.registry
         self.profiler = resolve_profiler(self.profiler)
         return self
+
+    def fork(self, session_id: Optional[str] = None) -> "RunContext":
+        """A child context with *fresh* per-run service instances.
+
+        Reusing one ``ctx=`` across two consecutive driver runs accumulates
+        trace events and metrics samples and advances the shared ``rng``,
+        silently corrupting the second run's snapshot.  ``fork`` is the
+        supported way to share a configuration across runs: each enabled
+        service is replaced by a fresh instance of the same shape (a new
+        ``Tracer`` of the parent's capacity, a new ``MetricsRegistry``, a
+        new ``PhaseProfiler``, a new ``FaultInjector`` over the same seeded
+        plan, a zeroed ``SimClock``), null services pass through shared,
+        and the child ``rng`` is derived deterministically from the parent
+        seed and a per-parent fork counter — so fork #k of a given parent
+        is reproducible without matching the parent's stream.
+        """
+        import numpy as np
+
+        tracer = self.tracer
+        if tracer is not None and getattr(tracer, "enabled", False):
+            from repro.trace.tracer import Tracer
+
+            tracer = Tracer(capacity=tracer.capacity)
+        registry = self.registry
+        if registry is not None and getattr(registry, "enabled", False):
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        profiler = self.profiler
+        if profiler is not None and getattr(profiler, "enabled", False):
+            from repro.obs.profiler import PhaseProfiler
+
+            profiler = PhaseProfiler(
+                tracer=tracer, keep_timeline=getattr(profiler, "keep_timeline", False)
+            )
+        injector = self.fault_injector
+        if injector is not None:
+            from repro.faults import FaultInjector
+
+            injector = FaultInjector(injector.plan)
+        self._fork_count += 1
+        if isinstance(self.seed, (int, np.integer)):
+            entropy = [int(self.seed) & (2**63 - 1), self._fork_count]
+        else:  # non-int seeds fork off the counter alone, still deterministic
+            entropy = [self._fork_count]
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        return RunContext(
+            tracer=tracer,
+            registry=registry,
+            profiler=profiler,
+            fault_injector=injector,
+            clock=SimClock(),
+            rng=rng,
+            seed=self.seed,
+            session_id=session_id,
+        )
 
     @property
     def bound(self) -> bool:

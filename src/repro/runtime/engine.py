@@ -99,6 +99,7 @@ class SimulationEngine:
         collector: Collector,
         ctx: Optional[RunContext] = None,
         engine: str = "batched",
+        tenant: Optional[str] = None,
     ) -> None:
         if engine not in REPLAY_ENGINES:
             raise ValueError(f"engine must be one of {REPLAY_ENGINES}, got {engine!r}")
@@ -109,6 +110,9 @@ class SimulationEngine:
         self.ctx = (ctx if ctx is not None else RunContext()).bind(hierarchy)
         self.engine = engine
         self.batched = engine == "batched"
+        #: Tenant label stamped on every fetch the stages issue (quota
+        #: accounting in a shared hierarchy); None outside multi-tenant runs.
+        self.tenant = tenant
 
     def run(self):
         """Execute the recipe over every view point; returns the result."""

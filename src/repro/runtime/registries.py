@@ -6,7 +6,8 @@ New behaviours are *registered*, not threaded through driver signatures:
   resolvable by name when assembling a recipe;
 - **prefetchers** — the strategy names a :class:`~repro.runtime.config.RunConfig`
   may reference (``none``/``table``/``motion``/``markov`` built in);
-- **workloads** — camera-path generators (``random``/``spherical``/``zoom``);
+- **workloads** — camera-path generators
+  (``random``/``spherical``/``zoom``/``flythrough``);
 - **policies** — re-exported from :mod:`repro.policies.registry`, the
   registry that predates this module.
 
@@ -208,10 +209,19 @@ def _make_zoom_path(steps, degrees, distance, view_angle_deg, seed):
     )
 
 
+def _make_flythrough_path(steps, degrees, distance, view_angle_deg, seed):
+    from repro.camera.path import flythrough_path
+
+    return flythrough_path(
+        steps, distance=distance, view_angle_deg=view_angle_deg, seed=seed,
+    )
+
+
 WORKLOADS = Registry("workload")
 WORKLOADS.register("random", _make_random_path)
 WORKLOADS.register("spherical", _make_spherical_path)
 WORKLOADS.register("zoom", _make_zoom_path)
+WORKLOADS.register("flythrough", _make_flythrough_path)
 
 
 def register_workload(name: str, factory: Callable[..., Any]) -> None:

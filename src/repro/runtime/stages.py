@@ -131,16 +131,21 @@ class DemandFetchStage(Stage):
         fastest = hierarchy.fastest
         min_free = frame.step if self.protect else None
         fast_misses_before = fastest.stats.misses
+        tenant = getattr(engine, "tenant", None)
         with engine.ctx.profiler.span("fetch"):
             if engine.batched:
-                res = hierarchy.fetch_many(frame.ids, frame.step, min_free_step=min_free)
+                res = hierarchy.fetch_many(
+                    frame.ids, frame.step, min_free_step=min_free, tenant=tenant
+                )
                 frame.io_time_s = res.time_s
                 frame.n_dropped = res.n_dropped
             else:
                 io = 0.0
                 dropped = 0
                 for b in frame.ids:
-                    r = hierarchy.fetch(int(b), frame.step, min_free_step=min_free)
+                    r = hierarchy.fetch(
+                        int(b), frame.step, min_free_step=min_free, tenant=tenant
+                    )
                     io += r.time_s
                     if r.dropped:
                         dropped += 1

@@ -17,7 +17,7 @@ that implement ``choose_victim_masked`` consume directly.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 import numpy as np
 
@@ -65,6 +65,16 @@ class CacheLevel:
         self._occupancy = NULL_REGISTRY.gauge("cache_occupancy_blocks")
         self._evictions = NULL_REGISTRY.counter("cache_evictions_total")
         self._bypasses = NULL_REGISTRY.counter("cache_bypasses_total")
+        self._cross_evictions = NULL_REGISTRY.counter("cache_tenant_cross_evictions_total")
+        # Tenant partitioning (disabled unless set_tenant_quotas is called):
+        # _owner maps block id -> tenant index (-1 = unowned), _tenant_used /
+        # _tenant_quota are per-tenant residency counters and caps.
+        self._tenant_index: Optional[dict] = None
+        self._tenant_names: tuple = ()
+        self._tenant_quota: Optional[np.ndarray] = None
+        self._tenant_used: Optional[np.ndarray] = None
+        self._owner: Optional[np.ndarray] = None
+        self.tenant_cross_evictions = 0
 
     def set_registry(self, registry) -> None:
         """Bind this level's metrics on ``registry`` (occupancy, churn)."""
@@ -72,6 +82,9 @@ class CacheLevel:
         self._occupancy = registry.gauge("cache_occupancy_blocks", level=self.name)
         self._evictions = registry.counter("cache_evictions_total", level=self.name)
         self._bypasses = registry.counter("cache_bypasses_total", level=self.name)
+        self._cross_evictions = registry.counter(
+            "cache_tenant_cross_evictions_total", level=self.name
+        )
         if registry.enabled:
             self._occupancy.set(self._n_resident)
 
@@ -83,8 +96,80 @@ class CacheLevel:
             resident[: len(self._resident)] = self._resident
             last_used = np.full(size, _NEVER_USED, dtype=np.int64)
             last_used[: len(self._last_used)] = self._last_used
+            if self._owner is not None:
+                owner = np.full(size, -1, dtype=np.int32)
+                owner[: len(self._owner)] = self._owner
+                self._owner = owner
             self._resident = resident
             self._last_used = last_used
+
+    # -- tenant partitioning ---------------------------------------------------
+
+    def set_tenant_quotas(self, quotas: Optional[Mapping[str, int]]) -> None:
+        """Partition this level between tenants (``None``/empty disables).
+
+        ``quotas`` maps tenant label -> maximum resident blocks *owned* by
+        that tenant.  A tenant-labelled :meth:`admit` never exceeds its
+        quota (at quota it evicts one of its own blocks first) and never
+        evicts another tenant's block, so one hot session cannot push a
+        neighbour below its partition.  Unlabelled admits (``tenant=None``)
+        stay unowned and follow the legacy policy-global path; unowned
+        residents are fair game for any tenant under its quota.
+
+        Quotas must each be >= 1 and sum to at most ``capacity``.  Blocks
+        already resident when quotas are installed stay unowned.
+        """
+        if not quotas:
+            self._tenant_index = None
+            self._tenant_names = ()
+            self._tenant_quota = None
+            self._tenant_used = None
+            self._owner = None
+            return
+        names = tuple(quotas)
+        caps = []
+        for name in names:
+            cap = int(quotas[name])
+            if cap < 1:
+                raise ValueError(f"{self.name}: quota for {name!r} must be >= 1, got {cap}")
+            caps.append(cap)
+        if sum(caps) > self.capacity:
+            raise ValueError(
+                f"{self.name}: tenant quotas sum to {sum(caps)}, "
+                f"exceeding capacity {self.capacity}"
+            )
+        self._tenant_index = {name: i for i, name in enumerate(names)}
+        self._tenant_names = names
+        self._tenant_quota = np.asarray(caps, dtype=np.int64)
+        self._tenant_used = np.zeros(len(names), dtype=np.int64)
+        self._owner = np.full(len(self._resident), -1, dtype=np.int32)
+        self.tenant_cross_evictions = 0
+
+    @property
+    def tenant_quotas_enabled(self) -> bool:
+        return self._tenant_index is not None
+
+    def tenant_usage(self) -> dict:
+        """Resident block counts per tenant (empty when quotas disabled)."""
+        if self._tenant_index is None:
+            return {}
+        used = self._tenant_used.tolist()
+        return {name: used[i] for i, name in enumerate(self._tenant_names)}
+
+    def tenant_quota(self, tenant: str) -> int:
+        """The installed quota for ``tenant`` (KeyError when unknown)."""
+        if self._tenant_index is None:
+            raise KeyError(f"{self.name}: tenant quotas are not enabled")
+        return int(self._tenant_quota[self._tenant_index[tenant]])
+
+    def _tenant_id(self, tenant: Optional[str]) -> int:
+        """Resolve a tenant label to its index (-1 = untracked)."""
+        if tenant is None or self._tenant_index is None:
+            return -1
+        try:
+            return self._tenant_index[tenant]
+        except KeyError:
+            raise KeyError(f"{self.name}: unknown tenant {tenant!r}") from None
 
     # -- queries -------------------------------------------------------------
 
@@ -147,6 +232,7 @@ class CacheLevel:
         step: int,
         min_free_step: Optional[int] = None,
         agg: Optional[dict] = None,
+        tenant: Optional[str] = None,
     ) -> bool:
         """Make ``key`` resident, evicting if full; returns False on bypass.
 
@@ -159,7 +245,17 @@ class CacheLevel:
         ``agg`` is the batched engine's trace-aggregation accumulator:
         when given, evict/bypass events are counted into it per
         (kind, level) instead of recorded individually.
+
+        ``tenant`` labels the admission for quota accounting when
+        :meth:`set_tenant_quotas` is active: the block is owned by the
+        tenant, victims are restricted to the tenant's own blocks (at
+        quota) or own-plus-unowned blocks (under quota), and the insert
+        bypasses when no such victim exists.  With quotas disabled, or
+        ``tenant=None``, the legacy path is taken unchanged.
         """
+        tid = self._tenant_id(tenant)
+        if tid >= 0:
+            return self._admit_tenant(key, step, tid, min_free_step, agg)
         self.ensure_ids(key)
         if self._resident[key]:
             raise KeyError(f"{self.name}: block {key} already resident")
@@ -198,6 +294,71 @@ class CacheLevel:
         epoch = self._vq_epoch
         if epoch is not None and epoch[1] is not None and step < epoch[1]:
             self._vq_epoch = None  # insert is immediately evictable: not queued
+        self.stats.inserts += 1
+        if self.registry.enabled:
+            self._occupancy.set(self._n_resident)
+        return True
+
+    def _admit_tenant(
+        self,
+        key: int,
+        step: int,
+        tid: int,
+        min_free_step: Optional[int],
+        agg: Optional[dict],
+    ) -> bool:
+        """Quota-constrained admission for tenant ``tid``.
+
+        Victim selection goes through ``choose_victim_masked`` (or the
+        predicate fallback) on an owner-restricted candidate mask rather
+        than the amortised victim queue: the queue is policy-global and
+        cannot express per-tenant constraints.  Evicting here only
+        *shrinks* the global candidate set, which scalar queue pops
+        re-validate against live state, so interleaved untenanted admits
+        stay correct.
+        """
+        self.ensure_ids(key)
+        if self._resident[key]:
+            raise KeyError(f"{self.name}: block {key} already resident")
+        owner = self._owner
+        used = self._tenant_used
+        quota = int(self._tenant_quota[tid])
+        while self._n_resident >= self.capacity or used[tid] >= quota:
+            at_quota = used[tid] >= quota
+            if self.policy.supports_masked_victim:
+                allowed = self.evictable_mask(min_free_step) & (owner == tid)
+                if not at_quota:
+                    allowed |= self.evictable_mask(min_free_step) & (owner == -1)
+                victim = self.policy.choose_victim_masked(allowed)
+            else:
+                base = self._evictable_predicate(min_free_step)
+                if at_quota:
+                    def pred(k, base=base, owner=owner):
+                        return owner[k] == tid and base(k)
+                else:
+                    def pred(k, base=base, owner=owner):
+                        return owner[k] in (tid, -1) and base(k)
+                victim = self.policy.choose_victim(pred)
+            if victim is None:
+                self.stats.bypasses += 1
+                if self.registry.enabled:
+                    self._bypasses.inc()
+                if agg is not None:
+                    acc = agg.setdefault(("bypass", self.name), [0, 0, 0.0])
+                    acc[0] += 1
+                elif self.tracer.enabled:
+                    self.tracer.record("bypass", step, self.name, key)
+                return False
+            self.evict(victim, step=step, agg=agg, by=tid)
+        self._resident[key] = True
+        self._last_used[key] = step
+        self._n_resident += 1
+        owner[key] = tid
+        used[tid] += 1
+        self.policy.on_insert(key, step)
+        epoch = self._vq_epoch
+        if epoch is not None and epoch[1] is not None and step < epoch[1]:
+            self._vq_epoch = None
         self.stats.inserts += 1
         if self.registry.enabled:
             self._occupancy.set(self._n_resident)
@@ -273,6 +434,7 @@ class CacheLevel:
         step: int,
         min_free_step: Optional[int] = None,
         agg: Optional[dict] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         """Admit an array of unique *non-resident* keys, in array order.
 
@@ -291,6 +453,14 @@ class CacheLevel:
         """
         m = int(keys.size)
         if m == 0:
+            return
+        if self._tenant_id(tenant) >= 0:
+            # Tenant-labelled bulk admits take the scalar reference path:
+            # quota accounting is per-victim and the owner-restricted
+            # candidate mask changes after every eviction, so there is no
+            # batch-safe victim window to exploit.
+            for key in keys.tolist():
+                self.admit(key, step, min_free_step=min_free_step, agg=agg, tenant=tenant)
             return
         if m <= 2:
             # Vectorization overhead beats the win at this size; the scalar
@@ -354,6 +524,12 @@ class CacheLevel:
             if r:
                 victims = taken[0] if len(taken) == 1 else np.concatenate(taken)
         if r:
+            if self._owner is not None:
+                owned = self._owner[victims]
+                owned = owned[owned >= 0]
+                if owned.size:
+                    np.subtract.at(self._tenant_used, owned, 1)
+                    self._owner[victims] = -1
             self._resident[victims] = False
             self._last_used[victims] = _NEVER_USED
             self._n_resident -= r
@@ -391,17 +567,35 @@ class CacheLevel:
         last_used = self._last_used
         return lambda key: last_used[key] < min_free_step
 
-    def evict(self, key: int, step: Optional[int] = None, agg: Optional[dict] = None) -> None:
+    def evict(
+        self,
+        key: int,
+        step: Optional[int] = None,
+        agg: Optional[dict] = None,
+        by: Optional[int] = None,
+    ) -> None:
         """Remove a resident ``key`` (policy notified).
 
         ``step`` is only used for tracing: the replay step whose admission
         forced this eviction (``None`` for evictions outside a replay).
         ``agg`` aggregates the evict event instead of recording it
-        (see :meth:`admit`).
+        (see :meth:`admit`).  ``by`` is the tenant index whose admission
+        forced the eviction; evicting a block owned by a *different*
+        tenant counts as a cross-tenant eviction (always zero under quota
+        partitioning — the admission path never selects such victims).
         """
         resident = self._resident
         if key >= len(resident) or not resident[key]:
             raise KeyError(f"{self.name}: evict of non-resident block {key}")
+        if self._owner is not None:
+            prev = int(self._owner[key])
+            if prev >= 0:
+                self._tenant_used[prev] -= 1
+                self._owner[key] = -1
+                if by is not None and by != prev:
+                    self.tenant_cross_evictions += 1
+                    if self.registry.enabled:
+                        self._cross_evictions.inc()
         self._resident[key] = False
         self._last_used[key] = _NEVER_USED
         self._n_resident -= 1
@@ -465,6 +659,9 @@ class CacheLevel:
         self._last_used.fill(_NEVER_USED)
         self._n_resident = 0
         self._vq_epoch = None
+        if self._owner is not None:
+            self._owner.fill(-1)
+            self._tenant_used.fill(0)
         self.policy.reset()
         if self.registry.enabled:
             self._occupancy.set(0)
@@ -484,6 +681,21 @@ class CacheLevel:
             raise AssertionError(
                 f"{self.name}: policy tracks {len(self.policy)} keys, cache has {self._n_resident}"
             )
+        if self._owner is not None:
+            if ((self._owner >= 0) & ~self._resident).any():
+                raise AssertionError(f"{self.name}: non-resident block has a tenant owner")
+            for i, name in enumerate(self._tenant_names):
+                owned = int((self._owner == i).sum())
+                if owned != int(self._tenant_used[i]):
+                    raise AssertionError(
+                        f"{self.name}: tenant {name!r} usage counter "
+                        f"{int(self._tenant_used[i])} != owned population {owned}"
+                    )
+                if owned > int(self._tenant_quota[i]):
+                    raise AssertionError(
+                        f"{self.name}: tenant {name!r} owns {owned} blocks, "
+                        f"exceeding quota {int(self._tenant_quota[i])}"
+                    )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -10,7 +10,7 @@ read cost — the slowest medium on the critical path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -245,6 +245,49 @@ class MemoryHierarchy:
         """Is ``key`` already in the fastest level (no I/O needed)?"""
         return key in self.levels[0]
 
+    # -- tenant partitioning ---------------------------------------------------
+
+    def set_tenant_quotas(
+        self, fractions: Optional[Mapping[str, float]]
+    ) -> "dict[str, dict[str, int]]":
+        """Partition every level between tenants (``None``/empty disables).
+
+        ``fractions`` maps tenant label -> fraction of each level's
+        capacity (fractions must sum to at most 1).  Each level gets
+        ``max(1, floor(fraction * capacity))`` blocks per tenant, clamped
+        so the quotas never exceed the level's capacity.  Returns the
+        installed block quotas per level for the caller's ledger.
+        """
+        if not fractions:
+            for level in self.levels:
+                level.set_tenant_quotas(None)
+            return {}
+        total = sum(float(f) for f in fractions.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"tenant fractions sum to {total:.4f}, exceeding 1")
+        installed: "dict[str, dict[str, int]]" = {}
+        for level in self.levels:
+            quotas = {
+                name: max(1, int(float(frac) * level.capacity))
+                for name, frac in fractions.items()
+            }
+            if sum(quotas.values()) > level.capacity:
+                raise ValueError(
+                    f"{level.name}: capacity {level.capacity} cannot hold one "
+                    f"block per tenant for {len(quotas)} tenants"
+                )
+            level.set_tenant_quotas(quotas)
+            installed[level.name] = quotas
+        return installed
+
+    def tenant_usage(self) -> "dict[str, dict[str, int]]":
+        """Per-level resident block counts per tenant."""
+        return {lv.name: lv.tenant_usage() for lv in self.levels if lv.tenant_quotas_enabled}
+
+    def tenant_cross_evictions(self) -> int:
+        """Total cross-tenant evictions across levels (0 under partitioning)."""
+        return sum(lv.tenant_cross_evictions for lv in self.levels)
+
     # -- the read path ---------------------------------------------------------
 
     def fetch(
@@ -253,6 +296,7 @@ class MemoryHierarchy:
         step: int,
         prefetch: bool = False,
         min_free_step: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> FetchResult:
         """Bring ``key`` into the fastest level; return the charged time.
 
@@ -268,10 +312,14 @@ class MemoryHierarchy:
         ``bytes_moved`` extras reported by the drivers therefore equal
         ``backing_bytes + total_bytes_read``, and the trace's
         hit/fetch/prefetch events sum to the same total.
+
+        ``tenant`` labels every admission this fetch performs for quota
+        accounting (see :meth:`CacheLevel.set_tenant_quotas`); it is inert
+        when no level has quotas installed.
         """
         if self.fault_injector is not None:
-            return self._fetch_one_resilient(key, step, prefetch, min_free_step)
-        return self._fetch_one(key, step, prefetch, min_free_step, None, None)
+            return self._fetch_one_resilient(key, step, prefetch, min_free_step, tenant)
+        return self._fetch_one(key, step, prefetch, min_free_step, None, None, tenant)
 
     def _read_time(self, source_idx: int, nbytes: int, latency_scale: float) -> float:
         """Device read time, memoised per (source, scale) for uniform blocks.
@@ -297,6 +345,7 @@ class MemoryHierarchy:
         min_free_step: Optional[int],
         agg: "Optional[dict]",
         rec: "Optional[dict]" = None,
+        tenant: Optional[str] = None,
     ) -> FetchResult:
         """Scalar fetch; ``agg`` (batch mode) accumulates the movement
         event per (kind, source) instead of recording it immediately, and
@@ -377,7 +426,7 @@ class MemoryHierarchy:
             tracer.record(kind, step, source_name, key, nbytes, time_s)
         # Copy into every faster level (inclusive hierarchy).
         for level in upper:
-            level.admit(key, step, min_free_step=min_free_step, agg=agg)
+            level.admit(key, step, min_free_step=min_free_step, agg=agg, tenant=tenant)
         return FetchResult(key, time_s, source_name, fastest_hit=False)
 
     # -- the resilient read path (fault injection) -----------------------------
@@ -388,6 +437,7 @@ class MemoryHierarchy:
         step: int,
         prefetch: bool,
         min_free_step: Optional[int],
+        tenant: Optional[str] = None,
     ) -> FetchResult:
         """Scalar fetch with fault draws, retries, breakers, and fallback.
 
@@ -547,7 +597,7 @@ class MemoryHierarchy:
         for level in self.levels[:upto]:
             resident = level._resident
             if not (key < len(resident) and resident[key]):
-                level.admit(key, step, min_free_step=min_free_step, agg=None)
+                level.admit(key, step, min_free_step=min_free_step, agg=None, tenant=tenant)
         return FetchResult(key, total_t, source_name, fastest_hit=False)
 
     def _fetch_many_resilient(
@@ -556,6 +606,7 @@ class MemoryHierarchy:
         step: int,
         prefetch: bool,
         min_free_step: Optional[int],
+        tenant: Optional[str] = None,
     ) -> BatchFetchResult:
         """Batched fetch under fault injection: the scalar resilient path
         per id, with the same left-fold time accumulation as the fast
@@ -566,7 +617,7 @@ class MemoryHierarchy:
         n_fast = 0
         dropped: List[int] = []
         for p, key in enumerate(ids.tolist()):
-            r = self._fetch_one_resilient(key, step, prefetch, min_free_step)
+            r = self._fetch_one_resilient(key, step, prefetch, min_free_step, tenant)
             times[p] = r.time_s
             if r.fastest_hit:
                 n_fast += 1
@@ -582,6 +633,7 @@ class MemoryHierarchy:
         min_free_step: Optional[int],
         max_fetch: Optional[int],
         dedupe: bool,
+        tenant: Optional[str] = None,
     ) -> "tuple[List[int], float]":
         """Prefetch under fault injection: the drivers' scalar loop
         semantics (cap before skip, optional dedupe, live fastest-level
@@ -601,7 +653,9 @@ class MemoryHierarchy:
                 continue
             if attempted is not None:
                 attempted.add(key)
-            total_time += self._fetch_one_resilient(key, step, True, min_free_step).time_s
+            total_time += self._fetch_one_resilient(
+                key, step, True, min_free_step, tenant
+            ).time_s
             issued.append(key)
         return issued, total_time
 
@@ -687,6 +741,7 @@ class MemoryHierarchy:
         latency_scale: float,
         times: np.ndarray,
         pos: int,
+        tenant: Optional[str] = None,
     ) -> None:
         """Bulk-process a run of fastest-level misses (uniform block size).
 
@@ -729,19 +784,21 @@ class MemoryHierarchy:
                 counts[-1] += 1
                 times[i] = t_back
                 for level in lowers:
-                    level.admit(key, step, min_free_step=min_free_step, agg=agg)
+                    level.admit(key, step, min_free_step=min_free_step, agg=agg, tenant=tenant)
             else:
                 counts[found] += 1
                 if not prefetch:
                     lowers[found].touch(key, step)
                 times[i] = t_src[found]
                 for level in lowers[:found]:
-                    level.admit(key, step, min_free_step=min_free_step, agg=agg)
+                    level.admit(key, step, min_free_step=min_free_step, agg=agg, tenant=tenant)
             if not batch_fast:
-                fast.admit(key, step, min_free_step=min_free_step, agg=agg)
+                fast.admit(key, step, min_free_step=min_free_step, agg=agg, tenant=tenant)
             i += 1
         if batch_fast:
-            fast.admit_many_absent(run, step, min_free_step=min_free_step, agg=agg)
+            fast.admit_many_absent(
+                run, step, min_free_step=min_free_step, agg=agg, tenant=tenant
+            )
         # -- grouped flushes (order-independent bookkeeping) -------------------
         n_back = counts[-1]
         if n_back:
@@ -797,6 +854,7 @@ class MemoryHierarchy:
         step: int,
         prefetch: bool = False,
         min_free_step: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> BatchFetchResult:
         """Fetch a whole id array; result-identical to scalar :meth:`fetch`.
 
@@ -820,7 +878,7 @@ class MemoryHierarchy:
         if n == 0:
             return BatchFetchResult(0, 0, 0.0)
         if self.fault_injector is not None:
-            return self._fetch_many_resilient(ids, step, prefetch, min_free_step)
+            return self._fetch_many_resilient(ids, step, prefetch, min_free_step, tenant)
         mx = int(ids.max())
         for level in self.levels:
             level.ensure_ids(mx)
@@ -868,17 +926,20 @@ class MemoryHierarchy:
                         n_fast_hits += k
                     if k < seg.size:  # stale hint: evicted mid-batch
                         times[pos + k] = self._fetch_one(
-                            int(seg[k]), step, prefetch, min_free_step, agg, rec
+                            int(seg[k]), step, prefetch, min_free_step, agg, rec, tenant
                         ).time_s
                     seg = seg[k + 1:]
                     pos += k + 1
             elif batch_miss:
                 self._fetch_miss_run(
-                    ids[a:b], step, prefetch, min_free_step, agg, latency_scale, times, a
+                    ids[a:b], step, prefetch, min_free_step, agg, latency_scale, times, a,
+                    tenant,
                 )
             else:
                 for p, key in enumerate(ids[a:b].tolist(), start=a):
-                    result = self._fetch_one(key, step, prefetch, min_free_step, agg, rec)
+                    result = self._fetch_one(
+                        key, step, prefetch, min_free_step, agg, rec, tenant
+                    )
                     times[p] = result.time_s
                     if result.fastest_hit:  # unreachable for unique ids; stay exact anyway
                         n_fast_hits += 1
@@ -894,6 +955,7 @@ class MemoryHierarchy:
         min_free_step: Optional[int] = None,
         max_fetch: Optional[int] = None,
         dedupe: bool = False,
+        tenant: Optional[str] = None,
     ) -> "tuple[List[int], float]":
         """Issue prefetches for ``candidates`` in order; returns
         ``(issued ids, total prefetch time)``.
@@ -925,7 +987,9 @@ class MemoryHierarchy:
         if n == 0:
             return issued, total_time
         if self.fault_injector is not None:
-            return self._prefetch_many_resilient(arr, step, min_free_step, max_fetch, dedupe)
+            return self._prefetch_many_resilient(
+                arr, step, min_free_step, max_fetch, dedupe, tenant
+            )
         mx = int(arr.max())
         for level in self.levels:
             level.ensure_ids(mx)
@@ -975,7 +1039,7 @@ class MemoryHierarchy:
                         if attempted is not None:
                             attempted.add(key)
                         total_time += self._fetch_one(
-                            key, step, True, min_free_step, agg, rec
+                            key, step, True, min_free_step, agg, rec, tenant
                         ).time_s
                         issued.append(key)
                     seg = seg[k + 1:]
@@ -994,7 +1058,7 @@ class MemoryHierarchy:
                         run = run[:left]  # the cap cut; next check trips it
                 tbuf = np.empty(run.size, dtype=np.float64)
                 self._fetch_miss_run(
-                    run, step, True, min_free_step, agg, latency_scale, tbuf, 0
+                    run, step, True, min_free_step, agg, latency_scale, tbuf, 0, tenant
                 )
                 # Scalar-order left fold, bit-identical to `total_time +=`.
                 for t in tbuf.tolist():
@@ -1016,7 +1080,7 @@ class MemoryHierarchy:
                     if attempted is not None:
                         attempted.add(key)
                     total_time += self._fetch_one(
-                        key, step, True, min_free_step, agg, rec
+                        key, step, True, min_free_step, agg, rec, tenant
                     ).time_s
                     issued.append(key)
         self._flush_agg(agg, step)

@@ -1,0 +1,53 @@
+"""The flythrough workload: seeded waypoint tour, registry integration."""
+
+import numpy as np
+import pytest
+
+from repro.camera.path import flythrough_path
+from repro.runtime.registries import WORKLOADS
+
+
+class TestFlythroughPath:
+    def test_shape_and_name(self):
+        path = flythrough_path(n_positions=30, seed=1)
+        assert len(path.positions) == 30
+        assert path.name == "flythrough"
+
+    def test_deterministic(self):
+        a = flythrough_path(n_positions=25, seed=7)
+        b = flythrough_path(n_positions=25, seed=7)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_seed_varies_route(self):
+        a = flythrough_path(n_positions=25, seed=7)
+        b = flythrough_path(n_positions=25, seed=8)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_distances_within_spread(self):
+        path = flythrough_path(
+            n_positions=40, distance=2.5, distance_spread=0.4, seed=3
+        )
+        d = np.linalg.norm(path.positions, axis=1)
+        # Waypoints sit in 2.5*(1 +/- 0.4); interpolated positions can dip
+        # slightly inside chords but never outside the outer shell.
+        assert d.max() <= 2.5 * 1.4 + 1e-9
+        assert d.min() > 0.0
+
+    def test_moves_every_step(self):
+        path = flythrough_path(n_positions=20, seed=2)
+        deltas = np.linalg.norm(np.diff(path.positions, axis=0), axis=1)
+        assert (deltas > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="distance_spread"):
+            flythrough_path(distance_spread=1.0)
+        with pytest.raises(ValueError, match="n_waypoints"):
+            flythrough_path(n_waypoints=1)
+
+    def test_registered_workload(self):
+        path = WORKLOADS.create(
+            "flythrough", steps=12, degrees=(5.0, 10.0), distance=2.5,
+            view_angle_deg=10.0, seed=4,
+        )
+        assert len(path.positions) == 12
+        assert path.view_angle_deg == 10.0

@@ -1,0 +1,103 @@
+"""Unit tests for the multi-tenant fairness/tail summaries."""
+
+import math
+
+import pytest
+
+from repro.obs.fairness import TenantFrameStats, jain_index, percentile_summary
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestJainIndex:
+    def test_even_allocation_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_all_zero_are_one(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            jain_index([1.0, -0.1])
+
+    def test_scale_invariant(self):
+        xs = [1.0, 2.0, 5.0]
+        assert jain_index(xs) == pytest.approx(jain_index([10 * x for x in xs]))
+
+    def test_bounded(self):
+        xs = [0.1, 0.9, 0.4, 0.4]
+        assert 1 / len(xs) <= jain_index(xs) <= 1.0
+
+
+class TestPercentileSummary:
+    def test_empty(self):
+        s = percentile_summary([])
+        assert s == {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0, "count": 0}
+
+    def test_single_sample(self):
+        s = percentile_summary([4.2])
+        assert s["p50"] == s["p95"] == s["p99"] == s["max"] == 4.2
+        assert s["count"] == 1
+
+    def test_ordering_and_bounds(self):
+        samples = [float(i) for i in range(100)]
+        s = percentile_summary(samples)
+        assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"] == 99.0
+        assert s["p50"] == pytest.approx(49.5)
+        assert s["count"] == 100
+
+    def test_deterministic(self):
+        samples = [0.3, 0.1, 0.7, 0.2]
+        assert percentile_summary(samples) == percentile_summary(samples)
+
+
+class TestTenantFrameStats:
+    def _fill(self, stats):
+        stats.observe("a", 0.010, n_visible=10, n_misses=2)
+        stats.observe("a", 0.020, n_visible=10, n_misses=0)
+        stats.observe("b", 0.100, n_visible=10, n_misses=8)
+
+    def test_hit_rates(self):
+        stats = TenantFrameStats()
+        self._fill(stats)
+        assert stats.hit_rates() == {"a": 18 / 20, "b": 2 / 10}
+
+    def test_fairness_between_bounds(self):
+        stats = TenantFrameStats()
+        self._fill(stats)
+        assert 0.5 <= stats.fairness() < 1.0
+
+    def test_per_tenant_and_pooled(self):
+        stats = TenantFrameStats()
+        self._fill(stats)
+        per = stats.per_tenant()
+        assert per["a"]["count"] == 2 and per["b"]["count"] == 1
+        pooled = stats.pooled()
+        assert pooled["count"] == 3
+        assert pooled["max"] == pytest.approx(0.100)
+
+    def test_as_dict_shape(self):
+        stats = TenantFrameStats()
+        self._fill(stats)
+        doc = stats.as_dict()
+        assert set(doc) == {"per_tenant", "pooled", "hit_rates", "fairness_jain"}
+        assert not math.isnan(doc["fairness_jain"])
+
+    def test_registry_integration(self):
+        registry = MetricsRegistry()
+        stats = TenantFrameStats(registry=registry)
+        self._fill(stats)
+        stats.fairness()
+        hist = registry.get("tenant_frame_time_seconds", tenant="a", kind="sim")
+        assert hist.count == 2
+        gauge = registry.get("tenant_fairness_jain")
+        assert 0.0 < gauge.value <= 1.0
+
+    def test_no_tenants(self):
+        stats = TenantFrameStats()
+        assert stats.fairness() == 1.0
+        assert stats.tenants == ()
+        assert stats.pooled()["count"] == 0

@@ -79,3 +79,49 @@ def test_percentiles_dict_ordered(values):
         h.observe(v)
     p = h.percentiles()
     assert p["p50"] <= p["p95"] <= p["p99"]
+
+
+@given(values=_values, buckets=_bucket_sets)
+@settings(max_examples=100, deadline=None)
+def test_exact_endpoints(values, buckets):
+    h = Histogram("lat", buckets=buckets)
+    for v in values:
+        h.observe(v)
+    assert h.quantile(0.0) == min(values)
+    assert h.quantile(1.0) == max(values)
+
+
+class TestEdgeCases:
+    """The two paths the property sweep is most likely to under-sample:
+    single-sample histograms and mass in the open-ended overflow bucket."""
+
+    def test_single_sample_every_quantile(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.25)
+        for q in (0.0, 0.3, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.25
+
+    def test_single_sample_in_overflow_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(123.5)  # above the last bound: overflow bucket
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 123.5
+
+    def test_all_mass_in_overflow_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        for v in (5.0, 7.0, 11.0):
+            h.observe(v)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert 5.0 <= h.quantile(q) <= 11.0
+        assert h.quantile(0.0) == 5.0
+        assert h.quantile(1.0) == 11.0
+
+    def test_identical_samples_degenerate_distribution(self):
+        h = Histogram("lat", buckets=DEFAULT_LATENCY_BUCKETS)
+        h.observe_many(0.004, 1000)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.004
+
+    def test_empty_histogram_returns_zero(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0

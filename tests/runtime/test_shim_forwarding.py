@@ -1,0 +1,154 @@
+"""PR-5 deprecation shims forward the runtime kwargs verbatim.
+
+The shims delegate to :mod:`repro.runtime.drivers`; a shim that silently
+drops ``ctx=`` (or ``engine=``/``tracer=``) would *run* but lose the
+caller's observability or determinism settings.  Each test monkeypatches
+the runtime driver and asserts every keyword arrives unchanged, by
+identity where it matters.
+"""
+
+import inspect
+
+import pytest
+
+import repro.runtime.drivers as drivers
+from repro.runtime.context import RunContext
+
+SENTINELS = {
+    "tracer": object(),
+    "registry": object(),
+    "profiler": object(),
+}
+
+
+def _capture(monkeypatch, name):
+    """Replace ``drivers.<name>`` with a recorder; returns the kwargs dict."""
+    seen = {}
+
+    def fake(*args, **kwargs):
+        seen["args"] = args
+        seen["kwargs"] = kwargs
+        return "forwarded"
+
+    monkeypatch.setattr(drivers, name, fake)
+    return seen
+
+
+class TestFunctionShimsForwardCtx:
+    def test_pipeline_run_baseline(self, monkeypatch):
+        from repro.core.pipeline import run_baseline
+
+        seen = _capture(monkeypatch, "run_baseline")
+        ctx = RunContext()
+        with pytest.warns(DeprecationWarning, match="repro.runtime"):
+            out = run_baseline(
+                "CTX", "HIER", name="n", protect_current_step=True,
+                engine="scalar", ctx=ctx, **SENTINELS,
+            )
+        assert out == "forwarded"
+        assert seen["args"] == ("CTX", "HIER")
+        assert seen["kwargs"]["ctx"] is ctx
+        assert seen["kwargs"]["engine"] == "scalar"
+        assert seen["kwargs"]["name"] == "n"
+        assert seen["kwargs"]["protect_current_step"] is True
+        for key, sentinel in SENTINELS.items():
+            assert seen["kwargs"][key] is sentinel
+
+    def test_prefetch_run_with_prefetcher(self, monkeypatch):
+        from repro.prefetch.driver import run_with_prefetcher
+
+        seen = _capture(monkeypatch, "run_with_prefetcher")
+        ctx = RunContext()
+        with pytest.warns(DeprecationWarning, match="repro.runtime"):
+            run_with_prefetcher(
+                "CTX", "HIER", "PREF", preload_importance="IMP",
+                preload_sigma=1.5, max_prefetch_per_step=7, name="n",
+                engine="scalar", ctx=ctx, **SENTINELS,
+            )
+        assert seen["args"] == ("CTX", "HIER", "PREF")
+        assert seen["kwargs"]["ctx"] is ctx
+        assert seen["kwargs"]["engine"] == "scalar"
+        assert seen["kwargs"]["preload_importance"] == "IMP"
+        assert seen["kwargs"]["preload_sigma"] == 1.5
+        assert seen["kwargs"]["max_prefetch_per_step"] == 7
+        for key, sentinel in SENTINELS.items():
+            assert seen["kwargs"][key] is sentinel
+
+    def test_interactive_run_budgeted(self, monkeypatch):
+        from repro.core.interactive import run_budgeted
+
+        seen = _capture(monkeypatch, "run_budgeted")
+        ctx = RunContext()
+        with pytest.warns(DeprecationWarning, match="repro.runtime"):
+            run_budgeted(
+                "CTX", "HIER", 0.02, importance="IMP", visible_table="VT",
+                sigma=0.5, preload=True, name="n", engine="scalar",
+                ctx=ctx, **SENTINELS,
+            )
+        assert seen["args"] == ("CTX", "HIER", 0.02)
+        assert seen["kwargs"]["ctx"] is ctx
+        assert seen["kwargs"]["engine"] == "scalar"
+        assert seen["kwargs"]["importance"] == "IMP"
+        assert seen["kwargs"]["visible_table"] == "VT"
+        assert seen["kwargs"]["sigma"] == 0.5
+        assert seen["kwargs"]["preload"] is True
+        for key, sentinel in SENTINELS.items():
+            assert seen["kwargs"][key] is sentinel
+
+    def test_temporal_run_temporal(self, monkeypatch):
+        from repro.core.temporal import run_temporal
+
+        seen = _capture(monkeypatch, "run_temporal")
+        ctx = RunContext()
+        with pytest.warns(DeprecationWarning, match="repro.runtime"):
+            run_temporal(
+                "CTX", "SERIES", "HIER", 4, visible_table="VT",
+                importance="IMP", sigma=0.5, prefetch_next_timestep=False,
+                lookup_cost="LC", name="n", ctx=ctx,
+            )
+        assert seen["args"] == ("CTX", "SERIES", "HIER", 4)
+        assert seen["kwargs"]["ctx"] is ctx
+        assert seen["kwargs"]["visible_table"] == "VT"
+        assert seen["kwargs"]["importance"] == "IMP"
+        assert seen["kwargs"]["prefetch_next_timestep"] is False
+        assert seen["kwargs"]["lookup_cost"] == "LC"
+
+
+class TestOptimizerShim:
+    def test_run_method_is_inherited_not_reimplemented(self):
+        """The class shim forwards by inheritance: its ``run`` IS the
+        runtime ``run``, so every runtime kwarg (ctx, engine, ...) passes
+        through by construction."""
+        from repro.core.optimizer import AppAwareOptimizer as Shim
+
+        assert Shim.run is drivers.AppAwareOptimizer.run
+        params = inspect.signature(drivers.AppAwareOptimizer.run).parameters
+        for kwarg in ("ctx", "engine", "tracer", "registry", "profiler"):
+            assert kwarg in params, f"runtime optimizer run() lost {kwarg}="
+
+
+class TestShimSignaturesComplete:
+    """Every function shim exposes the same runtime kwargs it forwards."""
+
+    @pytest.mark.parametrize(
+        ("shim_path", "runtime_name", "extra_missing"),
+        [
+            ("repro.core.pipeline:run_baseline", "run_baseline", ()),
+            ("repro.prefetch.driver:run_with_prefetcher", "run_with_prefetcher", ()),
+            ("repro.core.interactive:run_budgeted", "run_budgeted", ()),
+            # run_temporal's engine recipe is scalar-only: no engine/tracer
+            # kwargs on either side.
+            ("repro.core.temporal:run_temporal", "run_temporal", ("engine",)),
+        ],
+    )
+    def test_shim_accepts_runtime_kwargs(self, shim_path, runtime_name, extra_missing):
+        import importlib
+
+        mod_name, fn_name = shim_path.split(":")
+        shim = getattr(importlib.import_module(mod_name), fn_name)
+        shim_params = set(inspect.signature(shim).parameters)
+        runtime_params = set(
+            inspect.signature(getattr(drivers, runtime_name)).parameters
+        )
+        missing = runtime_params - shim_params - set(extra_missing)
+        assert not missing, f"{shim_path} does not forward {sorted(missing)}"

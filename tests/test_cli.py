@@ -204,3 +204,48 @@ class TestRender:
         raw = out.read_bytes()
         assert raw.startswith(b"P6\n24 24\n255\n")
         assert len(raw) == len(b"P6\n24 24\n255\n") + 24 * 24 * 3
+
+
+class TestServeSim:
+    _FAST = [
+        "serve-sim", "--sessions", "4", "--session-steps", "4",
+        "--serve-blocks", "64", "--serve-scale", "0.04",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.sessions == 8
+        assert args.partition == "equal"
+        assert args.mix == (0.5, 0.25, 0.25) or list(args.mix) == [0.5, 0.25, 0.25]
+
+    def test_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        rc = main(self._FAST + ["--label", "t", "--out", str(tmp_path)])
+        assert rc == 0
+        doc = json.loads((tmp_path / "SERVE_t.json").read_text())
+        assert doc["schema_version"] == 1
+        assert doc["multi_tenant"]["n_sessions"] == 4
+        assert doc["multi_tenant"]["cross_evictions"] == 0
+        out = capsys.readouterr().out
+        assert "fairness" in out and "p99" in out
+
+    def test_compare_self_exits_zero(self, tmp_path, capsys):
+        main(self._FAST + ["--label", "a", "--out", str(tmp_path)])
+        snap = str(tmp_path / "SERVE_a.json")
+        assert main(["serve-sim", "--compare", snap, snap]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_compare_missing_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["serve-sim", "--compare", missing, missing]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_partition_none(self, tmp_path):
+        import json
+
+        rc = main(self._FAST + ["--partition", "none", "--label", "n",
+                                "--out", str(tmp_path)])
+        assert rc == 0
+        doc = json.loads((tmp_path / "SERVE_n.json").read_text())
+        assert doc["multi_tenant"]["quotas"] == {}
