@@ -9,6 +9,12 @@ Subcommands mirror a real out-of-core visualization workflow:
 - ``render``     — ray-cast one frame of a dataset to a PPM file;
 - ``trace``      — replay one policy with the event tracer on, write a
   Chrome-trace JSON (and optionally JSONL) plus a per-step summary table;
+  ``--from-jsonl`` re-reports on a previously written JSONL instead;
+- ``analyze``    — eviction forensics + per-frame latency attribution:
+  consumes a ``BENCH_``/``SERVE_`` snapshot or a JSONL trace (or runs the
+  quick suite in-process) and writes a self-contained HTML report, plus a
+  Prometheus text dump with ``--prom``; exits non-zero when any section
+  fails the exact ledger reconciliation;
 - ``bench``      — run the pinned regression suite and write a
   schema-versioned ``BENCH_<label>.json``, or compare two such snapshots
   (``--compare old.json new.json``, non-zero exit on regression);
@@ -81,6 +87,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write raw events as JSON lines")
     tra.add_argument("--capacity", type=_positive_int, default=1_000_000,
                      help="tracer ring-buffer capacity (events)")
+    tra.add_argument("--from-jsonl", type=Path, default=None, metavar="PATH",
+                     help="skip the replay: load events from a JSONL trace "
+                          "written earlier (with --jsonl) and report on those")
+
+    ana = sub.add_parser(
+        "analyze",
+        help="forensics + latency-attribution report (HTML, optional Prometheus "
+             "dump) from a bench/serve snapshot or a JSONL trace",
+    )
+    ana.add_argument("source", nargs="?", default=None,
+                     help="BENCH_/SERVE_ snapshot (.json) or trace events "
+                          "(.jsonl); omitted: run the quick pinned suite "
+                          "in-process and analyze it")
+    ana.add_argument("--out", type=Path, default=Path("report.html"),
+                     help="self-contained HTML report path (default report.html)")
+    ana.add_argument("--prom", type=Path, default=None, metavar="PATH",
+                     help="also write a Prometheus text-exposition dump "
+                          "(registry metrics + attribution/forensics series)")
+    ana.add_argument("--title", default=None, help="report title override")
 
     ben = sub.add_parser(
         "bench",
@@ -275,7 +300,20 @@ def _cmd_replay(args) -> int:
 def _cmd_trace(args) -> int:
     from repro.runtime.drivers import run_baseline
     from repro.experiments.report import format_trace_report
-    from repro.trace import Tracer, aggregate, write_chrome_trace, write_jsonl
+    from repro.trace import Tracer, aggregate, read_jsonl, write_chrome_trace, write_jsonl
+
+    if args.from_jsonl is not None:
+        try:
+            events = read_jsonl(args.from_jsonl)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        summary = aggregate(events)
+        print(format_trace_report(summary, title=f"trace {args.from_jsonl}"))
+        out = write_chrome_trace(events, args.out)
+        print(f"chrome trace: {out} ({len(events)} events; open in chrome://tracing "
+              f"or https://ui.perfetto.dev)")
+        return 0
 
     setup = _make_setup(args)
     path = _make_path(args, setup)
@@ -308,6 +346,138 @@ def _cmd_trace(args) -> int:
           f"or https://ui.perfetto.dev)")
     if args.jsonl is not None:
         print(f"jsonl: {write_jsonl(events, args.jsonl)}")
+    return 0
+
+
+def _attribution_sections(doc):
+    """Yield ``(label, attribution_doc)`` from any analyzable document."""
+    mt = {}
+    if "runs" in doc:
+        for key, run in doc["runs"].items():
+            attr = run.get("attribution")
+            if attr:
+                yield key, attr
+        mt = doc.get("multi_tenant") or {}
+    elif "multi_tenant" in doc:
+        mt = doc["multi_tenant"]
+    elif "demand_components" in doc:
+        yield "run", doc
+    tenants = (mt.get("attribution") or {}).get("tenants") or {}
+    for tenant, attr in sorted(tenants.items()):
+        yield f"tenant:{tenant}", attr
+
+
+def _analysis_prom_snapshot(doc) -> dict:
+    """Registry metrics + synthetic attribution/forensics series for --prom."""
+    from repro.obs.prometheus import labeled_key, merge_snapshots, relabel_snapshot
+
+    counters, gauges = {}, {}
+
+    def counter(name, labels, value):
+        counters[labeled_key(name, labels)] = {"value": float(value)}
+
+    def gauge(name, labels, value):
+        gauges[labeled_key(name, labels)] = {"value": float(value)}
+
+    snaps = []
+    if "runs" in doc:
+        for key, run in doc["runs"].items():
+            metrics = run.get("metrics")
+            if metrics:
+                snaps.append(relabel_snapshot(metrics, {"run": key}))
+    for label, attr in _attribution_sections(doc):
+        sec = {"section": label}
+        for comp, v in (attr.get("demand_components") or {}).items():
+            counter("attribution_component_seconds",
+                    {**sec, "channel": "demand", "component": comp}, v)
+        for comp, v in (attr.get("prefetch_components") or {}).items():
+            counter("attribution_component_seconds",
+                    {**sec, "channel": "prefetch", "component": comp}, v)
+        for kind, v in (attr.get("totals") or {}).items():
+            counter("attribution_time_seconds",
+                    {**sec, "kind": kind.removesuffix("_s")}, v)
+        counter("attribution_re_miss_total", sec, attr.get("n_re_miss", 0))
+        counter("attribution_degraded_total", sec, attr.get("n_degraded", 0))
+        counter("attribution_degraded_extra_seconds", sec,
+                attr.get("degraded_extra_s", 0.0))
+        if attr.get("reconciled") is not None:
+            gauge("attribution_reconciled", sec, 1 if attr["reconciled"] else 0)
+        gauge("attribution_exact", sec, 1 if attr.get("exact", True) else 0)
+        gauge("attribution_incomplete", sec, 1 if attr.get("incomplete") else 0)
+        forensics = attr.get("forensics")
+        if forensics:
+            counter("eviction_lineage_evictions_total", sec,
+                    forensics.get("n_evictions", 0))
+            counter("eviction_lineage_re_misses_total", sec,
+                    forensics.get("n_re_misses", 0))
+            counter("eviction_lineage_premature_total", sec,
+                    forensics.get("n_premature", 0))
+        regret = attr.get("regret")
+        if regret:
+            rl = {**sec, "policy": str(regret.get("policy", ""))}
+            gauge("cache_regret_misses", rl, regret.get("regret", 0))
+            gauge("cache_actual_fast_misses", rl, regret.get("actual_fast_misses", 0))
+            gauge("cache_belady_misses", rl, regret.get("belady_misses", 0))
+    snaps.append({"counters": counters, "gauges": gauges})
+    return merge_snapshots(*snaps)
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.obs.report import write_report
+
+    source = args.source
+    if source is None:
+        from repro.obs.bench import run_bench
+
+        print("no source given: running the quick pinned suite in-process")
+        doc = run_bench(label="analyze", quick=True, progress=print)
+        title = args.title or "repro analyze — quick suite"
+    elif str(source).endswith(".jsonl"):
+        from repro.obs.attribution import attribute_run
+        from repro.trace import read_jsonl
+
+        try:
+            events = read_jsonl(source)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        doc = attribute_run(events).as_dict(include_frames=True)
+        title = args.title or f"repro analyze — trace {source}"
+    else:
+        try:
+            doc = json.loads(Path(source).read_text())
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(doc, dict):
+            print(f"error: {source}: not a JSON object", file=sys.stderr)
+            return 2
+        title = args.title or f"repro analyze — {source}"
+
+    path = write_report(doc, args.out, title=title)
+    sections = list(_attribution_sections(doc))
+    print(f"wrote {path} ({len(sections)} attribution section(s))")
+    failed = []
+    for label, attr in sections:
+        rec = attr.get("reconciled")
+        line = (f"  {label}: reconciled={rec} exact={attr.get('exact', True)} "
+                f"incomplete={attr.get('incomplete', False)}")
+        regret = attr.get("regret")
+        if regret:
+            line += f" regret={regret.get('regret')}"
+        print(line)
+        if rec is False:
+            failed.append(label)
+    if args.prom is not None:
+        from repro.obs.prometheus import write_prometheus
+
+        print(f"prometheus: {write_prometheus(_analysis_prom_snapshot(doc), args.prom)}")
+    if failed:
+        print(f"error: {len(failed)} section(s) failed ledger reconciliation: "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -410,7 +580,7 @@ def _cmd_serve_sim(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    doc = run_load(config, engine=args.engine)
+    doc = run_load(config, engine=args.engine, attribution=True)
     path = write_serve(doc, args.label, args.out)
     mt = doc["multi_tenant"]
     frames = mt["frame_times"]
@@ -454,6 +624,7 @@ _COMMANDS = {
     "preprocess": _cmd_preprocess,
     "replay": _cmd_replay,
     "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
     "bench": _cmd_bench,
     "serve-sim": _cmd_serve_sim,
     "render": _cmd_render,

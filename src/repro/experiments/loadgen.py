@@ -126,13 +126,25 @@ def run_load(
     config: Optional[LoadGenConfig] = None,
     ctx: Optional[RunContext] = None,
     engine: str = "batched",
+    attribution: bool = False,
+    tracer_capacity: int = 500_000,
 ) -> dict:
     """Run one serving scenario end to end; returns the snapshot document.
 
     The document contains only simulated (machine-independent) numbers
     plus the config that produced them; repeat runs are byte-identical.
+
+    ``attribution=True`` adds the per-tenant latency attribution section
+    (see :mod:`repro.obs.attribution`) to ``multi_tenant``; when no
+    ``ctx`` was passed, a :class:`~repro.trace.Tracer` of
+    ``tracer_capacity`` events is created to feed it (a caller-supplied
+    ``ctx`` must then carry an enabled tracer itself).
     """
     config = config if config is not None else LoadGenConfig()
+    if attribution and ctx is None:
+        from repro.trace import Tracer
+
+        ctx = RunContext(tracer=Tracer(capacity=tracer_capacity))
     setup = ExperimentSetup.for_dataset(
         config.dataset,
         target_n_blocks=config.blocks,
@@ -151,6 +163,7 @@ def run_load(
         ctx=ctx,
         engine=engine,
         partition="equal" if config.partition == "equal" else None,
+        attribution=attribution,
     )
     return {
         "schema_version": SERVE_SCHEMA_VERSION,

@@ -16,6 +16,16 @@ component defaults to a shared no-op so unmetered runs stay byte-identical):
 
 :mod:`repro.obs.fairness` adds the multi-tenant summaries (Jain fairness
 index, per-tenant frame-time tails) the session scheduler reports.
+
+Like ``bench``, the forensics/report layer stays lazy (import the
+modules directly, they pull in the runtime engine):
+
+- :mod:`repro.obs.attribution` — exact per-frame latency attribution
+  reconciled bit-for-bit against the engine's time ledger;
+- :mod:`repro.obs.report` — self-contained HTML rendering for
+  ``repro analyze``;
+- :mod:`repro.obs.prometheus` — text-exposition dump of a registry
+  snapshot (``repro analyze --prom``).
 """
 
 from repro.obs.metrics import (

@@ -10,9 +10,12 @@ of the machine; wall-clock phase timings (and the per-run ``wall_s`` /
 suite ``suite_wall_s`` fields) ride along for human inspection but are
 never compared.
 
-Cells run on the batched replay engine with aggregated trace emission by
-default (``engine="scalar"`` replays the per-block compatibility path —
-every simulated metric is identical by construction).  ``workers > 1``
+Cells run on the batched replay engine with exact per-block trace
+emission (``engine="scalar"`` replays the per-block compatibility path —
+every simulated metric is identical by construction); eviction forensics
+(:class:`~repro.storage.forensics.EvictionLineage`) and the per-frame
+latency attribution of :mod:`repro.obs.attribution` ride along in each
+run's informational ``attribution`` section.  ``workers > 1``
 fans the four independent cells out over worker processes, each building
 its own tables from the pinned config, so snapshots are byte-identical
 regardless of parallelism.
@@ -37,8 +40,10 @@ from repro.runtime.config import REPLAY_ENGINES
 from repro.runtime.drivers import run_baseline
 from repro.experiments.runner import ExperimentSetup
 from repro.faults import FAULT_PROFILES, FaultInjector, FaultPlan
+from repro.obs.attribution import attribute_run
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profiler import PhaseProfiler
+from repro.storage.forensics import EvictionLineage, optimal_miss_count
 from repro.trace import Tracer, aggregate
 
 __all__ = [
@@ -166,10 +171,12 @@ def _run_one(
         profiler = PhaseProfiler(tracer=tracer)
     context = setup.context(path)
     hierarchy = setup.hierarchy("lru" if policy == "app-aware" else policy)
-    # The batched engine emits one aggregated trace event per
-    # (step, level, kind) — same byte ledger, a fraction of the tracer
-    # cost; the scalar engine keeps the exact per-block event stream.
-    hierarchy.aggregate_trace = engine == "batched"
+    # Per-block trace emission on both engines: the attribution section
+    # replays the engine's exact per-fetch time folds from the event
+    # stream, which an aggregated (count > 1) roll-up cannot support.
+    hierarchy.aggregate_trace = False
+    lineage = EvictionLineage()
+    hierarchy.set_forensics(lineage)
     injector = None
     derived_seed = derive_fault_seed(config.fault_seed, cell_index)
     if config.faults != "none":
@@ -218,6 +225,29 @@ def _run_one(
         },
         "phases": profiler.report(),
     }
+    # Forensics + per-frame latency attribution (informational: the
+    # comparison allowlist never reads this section).  The regret is the
+    # demand stream's actual fast-level misses vs the Belady offline bound
+    # over the same keys and capacity; a warm importance preload can make
+    # it negative (see repro.storage.forensics), so it is reported raw.
+    attribution = attribute_run(
+        tracer.events(), result.steps, drop_stats=tracer.drop_stats()
+    )
+    capacity = hierarchy.fastest.capacity
+    actual_misses = hierarchy.fastest.stats.misses
+    belady_misses = optimal_miss_count(
+        [int(k) for k in context.demand_trace()], capacity
+    )
+    doc = attribution.as_dict(include_frames=True)
+    doc["forensics"] = lineage.as_dict()
+    doc["regret"] = {
+        "policy": policy,
+        "fast_capacity": capacity,
+        "actual_fast_misses": int(actual_misses),
+        "belady_misses": int(belady_misses),
+        "regret": int(actual_misses) - int(belady_misses),
+    }
+    run["attribution"] = doc
     if injector is not None:
         # Gated on the injector so fault-free snapshots stay byte-identical
         # to pre-faults baselines.
@@ -383,6 +413,7 @@ def run_bench(
                     seed=config.seed,
                 ),
                 engine=engine,
+                attribution=True,
             )
         multi_tenant = {
             "config": serve_doc["config"],

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import PipelineContext
+from repro.obs.attribution import AttributionReport, attribute_frames
 from repro.obs.fairness import TenantFrameStats
 from repro.runtime.config import WORKLOAD_NAMES
 from repro.runtime.context import RunContext
@@ -103,6 +104,9 @@ class SessionsResult:
     quotas: Dict[str, Dict[str, int]] = field(default_factory=dict)
     tenant_usage: Dict[str, Dict[str, int]] = field(default_factory=dict)
     cross_evictions: int = 0
+    #: Per-tenant latency attribution (``run_sessions(attribution=True)``);
+    #: None when attribution was not requested.
+    attribution: Optional[Dict[str, AttributionReport]] = None
 
     @property
     def makespan_s(self) -> float:
@@ -123,7 +127,7 @@ class SessionsResult:
                 "bytes_moved": run.extras.get("bytes_moved", 0.0),
                 "end_time_s": self.end_times[sid],
             }
-        return {
+        doc = {
             "n_sessions": len(self.runs),
             "makespan_s": self.makespan_s,
             "sessions": ledger,
@@ -132,6 +136,17 @@ class SessionsResult:
             "tenant_usage": self.tenant_usage,
             "cross_evictions": self.cross_evictions,
         }
+        if self.attribution is not None:
+            from repro.obs.attribution import ATTRIBUTION_SCHEMA_VERSION
+
+            doc["attribution"] = {
+                "schema_version": ATTRIBUTION_SCHEMA_VERSION,
+                "tenants": {
+                    label: rep.as_dict(include_frames=False)
+                    for label, rep in self.attribution.items()
+                },
+            }
+        return doc
 
 
 @dataclass
@@ -161,6 +176,7 @@ def run_sessions(
     engine: str = "batched",
     partition: "Union[None, str, Mapping[str, float]]" = None,
     protect_current_step: bool = False,
+    attribution: bool = False,
 ) -> SessionsResult:
     """Interleave ``specs`` over one shared ``hierarchy``; see module doc.
 
@@ -187,6 +203,12 @@ def run_sessions(
         :meth:`MemoryHierarchy.set_tenant_quotas`.
     protect_current_step:
         Apply Algorithm 1's eviction constraint per session step.
+    attribution:
+        Build per-tenant latency attribution (see
+        :mod:`repro.obs.attribution`).  Frames are processed strictly
+        sequentially, so slicing the shared tracer around each frame's
+        stage loop captures exactly that frame's events; requires an
+        enabled tracer on ``ctx``.
     """
     if not specs:
         raise ValueError("run_sessions needs at least one session spec")
@@ -195,6 +217,10 @@ def run_sessions(
         raise ValueError(f"session ids must be unique, got {ids}")
 
     ctx = (ctx if ctx is not None else RunContext()).bind(hierarchy)
+    if attribution and not ctx.tracer.enabled:
+        raise ValueError(
+            "attribution=True requires an enabled Tracer on the shared RunContext"
+        )
     tenants = list(dict.fromkeys(s.tenant_label for s in specs))
 
     quotas: Dict[str, Dict[str, int]] = {}
@@ -244,6 +270,10 @@ def run_sessions(
         state.clock_s = float(state.spec.arrival_s)
         heapq.heappush(heap, (state.clock_s, idx))
 
+    # Per-tenant (step, events, ledger) rows for the attribution reports.
+    attr_rows: Dict[str, list] = {t: [] for t in tenants} if attribution else {}
+    attr_dropped0 = ctx.tracer.n_dropped if attribution else 0
+
     end_times: Dict[str, float] = {}
     while heap:
         _, idx = heapq.heappop(heap)
@@ -256,10 +286,25 @@ def run_sessions(
                 stage.start(sim)
             state.started = True
         i = state.next_step
+        seq0 = ctx.tracer.n_recorded if attribution else 0
         frame = Frame(step=i, ids=sim.context.visible_sets[i])
         for stage in sim.stages:
             stage.step(sim, frame)
         sim.collector.collect(sim, frame)
+        if attribution:
+            events = [e for e in ctx.tracer.events_since(seq0) if e.step == i]
+            attr_rows[state.spec.tenant_label].append(
+                (
+                    i,
+                    events,
+                    (
+                        frame.io_time_s,
+                        frame.lookup_time_s,
+                        frame.prefetch_time_s,
+                        frame.render_time_s,
+                    ),
+                )
+            )
         frame_time = frame.io_time_s + frame.lookup_time_s + frame.render_time_s
         stats.observe(
             state.spec.tenant_label, frame_time, frame.n_visible, frame.n_fast_misses
@@ -275,6 +320,15 @@ def run_sessions(
             end_times[state.spec.session_id] = state.clock_s
 
     stats.fairness()  # publish the tenant_fairness_jain gauge
+    reports: Optional[Dict[str, AttributionReport]] = None
+    if attribution:
+        incomplete = ctx.tracer.n_dropped > attr_dropped0
+        reports = {
+            label: attribute_frames(
+                rows, drop_stats=ctx.tracer.drop_stats(), incomplete=incomplete
+            )
+            for label, rows in attr_rows.items()
+        }
     return SessionsResult(
         runs={st.spec.session_id: st.result for st in states},
         end_times=end_times,
@@ -282,4 +336,5 @@ def run_sessions(
         quotas=quotas,
         tenant_usage=hierarchy.tenant_usage(),
         cross_evictions=hierarchy.tenant_cross_evictions(),
+        attribution=reports,
     )

@@ -8,6 +8,12 @@ trace; times come from the deterministic cost model (DESIGN.md §2).
 
 from repro.storage.device import StorageDevice, DRAM, SSD, HDD
 from repro.storage.cache import CacheLevel
+from repro.storage.forensics import (
+    EvictionLineage,
+    EvictionRecord,
+    ReMissRecord,
+    optimal_miss_count,
+)
 from repro.storage.hierarchy import MemoryHierarchy, FetchResult, make_standard_hierarchy
 from repro.storage.stats import CacheStats, HierarchyStats
 
@@ -22,4 +28,8 @@ __all__ = [
     "make_standard_hierarchy",
     "CacheStats",
     "HierarchyStats",
+    "EvictionLineage",
+    "EvictionRecord",
+    "ReMissRecord",
+    "optimal_miss_count",
 ]

@@ -62,6 +62,10 @@ class CacheLevel:
         self.stats = CacheStats()
         self.tracer = tracer
         self.registry = NULL_REGISTRY
+        # Eviction forensics (opt-in): an EvictionLineage installed via
+        # MemoryHierarchy.set_forensics.  Purely observational — never
+        # changes a decision, so enabled runs stay byte-identical.
+        self.forensics = None
         self._occupancy = NULL_REGISTRY.gauge("cache_occupancy_blocks")
         self._evictions = NULL_REGISTRY.counter("cache_evictions_total")
         self._bypasses = NULL_REGISTRY.counter("cache_bypasses_total")
@@ -266,8 +270,11 @@ class CacheLevel:
                 min_free_step is None or min_free_step <= step
             )
             while self._n_resident >= self.capacity:
+                vrank = -1
                 if use_queue:
                     victim = self._pop_victim(step, min_free_step)
+                    if victim is not None:
+                        vrank = self._vq_pos - 1
                 elif self.policy.supports_masked_victim:
                     victim = self.policy.choose_victim_masked(
                         self.evictable_mask(min_free_step)
@@ -286,7 +293,7 @@ class CacheLevel:
                     elif self.tracer.enabled:
                         self.tracer.record("bypass", step, self.name, key)
                     return False
-                self.evict(victim, step=step, agg=agg)
+                self.evict(victim, step=step, agg=agg, rank=vrank)
         self._resident[key] = True
         self._last_used[key] = step
         self._n_resident += 1
@@ -501,6 +508,7 @@ class CacheLevel:
             pos = self._vq_pos
             need = m - k1
             taken: list = []
+            taken_pos: list = []  # absolute queue positions (forensics rank)
             while pos < end and r < need:
                 hi = min(end, pos + max(2 * (need - r), 8))
                 window = queue[pos:hi]
@@ -514,6 +522,7 @@ class CacheLevel:
                 take = min(need - r, int(idx.size))
                 if take:
                     taken.append(window[idx[:take]])
+                    taken_pos.append(pos + idx[:take])
                     r += take
                     # Entries skipped over as invalid are consumed for good,
                     # exactly like the scalar pops would discard them.
@@ -524,6 +533,19 @@ class CacheLevel:
             if r:
                 victims = taken[0] if len(taken) == 1 else np.concatenate(taken)
         if r:
+            if self.forensics is not None:
+                ranks = (
+                    taken_pos[0] if len(taken_pos) == 1 else np.concatenate(taken_pos)
+                ).tolist()
+                owners = (
+                    self._owner[victims].tolist() if self._owner is not None else None
+                )
+                names = self._tenant_names
+                for j, vkey in enumerate(victims.tolist()):
+                    tname = names[owners[j]] if owners is not None and owners[j] >= 0 else ""
+                    self.forensics.record_eviction(
+                        vkey, self.name, step, self.policy.name, tname, int(ranks[j])
+                    )
             if self._owner is not None:
                 owned = self._owner[victims]
                 owned = owned[owned >= 0]
@@ -573,6 +595,7 @@ class CacheLevel:
         step: Optional[int] = None,
         agg: Optional[dict] = None,
         by: Optional[int] = None,
+        rank: int = -1,
     ) -> None:
         """Remove a resident ``key`` (policy notified).
 
@@ -583,13 +606,19 @@ class CacheLevel:
         forced the eviction; evicting a block owned by a *different*
         tenant counts as a cross-tenant eviction (always zero under quota
         partitioning — the admission path never selects such victims).
+        ``rank`` is the victim's absolute position in the amortised victim
+        queue when the admission path selected it from one (−1 for
+        masked/predicate selection and direct evicts); it flows into the
+        forensics lineage only.
         """
         resident = self._resident
         if key >= len(resident) or not resident[key]:
             raise KeyError(f"{self.name}: evict of non-resident block {key}")
+        tenant_name = ""
         if self._owner is not None:
             prev = int(self._owner[key])
             if prev >= 0:
+                tenant_name = self._tenant_names[prev]
                 self._tenant_used[prev] -= 1
                 self._owner[key] = -1
                 if by is not None and by != prev:
@@ -604,6 +633,15 @@ class CacheLevel:
         if self.registry.enabled:
             self._evictions.inc()
             self._occupancy.set(self._n_resident)
+        if self.forensics is not None:
+            self.forensics.record_eviction(
+                key,
+                self.name,
+                -1 if step is None else step,
+                self.policy.name,
+                tenant_name,
+                rank,
+            )
         if agg is not None:
             acc = agg.setdefault(("evict", self.name), [0, 0, 0.0])
             acc[0] += 1

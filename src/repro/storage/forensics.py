@@ -1,0 +1,291 @@
+"""Eviction forensics: provenance lineage, re-miss detection, Belady regret.
+
+The paper's thesis is that *which block you evict* determines interactive
+frame latency.  This module records enough provenance per eviction to
+answer, at the moment of a later miss, "who evicted this block, when, and
+how confidently" — turning an anonymous miss into an attributable
+decision:
+
+- :class:`EvictionLineage` keeps a bounded ring of
+  :class:`EvictionRecord` (block, level, step, policy, tenant,
+  victim-queue rank) plus a block → most-recent-eviction map.  The
+  hierarchy consults it on every *demand* miss; a match produces a
+  :class:`ReMissRecord` (and, when a tracer is attached, a ``re_miss``
+  trace event) carrying the time-since-eviction and the evicting
+  policy/tenant.
+- A re-miss within ``premature_window`` steps of the eviction counts as a
+  **premature eviction** — the policy discarded a block it needed right
+  back, the paper's canonical failure mode.
+- :func:`optimal_miss_count` replays a demand key sequence through the
+  existing :class:`~repro.policies.belady.BeladyPolicy` (offline MIN), so
+  a run's **regret** = actual fast-level misses − Belady misses can be
+  reported per policy.  With an importance preload warming the cache the
+  regret can be negative (the preload sees outside the demand trace;
+  Belady here starts cold), so it is reported raw, not clamped.
+
+Everything here is strictly opt-in: no lineage is allocated unless
+:meth:`repro.storage.hierarchy.MemoryHierarchy.set_forensics` is called,
+and fault-free default runs stay byte-identical with forensics *enabled*
+— lineage only observes decisions, never changes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.policies.belady import BeladyPolicy
+
+__all__ = [
+    "EvictionRecord",
+    "ReMissRecord",
+    "EvictionLineage",
+    "optimal_miss_count",
+]
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """Provenance of one eviction decision."""
+
+    block: int
+    level: str
+    step: int
+    policy: str
+    tenant: str  # "" when the level is unpartitioned
+    rank: int  # absolute victim-queue position; -1 for non-queue paths
+
+    @property
+    def origin(self) -> str:
+        """``"<policy>:<tenant>"`` — the ``re_miss`` event's origin field."""
+        return f"{self.policy}:{self.tenant}"
+
+
+@dataclass(frozen=True)
+class ReMissRecord:
+    """A demand miss on a block the lineage remembers evicting."""
+
+    block: int
+    step: int  # step of the miss
+    age_steps: int  # miss step - eviction step
+    evicted_from: str
+    evicted_step: int
+    policy: str
+    tenant: str
+    rank: int
+    premature: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "block": self.block,
+            "step": self.step,
+            "age_steps": self.age_steps,
+            "evicted_from": self.evicted_from,
+            "evicted_step": self.evicted_step,
+            "policy": self.policy,
+            "tenant": self.tenant,
+            "rank": self.rank,
+            "premature": self.premature,
+        }
+
+
+class EvictionLineage:
+    """Bounded eviction-provenance ring with re-miss lookup.
+
+    ``capacity`` bounds both the eviction ring and the retained re-miss
+    records (overwrite-oldest), so a forever-running replay cannot grow
+    memory.  The counters (``n_evictions``, ``n_re_misses``,
+    ``n_premature``) are monotonic and survive wrap-around.
+    """
+
+    __slots__ = (
+        "capacity",
+        "premature_window",
+        "n_evictions",
+        "n_re_misses",
+        "n_premature",
+        "_ring",
+        "_next",
+        "_last",
+        "_re_ring",
+        "_re_next",
+    )
+
+    def __init__(self, capacity: int = 4096, premature_window: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if premature_window < 0:
+            raise ValueError(f"premature_window must be >= 0, got {premature_window}")
+        self.capacity = int(capacity)
+        self.premature_window = int(premature_window)
+        self.n_evictions = 0
+        self.n_re_misses = 0
+        self.n_premature = 0
+        self._ring: List[EvictionRecord] = []
+        self._next = 0
+        self._last: Dict[int, EvictionRecord] = {}
+        self._re_ring: List[ReMissRecord] = []
+        self._re_next = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_eviction(
+        self,
+        block: int,
+        level: str,
+        step: int,
+        policy: str,
+        tenant: str = "",
+        rank: int = -1,
+    ) -> None:
+        """Remember one eviction; overwrites the oldest once full."""
+        rec = EvictionRecord(block, level, step, policy, tenant, rank)
+        self.n_evictions += 1
+        if len(self._ring) < self.capacity:
+            self._ring.append(rec)
+        else:
+            old = self._ring[self._next]
+            if self._last.get(old.block) is old:
+                del self._last[old.block]  # provenance aged out of the ring
+            self._ring[self._next] = rec
+            self._next = (self._next + 1) % self.capacity
+        self._last[block] = rec
+
+    def on_miss(self, block: int, step: int) -> Optional[ReMissRecord]:
+        """Look up a demand miss; returns the re-miss record on a match.
+
+        A match means the lineage ring still remembers evicting ``block``;
+        the caller (the hierarchy) emits the ``re_miss`` trace event and
+        bumps the registry counters from the returned record.
+        """
+        rec = self._last.get(block)
+        if rec is None:
+            return None
+        age = step - rec.step if step >= 0 and rec.step >= 0 else -1
+        premature = 0 <= age <= self.premature_window
+        re_rec = ReMissRecord(
+            block=block,
+            step=step,
+            age_steps=age,
+            evicted_from=rec.level,
+            evicted_step=rec.step,
+            policy=rec.policy,
+            tenant=rec.tenant,
+            rank=rec.rank,
+            premature=premature,
+        )
+        self.n_re_misses += 1
+        if premature:
+            self.n_premature += 1
+        if len(self._re_ring) < self.capacity:
+            self._re_ring.append(re_rec)
+        else:
+            self._re_ring[self._re_next] = re_rec
+            self._re_next = (self._re_next + 1) % self.capacity
+        return re_rec
+
+    # -- reading -------------------------------------------------------------
+
+    def lookup(self, block: int) -> Optional[EvictionRecord]:
+        """Most recent remembered eviction of ``block`` (no counters touched)."""
+        return self._last.get(block)
+
+    def evictions(self) -> List[EvictionRecord]:
+        """Retained eviction records, oldest first."""
+        return self._ring[self._next:] + self._ring[: self._next]
+
+    def re_misses(self) -> List[ReMissRecord]:
+        """Retained re-miss records, oldest first."""
+        return self._re_ring[self._re_next:] + self._re_ring[: self._re_next]
+
+    def top_premature(self, n: int = 10) -> List[dict]:
+        """The worst premature evictions, for the report's top-10 table.
+
+        Grouped per block; ranked by premature re-miss count (descending),
+        then by smallest age (a block wanted back one step later is worse
+        than one wanted back five steps later), then by block id for
+        determinism.
+        """
+        per_block: Dict[int, dict] = {}
+        for r in self.re_misses():
+            if not r.premature:
+                continue
+            row = per_block.get(r.block)
+            if row is None:
+                per_block[r.block] = {
+                    "block": r.block,
+                    "count": 1,
+                    "min_age_steps": r.age_steps,
+                    "last_step": r.step,
+                    "evicted_from": r.evicted_from,
+                    "policy": r.policy,
+                    "tenant": r.tenant,
+                    "rank": r.rank,
+                }
+            else:
+                row["count"] += 1
+                row["min_age_steps"] = min(row["min_age_steps"], r.age_steps)
+                row["last_step"] = max(row["last_step"], r.step)
+        rows = sorted(
+            per_block.values(),
+            key=lambda r: (-r["count"], r["min_age_steps"], r["block"]),
+        )
+        return rows[:n]
+
+    def as_dict(self, top_n: int = 10) -> dict:
+        """Snapshot-friendly summary (plain JSON types only)."""
+        return {
+            "capacity": self.capacity,
+            "premature_window": self.premature_window,
+            "n_evictions": self.n_evictions,
+            "n_re_misses": self.n_re_misses,
+            "n_premature": self.n_premature,
+            "top_premature": self.top_premature(top_n),
+        }
+
+    def clear(self) -> None:
+        self.n_evictions = 0
+        self.n_re_misses = 0
+        self.n_premature = 0
+        self._ring.clear()
+        self._next = 0
+        self._last.clear()
+        self._re_ring.clear()
+        self._re_next = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EvictionLineage(capacity={self.capacity}, "
+            f"evictions={self.n_evictions}, re_misses={self.n_re_misses}, "
+            f"premature={self.n_premature})"
+        )
+
+
+def optimal_miss_count(keys: Sequence[int], capacity: int) -> int:
+    """Belady-MIN miss count for a demand key sequence and cache size.
+
+    Replays ``keys`` through :class:`~repro.policies.belady.BeladyPolicy`
+    over a simulated cache of ``capacity`` slots starting cold; counts the
+    misses (cold-start compulsory misses included).  This is the offline
+    lower bound the per-policy regret is measured against.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    keys = list(keys)
+    if not keys:
+        return 0
+    policy = BeladyPolicy(keys)
+    resident: set = set()
+    misses = 0
+    for step, key in enumerate(keys):
+        if key in resident:
+            policy.on_hit(key, step)
+            continue
+        misses += 1
+        if len(resident) >= capacity:
+            victim = policy.choose_victim()
+            policy.on_evict(victim)
+            resident.discard(victim)
+        policy.on_insert(key, step)
+        resident.add(key)
+    return misses

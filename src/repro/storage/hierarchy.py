@@ -122,6 +122,13 @@ class MemoryHierarchy:
         self.breakers: dict = {}
         self._sim_now = 0.0  # accumulated charged io; drives breaker cooldowns
         self._fault_metrics: dict = {}
+        # Eviction forensics (None = off; see set_forensics).  Strictly
+        # observational: lineage lookups never change a fetch decision.
+        self.forensics = None
+        self._re_miss_counter = NULL_REGISTRY.counter("forensics_re_miss_total")
+        self._premature_counter = NULL_REGISTRY.counter(
+            "forensics_premature_evictions_total"
+        )
         self.tracer = NULL_TRACER
         self.set_tracer(tracer if tracer is not None else NULL_TRACER)
         self.registry = NULL_REGISTRY
@@ -159,6 +166,51 @@ class MemoryHierarchy:
         }
         if self.fault_injector is not None:
             self._bind_fault_metrics()
+        if self.forensics is not None:
+            self._bind_forensics_metrics()
+
+    def set_forensics(self, lineage) -> None:
+        """Install an :class:`~repro.storage.forensics.EvictionLineage` (or None).
+
+        With a lineage installed, every eviction on every level records its
+        provenance (block, level, step, policy, tenant, victim-queue rank),
+        and every *demand* miss consults the lineage: a block the ring
+        remembers evicting produces a re-miss record, a ``re_miss`` trace
+        event (when a tracer is attached) carrying the age and the evicting
+        policy/tenant, and bumps the ``forensics_re_miss_total`` /
+        ``forensics_premature_evictions_total`` counters.  Purely
+        observational — enabled runs keep byte-identical ledgers.
+        """
+        self.forensics = lineage
+        for level in self.levels:
+            level.forensics = lineage
+        if lineage is not None:
+            self._bind_forensics_metrics()
+
+    def _bind_forensics_metrics(self) -> None:
+        self._re_miss_counter = self.registry.counter("forensics_re_miss_total")
+        self._premature_counter = self.registry.counter(
+            "forensics_premature_evictions_total"
+        )
+
+    def _note_re_miss(self, key: int, step: int) -> None:
+        """Demand-miss forensics hook: lineage lookup + event + counters."""
+        rec = self.forensics.on_miss(key, step)
+        if rec is None:
+            return
+        if self.registry.enabled:
+            self._re_miss_counter.inc()
+            if rec.premature:
+                self._premature_counter.inc()
+        if self.tracer.enabled:
+            self.tracer.record(
+                "re_miss",
+                step,
+                rec.evicted_from,
+                key,
+                age_steps=rec.age_steps,
+                origin=f"{rec.policy}:{rec.tenant}",
+            )
 
     def set_fault_injector(
         self,
@@ -394,6 +446,8 @@ class MemoryHierarchy:
                 level.stats.prefetch_misses += 1
             else:
                 level.stats.misses += 1
+        if not prefetch and self.forensics is not None:
+            self._note_re_miss(key, step)
 
         if found_at is None:
             source_name = self.backing.name
@@ -563,6 +617,8 @@ class MemoryHierarchy:
                 level.stats.prefetch_misses += 1
             else:
                 level.stats.misses += 1
+        if not prefetch and self.forensics is not None:
+            self._note_re_miss(key, step)
 
         if served is None:
             inj.record_drop(self.backing.name)
@@ -773,8 +829,11 @@ class MemoryHierarchy:
         # per-key work below (no fast-level probe or touch happens inside a
         # miss run), so they can go through the bulk path in one call.
         batch_fast = fast.policy.supports_victim_order
+        note_re_miss = not prefetch and self.forensics is not None
         i = pos
         for key in run.tolist():
+            if note_re_miss:
+                self._note_re_miss(key, step)
             found = -1
             for j in range(n_lowers):
                 if lowers[j]._resident[key]:

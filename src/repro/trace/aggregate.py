@@ -43,6 +43,8 @@ class StepTimeline:
     retries: int = 0
     degraded: int = 0
     fault_time_s: float = 0.0  # failed attempts + backoffs (charged io)
+    # Forensics markers (zero unless an EvictionLineage was installed).
+    re_misses: int = 0
 
     @property
     def fast_coverage(self) -> float:
@@ -88,6 +90,10 @@ class TraceSummary:
     @property
     def total_degraded(self) -> int:
         return sum(s.degraded for s in self.steps)
+
+    @property
+    def total_re_misses(self) -> int:
+        return sum(s.re_misses for s in self.steps)
 
     @property
     def fault_time_s(self) -> float:
@@ -146,6 +152,9 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceSummary:
             # Informational: the extra seconds are already inside the
             # movement event's time, so only the count is aggregated.
             row.degraded += e.count
+        elif e.kind == "re_miss":
+            # Forensics marker: no bytes, no time — count only.
+            row.re_misses += e.count
         if e.kind in MOVEMENT_KINDS and e.level:
             split = level_bytes.setdefault(e.level, {"demand": 0, "prefetch": 0})
             split["prefetch" if e.kind == "prefetch" else "demand"] += e.nbytes

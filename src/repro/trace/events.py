@@ -22,7 +22,14 @@ read-path decisions:
   than its nominal cost (latency spike / degraded-bandwidth window);
   ``time_s`` carries only the *extra* seconds above nominal, which are
   already included in the movement event, so degraded events are
-  excluded from every time ledger.
+  excluded from every time ledger;
+- ``re_miss``  — forensics marker emitted (only when an
+  :class:`~repro.storage.forensics.EvictionLineage` is installed) on a
+  demand miss for a block that the lineage ring remembers evicting:
+  ``level`` names the level it was evicted *from*, ``age_steps`` the
+  steps since that eviction, and ``origin`` the evicting
+  ``policy:tenant``.  ``time_s`` is always 0 — re-miss markers sit
+  outside every time ledger.
 
 Exactly one of ``hit``/``fetch``/``prefetch`` is emitted per
 :meth:`repro.storage.hierarchy.MemoryHierarchy.fetch` call, carrying the
@@ -49,6 +56,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     "fault",
     "retry",
     "degraded",
+    "re_miss",
 )
 
 # Kinds whose ``nbytes`` counts toward the bytes-moved ledger.
@@ -93,6 +101,13 @@ class TraceEvent:
         one event with ``count > 1``, ``nbytes``/``time_s`` summed, and
         ``key = -1`` — the byte ledger is unchanged because aggregation
         only re-buckets the same totals.
+    age_steps:
+        For ``re_miss`` events: steps elapsed since the block was evicted
+        (−1 for every other kind).
+    origin:
+        For ``re_miss`` events: ``"<policy>:<tenant>"`` of the eviction
+        that caused this miss (``""`` for every other kind, and an empty
+        tenant part for unpartitioned caches).
     """
 
     seq: int
@@ -104,6 +119,8 @@ class TraceEvent:
     time_s: float
     span: str = ""
     count: int = 1
+    age_steps: int = -1
+    origin: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -120,4 +137,6 @@ class TraceEvent:
             time_s=float(d["time_s"]),
             span=str(d.get("span", "")),
             count=int(d.get("count", 1)),
+            age_steps=int(d.get("age_steps", -1)),
+            origin=str(d.get("origin", "")),
         )

@@ -39,13 +39,27 @@ def write_jsonl(events: Iterable[TraceEvent], path: PathLike) -> Path:
 
 
 def read_jsonl(path: PathLike) -> List[TraceEvent]:
-    """Parse a file written by :func:`write_jsonl` (blank lines ignored)."""
+    """Parse a file written by :func:`write_jsonl` (blank lines ignored).
+
+    Raises a one-line :class:`ValueError` naming the file (and line) on an
+    empty file or a truncated/corrupt line, so CLI consumers can report it
+    without a traceback.
+    """
+    path = Path(path)
     out: List[TraceEvent] = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 out.append(TraceEvent.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: truncated or corrupt trace line ({exc})"
+                ) from None
+    if not out:
+        raise ValueError(f"{path}: empty trace file (no events)")
     return out
 
 
@@ -62,7 +76,7 @@ _DURATION_KINDS = frozenset({"hit", "fetch", "prefetch", "render", "fault", "ret
 def _track_for(event: TraceEvent) -> str:
     if event.kind == "render":
         return "render"
-    if event.kind in ("evict", "bypass", "preload"):
+    if event.kind in ("evict", "bypass", "preload", "re_miss"):
         return f"cache:{event.level}" if event.level else "cache"
     return f"io:{event.level}" if event.level else "io"
 
@@ -102,6 +116,9 @@ def to_chrome_trace(
         }
         if e.span:
             args["span"] = e.span
+        if e.kind == "re_miss":
+            args["age_steps"] = e.age_steps
+            args["origin"] = e.origin
         if e.kind in _DURATION_KINDS:
             trace_events.append(
                 {

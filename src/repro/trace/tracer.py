@@ -56,16 +56,30 @@ class Tracer:
         nbytes: int = 0,
         time_s: float = 0.0,
         count: int = 1,
+        age_steps: int = -1,
+        origin: str = "",
     ) -> None:
         """Append one event; overwrites the oldest once the ring is full.
 
         ``count > 1`` marks an aggregated event standing for that many
         per-block actions (batched engine's per-step roll-up).
+        ``age_steps``/``origin`` carry eviction provenance on ``re_miss``
+        events and keep their defaults everywhere else.
         """
         if kind not in _KINDS:
             raise ValueError(f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}")
         event = TraceEvent(
-            self._total, kind, step, level, key, nbytes, time_s, self.current_span, count
+            self._total,
+            kind,
+            step,
+            level,
+            key,
+            nbytes,
+            time_s,
+            self.current_span,
+            count,
+            age_steps,
+            origin,
         )
         self._total += 1
         if len(self._ring) < self.capacity:
@@ -79,6 +93,29 @@ class Tracer:
     def events(self) -> List[TraceEvent]:
         """Retained events, oldest first (drops are at the front)."""
         return self._ring[self._next:] + self._ring[: self._next]
+
+    def events_since(self, seq: int) -> List[TraceEvent]:
+        """Retained events with ``event.seq >= seq``, oldest first.
+
+        O(k) in the number of returned events — per-frame consumers (the
+        session scheduler's attribution hook) call this with the previous
+        frame's ``n_recorded`` instead of copying the whole ring.  Events
+        older than ``seq`` that were already overwritten are simply absent;
+        compare ``n_dropped`` across the window to detect that.
+        """
+        if seq >= self._total:
+            return []
+        oldest = self._total - len(self._ring)
+        start = max(int(seq), oldest)
+        offset = start - oldest  # logical index into the ordered ring
+        count = len(self._ring) - offset
+        if len(self._ring) < self.capacity:  # never wrapped: ring is in order
+            return self._ring[offset:]
+        phys = (self._next + offset) % self.capacity
+        tail = self._ring[phys : phys + count]
+        if len(tail) == count:
+            return tail
+        return tail + self._ring[: count - len(tail)]
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -136,10 +173,15 @@ class NullTracer:
         nbytes: int = 0,
         time_s: float = 0.0,
         count: int = 1,
+        age_steps: int = -1,
+        origin: str = "",
     ) -> None:
         pass
 
     def events(self) -> List[TraceEvent]:
+        return []
+
+    def events_since(self, seq: int) -> List[TraceEvent]:
         return []
 
     def __len__(self) -> int:

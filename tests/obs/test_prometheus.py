@@ -1,0 +1,101 @@
+"""Prometheus text-exposition rendering of metrics snapshots."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    labeled_key,
+    merge_snapshots,
+    prometheus_text,
+    relabel_snapshot,
+    write_prometheus,
+)
+
+
+def _snapshot():
+    reg = MetricsRegistry()
+    reg.counter("fetches_total", level="dram").inc(3)
+    reg.counter("fetches_total", level="hdd").inc(1)
+    reg.gauge("resident_blocks").set(42)
+    h = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg.snapshot()
+
+
+class TestPrometheusText:
+    def test_counter_rendering(self):
+        text = prometheus_text(_snapshot())
+        assert "# TYPE repro_fetches_total counter" in text
+        assert 'repro_fetches_total{level="dram"} 3' in text
+        assert 'repro_fetches_total{level="hdd"} 1' in text
+
+    def test_gauge_rendering(self):
+        text = prometheus_text(_snapshot())
+        assert "# TYPE repro_resident_blocks gauge" in text
+        assert "repro_resident_blocks 42" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = prometheus_text(_snapshot())
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_count 3" in text
+
+    def test_one_type_line_per_family(self):
+        text = prometheus_text(_snapshot())
+        assert text.count("# TYPE repro_fetches_total ") == 1
+
+    def test_deterministic(self):
+        assert prometheus_text(_snapshot()) == prometheus_text(_snapshot())
+
+    def test_extra_labels_merged_into_every_sample(self):
+        text = prometheus_text(_snapshot(), extra_labels={"run": "orbit/lru"})
+        assert 'repro_fetches_total{level="dram",run="orbit/lru"} 3' in text
+        assert 'repro_resident_blocks{run="orbit/lru"} 42' in text
+
+    def test_namespace_and_name_sanitizing(self):
+        snap = {"counters": {"weird-name.x{k=v}": {"value": 1.0}}}
+        text = prometheus_text(snap, namespace="my ns")
+        assert "my_ns_weird_name_x" in text
+
+    def test_label_value_escaping(self):
+        snap = {"counters": {'c{path=a"b}': {"value": 1.0}}}
+        text = prometheus_text(snap)
+        assert 'path="a\\"b"' in text
+
+    def test_empty_snapshot(self):
+        assert prometheus_text({}) == ""
+
+    def test_write(self, tmp_path):
+        path = write_prometheus(_snapshot(), tmp_path / "m.prom")
+        assert path.read_text() == prometheus_text(_snapshot())
+
+
+class TestSnapshotHelpers:
+    def test_labeled_key(self):
+        assert labeled_key("m", {}) == "m"
+        assert labeled_key("m", {"b": "2", "a": "1"}) == "m{a=1,b=2}"
+
+    def test_relabel_snapshot(self):
+        snap = {"counters": {"c{level=dram}": {"value": 1.0}, "d": {"value": 2.0}}}
+        out = relabel_snapshot(snap, {"run": "x"})
+        assert out["counters"] == {
+            "c{level=dram,run=x}": {"value": 1.0},
+            "d{run=x}": {"value": 2.0},
+        }
+
+    def test_merge_snapshots(self):
+        a = {"counters": {"c": {"value": 1.0}}}
+        b = {"counters": {"d": {"value": 2.0}}, "gauges": {"g": {"value": 3.0}}}
+        merged = merge_snapshots(a, b)
+        assert set(merged["counters"]) == {"c", "d"}
+        assert merged["gauges"]["g"]["value"] == 3.0
+
+    def test_merged_relabel_renders_single_family(self):
+        a = relabel_snapshot({"counters": {"c": {"value": 1.0}}}, {"run": "a"})
+        b = relabel_snapshot({"counters": {"c": {"value": 2.0}}}, {"run": "b"})
+        text = prometheus_text(merge_snapshots(a, b))
+        assert text.count("# TYPE repro_c counter") == 1
+        assert 'repro_c{run="a"} 1' in text
+        assert 'repro_c{run="b"} 2' in text

@@ -249,3 +249,135 @@ class TestServeSim:
         assert rc == 0
         doc = json.loads((tmp_path / "SERVE_n.json").read_text())
         assert doc["multi_tenant"]["quotas"] == {}
+
+
+@pytest.fixture(scope="module")
+def bench_snapshot(tmp_path_factory):
+    """One quick bench snapshot shared by the analyze tests."""
+    out = tmp_path_factory.mktemp("analyze")
+    assert main(["bench", "--quick", "--label", "an", "--out", str(out)]) == 0
+    return out / "BENCH_an.json"
+
+
+class TestAnalyze:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.source is None
+        assert str(args.out) == "report.html"
+        assert args.prom is None
+
+    def test_bench_snapshot_writes_html_and_prom(self, bench_snapshot, tmp_path,
+                                                 capsys):
+        html = tmp_path / "report.html"
+        prom = tmp_path / "metrics.prom"
+        rc = main(["analyze", str(bench_snapshot),
+                   "--out", str(html), "--prom", str(prom)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reconciled=True" in out
+        text = html.read_text(encoding="utf-8")
+        assert "Regret vs Belady" in text
+        assert "Frame-time waterfall" in text
+        prom_text = prom.read_text()
+        assert "# TYPE repro_attribution_component_seconds counter" in prom_text
+        assert "repro_cache_regret_misses" in prom_text
+        assert "repro_eviction_lineage_evictions_total" in prom_text
+
+    def test_serve_snapshot_source(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments import LoadGenConfig, run_load
+
+        doc = run_load(LoadGenConfig(n_sessions=2, steps=4, blocks=64,
+                                     scale=0.04), attribution=True)
+        snap = tmp_path / "SERVE_x.json"
+        snap.write_text(json.dumps(doc))
+        rc = main(["analyze", str(snap), "--out", str(tmp_path / "r.html")])
+        assert rc == 0
+        assert "tenant:" in capsys.readouterr().out
+
+    def test_jsonl_source(self, tmp_path, capsys):
+        from repro.trace import TraceEvent, write_jsonl
+
+        events = [
+            TraceEvent(0, "fetch", 0, "hdd", 1, 1024, 0.5),
+            TraceEvent(1, "render", 0, "", -1, 0, 0.1),
+        ]
+        path = write_jsonl(events, tmp_path / "t.jsonl")
+        rc = main(["analyze", str(path), "--out", str(tmp_path / "r.html")])
+        assert rc == 0
+        assert (tmp_path / "r.html").exists()
+
+    def test_empty_jsonl_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        rc = main(["analyze", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert err.count("\n") == 1
+
+    def test_truncated_jsonl_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text('{"seq":0,"kind":"hit",')
+        rc = main(["analyze", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "truncated" in err
+        assert err.count("\n") == 1
+
+    def test_missing_source_one_line_error(self, tmp_path, capsys):
+        rc = main(["analyze", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_failed_reconciliation_exits_one(self, tmp_path, capsys):
+        import json
+
+        doc = {
+            "runs": {
+                "bad/run": {
+                    "attribution": {
+                        "schema_version": 1,
+                        "n_frames": 1,
+                        "demand_components": {"miss_transfer:hdd": 0.5},
+                        "prefetch_components": {},
+                        "totals": {"io_time_s": 0.5, "frame_time_s": 0.5},
+                        "n_re_miss": 0, "n_degraded": 0,
+                        "degraded_extra_s": 0.0,
+                        "reconciled": False, "exact": True,
+                        "incomplete": False, "frames": [],
+                    },
+                },
+            },
+        }
+        snap = tmp_path / "bad.json"
+        snap.write_text(json.dumps(doc))
+        rc = main(["analyze", str(snap), "--out", str(tmp_path / "r.html")])
+        assert rc == 1
+        assert "failed ledger reconciliation" in capsys.readouterr().err
+
+
+class TestTraceFromJsonl:
+    def test_reports_from_existing_jsonl(self, tmp_path, capsys):
+        from repro.trace import TraceEvent, write_jsonl
+
+        events = [
+            TraceEvent(0, "fetch", 0, "hdd", 1, 1024, 0.5),
+            TraceEvent(1, "render", 0, "", -1, 0, 0.1),
+        ]
+        path = write_jsonl(events, tmp_path / "t.jsonl")
+        rc = main(["trace", "--from-jsonl", str(path),
+                   "--out", str(tmp_path / "chrome.json")])
+        assert rc == 0
+        assert (tmp_path / "chrome.json").exists()
+        assert "chrome trace" in capsys.readouterr().out
+
+    def test_empty_jsonl_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        rc = main(["trace", "--from-jsonl", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1

@@ -81,3 +81,102 @@ class TestChromeTrace:
     def test_time_scale_validation(self):
         with pytest.raises(ValueError):
             to_chrome_trace(_sample_events(), time_scale=0)
+
+
+def _one_of_every_kind():
+    """One event per kind with every field set to a non-default value."""
+    from repro.trace import EVENT_KINDS
+
+    events = []
+    for i, kind in enumerate(EVENT_KINDS):
+        events.append(
+            TraceEvent(
+                seq=i,
+                kind=kind,
+                step=i % 3,
+                level="dram" if kind != "render" else "",
+                key=100 + i,
+                nbytes=1024 * i,
+                time_s=0.001 * i,
+                span=f"replay/{kind}",
+                count=2,
+                age_steps=4 if kind == "re_miss" else -1,
+                origin="lru:alice" if kind == "re_miss" else "",
+            )
+        )
+    return events
+
+
+class TestRoundTripAllFields:
+    def test_every_kind_every_field(self, tmp_path):
+        """write_jsonl -> read_jsonl preserves every TraceEvent field for
+        every event kind, including fault/retry/degraded/re_miss."""
+        events = _one_of_every_kind()
+        back = read_jsonl(write_jsonl(events, tmp_path / "all.jsonl"))
+        assert back == events
+        for orig, rt in zip(events, back):
+            for field in ("seq", "kind", "step", "level", "key", "nbytes",
+                          "time_s", "span", "count", "age_steps", "origin"):
+                assert getattr(rt, field) == getattr(orig, field), field
+
+    def test_empty_file_one_line_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError) as exc:
+            read_jsonl(path)
+        msg = str(exc.value)
+        assert "empty trace file" in msg and "\n" not in msg
+
+    def test_truncated_line_one_line_error(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text('{"seq":0,"kind":"hit","step":0,"level":"dram","ke')
+        with pytest.raises(ValueError) as exc:
+            read_jsonl(path)
+        msg = str(exc.value)
+        assert "truncated or corrupt" in msg and ":1:" in msg and "\n" not in msg
+
+    def test_missing_field_one_line_error(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        path.write_text('{"seq":0,"kind":"hit"}\n')
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            read_jsonl(path)
+
+
+class TestTrackForAllKinds:
+    def test_track_pinned_for_every_kind(self):
+        """Every event kind maps to a stable Chrome-trace track."""
+        from repro.trace import EVENT_KINDS
+        from repro.trace.export import _track_for
+
+        expected = {
+            "fetch": "io:dram",
+            "hit": "io:dram",
+            "prefetch": "io:dram",
+            "preload": "cache:dram",
+            "evict": "cache:dram",
+            "bypass": "cache:dram",
+            "render": "render",
+            "fault": "io:dram",
+            "retry": "io:dram",
+            "degraded": "io:dram",
+            "re_miss": "cache:dram",
+        }
+        assert set(expected) == set(EVENT_KINDS)
+        for kind, track in expected.items():
+            e = TraceEvent(0, kind, 0, "dram" if kind != "render" else "", 1, 0, 0.0)
+            assert _track_for(e) == track, kind
+
+    def test_levelless_events_fall_back_to_bare_tracks(self):
+        from repro.trace.export import _track_for
+
+        assert _track_for(TraceEvent(0, "fetch", 0, "", 1, 0, 0.0)) == "io"
+        assert _track_for(TraceEvent(0, "evict", 0, "", 1, 0, 0.0)) == "cache"
+
+    def test_re_miss_chrome_args_carry_forensics_fields(self):
+        e = TraceEvent(0, "re_miss", 2, "dram", 7, 0, 0.0,
+                       age_steps=3, origin="lru:bob")
+        doc = to_chrome_trace([e])
+        (ev,) = [x for x in doc["traceEvents"] if x.get("cat") == "re_miss"]
+        assert ev["ph"] == "i"  # zero-time marker, not a duration
+        assert ev["args"]["age_steps"] == 3
+        assert ev["args"]["origin"] == "lru:bob"
