@@ -8,7 +8,9 @@ optimal vicinal radius of Eq. 3–6.
 
 from repro.camera.model import Camera
 from repro.camera.frustum import (
+    union_visible_mask,
     visible_blocks,
+    visible_ids_batch,
     visible_mask,
     visible_masks_batch,
 )
@@ -30,8 +32,10 @@ from repro.camera.vicinity import (
 __all__ = [
     "Camera",
     "visible_blocks",
+    "visible_ids_batch",
     "visible_mask",
     "visible_masks_batch",
+    "union_visible_mask",
     "CameraPath",
     "spherical_path",
     "random_path",

@@ -111,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the pinned regression suite (BENCH_<label>.json) or compare snapshots",
     )
+    ben.add_argument("--tier", choices=("default", "fullscale"), default="default",
+                     help="default: the pinned simulated-clock suite; fullscale: "
+                          "paper-scale geometry with wall-clock/RSS metrics "
+                          "(ratcheting raw-speed tier)")
     ben.add_argument("--quick", action="store_true",
                      help="CI-smoke variant: same suite shape, a fraction of the work")
     ben.add_argument("--label", default="local",
@@ -512,6 +516,37 @@ def _cmd_bench(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.tier == "fullscale":
+        from repro.obs.bench_fullscale import run_fullscale
+
+        if config.faults != "none":
+            print("error: --faults is not supported on the fullscale tier "
+                  "(wall-clock numbers would measure the injector)", file=sys.stderr)
+            return 2
+        doc = run_fullscale(
+            label=args.label,
+            quick=args.quick,
+            progress=print,
+            workers=args.workers,
+            engine=config.engine,
+            profile_path=args.profile,
+        )
+        path = write_bench(doc, args.out)
+        fs = doc["fullscale"]
+        print(f"wrote {path} ({len(doc['runs'])} runs, tier fullscale, "
+              f"kernel {fs['kernel']}, {fs['n_blocks']} blocks, "
+              f"schema v{doc['schema_version']})")
+        print(f"table build {fs['table_build_wall_s']:.2f}s wall "
+              f"({fs['n_samples']} samples, mean set {fs['mean_set_size']:.1f}); "
+              f"importance {fs['importance_wall_s']:.2f}s; "
+              f"peak RSS {fs['peak_rss_bytes'] / 2**30:.2f} GiB; "
+              f"suite {doc['suite_wall_s']:.2f}s wall")
+        for key, run in sorted(doc["runs"].items()):
+            print(f"  {key}: {run['wall_s']:.2f}s wall "
+                  f"({run['per_step_wall_s'] * 1e3:.2f} ms/step)")
+        if "profile" in doc:
+            print(f"profile: {doc['profile']['path']} (cell {doc['profile']['cell']})")
+        return 0
     doc = run_bench(
         label=args.label,
         quick=args.quick,

@@ -14,7 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.camera.frustum import visible_masks_batch
+from repro.camera.frustum import visible_ids_batch
 from repro.camera.path import CameraPath
 from repro.core.metrics import RunResult
 from repro.render.render_model import RenderCostModel
@@ -44,14 +44,18 @@ def compute_visible_sets(
     path: CameraPath,
     grid: BlockGrid,
     include_center: bool = True,
+    kernel: str = "auto",
 ) -> List[np.ndarray]:
     """Ground-truth visible block ids per view point (ascending id order).
 
     One batched visibility evaluation over all path positions — this is
     the geometry the renderer needs at each step, independent of caching.
+    ``kernel`` selects the Eq. 1 evaluation strategy (all bit-identical;
+    ``"auto"`` culls hierarchically at large block counts).
     """
-    masks = visible_masks_batch(path.positions, grid, path.view_angle_deg, include_center)
-    return [np.flatnonzero(m) for m in masks]
+    return visible_ids_batch(
+        path.positions, grid, path.view_angle_deg, include_center, kernel=kernel
+    )
 
 
 def collect_demand_trace(
@@ -93,11 +97,12 @@ class PipelineContext:
         grid: BlockGrid,
         render_model: Optional[RenderCostModel] = None,
         include_center: bool = True,
+        kernel: str = "auto",
     ) -> "PipelineContext":
         return cls(
             path=path,
             grid=grid,
-            visible_sets=compute_visible_sets(path, grid, include_center),
+            visible_sets=compute_visible_sets(path, grid, include_center, kernel=kernel),
             render_model=render_model or RenderCostModel(),
         )
 

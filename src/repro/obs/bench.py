@@ -48,6 +48,7 @@ from repro.trace import Tracer, aggregate
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "WALL_THRESHOLD_FACTOR",
     "BENCH_CELLS",
     "PROFILE_CELL",
     "BenchConfig",
@@ -62,6 +63,11 @@ __all__ = [
 
 #: Bump when the BENCH_*.json layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
+
+#: Wall-clock/RSS metrics (fullscale tier only) are machine-noisy; they are
+#: compared at ``threshold * WALL_THRESHOLD_FACTOR`` so same-machine CI
+#: catches multi-x slowdowns without flaking on scheduler jitter.
+WALL_THRESHOLD_FACTOR = 4.0
 
 PathLike = Union[str, Path]
 
@@ -487,14 +493,33 @@ _DERIVED_METRICS = {
 }
 
 
+#: Wall-clock metrics included in the comparison — fullscale tier only.
+_FULLSCALE_WALL_METRICS = ("importance_wall_s", "table_build_wall_s", "peak_rss_bytes")
+
+
+def _is_wall_metric(name: str) -> bool:
+    return name.endswith("wall_s") or name.endswith("_rss_bytes")
+
+
 def comparable_metrics(doc: Dict[str, object]) -> Dict[str, Tuple[float, str]]:
     """Flatten a snapshot to ``{metric-name: (value, direction)}``.
 
-    Only simulated-clock quantities are included — wall-clock phases and
-    event counts are reported but never compared, so a comparison of two
-    runs of identical code is machine-independent.
+    For the default tier, only simulated-clock quantities are included —
+    wall-clock phases and event counts are reported but never compared, so
+    a comparison of two runs of identical code is machine-independent.
+    Fullscale-tier snapshots (``doc["tier"] == "fullscale"``) additionally
+    compare their wall-clock and peak-RSS metrics, which
+    :func:`compare_bench` holds to the widened
+    ``threshold * WALL_THRESHOLD_FACTOR``.
     """
     out: Dict[str, Tuple[float, str]] = {}
+    fullscale_tier = doc.get("tier") == "fullscale"
+    if fullscale_tier:
+        section = doc.get("fullscale", {})
+        for name in _FULLSCALE_WALL_METRICS:
+            value = section.get(name)
+            if isinstance(value, (int, float)):
+                out[f"fullscale.{name}"] = (float(value), "lower")
     for run_key, run in sorted(doc["runs"].items()):
         summary = run["summary"]
         for name, direction in _SUMMARY_METRICS.items():
@@ -518,6 +543,11 @@ def comparable_metrics(doc: Dict[str, object]) -> Dict[str, Tuple[float, str]]:
         drops = run.get("trace", {}).get("n_dropped")
         if isinstance(drops, int):
             out[f"{run_key}.trace.n_dropped"] = (float(drops), "lower")
+        if fullscale_tier:
+            for name in ("wall_s", "per_step_wall_s"):
+                value = run.get(name)
+                if isinstance(value, (int, float)):
+                    out[f"{run_key}.{name}"] = (float(value), "lower")
     # Multi-tenant serving metrics (absent from pre-multi-tenant snapshots:
     # they then report "missing" on one side and never regress).
     mt = doc.get("multi_tenant")
@@ -545,7 +575,9 @@ def compare_bench(
     A metric regresses when it moves in its bad direction by more than
     ``threshold`` (relative, against ``max(|old|, abs_floor)``).  Metrics
     missing from either side are reported with status ``"missing"`` and
-    do not regress.
+    do not regress.  Wall-clock/RSS metrics (present in fullscale-tier
+    snapshots only) regress at ``threshold * WALL_THRESHOLD_FACTOR`` —
+    they ratchet raw speed while tolerating machine noise.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
@@ -562,7 +594,8 @@ def compare_bench(
         new_value = new_metrics[name][0]
         denom = max(abs(old_value), abs_floor)
         change = (new_value - old_value) / denom
-        bad = change > threshold if direction == "lower" else change < -threshold
+        limit = threshold * WALL_THRESHOLD_FACTOR if _is_wall_metric(name) else threshold
+        bad = change > limit if direction == "lower" else change < -limit
         good = change < 0 if direction == "lower" else change > 0
         rows.append({
             "metric": name,

@@ -14,7 +14,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
 from repro.camera.sampling import SamplingConfig, sample_positions
-from repro.tables.builder import compute_sample_sets
+from repro.tables.builder import SampleSets, compute_sample_sets
 from repro.tables.importance_table import ImportanceTable
 from repro.tables.visible_table import VisibleTable
 from repro.utils.rng import SeedLike, spawn_rngs
@@ -35,6 +35,7 @@ def build_visible_table_parallel(
     max_set_size: Optional[int] = None,
     seed: SeedLike = 0,
     include_center: bool = True,
+    kernel: str = "auto",
 ) -> VisibleTable:
     """Drop-in parallel variant of :func:`repro.tables.builder.build_visible_table`."""
     if n_workers < 1:
@@ -50,6 +51,7 @@ def build_visible_table_parallel(
         importance=importance,
         max_set_size=max_set_size,
         include_center=include_center,
+        kernel=kernel,
     )
 
     n_workers = min(n_workers, n_samples)
@@ -69,9 +71,8 @@ def build_visible_table_parallel(
                 )
                 for chunk in chunks
             ]
-            all_sets = []
-            for f in futures:  # in submission (index) order
-                all_sets.extend(f.result())
+            # CSR-packed partitions joined in submission (index) order.
+            all_sets = SampleSets.concat([f.result() for f in futures])
 
     meta = {
         "view_angle_deg": float(view_angle_deg),

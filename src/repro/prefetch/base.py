@@ -35,6 +35,14 @@ class Prefetcher(abc.ABC):
         """Simulated seconds of prediction compute per step (default free)."""
         return 0.0
 
+    def prime(self, positions: np.ndarray) -> None:
+        """Offer the whole camera path up front (wall-clock batching hint).
+
+        Strategies that resolve per-step queries against a spatial index
+        may precompute them in one batch here; the per-step ``predict``
+        results and simulated costs must not change.  Default: ignore.
+        """
+
     def reset(self) -> None:
         """Forget accumulated history (between replays)."""
 

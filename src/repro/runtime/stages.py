@@ -390,6 +390,9 @@ class StrategyPrefetchStage(_OverlapPrefetchBase):
 
     def start(self, engine) -> None:
         self.prefetcher.reset()
+        # Let index-backed strategies resolve the whole path in one batch;
+        # per-step predictions (and simulated costs) are unchanged.
+        self.prefetcher.prime(engine.context.path.positions)
         super().start(engine)
 
     def step(self, engine, frame: Frame) -> None:
@@ -406,6 +409,34 @@ class StrategyPrefetchStage(_OverlapPrefetchBase):
             self._issue(engine, frame, candidates)
 
 
+class _BatchedTableLookupMixin:
+    """Resolve every frame's nearest ``T_visible`` key in ONE KD-tree query.
+
+    The per-point results are bit-identical to single-frame
+    :meth:`VisibleTable.lookup` calls (same tree, same metric), and the
+    simulated lookup cost is still charged per frame — so the ledger is
+    byte-stable whether ``batch_lookups`` is on or off (tested).  Stages
+    mix this in and call :meth:`_predicted` instead of ``lookup``.
+    """
+
+    #: Flip to False to fall back to one KD-tree query per frame.
+    batch_lookups = True
+
+    _path_keys: Optional[np.ndarray] = None
+
+    def _reset_path_keys(self) -> None:
+        self._path_keys = None
+
+    def _predicted(self, engine, step: int) -> np.ndarray:
+        table = self.visible_table
+        if not self.batch_lookups:
+            _, predicted = table.lookup(engine.context.path.positions[step])
+            return predicted
+        if self._path_keys is None:
+            self._path_keys, _ = table.nearest_entries(engine.context.path.positions)
+        return table.entry(int(self._path_keys[step]))
+
+
 class SigmaState:
     """Mutable σ shared between the table prefetch stage and the adaptive
     controller (the paper fixes σ; the controller tunes it online)."""
@@ -417,7 +448,7 @@ class SigmaState:
         self.percentile = float(percentile)
 
 
-class TablePrefetchStage(_OverlapPrefetchBase):
+class TablePrefetchStage(_BatchedTableLookupMixin, _OverlapPrefetchBase):
     """Algorithm 1 lines 20-22: ``T_visible`` lookup, σ-filter, prefetch.
 
     The whole predict-filter-issue sequence shares one ``prefetch``
@@ -447,14 +478,17 @@ class TablePrefetchStage(_OverlapPrefetchBase):
         self.use_importance_filter = use_importance_filter
         self.enabled = enabled
 
+    def start(self, engine) -> None:
+        self._reset_path_keys()
+        super().start(engine)
+
     def step(self, engine, frame: Frame) -> None:
         self._scoreboard(engine, frame)
         if not self.enabled:
             return
         registry = engine.ctx.registry
-        positions = engine.context.path.positions
         with engine.ctx.profiler.span("prefetch"):
-            _, predicted = self.visible_table.lookup(positions[frame.step])
+            predicted = self._predicted(engine, frame.step)
             frame.lookup_time_s = self.lookup_cost.query_time(self.visible_table.n_entries)
             if self.use_importance_filter:
                 candidates = self.importance_table.filter_and_rank(
@@ -490,7 +524,7 @@ class AdaptiveSigmaStage(Stage):
         state.sigma = self.importance_table.threshold_for_percentile(state.percentile)
 
 
-class BudgetedPrefetchStage(Stage):
+class BudgetedPrefetchStage(_BatchedTableLookupMixin, Stage):
     """Budgeted-replay prefetch: the predicted next view rides the render.
 
     Candidates are sliced to the fastest level's capacity *before* the
@@ -506,14 +540,16 @@ class BudgetedPrefetchStage(Stage):
         self.importance = importance
         self.sigma = float(sigma)
 
+    def start(self, engine) -> None:
+        self._reset_path_keys()
+
     def step(self, engine, frame: Frame) -> None:
         hierarchy = engine.hierarchy
         fastest = hierarchy.fastest
-        positions = engine.context.path.positions
         i = frame.step
         prefetch_time = 0.0
         with engine.ctx.profiler.span("prefetch"):
-            _, predicted = self.visible_table.lookup(positions[i])
+            predicted = self._predicted(engine, i)
             if self.importance is not None:
                 candidates = self.importance.filter_and_rank(predicted, self.sigma)
             else:
@@ -560,7 +596,7 @@ class TemporalRemapStage(Stage):
         frame.ids = self.series.temporal_visible_ids(frame.ids, t, engine.context.grid)
 
 
-class TemporalPrefetchStage(Stage):
+class TemporalPrefetchStage(_BatchedTableLookupMixin, Stage):
     """Temporal extension of Algorithm 1's prefetch: pull the predicted
     visible set of the **next timestep** during rendering — the same
     spatial prediction, shifted one step forward in time."""
@@ -581,6 +617,9 @@ class TemporalPrefetchStage(Stage):
         self.sigma = float(sigma)
         self.lookup_cost = lookup_cost
 
+    def start(self, engine) -> None:
+        self._reset_path_keys()
+
     def step(self, engine, frame: Frame) -> None:
         if self.visible_table is None:
             return
@@ -588,11 +627,10 @@ class TemporalPrefetchStage(Stage):
         fastest = hierarchy.fastest
         series = self.remap.series
         n_spatial = engine.context.grid.n_blocks
-        positions = engine.context.path.positions
         i = frame.step
         t_next = min((i + 1) // self.remap.steps_per_timestep, series.n_timesteps - 1)
         with engine.ctx.profiler.span("prefetch"):
-            _, predicted = self.visible_table.lookup(positions[i])
+            predicted = self._predicted(engine, i)
             frame.lookup_time_s = self.lookup_cost.query_time(self.visible_table.n_entries)
             if self.importance is not None:
                 # Importance is over the temporal id space; rank the

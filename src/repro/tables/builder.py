@@ -6,15 +6,30 @@ the vicinal points ``v'`` (radius from Eq. 6 unless fixed) into the
 predicted set ``S_v``; over-predicted sets are truncated to the most
 important blocks (§IV-C last paragraph) when an importance table and a
 capacity are supplied.
+
+The per-sample sets are accumulated CSR-natively into a
+:class:`SampleSets` (one growing int64 id buffer + a sizes array — no
+Python list-of-arrays, no per-set ``np.concatenate``), which
+:meth:`VisibleTable.from_sets` consumes without any further copy of the
+offsets.  ``kernel=`` selects the visibility kernel (see
+:mod:`repro.camera.frustum`); the default ``"auto"`` uses the
+hierarchical cull at large block counts, which is bit-identical to the
+dense kernel.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.camera.frustum import visible_masks_batch
+from repro.camera.frustum import (
+    broadcast_position_chunk,
+    resolve_kernel,
+    visible_ids_batch,
+    visible_masks_batch,
+)
 from repro.camera.sampling import SamplingConfig, sample_positions
 from repro.camera.vicinity import optimal_radius, vicinal_points
 from repro.importance.measures import compute_importance
@@ -24,7 +39,97 @@ from repro.utils.rng import SeedLike, spawn_rngs
 from repro.volume.blocks import BlockGrid
 from repro.volume.volume import Volume
 
-__all__ = ["build_visible_table", "build_importance_table", "build_tables", "compute_sample_sets"]
+__all__ = [
+    "build_visible_table",
+    "build_importance_table",
+    "build_tables",
+    "compute_sample_sets",
+    "SampleSets",
+]
+
+
+@dataclass
+class SampleSets:
+    """CSR-packed per-sample visible-id sets.
+
+    ``sizes[i]`` ids belong to sample *i*; ``ids`` is their concatenation
+    in sample order.  Behaves like the list of int64 arrays it replaces
+    (``len``/iteration/indexing return views), so existing callers keep
+    working, while :meth:`VisibleTable.from_sets` consumes the arrays
+    directly with zero repacking.
+    """
+
+    sizes: np.ndarray
+    ids: np.ndarray
+    _offsets: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        if self.sizes.ndim != 1 or self.ids.ndim != 1:
+            raise ValueError("sizes and ids must be 1-D")
+        if int(self.sizes.sum()) != self.ids.size:
+            raise ValueError(
+                f"sizes sum to {int(self.sizes.sum())} but ids has {self.ids.size}"
+            )
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """(n_samples + 1,) CSR offsets into :attr:`ids`."""
+        if self._offsets is None:
+            off = np.zeros(self.sizes.size + 1, dtype=np.int64)
+            np.cumsum(self.sizes, out=off[1:])
+            self._offsets = off
+        return self._offsets
+
+    def __len__(self) -> int:
+        return self.sizes.size
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        off = self.offsets
+        return self.ids[off[i] : off[i + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        off = self.offsets
+        return (self.ids[off[i] : off[i + 1]] for i in range(self.sizes.size))
+
+    @classmethod
+    def concat(cls, parts: Sequence["SampleSets"]) -> "SampleSets":
+        """Concatenate worker partitions in order (parallel builder join)."""
+        if not parts:
+            return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        return cls(
+            np.concatenate([p.sizes for p in parts]),
+            np.concatenate([p.ids for p in parts]),
+        )
+
+
+class _SetAccumulator:
+    """Appends id arrays into one growing int64 buffer (amortised O(1))."""
+
+    def __init__(self, n_samples: int) -> None:
+        self.sizes = np.zeros(n_samples, dtype=np.int64)
+        self._buf = np.empty(max(1024, 8 * n_samples), dtype=np.int64)
+        self._used = 0
+        self._cursor = 0
+
+    def append(self, ids: np.ndarray) -> None:
+        need = self._used + ids.size
+        if need > self._buf.size:
+            grown = np.empty(max(need, 2 * self._buf.size), dtype=np.int64)
+            grown[: self._used] = self._buf[: self._used]
+            self._buf = grown
+        self._buf[self._used : need] = ids
+        self._used = need
+        self.sizes[self._cursor] = ids.size
+        self._cursor += 1
+
+    def finish(self) -> SampleSets:
+        if self._cursor != self.sizes.size:
+            raise RuntimeError(
+                f"accumulated {self._cursor} of {self.sizes.size} samples"
+            )
+        return SampleSets(self.sizes, self._buf[: self._used].copy())
 
 
 def build_importance_table(
@@ -50,17 +155,27 @@ def compute_sample_sets(
     importance: Optional[ImportanceTable] = None,
     max_set_size: Optional[int] = None,
     include_center: bool = True,
-):
+    kernel: str = "auto",
+    chunk_bytes: int = 256 * 1024 * 1024,
+) -> SampleSets:
     """Predicted visible sets for the sample positions at ``indices``.
 
     The shared kernel of the serial and parallel builders: ``rngs[i]`` is
     the vicinal RNG of global sample ``i``, so any partition of the index
-    range reproduces the serial result exactly.
+    range reproduces the serial result exactly.  Returns a CSR-packed
+    :class:`SampleSets` (list-compatible).
     """
     indices = list(indices)
-    sets = []
-    # Chunk sample positions so each visibility batch stays cache-friendly.
-    chunk = max(1, 4_000_000 // max(grid.n_blocks, 1))
+    resolved = resolve_kernel(kernel, grid.n_blocks)
+    acc = _SetAccumulator(len(indices))
+    # Chunk samples so the visibility batch's broadcast temporaries stay
+    # under chunk_bytes — derived from the kernel's actual footprint
+    # (positions-per-batch / vicinal-points-per-sample), not a block-count
+    # guess that degenerates at large grids.
+    pts_per_sample = n_vicinal + 1  # vicinal_points includes the center
+    n_test_pts = 9 if include_center else 8
+    pos_chunk = broadcast_position_chunk(grid.n_blocks, n_test_pts, chunk_bytes)
+    chunk = max(1, pos_chunk // pts_per_sample)
     for start in range(0, len(indices), chunk):
         group = indices[start : start + chunk]
         group_points = []
@@ -77,10 +192,27 @@ def compute_sample_sets(
             group_slices.append((cursor, cursor + len(pts)))
             cursor += len(pts)
         all_points = np.concatenate(group_points, axis=0)
-        masks = visible_masks_batch(all_points, grid, view_angle_deg, include_center)
-        for lo, hi in group_slices:
-            union = masks[lo:hi].any(axis=0)
-            ids = np.flatnonzero(union)
+        if resolved == "dense":
+            masks = visible_masks_batch(
+                all_points, grid, view_angle_deg, include_center, chunk_bytes
+            )
+            unions = [
+                np.flatnonzero(masks[lo:hi].any(axis=0)).astype(np.int64)
+                for lo, hi in group_slices
+            ]
+        else:
+            # Sparse path: per-point sorted id lists, per-sample union via
+            # np.unique — same sorted unique int64 ids as the mask union.
+            id_lists = visible_ids_batch(
+                all_points, grid, view_angle_deg, include_center,
+                kernel=resolved, chunk_bytes=chunk_bytes,
+            )
+            unions = [
+                np.unique(np.concatenate(id_lists[lo:hi]))
+                if hi > lo else np.empty(0, dtype=np.int64)
+                for lo, hi in group_slices
+            ]
+        for ids in unions:
             if (
                 max_set_size is not None
                 and importance is not None
@@ -89,8 +221,8 @@ def compute_sample_sets(
                 scores = importance.scores[ids]
                 keep = np.argsort(-scores, kind="stable")[:max_set_size]
                 ids = np.sort(ids[keep])
-            sets.append(ids.astype(np.int64))
-    return sets
+            acc.append(ids)
+    return acc.finish()
 
 
 def build_visible_table(
@@ -104,6 +236,7 @@ def build_visible_table(
     max_set_size: Optional[int] = None,
     seed: SeedLike = 0,
     include_center: bool = True,
+    kernel: str = "auto",
 ) -> VisibleTable:
     """Step 1: the ``T_visible`` lookup table.
 
@@ -127,6 +260,9 @@ def build_visible_table(
     importance, max_set_size:
         When both are given, any ``S_v`` larger than ``max_set_size`` keeps
         only its most important blocks (over-prediction truncation).
+    kernel:
+        Visibility kernel (``"dense"``, ``"culled"``, ``"culled-flat"`` or
+        ``"auto"``).  All kernels produce the identical table.
     """
     positions = sample_positions(sampling)
     n_samples = positions.shape[0]
@@ -143,6 +279,7 @@ def build_visible_table(
         importance=importance,
         max_set_size=max_set_size,
         include_center=include_center,
+        kernel=kernel,
     )
 
     meta = {

@@ -62,6 +62,19 @@ class LookupCostModel:
             return self.base_s + self.per_entry_s * float(np.log2(n_entries + 1))
         return self.base_s + self.per_entry_s * n_entries
 
+    def query_time_many(self, n_entries: int, n_queries: int) -> float:
+        """Simulated cost of ``n_queries`` lookups issued as one batch.
+
+        Batching the KD-tree query is a *wall-clock* optimisation of this
+        library; on the simulated clock each query still pays the paper's
+        per-query charge, so a batch costs exactly ``n_queries`` times one
+        query — the ledger stays bit-identical whether replay resolves
+        keys one frame at a time or a whole path at once (tested).
+        """
+        if n_queries < 0:
+            raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+        return n_queries * self.query_time(n_entries)
+
 
 class VisibleTable:
     """The lookup table of Step 1.
@@ -133,6 +146,29 @@ class VisibleTable:
         idx, _ = self.nearest_entry(position)
         return idx, self.entry(idx)
 
+    def nearest_entries(self, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Nearest sample index (and distance) for many query positions.
+
+        One ``cKDTree.query`` call over the whole batch; per-point results
+        are bit-identical to :meth:`nearest_entry` called per position.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError(f"positions must be (N, 3), got {positions.shape}")
+        dists, idx = self._tree.query(positions)
+        return idx.astype(np.int64), np.asarray(dists, dtype=np.float64)
+
+    def lookup_many(self, positions: np.ndarray) -> Tuple[np.ndarray, list]:
+        """Batched :meth:`lookup`: a whole camera path in one KD-tree query.
+
+        Returns the nearest-entry index array and the matching list of
+        visible-set views.  Simulated cost accounting is the caller's job —
+        charge :meth:`LookupCostModel.query_time_many` (or ``query_time``
+        per frame, which sums to the same ledger).
+        """
+        idx, _ = self.nearest_entries(positions)
+        return idx, [self.entry(int(i)) for i in idx]
+
     def key_of(self, index: int) -> Tuple[np.ndarray, float]:
         """The ``<l, d>`` key of an entry: unit view direction and distance."""
         pos = self.positions[index]
@@ -166,10 +202,22 @@ class VisibleTable:
         sets: Sequence[np.ndarray],
         meta: Optional[dict] = None,
     ) -> "VisibleTable":
-        """Build from a list of per-position visible-id arrays."""
+        """Build from per-position visible-id sets.
+
+        Accepts either a plain sequence of id arrays or a CSR-packed
+        :class:`repro.tables.builder.SampleSets` (duck-typed on
+        ``sizes``/``ids``), whose arrays are adopted directly — no
+        per-set concatenate, no Python-level repacking.
+        """
         positions = np.asarray(positions, dtype=np.float64)
         if len(sets) != positions.shape[0]:
             raise ValueError(f"{len(sets)} sets for {positions.shape[0]} positions")
+        sizes = getattr(sets, "sizes", None)
+        ids = getattr(sets, "ids", None)
+        if sizes is not None and ids is not None:  # CSR fast path
+            offsets = np.zeros(len(sets) + 1, dtype=np.int64)
+            np.cumsum(np.asarray(sizes, dtype=np.int64), out=offsets[1:])
+            return cls(positions, offsets, np.asarray(ids, dtype=np.int64), meta)
         sizes = np.array([len(s) for s in sets], dtype=np.int64)
         offsets = np.concatenate([[0], np.cumsum(sizes)])
         block_ids = (
