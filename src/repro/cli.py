@@ -34,6 +34,7 @@ from typing import List, Optional
 
 from repro.camera.sampling import SamplingConfig
 from repro.experiments.report import format_run_summaries
+from repro.cluster.shardmap import SHARD_STRATEGIES
 from repro.experiments.runner import ExperimentSetup, compare_policies
 from repro.faults import FAULT_PROFILES
 from repro.policies.registry import POLICY_NAMES
@@ -70,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--engine", choices=REPLAY_ENGINES, default="batched",
                      help="replay engine: vectorized fast path (default) or the "
                           "per-block scalar compatibility path")
+    rep.add_argument("--shards", type=_positive_int, default=1,
+                     help="simulated cluster nodes (1 = single box; >1 shards the "
+                          "block grid and charges peer fetches on network links)")
+    rep.add_argument("--shard-map", choices=list(SHARD_STRATEGIES), default="slab",
+                     help="block-ownership strategy for --shards > 1")
     _add_fault_args(rep)
 
     tra = sub.add_parser(
@@ -111,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the pinned regression suite (BENCH_<label>.json) or compare snapshots",
     )
-    ben.add_argument("--tier", choices=("default", "fullscale"), default="default",
+    ben.add_argument("--tier", choices=("default", "fullscale", "cluster"), default="default",
                      help="default: the pinned simulated-clock suite; fullscale: "
                           "paper-scale geometry with wall-clock/RSS metrics "
                           "(ratcheting raw-speed tier)")
@@ -283,9 +289,13 @@ def _cmd_replay(args) -> int:
         faults=config.faults,
         fault_seed=config.fault_seed,
         engine=config.engine,
+        shards=config.shards,
+        shard_map=config.shard_map,
     )
     title = (f"{config.dataset} ({setup.grid.n_blocks} blocks), {path.name}, "
              f"{config.steps} steps, cache ratio {config.cache_ratio}")
+    if config.shards > 1:
+        title += f", {config.shards} shards ({config.shard_map})"
     if config.faults != "none":
         title += f", faults {config.faults} (seed {config.fault_seed})"
     print(format_run_summaries(results, title=title))
@@ -516,6 +526,33 @@ def _cmd_bench(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.tier == "cluster":
+        from repro.obs.bench_cluster import run_cluster
+
+        if config.faults != "none":
+            print("error: --faults is not supported on the cluster tier "
+                  "(the scenario pins its own link-partition fault profile)",
+                  file=sys.stderr)
+            return 2
+        doc = run_cluster(
+            label=args.label,
+            quick=args.quick,
+            progress=print,
+            engine=config.engine,
+        )
+        path = write_bench(doc, args.out)
+        cl = doc["cluster"]
+        print(f"wrote {path} ({len(doc['runs'])} runs, tier cluster, "
+              f"{cl['n_nodes']} nodes, map {cl['shard_map']['strategy']}, "
+              f"schema v{doc['schema_version']})")
+        print(f"locality {cl['shard_map']['locality_score']:.3f}; "
+              f"local {cl['split_bytes']['local'] / 1e6:.2f} MB, "
+              f"peer {cl['split_bytes']['peer'] / 1e6:.2f} MB over "
+              f"{cl['peer_transfers']} transfers, "
+              f"cold fallback {cl['split_bytes']['cold'] / 1e6:.2f} MB "
+              f"({cl['link_fallbacks']} severed-link fallbacks)")
+        assert cl["ledger_reconciles"], "per-link ledger failed to reconcile"
+        return 0
     if args.tier == "fullscale":
         from repro.obs.bench_fullscale import run_fullscale
 

@@ -1,0 +1,92 @@
+"""Cluster fault profiles: the PR 4 fault machinery layered onto nodes and links.
+
+Links are fault "devices": the pure counter-based draws of
+:class:`~repro.faults.plan.FaultPlan` key on the *device name*, so a
+profile whose device is a link name (``n0-n1``) drives link faults —
+``error_rate`` models a partition (the transfer is abandoned and the
+block falls back to the shared cold store), ``slow_windows`` model slow
+peers, ``spike_rate`` transient congestion.  Node-device profiles are the
+base single-box profiles re-keyed onto the per-node device names
+(``n{k}.ssd``); the shared cold store keeps its single ``hdd`` identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from repro.cluster.network import link_name
+from repro.faults.plan import DeviceFaultProfile, FaultPlan
+
+__all__ = ["CLUSTER_FAULT_PROFILES", "cluster_fault_plan", "partitioned_links"]
+
+CLUSTER_FAULT_PROFILES: Tuple[str, ...] = (
+    "none",
+    "slow-peer",
+    "link-partition",
+    "node-chaos",
+)
+
+
+def partitioned_links(n_nodes: int, home: int = 0) -> Tuple[str, ...]:
+    """The links the ``link-partition`` profile severs (home ↔ next node)."""
+    if n_nodes < 2:
+        return ()
+    peer = (home + 1) % n_nodes
+    return (link_name(home, peer),)
+
+
+def cluster_fault_plan(
+    profile: str, n_nodes: int, seed: int = 0, home: int = 0
+) -> FaultPlan:
+    """Build a :class:`FaultPlan` for a K-node cluster.
+
+    ``none``
+        Fault-free (an empty, null plan).
+    ``slow-peer``
+        The home ↔ next-node link runs 4x slow during steps [4, 16).
+    ``link-partition``
+        The home ↔ next-node link is fully severed (``error_rate=1.0``):
+        every fetch that would cross it falls back to the cold store.
+    ``node-chaos``
+        The single-box ``chaos`` profile re-keyed per node: each node's
+        SSD inherits the chaos SSD faults, the shared cold store keeps
+        the chaos HDD faults, and every home link gets mild transient
+        loss/spikes.
+    """
+    if profile not in CLUSTER_FAULT_PROFILES:
+        raise ValueError(
+            f"unknown cluster fault profile {profile!r}; "
+            f"expected one of {CLUSTER_FAULT_PROFILES}"
+        )
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    profiles: list = []
+    if profile == "slow-peer" and n_nodes > 1:
+        for name in partitioned_links(n_nodes, home):
+            profiles.append(
+                DeviceFaultProfile(device=name, slow_windows=((4, 16, 4.0),))
+            )
+    elif profile == "link-partition" and n_nodes > 1:
+        for name in partitioned_links(n_nodes, home):
+            profiles.append(DeviceFaultProfile(device=name, error_rate=1.0))
+    elif profile == "node-chaos":
+        base = FaultPlan.from_profile("chaos").profiles
+        for p in base:
+            if p.device == "hdd":  # the shared cold store keeps one identity
+                profiles.append(p)
+            else:
+                for k in range(n_nodes):
+                    profiles.append(replace(p, device=f"n{k}.{p.device}"))
+        for k in range(n_nodes):
+            if k == home:
+                continue
+            profiles.append(
+                DeviceFaultProfile(
+                    device=link_name(home, k),
+                    error_rate=0.05,
+                    spike_rate=0.10,
+                    spike_s=0.002,
+                )
+            )
+    return FaultPlan(seed=seed, profiles=tuple(profiles))

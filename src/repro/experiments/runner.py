@@ -165,7 +165,23 @@ class ExperimentSetup:
     def context(self, path: CameraPath) -> PipelineContext:
         return PipelineContext.create(path, self.grid, self.render_model)
 
-    def hierarchy(self, policy: str = "lru", cache_ratio: Optional[float] = None) -> MemoryHierarchy:
+    def hierarchy(
+        self,
+        policy: str = "lru",
+        cache_ratio: Optional[float] = None,
+        shards: int = 1,
+        shard_map: str = "slab",
+    ) -> MemoryHierarchy:
+        if shards > 1:
+            from repro.cluster import make_sharded_hierarchy
+
+            return make_sharded_hierarchy(
+                self.grid,
+                shards,
+                strategy=shard_map,
+                cache_ratio=self.cache_ratio if cache_ratio is None else cache_ratio,
+                policy=policy,
+            )
         return fresh_hierarchy(
             self.grid,
             cache_ratio=self.cache_ratio if cache_ratio is None else cache_ratio,
@@ -188,6 +204,8 @@ def compare_policies(
     faults: str = "none",
     fault_seed: int = 0,
     engine: str = "batched",
+    shards: int = 1,
+    shard_map: str = "slab",
 ) -> Dict[str, RunResult]:
     """Replay ``path`` under each policy with identical demand sequences.
 
@@ -201,16 +219,29 @@ def compare_policies(
     counter-based over ``(seed, device, block, step, attempt)``, so every
     policy replays against the *same* fault environment — the comparison
     stays apples-to-apples under failure.
+
+    ``shards`` > 1 runs every policy on a K-node
+    :class:`~repro.cluster.ShardedHierarchy` (ownership strategy
+    ``shard_map``); the Belady run, when requested, stays single-box —
+    the offline oracle has no sharded counterpart.
     """
 
     def _ctx() -> RunContext:
         return RunContext.create(faults=faults, fault_seed=fault_seed)
 
+    # Only thread the shard kwargs through when sharding is requested, so
+    # duck-typed setups with the pre-cluster hierarchy() signature keep
+    # working for single-box comparisons.
+    shard_kwargs = dict(shards=shards, shard_map=shard_map) if shards > 1 else {}
+
     context = setup.context(path)
     results: Dict[str, RunResult] = {}
     for policy in baselines:
         results[policy] = run_baseline(
-            context, setup.hierarchy(policy, cache_ratio), engine=engine, ctx=_ctx()
+            context,
+            setup.hierarchy(policy, cache_ratio, **shard_kwargs),
+            engine=engine,
+            ctx=_ctx(),
         )
     if include_belady:
         trace = context.demand_trace()
@@ -225,6 +256,9 @@ def compare_policies(
     if include_app_aware:
         optimizer = setup.optimizer(optimizer_config)
         results["opt"] = optimizer.run(
-            context, setup.hierarchy("lru", cache_ratio), engine=engine, ctx=_ctx()
+            context,
+            setup.hierarchy("lru", cache_ratio, **shard_kwargs),
+            engine=engine,
+            ctx=_ctx(),
         )
     return results

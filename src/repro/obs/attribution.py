@@ -80,6 +80,8 @@ def _component_of(event: TraceEvent) -> str:
         return f"miss_transfer:{event.level}"
     if event.kind == "prefetch":
         return f"prefetch_transfer:{event.level}"
+    if event.kind == "xfer":
+        return f"peer_transfer:{event.level}"
     if event.kind == "fault":
         return "fault_penalty"
     return "retry_backoff"  # retry
@@ -244,6 +246,20 @@ def _parse_groups(
                 groups.append((channel, [e]))
             pending = []
             pending_key = None
+        elif kind == "xfer":
+            # A peer transfer is charged right after the movement it
+            # ships, in the same per-block fold — append it to the group
+            # that movement just closed so the inner fold replays
+            # ``node_time + link_time`` in emission order.
+            if (
+                groups
+                and groups[-1][0] is not None
+                and groups[-1][1][-1].kind in _MOVEMENT
+                and groups[-1][1][-1].key == e.key
+            ):
+                groups[-1][1].append(e)
+            else:  # defensive: an xfer with no matching movement is an orphan
+                groups.append((None, [e]))
         elif kind == "render":
             render_events.append(e)
         elif kind == "re_miss":
@@ -309,7 +325,11 @@ def _fold_channel(
             comps[comp] = comps.get(comp, _ZERO) + m
         if dust:
             last = g[-1]
-            comp = _component_of(last) if last.kind in _MOVEMENT else "fault_penalty"
+            comp = (
+                _component_of(last)
+                if (last.kind in _MOVEMENT or last.kind == "xfer")
+                else "fault_penalty"
+            )
             comps[comp] = comps.get(comp, _ZERO) + dust
     return total, comps
 

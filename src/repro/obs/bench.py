@@ -520,6 +520,31 @@ def comparable_metrics(doc: Dict[str, object]) -> Dict[str, Tuple[float, str]]:
             value = section.get(name)
             if isinstance(value, (int, float)):
                 out[f"fullscale.{name}"] = (float(value), "lower")
+    if doc.get("tier") == "cluster":
+        # Cluster-tier network ledger: all simulated-clock/byte quantities,
+        # deterministic for pinned config, so they gate at the sim threshold.
+        section = doc.get("cluster", {})
+        for route, value in sorted(section.get("split_bytes", {}).items()):
+            if isinstance(value, (int, float)):
+                out[f"cluster.split_bytes.{route}"] = (float(value), "lower")
+        locality = section.get("shard_map", {}).get("locality_score")
+        if isinstance(locality, (int, float)):
+            out["cluster.locality_score"] = (float(locality), "higher")
+        for name, direction in (
+            ("peer_bytes", "lower"),
+            ("peer_time_s", "lower"),
+            ("peer_transfers", "lower"),
+            ("link_fallbacks", "lower"),
+            ("fallback_reads", "lower"),
+        ):
+            value = section.get(name)
+            if isinstance(value, (int, float)):
+                out[f"cluster.{name}"] = (float(value), direction)
+        for link, row in sorted(section.get("links", {}).items()):
+            for field in ("bytes", "time_s"):
+                value = row.get(field)
+                if isinstance(value, (int, float)):
+                    out[f"cluster.link.{link}.{field}"] = (float(value), "lower")
     for run_key, run in sorted(doc["runs"].items()):
         summary = run["summary"]
         for name, direction in _SUMMARY_METRICS.items():

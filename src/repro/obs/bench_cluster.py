@@ -1,0 +1,219 @@
+"""The ``repro bench --tier cluster`` sharded-replay tier.
+
+The default tier gates the single-box replay; this tier pins the
+:mod:`repro.cluster` surface: a 4-node :class:`~repro.cluster.ShardedHierarchy`
+replaying the orbit path, fault-free and under the pinned
+``link-partition`` cluster fault profile.  The snapshot records the
+per-route byte split (local / ghost / peer / cold), the per-link network
+ledger, and the shard map's locality score — all *simulated*-clock
+quantities, byte-identical across machines, so the comparison gates
+bit-exactly like the default tier.
+
+Three cells share one orbit context:
+
+- ``orbit/K1`` — a one-node sharded hierarchy, which delegates wholesale
+  to the single-box :class:`~repro.storage.hierarchy.MemoryHierarchy`
+  (the shard-equivalence suite pins this bit-for-bit);
+- ``orbit/K4`` — four slab-sharded nodes, fault-free;
+- ``orbit/K4-partition`` — the same four nodes with the home node's
+  first peer link partitioned, exercising the cold-store fallback path.
+
+The ``cluster`` section is the partition cell's
+:meth:`~repro.cluster.ShardedHierarchy.cluster_ledger` plus
+``ledger_reconciles``, the exact conservation check CI asserts:
+``bytes_moved == local + ghost + peer + cold`` and
+``peer == sum(per-link bytes)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from repro.camera.path import spherical_path
+from repro.camera.sampling import SamplingConfig
+from repro.cluster import cluster_fault_plan, make_sharded_hierarchy
+from repro.core.pipeline import PipelineContext
+from repro.experiments.runner import ExperimentSetup
+from repro.faults import FaultInjector
+from repro.obs.bench import BENCH_SCHEMA_VERSION
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.config import REPLAY_ENGINES
+from repro.runtime.context import RunContext
+from repro.runtime.drivers import run_baseline
+from repro.trace import Tracer
+
+__all__ = ["ClusterConfig", "ledger_reconciles", "run_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Pinned parameters of the cluster tier (recorded into the snapshot)."""
+
+    dataset: str = "3d_ball"
+    blocks: int = 256
+    scale: float = 0.08
+    steps: int = 40
+    cache_ratio: float = 0.5
+    seed: int = 0
+    n_directions: int = 32
+    n_distances: int = 1
+    degrees_per_step: float = 5.0
+    tracer_capacity: int = 500_000
+    n_nodes: int = 4
+    strategy: str = "slab"
+    ghost_ratio: float = 0.05
+    #: Cluster fault profile of the partition cell
+    #: (see :data:`repro.cluster.CLUSTER_FAULT_PROFILES`).
+    faults: str = "link-partition"
+    fault_seed: int = 0
+
+    @classmethod
+    def smoke(cls) -> "ClusterConfig":
+        """The CI `cluster-smoke` variant: same shape, a fraction of the work."""
+        return cls(blocks=64, scale=0.04, steps=12, n_directions=16)
+
+
+def ledger_reconciles(hierarchy) -> bool:
+    """Exact (integer ``==``) conservation check over a sharded run.
+
+    Every byte the hierarchy served must appear in exactly one route of the
+    split ledger, and every peer byte must be charged to exactly one link:
+
+    - ``bytes_moved`` (``backing_bytes`` + every cache level's
+      ``bytes_read``) equals ``local + ghost + peer + cold``;
+    - ``peer`` equals the fabric total, which equals the per-link sum.
+    """
+    ledger = hierarchy.cluster_ledger()
+    split = ledger["split_bytes"]
+    bytes_moved = hierarchy.backing_bytes + hierarchy.stats().total_bytes_read
+    link_bytes = sum(row["bytes"] for row in ledger["links"].values())
+    return (
+        bytes_moved == sum(split.values())
+        and split["peer"] == ledger["peer_bytes"] == link_bytes
+    )
+
+
+def _run_cell(
+    setup: ExperimentSetup,
+    context: PipelineContext,
+    config: ClusterConfig,
+    engine: str,
+    n_nodes: int,
+    faults: str,
+):
+    """One sharded orbit cell; returns (run-dict, hierarchy)."""
+    hierarchy = make_sharded_hierarchy(
+        setup.grid,
+        n_nodes,
+        strategy=config.strategy,
+        cache_ratio=config.cache_ratio,
+        policy="lru",
+        ghost_ratio=config.ghost_ratio if n_nodes > 1 else 0.0,
+        seed=config.seed,
+    )
+    injector = None
+    if faults != "none":
+        injector = FaultInjector(
+            cluster_fault_plan(faults, n_nodes, seed=config.fault_seed)
+        )
+    ctx = RunContext(
+        tracer=Tracer(capacity=config.tracer_capacity),
+        registry=MetricsRegistry(),
+        fault_injector=injector,
+    )
+    t0 = time.perf_counter()
+    result = run_baseline(context, hierarchy, engine=engine, ctx=ctx)
+    wall = time.perf_counter() - t0
+    ledger = hierarchy.cluster_ledger()
+    run = {
+        "engine": engine,
+        "n_nodes": n_nodes,
+        "faults": faults,
+        "wall_s": wall,
+        "summary": result.summary(),
+        "hierarchy_stats": result.hierarchy_stats.as_dict(),
+        "split_bytes": dict(ledger["split_bytes"]),
+        "peer_transfers": ledger["peer_transfers"],
+        "link_fallbacks": ledger["link_fallbacks"],
+        "ledger_reconciles": ledger_reconciles(hierarchy),
+    }
+    return run, hierarchy
+
+
+def run_cluster(
+    config: Optional[ClusterConfig] = None,
+    label: str = "cluster",
+    quick: bool = False,
+    progress=None,
+    engine: str = "batched",
+) -> Dict[str, object]:
+    """Run the cluster tier; returns the JSON-ready snapshot document.
+
+    The document shares the bench schema (``write_bench``/``load_bench``/
+    ``compare_bench`` all apply) and adds ``"tier": "cluster"`` plus a
+    ``cluster`` section — the partition cell's
+    :meth:`~repro.cluster.ShardedHierarchy.cluster_ledger` with the
+    ``ledger_reconciles`` conservation bit the CI smoke job asserts.
+    """
+    if config is None:
+        config = ClusterConfig.smoke() if quick else ClusterConfig()
+    if engine not in REPLAY_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {REPLAY_ENGINES}")
+    notify = progress if progress is not None else (lambda msg: None)
+    t0 = time.perf_counter()
+
+    notify(
+        f"setup: {config.dataset}, ~{config.blocks} blocks, {config.steps} steps, "
+        f"{config.n_nodes} nodes ({config.strategy})"
+    )
+    setup = ExperimentSetup.for_dataset(
+        config.dataset,
+        target_n_blocks=config.blocks,
+        scale=config.scale,
+        cache_ratio=config.cache_ratio,
+        sampling=SamplingConfig(
+            n_directions=config.n_directions, n_distances=config.n_distances
+        ),
+        seed=config.seed,
+    )
+    path = spherical_path(
+        config.steps,
+        degrees_per_step=config.degrees_per_step,
+        distance=2.5,
+        view_angle_deg=setup.view_angle_deg,
+        seed=config.seed,
+    )
+    context = setup.context(path)
+
+    cells = (
+        ("orbit/K1", 1, "none"),
+        (f"orbit/K{config.n_nodes}", config.n_nodes, "none"),
+        (f"orbit/K{config.n_nodes}-partition", config.n_nodes, config.faults),
+    )
+    runs: Dict[str, Dict[str, object]] = {}
+    partition_hierarchy = None
+    for key, n_nodes, faults in cells:
+        notify(f"run: {key}")
+        runs[key], hierarchy = _run_cell(
+            setup, context, config, engine, n_nodes, faults
+        )
+        if faults != "none":
+            partition_hierarchy = hierarchy
+
+    assert partition_hierarchy is not None
+    cluster_section = partition_hierarchy.cluster_ledger()
+    cluster_section["ledger_reconciles"] = ledger_reconciles(partition_hierarchy)
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": "cluster",
+        "label": label,
+        "quick": quick,
+        "engine": engine,
+        "config": asdict(config),
+        "cluster": cluster_section,
+        "runs": runs,
+        "suite_wall_s": time.perf_counter() - t0,
+    }

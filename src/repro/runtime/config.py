@@ -46,8 +46,9 @@ REPLAY_ENGINES = ("batched", "scalar")
 #: Workload (camera path) generators the runtime knows how to build.
 WORKLOAD_NAMES = ("random", "spherical", "zoom", "flythrough")
 
-#: Prefetcher names resolvable by the runtime registry.
-PREFETCHER_NAMES = ("none", "table", "motion", "markov")
+#: Prefetcher names resolvable by the runtime registry (``ghost`` and
+#: ``replicate`` are the cluster-aware strategies; they require shards > 1).
+PREFETCHER_NAMES = ("none", "table", "motion", "markov", "ghost", "replicate")
 
 
 def _check_choice(field: str, value: Any, choices) -> None:
@@ -72,6 +73,15 @@ def _check_prefetcher(field: str, value: Any, _cfg: "RunConfig") -> None:
 
 def _check_workload(field: str, value: Any, _cfg: "RunConfig") -> None:
     _check_choice(field, value, WORKLOAD_NAMES)
+
+
+def _check_shard_map(field: str, value: Any, _cfg: "RunConfig") -> None:
+    # Lazy: repro.cluster sits above the runtime layer (it imports the
+    # prefetch package, which imports the drivers, which import this
+    # module), so a top-level import here would be circular.
+    from repro.cluster.shardmap import SHARD_STRATEGIES
+
+    _check_choice(field, value, SHARD_STRATEGIES)
 
 
 def _check_engine(field: str, value: Any, _cfg: "RunConfig") -> None:
@@ -167,6 +177,8 @@ RUN_CONFIG_SCHEMA: Dict[str, Tuple[Callable[[str, Any, "RunConfig"], None], str]
     "faults": (_check_faults, "named fault profile injected into the storage stack"),
     "fault_seed": (_check_fault_seed, "seed of the deterministic fault draws"),
     "io_budget_s": (_check_optional_positive, "per-frame demand-I/O budget (None: stall)"),
+    "shards": (_check_positive_int, "number of simulated cluster nodes (1 = single box)"),
+    "shard_map": (_check_shard_map, "block-ownership strategy for sharded runs"),
 }
 
 
@@ -197,6 +209,8 @@ class RunConfig:
     faults: str = "none"
     fault_seed: int = 0
     io_budget_s: Optional[float] = None
+    shards: int = 1
+    shard_map: str = "slab"
 
     def __post_init__(self) -> None:
         for name, (validator, _help) in RUN_CONFIG_SCHEMA.items():
@@ -277,6 +291,8 @@ CLI_FIELD_MAP: Dict[str, str] = {
     "engine": "engine",
     "faults": "faults",
     "fault_seed": "fault_seed",
+    "shards": "shards",
+    "shard_map": "shard_map",
 }
 
 #: argparse ``dest`` names that deliberately do NOT map onto RunConfig —

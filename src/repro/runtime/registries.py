@@ -153,11 +153,29 @@ def _make_markov_prefetcher(**_kwargs: Any):
     return MarkovPrefetcher()
 
 
+def _make_ghost_prefetcher(shard_map=None, home: int = 0, **_kwargs: Any):
+    from repro.cluster.prefetch import GhostLayerPrefetcher
+
+    if shard_map is None:
+        raise ValueError("the 'ghost' prefetcher requires shard_map= (a sharded run)")
+    return GhostLayerPrefetcher(shard_map, home=home)
+
+
+def _make_replicate_prefetcher(shard_map=None, home: int = 0, **_kwargs: Any):
+    from repro.cluster.prefetch import ReplicationPrefetcher
+
+    if shard_map is None:
+        raise ValueError("the 'replicate' prefetcher requires shard_map= (a sharded run)")
+    return ReplicationPrefetcher(shard_map, home=home)
+
+
 PREFETCHERS = Registry("prefetcher")
 PREFETCHERS.register("none", _make_none_prefetcher)
 PREFETCHERS.register("table", _make_table_prefetcher)
 PREFETCHERS.register("motion", _make_motion_prefetcher)
 PREFETCHERS.register("markov", _make_markov_prefetcher)
+PREFETCHERS.register("ghost", _make_ghost_prefetcher)
+PREFETCHERS.register("replicate", _make_replicate_prefetcher)
 
 
 def register_prefetcher(name: str, factory: Callable[..., Any]) -> None:
@@ -169,8 +187,9 @@ def make_prefetcher(name: str, **kwargs: Any):
 
     Extra keyword arguments are the dependency pool (``visible_table``,
     ``importance``, ``sigma``, ``lookup_cost``, ``grid``,
-    ``view_angle_deg``); each factory picks what it needs and ignores the
-    rest, so one call site can serve every strategy.
+    ``view_angle_deg``, ``shard_map``, ``home``); each factory picks what
+    it needs and ignores the rest, so one call site can serve every
+    strategy.
     """
     return PREFETCHERS.create(name, **kwargs)
 

@@ -43,6 +43,13 @@ class StepTimeline:
     retries: int = 0
     degraded: int = 0
     fault_time_s: float = 0.0  # failed attempts + backoffs (charged io)
+    # Cluster network activity (zero on a single-box run).  Peer bytes
+    # are deliberately NOT part of demand/prefetch bytes: the serving
+    # node's movement event already counts them, xfer only feeds the
+    # network ledger.
+    xfers: int = 0
+    peer_bytes: int = 0
+    peer_time_s: float = 0.0  # charged link time (inside the io ledger)
     # Forensics markers (zero unless an EvictionLineage was installed).
     re_misses: int = 0
 
@@ -94,6 +101,19 @@ class TraceSummary:
     @property
     def total_re_misses(self) -> int:
         return sum(s.re_misses for s in self.steps)
+
+    @property
+    def total_xfers(self) -> int:
+        return sum(s.xfers for s in self.steps)
+
+    @property
+    def peer_bytes(self) -> int:
+        """Bytes moved across network links (outside ``total_bytes``)."""
+        return sum(s.peer_bytes for s in self.steps)
+
+    @property
+    def peer_time_s(self) -> float:
+        return sum(s.peer_time_s for s in self.steps)
 
     @property
     def fault_time_s(self) -> float:
@@ -152,6 +172,13 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceSummary:
             # Informational: the extra seconds are already inside the
             # movement event's time, so only the count is aggregated.
             row.degraded += e.count
+        elif e.kind == "xfer":
+            # Peer network transfer: bytes/time go to the network ledger
+            # only — never to the demand/prefetch byte split, which must
+            # keep summing to the storage ``bytes_moved`` ledger.
+            row.xfers += e.count
+            row.peer_bytes += e.nbytes
+            row.peer_time_s += e.time_s
         elif e.kind == "re_miss":
             # Forensics marker: no bytes, no time — count only.
             row.re_misses += e.count
@@ -190,6 +217,12 @@ def format_timeline(summary: TraceSummary, max_rows: int = 20) -> str:
         f"{summary.total_evictions} evictions, "
         f"mean fast coverage {summary.mean_fast_coverage:.2f}"
     )
+    if summary.total_xfers:
+        lines.append(
+            f"network: {summary.total_xfers} peer transfers, "
+            f"{summary.peer_bytes / 1e6:.2f} MB over links, "
+            f"{summary.peer_time_s * 1e3:.3f} ms link time"
+        )
     if summary.total_faults or summary.total_retries or summary.total_degraded:
         lines.append(
             f"faults: {summary.total_faults} failed reads, "

@@ -23,6 +23,12 @@ read-path decisions:
   ``time_s`` carries only the *extra* seconds above nominal, which are
   already included in the movement event, so degraded events are
   excluded from every time ledger;
+- ``xfer``     — one peer-to-peer network transfer in a sharded
+  (:mod:`repro.cluster`) run: ``level`` names the link, ``nbytes`` the
+  payload and ``time_s`` the charged link time.  The *same* bytes are
+  already counted by the movement event of the serving node, so ``xfer``
+  is deliberately **outside** :data:`MOVEMENT_KINDS` — it feeds the
+  per-link network ledger, never the storage byte ledger;
 - ``re_miss``  — forensics marker emitted (only when an
   :class:`~repro.storage.forensics.EvictionLineage` is installed) on a
   demand miss for a block that the lineage ring remembers evicting:
@@ -56,6 +62,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     "fault",
     "retry",
     "degraded",
+    "xfer",
     "re_miss",
 )
 

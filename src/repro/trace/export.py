@@ -76,6 +76,9 @@ _DURATION_KINDS = frozenset({"hit", "fetch", "prefetch", "render", "fault", "ret
 def _track_for(event: TraceEvent) -> str:
     if event.kind == "render":
         return "render"
+    if event.kind == "xfer":
+        # Peer transfers live on per-link network tracks (level = link name).
+        return f"net:{event.level}" if event.level else "net"
     if event.kind in ("evict", "bypass", "preload", "re_miss"):
         return f"cache:{event.level}" if event.level else "cache"
     return f"io:{event.level}" if event.level else "io"

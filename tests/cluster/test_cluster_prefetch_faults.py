@@ -1,0 +1,120 @@
+"""Cluster prefetch strategies and fault profiles.
+
+The ``ghost``/``replicate`` prefetchers follow the standard strategy
+protocol, come out of the prefetcher registry with a ``shard_map``
+dependency, and run through :func:`~repro.runtime.run_with_prefetcher`
+on a sharded hierarchy unchanged.  The cluster fault profiles build
+:class:`~repro.faults.FaultPlan` objects over per-node device names and
+link names, so the PR 4 fault machinery applies verbatim to the network.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera.path import random_path
+from repro.cluster import (
+    CLUSTER_FAULT_PROFILES,
+    GhostLayerPrefetcher,
+    ReplicationPrefetcher,
+    ShardMap,
+    cluster_fault_plan,
+    make_sharded_hierarchy,
+    partitioned_links,
+)
+from repro.core.pipeline import PipelineContext
+from repro.runtime import run_with_prefetcher
+from repro.runtime.registries import make_prefetcher
+from repro.volume.blocks import BlockGrid
+from repro.volume.synthetic import ball_field
+from repro.volume.volume import Volume
+
+VIEW = 10.0
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return BlockGrid((32, 32, 32), (8, 8, 8))
+
+
+class TestStrategies:
+    def test_replicate_predicts_exactly_the_remote_visible(self, grid):
+        sm = ShardMap(grid, 4, strategy="slab")
+        p = ReplicationPrefetcher(sm, home=0)
+        visible = np.arange(grid.n_blocks, dtype=np.int64)
+        predicted = p.predict(0, None, visible)
+        assert np.array_equal(predicted, visible[sm.owner[visible] != 0])
+
+    def test_ghost_predicts_remote_halo_only(self, grid):
+        sm = ShardMap(grid, 4, strategy="slab")
+        p = GhostLayerPrefetcher(sm, home=0)
+        visible = np.array([0, 1, 4, 5], dtype=np.int64)
+        predicted = p.predict(0, None, visible)
+        assert np.all(sm.owner[predicted] != 0)  # remote-owned...
+        assert np.intersect1d(predicted, visible).size == 0  # ...and not visible
+        assert predicted.dtype == np.int64
+
+    def test_empty_visible_set(self, grid):
+        sm = ShardMap(grid, 2)
+        empty = np.empty(0, dtype=np.int64)
+        assert GhostLayerPrefetcher(sm).predict(0, None, empty).size == 0
+        assert ReplicationPrefetcher(sm).predict(0, None, empty).size == 0
+
+    def test_registry_wires_shard_map(self, grid):
+        sm = ShardMap(grid, 4)
+        ghost = make_prefetcher("ghost", shard_map=sm, home=0)
+        repl = make_prefetcher("replicate", shard_map=sm)
+        assert ghost.name == "ghost" and repl.name == "replicate"
+        with pytest.raises(ValueError):
+            make_prefetcher("ghost")  # no shard_map: a single-box run
+
+    @pytest.mark.parametrize("name", ("ghost", "replicate"))
+    def test_runs_through_the_prefetcher_driver(self, grid, name):
+        volume = Volume(ball_field((32, 32, 32)), name="pf_ball")
+        path = random_path(
+            n_positions=6, degree_change=(5.0, 10.0), distance=2.5,
+            view_angle_deg=VIEW, seed=3,
+        )
+        context = PipelineContext.create(path, grid)
+        h = make_sharded_hierarchy(grid, 4, ghost_ratio=0.2)
+        prefetcher = make_prefetcher(name, shard_map=h.shard_map, home=h.home)
+        result = run_with_prefetcher(context, h, prefetcher)
+        assert len(result.steps) == 6
+        ledger = h.cluster_ledger()
+        assert sum(ledger["split_bytes"].values()) == (
+            h.backing_bytes + h.stats().total_bytes_read
+        )
+
+
+class TestFaultProfiles:
+    def test_profile_names(self):
+        assert CLUSTER_FAULT_PROFILES == (
+            "none", "slow-peer", "link-partition", "node-chaos"
+        )
+
+    def test_none_is_empty(self):
+        assert cluster_fault_plan("none", 4).profiles == ()
+
+    def test_link_partition_severs_one_home_link(self):
+        plan = cluster_fault_plan("link-partition", 4)
+        devices = {p.device for p in plan.profiles}
+        assert devices == set(partitioned_links(4))
+        assert all(p.error_rate == 1.0 for p in plan.profiles)
+
+    def test_slow_peer_uses_slow_windows(self):
+        plan = cluster_fault_plan("slow-peer", 4)
+        assert all(p.slow_windows for p in plan.profiles)
+        assert all(p.error_rate == 0.0 for p in plan.profiles)
+
+    def test_node_chaos_targets_per_node_devices(self):
+        plan = cluster_fault_plan("node-chaos", 3)
+        devices = {p.device for p in plan.profiles}
+        # per-node renames of the chaos devices, the shared cold store
+        # once, and the home links
+        assert "hdd" in devices
+        assert any(d.startswith("n1.") for d in devices)
+        assert any("-" in d for d in devices)
+        assert not any(d == "ssd" for d in devices)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_fault_plan("gremlins", 4)

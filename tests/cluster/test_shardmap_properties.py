@@ -1,0 +1,162 @@
+"""Property tests for :class:`repro.cluster.ShardMap`.
+
+Hypothesis sweeps arbitrary grid shapes and node counts for the
+structural invariants — every block owned by exactly one node, ownership
+a pure function of ``(grid, strategy, n_nodes, seed)``, partition a
+disjoint order-preserving cover, re-sharding after node loss
+deterministic and total — and deterministic parametrized cases pin the
+locality guarantees of the spatial strategies (slab/octree co-shard
+neighbors well above round-robin's worst case).
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import SHARD_STRATEGIES, ShardMap
+from repro.volume.blocks import BlockGrid
+
+BLOCK = (4, 4, 4)
+
+
+def _grid(bx, by, bz):
+    return BlockGrid((bx * BLOCK[0], by * BLOCK[1], bz * BLOCK[2]), BLOCK)
+
+
+grids = st.tuples(
+    st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)
+).map(lambda t: _grid(*t))
+strategies = st.sampled_from(SHARD_STRATEGIES)
+node_counts = st.integers(1, 8)
+seeds = st.integers(0, 3)
+
+
+@given(grid=grids, strategy=strategies, k=node_counts, seed=seeds)
+@settings(max_examples=60, deadline=None)
+def test_every_block_owned_by_exactly_one_node(grid, strategy, k, seed):
+    sm = ShardMap(grid, k, strategy=strategy, seed=seed)
+    assert sm.owner.shape == (grid.n_blocks,)
+    assert sm.owner.min() >= 0 and sm.owner.max() < k
+    counts = sm.counts()
+    assert counts.sum() == grid.n_blocks
+    # spatial strategies balance to within one split chunk
+    if strategy in ("slab", "octree"):
+        assert counts.max() - counts.min() <= int(np.ceil(grid.n_blocks / k))
+
+
+@given(grid=grids, strategy=strategies, k=node_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_ownership_stable_under_replay(grid, strategy, k, seed):
+    a = ShardMap(grid, k, strategy=strategy, seed=seed)
+    b = ShardMap(grid, k, strategy=strategy, seed=seed)
+    assert np.array_equal(a.owner, b.owner)
+
+
+@given(grid=grids, strategy=strategies, k=node_counts, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_partition_is_a_disjoint_ordered_cover(grid, strategy, k, data):
+    sm = ShardMap(grid, k, strategy=strategy)
+    ids = np.asarray(
+        data.draw(
+            st.lists(
+                st.integers(0, grid.n_blocks - 1), min_size=0, max_size=64, unique=True
+            )
+        ),
+        dtype=np.int64,
+    )
+    parts = sm.partition(ids)
+    seen = np.concatenate([v for v in parts.values()]) if parts else np.empty(0)
+    assert sorted(seen.tolist()) == sorted(ids.tolist())
+    for node, part in parts.items():
+        assert np.all(sm.owner[part] == node)
+        # order within a node preserves the caller's priority order
+        positions = [int(np.where(ids == key)[0][0]) for key in part]
+        assert positions == sorted(positions)
+
+
+@given(grid=grids, strategy=strategies, k=st.integers(2, 8), seed=seeds, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_reshard_after_node_loss_is_deterministic_and_total(
+    grid, strategy, k, seed, data
+):
+    sm = ShardMap(grid, k, strategy=strategy, seed=seed)
+    dead = data.draw(st.integers(0, k - 1))
+    a = sm.reshard_without((dead,))
+    b = sm.reshard_without((dead,))
+    assert np.array_equal(a.owner, b.owner)
+    # total: nothing is owned by the dead node any more
+    assert not np.any(a.owner == dead)
+    assert a.counts().sum() == grid.n_blocks
+    # survivors keep their blocks — only orphaned blocks move
+    survivors = sm.owner != dead
+    assert np.array_equal(a.owner[survivors], sm.owner[survivors])
+    # original map is untouched (reshard is functional)
+    assert np.array_equal(sm.owner, ShardMap(grid, k, strategy=strategy, seed=seed).owner)
+
+
+@given(grid=grids, strategy=strategies)
+@settings(max_examples=20, deadline=None)
+def test_single_node_owns_everything(grid, strategy):
+    sm = ShardMap(grid, 1, strategy=strategy)
+    assert np.all(sm.owner == 0)
+    assert sm.locality_score() == 1.0
+
+
+# -- locality (deterministic, computed expectations) ---------------------------
+
+# An 8x8x8 block grid has 3 * 7 * 64 = 1344 six-neighbor pairs.  Slab with
+# K=4 cuts 3 of the 7 plane boundaries along one axis (192 cross pairs);
+# octree with K=8 cuts the middle plane of each axis (3 * 64 cross pairs).
+# Round-robin at K=8 separates every +-1 neighbor along the fastest axis
+# (448 cross pairs).
+_PAIRS = Fraction(3 * 7 * 64)
+
+
+@pytest.mark.parametrize(
+    "strategy,k,expected",
+    [
+        ("slab", 4, 1 - Fraction(3 * 64) / _PAIRS),
+        ("slab", 8, 1 - Fraction(7 * 64) / _PAIRS),
+        ("octree", 8, 1 - Fraction(3 * 64) / _PAIRS),
+        ("round-robin", 8, 1 - Fraction(7 * 64) / _PAIRS),
+    ],
+)
+def test_locality_score_matches_closed_form(strategy, k, expected):
+    grid = _grid(8, 8, 8)
+    sm = ShardMap(grid, k, strategy=strategy)
+    assert sm.locality_score() == pytest.approx(float(expected))
+
+
+def test_spatial_strategies_beat_round_robin_at_high_k():
+    """The reason the spatial maps exist: at K=8 on a cube, octree keeps
+    6/7 of neighbor pairs local where round-robin keeps only 4/7."""
+    grid = _grid(8, 8, 8)
+    octree = ShardMap(grid, 8, strategy="octree").locality_score()
+    slab = ShardMap(grid, 8, strategy="slab").locality_score()
+    rr = ShardMap(grid, 8, strategy="round-robin").locality_score()
+    assert octree > slab >= rr
+    assert octree >= 0.8
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        ShardMap(_grid(2, 2, 2), 2, strategy="hash-ring")
+
+
+def test_reshard_all_dead_rejected():
+    sm = ShardMap(_grid(2, 2, 2), 2)
+    with pytest.raises(ValueError):
+        sm.reshard_without((0, 1))
+
+
+def test_as_dict_is_json_shaped():
+    import json
+
+    sm = ShardMap(_grid(4, 4, 4), 4, strategy="octree")
+    doc = json.loads(json.dumps(sm.as_dict()))
+    assert doc["strategy"] == "octree"
+    assert doc["n_nodes"] == 4
+    assert sum(doc["blocks_per_node"].values()) == sm.n_blocks

@@ -1,0 +1,83 @@
+"""Executes the TUTORIAL's "Simulating a cluster" code blocks.
+
+Mirrors docs/TUTORIAL.md §14 line for line (smaller grid/steps for
+speed); if an API there drifts, this file breaks with it.
+"""
+
+import pytest
+
+from repro.camera.path import random_path
+from repro.core.pipeline import PipelineContext
+
+
+@pytest.fixture(scope="module")
+def walkthrough(small_grid):
+    path = random_path(n_positions=6, degree_change=(5.0, 10.0),
+                       distance=2.5, view_angle_deg=10.0, seed=11)
+    return small_grid, PipelineContext.create(path, small_grid)
+
+
+class TestTutorialClusterWalkthrough:
+    def test_sharded_ledger_block(self, walkthrough):
+        grid, context = walkthrough
+
+        from repro.cluster import make_sharded_hierarchy
+        from repro.runtime import run_baseline
+
+        sharded = make_sharded_hierarchy(grid, 4, strategy="slab",
+                                         ghost_ratio=0.1)
+        result = run_baseline(context, sharded)
+
+        ledger = sharded.cluster_ledger()
+        split = ledger["split_bytes"]
+        assert set(split) == {"local", "ghost", "peer", "cold"}
+        assert split["cold"] == 0                    # fault-free: no fallbacks
+        assert ledger["links"]                       # per-link bytes / seconds
+        assert 0.0 <= ledger["shard_map"]["locality_score"] <= 1.0
+        # the conservation law the tutorial states: integer ==, no tolerance
+        bytes_moved = sharded.backing_bytes + sharded.stats().total_bytes_read
+        assert sum(split.values()) == bytes_moved
+        assert split["peer"] == sum(
+            row["bytes"] for row in ledger["links"].values()
+        )
+        assert len(result.steps) == 6
+
+    def test_ghost_prefetcher_block(self, walkthrough):
+        grid, context = walkthrough
+
+        from repro.cluster import make_sharded_hierarchy
+        from repro.runtime import run_with_prefetcher
+        from repro.runtime.registries import make_prefetcher
+
+        sharded2 = make_sharded_hierarchy(grid, 4, strategy="octree",
+                                          ghost_ratio=0.2)
+        ghost = make_prefetcher("ghost", shard_map=sharded2.shard_map,
+                                home=sharded2.home)
+        run_with_prefetcher(context, sharded2, ghost)
+        assert sharded2.cluster_ledger()["split_bytes"]["ghost"] >= 0
+
+    def test_link_partition_block(self, walkthrough):
+        grid, context = walkthrough
+
+        from repro.cluster import cluster_fault_plan, make_sharded_hierarchy
+        from repro.faults import FaultInjector
+        from repro.runtime import run_baseline
+
+        sharded3 = make_sharded_hierarchy(grid, 4)
+        sharded3.set_fault_injector(
+            FaultInjector(cluster_fault_plan("link-partition", 4, seed=7)))
+        run_baseline(context, sharded3)
+        led = sharded3.cluster_ledger()
+        assert led["link_fallbacks"] > 0             # the severed link was hit
+        assert led["split_bytes"]["cold"] > 0        # ...and fell back cold
+        assert led["link_fallbacks"] == led["fallback_reads"]
+
+    def test_replay_cli_block(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["replay", "--blocks", "64", "--scale", "0.04",
+                     "--steps", "6", "--shards", "4",
+                     "--shard-map", "octree"]) == 0
+        out = capsys.readouterr().out
+        assert "4 shards (octree)" in out

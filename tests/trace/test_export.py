@@ -159,6 +159,7 @@ class TestTrackForAllKinds:
             "fault": "io:dram",
             "retry": "io:dram",
             "degraded": "io:dram",
+            "xfer": "net:dram",
             "re_miss": "cache:dram",
         }
         assert set(expected) == set(EVENT_KINDS)
