@@ -36,6 +36,8 @@ __all__ = [
     "zoom_path",
     "waypoint_path",
     "flythrough_path",
+    "multi_focus_path",
+    "temporal_sweep_path",
     "composite_path",
 ]
 
@@ -256,6 +258,107 @@ def flythrough_path(
     return CameraPath(
         path.positions[:n_positions].copy(), view_angle_deg, name="flythrough"
     )
+
+
+def multi_focus_path(
+    n_positions: int = 100,
+    n_foci: int = 3,
+    dwell: int = 8,
+    distance: float = 2.5,
+    view_angle_deg: float = DEFAULT_VIEW_ANGLE_DEG,
+    seed: SeedLike = 0,
+    focus_seed: int = 0,
+) -> CameraPath:
+    """A collaborative session: dwell near shared foci, slerp between them.
+
+    Models a group of analysts inspecting the same handful of regions of
+    interest: the foci (viewing directions) are drawn from ``focus_seed``
+    only, so sessions with different ``seed`` values visit the *same*
+    hotspots — the overlap that makes multi-tenant caching pay off — while
+    their visit order, dwell jitter, and micro-orbits stay per-session
+    random.  Each visit dwells ``dwell`` positions in a tight micro-orbit
+    around the focus, then slerps to the next one.
+    """
+    check_positive("n_positions", n_positions)
+    check_positive("dwell", dwell)
+    check_positive("distance", distance)
+    if n_foci < 2:
+        raise ValueError(f"n_foci must be >= 2, got {n_foci}")
+    focus_rng = resolve_rng(int(focus_seed))
+    foci = np.stack([normalize(focus_rng.standard_normal(3)) for _ in range(n_foci)])
+    rng = resolve_rng(seed)
+
+    positions = []
+    current = foci[int(rng.integers(n_foci))]
+    while len(positions) < n_positions:
+        # Dwell: a tight micro-orbit (~2 degrees per step) around the focus.
+        axis = perpendicular_unit_vector(current, rng)
+        p = normalize(
+            rotation_matrix_axis_angle(
+                perpendicular_unit_vector(current, rng), np.deg2rad(rng.uniform(0.0, 3.0))
+            )
+            @ current
+        )
+        for _ in range(dwell):
+            if len(positions) >= n_positions:
+                break
+            positions.append(p * distance)
+            p = great_circle_step(p, axis, np.deg2rad(2.0))
+        # Transition: slerp to a different focus over a few positions.
+        nxt = foci[int(rng.integers(n_foci))]
+        if np.allclose(nxt, current):
+            nxt = foci[(int(np.argmax(foci @ current)) + 1) % n_foci]
+        dot = float(np.clip(np.dot(current, nxt), -1.0, 1.0))
+        omega = np.arccos(dot)
+        n_steps = max(2, int(np.rad2deg(omega) // 10.0))
+        for k in range(1, n_steps + 1):
+            if len(positions) >= n_positions:
+                break
+            t = k / n_steps
+            if omega < 1e-9:
+                direction = current
+            else:
+                direction = (
+                    np.sin((1 - t) * omega) * current + np.sin(t * omega) * nxt
+                ) / np.sin(omega)
+            positions.append(normalize(direction) * distance)
+        current = nxt
+    return CameraPath(
+        np.asarray(positions[:n_positions]), view_angle_deg,
+        name=f"multi_focus_{n_foci}",
+    )
+
+
+def temporal_sweep_path(
+    n_positions: int = 100,
+    jitter_deg: float = 4.0,
+    distance: float = 2.5,
+    view_angle_deg: float = DEFAULT_VIEW_ANGLE_DEG,
+    seed: SeedLike = 0,
+) -> CameraPath:
+    """A near-stationary view: a time-series sweep from one vantage point.
+
+    Models stepping a simulation through its timesteps while the camera
+    barely moves — every position is the seeded anchor direction rotated by
+    a uniformly random angle in ``[0, jitter_deg]`` about a random
+    perpendicular axis.  The jitter is bounded (not a walk), giving the
+    highest temporal locality of the scenario zoo: the working set is
+    essentially constant, so replacement policy differences all but vanish
+    and any misses are cold-start or fault-induced.
+    """
+    check_positive("n_positions", n_positions)
+    check_positive("distance", distance)
+    if not 0.0 <= jitter_deg < 90.0:
+        raise ValueError(f"jitter_deg must be in [0, 90), got {jitter_deg}")
+    rng = resolve_rng(seed)
+    anchor = normalize(rng.standard_normal(3))
+    positions = np.empty((n_positions, 3))
+    for i in range(n_positions):
+        angle = np.deg2rad(rng.uniform(0.0, jitter_deg)) if jitter_deg > 0 else 0.0
+        axis = perpendicular_unit_vector(anchor, rng)
+        direction = normalize(rotation_matrix_axis_angle(axis, angle) @ anchor)
+        positions[i] = direction * distance
+    return CameraPath(positions, view_angle_deg, name=f"temporal_sweep_{jitter_deg:g}deg")
 
 
 def composite_path(paths: Sequence[CameraPath], name: str = "composite") -> CameraPath:

@@ -20,7 +20,12 @@ Subcommands mirror a real out-of-core visualization workflow:
   (``--compare old.json new.json``, non-zero exit on regression);
 - ``serve-sim``  — simulate N concurrent viewer sessions over one shared
   hierarchy (tenant quotas, fairness, per-tenant tail latencies) and
-  write ``SERVE_<label>.json``, or compare two such snapshots.
+  write ``SERVE_<label>.json``, or compare two such snapshots;
+- ``matrix``     — the declarative experiment-matrix runner:
+  ``matrix run`` expands a TOML/JSON spec (bundled name or path) into
+  cells and writes ``MATRIX_<label>.json``; ``matrix report`` renders a
+  matrix document as a self-contained HTML report; ``matrix compare``
+  gates two matrix documents on their simulated metrics.
 
 Experiment regeneration lives under ``python -m repro.experiments``.
 """
@@ -76,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "block grid and charges peer fetches on network links)")
     rep.add_argument("--shard-map", choices=list(SHARD_STRATEGIES), default="slab",
                      help="block-ownership strategy for --shards > 1")
+    rep.add_argument("--record", type=Path, default=None, metavar="PATH",
+                     help="also write the camera path as a JSONL trace, "
+                          "replayable with --path-type recorded --trace-file")
     _add_fault_args(rep)
 
     tra = sub.add_parser(
@@ -185,6 +193,44 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--verbose", action="store_true",
                      help="show unchanged metrics in the comparison table")
 
+    mat = sub.add_parser(
+        "matrix",
+        help="declarative experiment-matrix runner: run a spec, render its "
+             "HTML report, or compare two matrix documents",
+    )
+    mat_sub = mat.add_subparsers(dest="matrix_command", required=True)
+    mrun = mat_sub.add_parser(
+        "run", help="expand and run a matrix spec; write MATRIX_<label>.json"
+    )
+    mrun.add_argument("spec",
+                      help="bundled spec name (e.g. 'smoke') or a .toml/.json path")
+    mrun.add_argument("--workers", type=_positive_int, default=1,
+                      help="worker processes for the matrix cells (default 1: serial)")
+    mrun.add_argument("--out", type=Path, default=Path("."),
+                      help="directory the document is written into (default: cwd)")
+    mrun.add_argument("--label", default=None,
+                      help="override the spec's label (names the output file)")
+    mrun.add_argument("--report", type=Path, default=None, metavar="PATH",
+                      help="also write the self-contained HTML report there")
+    mrep = mat_sub.add_parser(
+        "report", help="render a MATRIX_<label>.json as a self-contained HTML report"
+    )
+    mrep.add_argument("doc", help="MATRIX_<label>.json path")
+    mrep.add_argument("--out", type=Path, default=Path("matrix_report.html"),
+                      help="HTML output path (default matrix_report.html)")
+    mrep.add_argument("--title", default=None, help="report title override")
+    mcmp = mat_sub.add_parser(
+        "compare", help="compare two matrix documents on their simulated metrics"
+    )
+    mcmp.add_argument("old", help="baseline MATRIX_<label>.json")
+    mcmp.add_argument("new", help="candidate MATRIX_<label>.json")
+    mcmp.add_argument("--threshold", type=float, default=0.10,
+                      help="relative regression threshold (default 0.10)")
+    mcmp.add_argument("--warn-only", action="store_true",
+                      help="report regressions but exit 0 (PR-gate mode)")
+    mcmp.add_argument("--verbose", action="store_true",
+                      help="show unchanged metrics in the comparison table")
+
     ren = sub.add_parser("render", help="ray-cast one frame to a PPM image")
     _add_dataset_args(ren)
     ren.add_argument("--out", type=Path, default=Path("frame.ppm"))
@@ -225,9 +271,14 @@ def _add_path_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--degrees", type=float, nargs=2, default=(5.0, 10.0),
                    metavar=("LO", "HI"), help="per-step direction change range")
     p.add_argument("--distance", type=float, default=2.5)
+    p.add_argument("--trace-file", type=Path, default=None, metavar="PATH",
+                   help="camera-trace JSONL replayed by --path-type recorded")
 
 
 def _make_path(args, setup: ExperimentSetup):
+    kwargs = {}
+    if getattr(args, "trace_file", None) is not None:
+        kwargs["trace_file"] = str(args.trace_file)
     return WORKLOADS.create(
         args.path_type,
         steps=args.steps,
@@ -235,6 +286,7 @@ def _make_path(args, setup: ExperimentSetup):
         distance=args.distance,
         view_angle_deg=setup.view_angle_deg,
         seed=args.seed,
+        **kwargs,
     )
 
 
@@ -279,6 +331,11 @@ def _cmd_replay(args) -> int:
         return 2
     setup = _make_setup(args)
     path = make_workload(config, setup.view_angle_deg)
+    if args.record is not None:
+        from repro.camera.recorded import write_camera_trace
+
+        write_camera_trace(path, args.record)
+        print(f"camera trace: {args.record} ({len(path)} positions)")
     results = compare_policies(
         setup,
         path,
@@ -669,6 +726,67 @@ def _cmd_serve_sim(args) -> int:
     return 0
 
 
+def _cmd_matrix(args) -> int:
+    import dataclasses
+
+    from repro.experiments.matrix import (
+        compare_matrix,
+        format_matrix_comparison,
+        load_matrix,
+        load_spec,
+        run_matrix,
+        write_matrix,
+    )
+
+    if args.matrix_command == "compare":
+        try:
+            old, new = load_matrix(args.old), load_matrix(args.new)
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"error: {exc}")
+            return 2
+        rows = compare_matrix(old, new, threshold=args.threshold)
+        print(f"comparing {args.old} ({old['label']}) -> {args.new} "
+              f"({new['label']}), threshold {args.threshold:.0%}")
+        print(format_matrix_comparison(rows, verbose=args.verbose))
+        n_regressions = sum(1 for r in rows if r["status"] == "regression")
+        if n_regressions and args.warn_only:
+            print(f"warn-only: {n_regressions} regression(s) ignored")
+            return 0
+        return 1 if n_regressions else 0
+
+    if args.matrix_command == "report":
+        import json
+
+        from repro.experiments.matrix_report import write_matrix_report
+
+        try:
+            doc = load_matrix(args.doc)
+        except (ValueError, OSError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        path = write_matrix_report(doc, args.out, title=args.title)
+        print(f"wrote {path} ({doc['n_cells']} cells, label {doc['label']})")
+        return 0
+
+    try:
+        spec = load_spec(args.spec)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.label is not None:
+        spec = dataclasses.replace(spec, label=args.label)
+    doc = run_matrix(spec, workers=args.workers, progress=print)
+    path = write_matrix(doc, args.out)
+    print(f"wrote {path} ({doc['n_cells']} cells, runner {doc['runner']}, "
+          f"{doc['workers']} worker(s), schema v{doc['schema_version']}, "
+          f"suite {doc['suite_wall_s']:.2f}s wall)")
+    if args.report is not None:
+        from repro.experiments.matrix_report import write_matrix_report
+
+        print(f"report: {write_matrix_report(doc, args.report)}")
+    return 0
+
+
 def _cmd_render(args) -> int:
     from repro.camera.model import Camera
     from repro.render.raycast import Raycaster, RenderSettings
@@ -699,6 +817,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "bench": _cmd_bench,
     "serve-sim": _cmd_serve_sim,
+    "matrix": _cmd_matrix,
     "render": _cmd_render,
 }
 

@@ -11,10 +11,23 @@ Run from the command line::
     python -m repro.experiments --figure fig12
 """
 
+from repro.experiments.gating import (
+    GateRule,
+    compare_metric_sets,
+    flatten_run_summary,
+)
 from repro.experiments.loadgen import (
     LoadGenConfig,
     make_session_specs,
     run_load,
+)
+from repro.experiments.matrix import (
+    MatrixSpec,
+    bundled_spec_names,
+    compare_matrix,
+    expand_cells,
+    load_spec,
+    run_matrix,
 )
 from repro.experiments.runner import (
     ExperimentSetup,
@@ -31,9 +44,18 @@ __all__ = [
     "fresh_hierarchy",
     "belady_hierarchy",
     "compare_policies",
+    "GateRule",
+    "compare_metric_sets",
+    "flatten_run_summary",
     "LoadGenConfig",
     "make_session_specs",
     "run_load",
+    "MatrixSpec",
+    "bundled_spec_names",
+    "compare_matrix",
+    "expand_cells",
+    "load_spec",
+    "run_matrix",
     "format_table",
     "format_series",
     "parameter_sweep",

@@ -1,0 +1,330 @@
+"""Shared snapshot-comparison (gating) machinery.
+
+Every snapshot family in the repo — ``BENCH_*.json`` (three tiers),
+``SERVE_*.json``, and ``MATRIX_*.json`` — gates CI the same way: flatten
+the simulated-clock metrics of two snapshots to ``{name: value}``, then
+diff each metric against a per-direction threshold.  The flattening and
+threshold logic used to be hand-rolled three times (``obs/bench.py``,
+the cluster branch of its ``comparable_metrics``, and
+``experiments/loadgen.py``); this module is the single implementation
+they all call now.
+
+The vocabulary:
+
+- a :class:`GateRule` says how one metric gates — its good *direction*,
+  its comparison *mode* (relative change, strict-zero relative change,
+  absolute increase, absolute drop), and a threshold *scale* (wall-clock
+  metrics gate at a widened threshold);
+- a *metric set* is ``{name: (value, GateRule)}``;
+- :func:`compare_metric_sets` diffs two metric sets into rows with the
+  canonical statuses ``"regression"`` / ``"improved"`` / ``"ok"`` /
+  ``"missing"`` (metrics missing on either side never regress).
+
+The flatteners (:func:`flatten_run_summary`,
+:func:`flatten_multi_tenant`, :func:`flatten_cluster_section`) turn the
+recurring snapshot sections into metric sets; the legacy comparison
+entry points (``compare_bench``, ``compare_serve``) are thin wrappers
+that translate the canonical rows back into their historical row shapes
+so committed baselines and existing CI invocations keep gating with
+bit-identical verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "GateRule",
+    "MetricSet",
+    "WALL_THRESHOLD_FACTOR",
+    "SUMMARY_METRIC_DIRECTIONS",
+    "DERIVED_METRIC_DIRECTIONS",
+    "is_wall_metric",
+    "compare_metric_sets",
+    "count_regressions",
+    "format_gate_rows",
+    "flatten_run_summary",
+    "flatten_multi_tenant",
+    "flatten_cluster_section",
+]
+
+#: Wall-clock/RSS metrics are machine-noisy; they gate at
+#: ``threshold * WALL_THRESHOLD_FACTOR`` so same-machine CI catches
+#: multi-x slowdowns without flaking on scheduler jitter.  (Canonical
+#: home; ``repro.obs.bench`` re-exports it for compatibility.)
+WALL_THRESHOLD_FACTOR = 4.0
+
+#: run ``summary`` metric -> good direction ("lower" = increases regress).
+SUMMARY_METRIC_DIRECTIONS = {
+    "total_miss_rate": "lower",
+    "fast_miss_rate": "lower",
+    "io_time_s": "lower",
+    "total_time_s": "lower",
+    "bytes_moved": "lower",
+}
+
+#: run ``derived`` metric -> good direction.
+DERIVED_METRIC_DIRECTIONS = {
+    "prefetch_precision": "higher",
+    "prefetch_recall": "higher",
+}
+
+
+def is_wall_metric(name: str) -> bool:
+    """Wall-clock/RSS metric names gate at the widened threshold."""
+    return name.endswith("wall_s") or name.endswith("_rss_bytes")
+
+
+@dataclass(frozen=True)
+class GateRule:
+    """How one metric gates.
+
+    ``direction``
+        ``"lower"`` (increases are bad) or ``"higher"``.
+    ``mode``
+        - ``"relative"`` — change relative to ``max(|old|, abs_floor)``;
+          regresses past ``threshold * scale`` in the bad direction.
+        - ``"relative_strict_zero"`` — like ``"relative"``, but an old
+          value of exactly 0 tolerates no increase at all (the serve
+          gate's rule: a metric that was clean must stay clean).
+        - ``"absolute_increase"`` — any increase regresses, threshold
+          ignored (cross-tenant evictions).
+        - ``"absolute_drop"`` — a drop of more than ``threshold * scale``
+          in absolute units regresses (the Jain fairness index).
+    ``scale``
+        Threshold multiplier; wall-clock metrics use
+        :data:`WALL_THRESHOLD_FACTOR`.
+    """
+
+    direction: str = "lower"
+    mode: str = "relative"
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("lower", "higher"):
+            raise ValueError(f"direction must be 'lower'/'higher', got {self.direction!r}")
+        if self.mode not in (
+            "relative", "relative_strict_zero", "absolute_increase", "absolute_drop",
+        ):
+            raise ValueError(f"unknown gate mode {self.mode!r}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+
+#: ``{metric name: (value, rule)}`` — what the flatteners produce and
+#: :func:`compare_metric_sets` consumes.
+MetricSet = Dict[str, Tuple[float, GateRule]]
+
+
+def _compare_one(
+    old_value: float, new_value: float, rule: GateRule, threshold: float, abs_floor: float
+) -> Tuple[float, bool, bool]:
+    """Returns ``(change, regressed, improved)`` for one metric pair."""
+    limit = threshold * rule.scale
+    if rule.mode == "absolute_increase":
+        change = new_value - old_value
+        bad = new_value > old_value
+        good = new_value < old_value
+    elif rule.mode == "absolute_drop":
+        change = new_value - old_value
+        drop = old_value - new_value if rule.direction == "higher" else new_value - old_value
+        bad = drop > limit
+        good = drop < 0
+    elif rule.mode == "relative_strict_zero" and old_value == 0.0:
+        worse = new_value > 0.0 if rule.direction == "lower" else new_value < 0.0
+        change = float("inf") if new_value > 0.0 else (
+            float("-inf") if new_value < 0.0 else 0.0
+        )
+        bad = worse
+        good = False
+    else:
+        denom = max(abs(old_value), abs_floor)
+        change = (new_value - old_value) / denom
+        bad = change > limit if rule.direction == "lower" else change < -limit
+        good = change < 0 if rule.direction == "lower" else change > 0
+    return change, bad, good and change != 0
+
+
+def compare_metric_sets(
+    old: Mapping[str, Tuple[float, GateRule]],
+    new: Mapping[str, Tuple[float, GateRule]],
+    threshold: float = 0.10,
+    abs_floor: float = 1e-12,
+) -> List[Dict[str, object]]:
+    """Diff two metric sets; one row per metric present in either.
+
+    Rows are sorted by metric name and carry ``metric`` / ``old`` /
+    ``new`` / ``change`` / ``direction`` / ``status``; metrics missing
+    on either side report status ``"missing"`` (with the present side's
+    value) and never regress.  The rule of the *new* side wins when the
+    two sides disagree (a renamed direction applies immediately).
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(old) | set(new)):
+        if name not in old or name not in new:
+            rows.append({
+                "metric": name,
+                "status": "missing",
+                "old": old.get(name, (None,))[0],
+                "new": new.get(name, (None,))[0],
+            })
+            continue
+        old_value, _old_rule = old[name]
+        new_value, rule = new[name]
+        change, bad, good = _compare_one(
+            float(old_value), float(new_value), rule, threshold, abs_floor
+        )
+        rows.append({
+            "metric": name,
+            "old": float(old_value),
+            "new": float(new_value),
+            "change": change,
+            "direction": rule.direction,
+            "status": "regression" if bad else ("improved" if good else "ok"),
+        })
+    return rows
+
+
+def count_regressions(rows: List[Dict[str, object]]) -> int:
+    return sum(1 for r in rows if r["status"] == "regression")
+
+
+def format_gate_rows(rows: List[Dict[str, object]], verbose: bool = False) -> str:
+    """Human-readable comparison table; non-ok rows always shown."""
+    lines = [f"{'metric':<58} {'old':>12} {'new':>12} {'change':>9}  status"]
+    lines.append("-" * len(lines[0]))
+    shown = 0
+    for row in rows:
+        if row["status"] == "ok" and not verbose:
+            continue
+        shown += 1
+        old = "-" if row.get("old") is None else f"{row['old']:.6g}"
+        new = "-" if row.get("new") is None else f"{row['new']:.6g}"
+        change = f"{row['change']:+.1%}" if "change" in row else "-"
+        lines.append(f"{row['metric']:<58} {old:>12} {new:>12} {change:>9}  {row['status']}")
+    n_reg = count_regressions(rows)
+    lines.append(
+        f"{len(rows)} metrics compared, {n_reg} regression(s), "
+        f"{len(rows) - shown} unchanged/ok hidden"
+        if not verbose
+        else f"{len(rows)} metrics compared, {n_reg} regression(s)"
+    )
+    return "\n".join(lines)
+
+
+# -- flatteners ---------------------------------------------------------------
+
+
+def flatten_run_summary(
+    run: Mapping[str, object],
+    prefix: str,
+    wall_metrics: Tuple[str, ...] = (),
+) -> MetricSet:
+    """Flatten one run cell (``summary``/``derived``/histograms/trace drops).
+
+    This is the per-run section shared by every bench tier and every
+    matrix cell.  ``wall_metrics`` names top-level run keys (fullscale
+    tier: ``wall_s``, ``per_step_wall_s``) additionally gated at the
+    widened wall threshold.
+    """
+    out: MetricSet = {}
+    summary = run.get("summary", {})
+    for name, direction in SUMMARY_METRIC_DIRECTIONS.items():
+        value = summary.get(name)
+        if isinstance(value, (int, float)):
+            out[f"{prefix}.{name}"] = (float(value), GateRule(direction))
+    derived = run.get("derived", {})
+    for name, direction in DERIVED_METRIC_DIRECTIONS.items():
+        value = derived.get(name)
+        if isinstance(value, (int, float)):
+            out[f"{prefix}.{name}"] = (float(value), GateRule(direction))
+    for hist_name in ("fetch_latency_seconds", "frame_time_seconds"):
+        for labels, row in sorted(derived.get(hist_name, {}).items()):
+            for pct in ("p50", "p95", "p99"):
+                value = row.get(pct)
+                if isinstance(value, (int, float)):
+                    out[f"{prefix}.{hist_name}{{{labels}}}.{pct}"] = (
+                        float(value), GateRule("lower"),
+                    )
+    drops = run.get("trace", {}).get("n_dropped")
+    if isinstance(drops, int):
+        out[f"{prefix}.trace.n_dropped"] = (float(drops), GateRule("lower"))
+    for name in wall_metrics:
+        value = run.get(name)
+        if isinstance(value, (int, float)):
+            out[f"{prefix}.{name}"] = (
+                float(value), GateRule("lower", scale=WALL_THRESHOLD_FACTOR),
+            )
+    return out
+
+
+def flatten_multi_tenant(
+    mt: Mapping[str, object],
+    prefix: str = "multi_tenant",
+    strict_zero: bool = False,
+    relative: bool = False,
+) -> MetricSet:
+    """Flatten a ``multi_tenant`` section (bench suite or serve snapshot).
+
+    Per-tenant and pooled frame-time percentiles, makespan, the Jain
+    fairness index (absolute-drop gate), and cross-tenant evictions
+    (absolute-increase gate).  ``strict_zero=True`` applies the serve
+    gate's zero rule: a percentile that was exactly 0 must stay 0.
+    ``relative=True`` gates fairness/cross-evictions relatively instead
+    of absolutely — the bench tier's historical semantics.
+    """
+    mode = "relative_strict_zero" if strict_zero else "relative"
+    frames = mt["frame_times"]
+    out: MetricSet = {
+        f"{prefix}.fairness_jain": (
+            float(frames["fairness_jain"]),
+            GateRule("higher") if relative else GateRule("higher", mode="absolute_drop"),
+        ),
+        f"{prefix}.cross_evictions": (
+            float(mt["cross_evictions"]),
+            GateRule("lower") if relative else GateRule("lower", mode="absolute_increase"),
+        ),
+        f"{prefix}.makespan_s": (float(mt["makespan_s"]), GateRule("lower", mode=mode)),
+    }
+    for pct in ("p50", "p95", "p99"):
+        out[f"{prefix}.pooled.{pct}"] = (
+            float(frames["pooled"][pct]), GateRule("lower", mode=mode),
+        )
+    for tenant, row in sorted(frames["per_tenant"].items()):
+        for pct in ("p50", "p95", "p99"):
+            out[f"{prefix}.{tenant}.{pct}"] = (
+                float(row[pct]), GateRule("lower", mode=mode),
+            )
+    return out
+
+
+def flatten_cluster_section(
+    section: Mapping[str, object], prefix: str = "cluster"
+) -> MetricSet:
+    """Flatten a cluster-tier network ledger (all simulated quantities)."""
+    out: MetricSet = {}
+    for route, value in sorted(section.get("split_bytes", {}).items()):
+        if isinstance(value, (int, float)):
+            out[f"{prefix}.split_bytes.{route}"] = (float(value), GateRule("lower"))
+    locality = section.get("shard_map", {}).get("locality_score")
+    if isinstance(locality, (int, float)):
+        out[f"{prefix}.locality_score"] = (float(locality), GateRule("higher"))
+    for name, direction in (
+        ("peer_bytes", "lower"),
+        ("peer_time_s", "lower"),
+        ("peer_transfers", "lower"),
+        ("link_fallbacks", "lower"),
+        ("fallback_reads", "lower"),
+    ):
+        value = section.get(name)
+        if isinstance(value, (int, float)):
+            out[f"{prefix}.{name}"] = (float(value), GateRule(direction))
+    for link, row in sorted(section.get("links", {}).items()):
+        for field in ("bytes", "time_s"):
+            value = row.get(field)
+            if isinstance(value, (int, float)):
+                out[f"{prefix}.link.{link}.{field}"] = (float(value), GateRule("lower"))
+    return out

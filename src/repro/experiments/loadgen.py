@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.experiments.gating import GateRule, MetricSet, compare_metric_sets
+from repro.experiments.matrix import MatrixSpec
 from repro.experiments.runner import ExperimentSetup, fresh_hierarchy
 from repro.runtime.context import RunContext
 from repro.runtime.sessions import SessionSpec, run_sessions
@@ -34,6 +36,7 @@ __all__ = [
     "LoadGenConfig",
     "make_session_specs",
     "run_load",
+    "serve_matrix_spec",
     "write_serve",
     "load_serve",
     "compare_serve",
@@ -173,6 +176,47 @@ def run_load(
     }
 
 
+def serve_matrix_spec(
+    config: Optional[LoadGenConfig] = None,
+    label: str = "serve",
+    engine: str = "batched",
+    attribution: bool = True,
+) -> MatrixSpec:
+    """One serving scenario as a single-cell matrix spec.
+
+    The ``RunConfig`` fields carry everything a session stream shares with
+    a replay cell (``sessions`` is the tenant count); the serve-only knobs
+    (mix weights, arrival process, partition, attribution) ride in
+    ``[setup]``.  The committed ``specs/serve-baseline.toml`` pins the
+    ``SERVE_baseline.json`` scenario this way, and axes over ``sessions``
+    / ``policy`` / ``cache_ratio`` turn it into a serving study.
+    """
+    config = config if config is not None else LoadGenConfig()
+    return MatrixSpec(
+        label=label,
+        runner="serve",
+        base={
+            "dataset": config.dataset,
+            "blocks": config.blocks,
+            "scale": config.scale,
+            "steps": config.steps,
+            "degrees": tuple(config.degrees),
+            "distance": config.distance,
+            "cache_ratio": config.cache_ratio,
+            "policy": config.policy,
+            "seed": config.seed,
+            "sessions": config.n_sessions,
+            "engine": engine,
+        },
+        setup={
+            "mix": tuple(config.mix),
+            "arrival_rate_hz": config.arrival_rate_hz,
+            "partition": config.partition,
+            "attribution": attribution,
+        },
+    )
+
+
 def write_serve(doc: dict, label: str, out_dir: "str | Path" = ".") -> Path:
     """Write ``SERVE_<label>.json``; returns the path."""
     out_dir = Path(out_dir)
@@ -193,6 +237,34 @@ def load_serve(path: Path) -> dict:
     return doc
 
 
+def _serve_metric_set(doc: dict) -> MetricSet:
+    """The serve gate as a gating metric set (serve-historical names).
+
+    Makespan and frame-time percentiles gate with the strict-zero relative
+    rule (a metric that was clean must stay clean), cross-tenant evictions
+    with the absolute-increase rule, and the Jain fairness index with the
+    absolute-drop rule — the serve gate's historical semantics, now
+    expressed on the shared :mod:`repro.experiments.gating` vocabulary.
+    """
+    mt = doc["multi_tenant"]
+    frames = mt["frame_times"]
+    strict = GateRule("lower", mode="relative_strict_zero")
+    out: MetricSet = {
+        "makespan_s": (float(mt["makespan_s"]), strict),
+        "cross_evictions": (
+            float(mt["cross_evictions"]), GateRule("lower", mode="absolute_increase"),
+        ),
+        "pooled/p99": (float(frames["pooled"]["p99"]), strict),
+        "fairness_jain": (
+            float(frames["fairness_jain"]), GateRule("higher", mode="absolute_drop"),
+        ),
+    }
+    for tenant, summary in sorted(frames["per_tenant"].items()):
+        for q in ("p50", "p95", "p99"):
+            out[f"{tenant}/{q}"] = (float(summary[q]), strict)
+    return out
+
+
 def comparable_serve_metrics(doc: dict) -> Dict[str, float]:
     """Flatten the gateable (simulated) metrics of a serve snapshot.
 
@@ -200,17 +272,11 @@ def comparable_serve_metrics(doc: dict) -> Dict[str, float]:
     the cross-eviction count — all lower-is-better; the fairness index is
     gated separately (higher is better).
     """
-    mt = doc["multi_tenant"]
-    frames = mt["frame_times"]
-    metrics: Dict[str, float] = {
-        "makespan_s": float(mt["makespan_s"]),
-        "cross_evictions": float(mt["cross_evictions"]),
-        "pooled/p99": float(frames["pooled"]["p99"]),
+    return {
+        name: value
+        for name, (value, _rule) in _serve_metric_set(doc).items()
+        if name != "fairness_jain"
     }
-    for tenant, summary in sorted(frames["per_tenant"].items()):
-        for q in ("p50", "p95", "p99"):
-            metrics[f"{tenant}/{q}"] = float(summary[q])
-    return metrics
 
 
 def compare_serve(
@@ -222,39 +288,34 @@ def compare_serve(
     side report ``"missing"`` and never regress (so a committed baseline
     stays valid when new tenants/metrics appear).  The fairness index is
     gated downward: a drop of more than ``threshold`` (absolute) is a
-    regression.
+    regression.  The diff itself runs on
+    :func:`repro.experiments.gating.compare_metric_sets`; this wrapper
+    translates the canonical rows back to the serve gate's historical
+    shape (``ratio`` column, ``regressed``/``ok`` statuses, fairness
+    last) so committed baselines keep gating with identical verdicts.
     """
-    old_m = comparable_serve_metrics(old_doc)
-    new_m = comparable_serve_metrics(new_doc)
-    rows: List[dict] = []
-    for key in sorted(set(old_m) | set(new_m)):
-        if key not in old_m or key not in new_m:
-            rows.append({"metric": key, "status": "missing"})
-            continue
-        old_v, new_v = old_m[key], new_m[key]
-        if key == "cross_evictions":
-            status = "regressed" if new_v > old_v else "ok"
-            ratio = new_v - old_v
-        elif old_v == 0.0:
-            status = "ok" if new_v == 0.0 else "regressed"
-            ratio = 0.0 if new_v == 0.0 else float("inf")
-        else:
-            ratio = (new_v - old_v) / old_v
-            status = "regressed" if ratio > threshold else "ok"
-        rows.append(
-            {"metric": key, "old": old_v, "new": new_v, "ratio": ratio, "status": status}
-        )
-    old_f = float(old_doc["multi_tenant"]["frame_times"]["fairness_jain"])
-    new_f = float(new_doc["multi_tenant"]["frame_times"]["fairness_jain"])
-    rows.append(
-        {
-            "metric": "fairness_jain",
-            "old": old_f,
-            "new": new_f,
-            "ratio": new_f - old_f,
-            "status": "regressed" if (old_f - new_f) > threshold else "ok",
-        }
+    canonical = compare_metric_sets(
+        _serve_metric_set(old_doc), _serve_metric_set(new_doc), threshold=threshold
     )
+    rows: List[dict] = []
+    fairness: Optional[dict] = None
+    for row in canonical:
+        if row["status"] == "missing":
+            translated = {"metric": row["metric"], "status": "missing"}
+        else:
+            translated = {
+                "metric": row["metric"],
+                "old": row["old"],
+                "new": row["new"],
+                "ratio": row["change"],
+                "status": "regressed" if row["status"] == "regression" else "ok",
+            }
+        if row["metric"] == "fairness_jain":
+            fairness = translated
+        else:
+            rows.append(translated)
+    if fairness is not None:
+        rows.append(fairness)
     return rows
 
 

@@ -15,10 +15,10 @@ result object that tabulates and re-slices into series.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.experiments.matrix import expand_grid
 from repro.experiments.report import format_table
 
 __all__ = ["SweepResult", "parameter_sweep"]
@@ -99,16 +99,10 @@ def parameter_sweep(
     key set across all calls.  ``fixed`` parameters are passed to every
     call but not recorded as sweep axes.
     """
-    if not grid:
-        raise ValueError("grid needs at least one parameter axis")
-    for name, values in grid.items():
-        if len(values) == 0:
-            raise ValueError(f"parameter {name!r} has no values")
+    names, combos = expand_grid(grid)
     fixed = dict(fixed or {})
-    names = tuple(grid)
     result: Optional[SweepResult] = None
-    for combo in itertools.product(*(grid[n] for n in names)):
-        params = dict(zip(names, combo))
+    for params in combos:
         metrics = dict(fn(**params, **fixed))
         if result is None:
             result = SweepResult(param_names=names, metric_names=tuple(metrics))

@@ -29,15 +29,29 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.camera.path import spherical_path, zoom_path
-from repro.camera.sampling import SamplingConfig
 from repro.runtime.config import REPLAY_ENGINES
 from repro.runtime.drivers import run_baseline
+from repro.experiments.gating import (
+    WALL_THRESHOLD_FACTOR,
+    GateRule,
+    MetricSet,
+    compare_metric_sets,
+    flatten_cluster_section,
+    flatten_multi_tenant,
+    flatten_run_summary,
+)
+from repro.experiments.matrix import (
+    MatrixSpec,
+    execute_cells,
+    expand_cells,
+    run_matrix_cell,
+    setup_for,
+)
 from repro.experiments.runner import ExperimentSetup
 from repro.faults import FAULT_PROFILES, FaultInjector, FaultPlan
 from repro.obs.attribution import attribute_run
@@ -45,6 +59,7 @@ from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profiler import PhaseProfiler
 from repro.storage.forensics import EvictionLineage, optimal_miss_count
 from repro.trace import Tracer, aggregate
+from repro.utils.rng import derive_seed
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -52,6 +67,7 @@ __all__ = [
     "BENCH_CELLS",
     "PROFILE_CELL",
     "BenchConfig",
+    "bench_matrix_spec",
     "derive_fault_seed",
     "run_bench",
     "write_bench",
@@ -63,11 +79,6 @@ __all__ = [
 
 #: Bump when the BENCH_*.json layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
-
-#: Wall-clock/RSS metrics (fullscale tier only) are machine-noisy; they are
-#: compared at ``threshold * WALL_THRESHOLD_FACTOR`` so same-machine CI
-#: catches multi-x slowdowns without flaking on scheduler jitter.
-WALL_THRESHOLD_FACTOR = 4.0
 
 PathLike = Union[str, Path]
 
@@ -151,13 +162,11 @@ def derive_fault_seed(base: int, index: int) -> int:
     injector with the raw base seed would fire the identical fault
     schedule into four different workloads), yet the derivation has to be
     a pure function of the pinned config so serial and ``--workers N``
-    runs produce byte-identical snapshots.  SeedSequence's spawn-stable
-    hashing gives both.
+    runs produce byte-identical snapshots.  Delegates to the shared
+    :func:`repro.utils.rng.derive_seed` (SeedSequence spawn-stable
+    hashing), which the matrix runtime uses for the same purpose.
     """
-    import numpy as np
-
-    seq = np.random.SeedSequence([int(base) & (2**63 - 1), int(index)])
-    return int(seq.generate_state(1, dtype=np.uint64)[0] & (2**63 - 1))
+    return derive_seed(int(base), int(index))
 
 
 def _run_one(
@@ -272,43 +281,47 @@ def _run_one(
     return run
 
 
-def _build_setup(config: BenchConfig) -> ExperimentSetup:
-    return ExperimentSetup.for_dataset(
-        config.dataset,
-        target_n_blocks=config.blocks,
-        scale=config.scale,
-        cache_ratio=config.cache_ratio,
-        sampling=SamplingConfig(
-            n_directions=config.n_directions, n_distances=config.n_distances
+def bench_matrix_spec(config: BenchConfig, engine: str = "batched") -> MatrixSpec:
+    """The bench suite as a matrix spec.
+
+    Expanding this spec reproduces :data:`BENCH_CELLS` exactly — same
+    keys, same run order, same per-cell fault-seed derivation — so the
+    committed ``specs/bench*.toml`` files and ``repro bench`` are two
+    spellings of one suite (a test pins them equal).
+    """
+    return MatrixSpec(
+        label="bench",
+        runner="bench-cell",
+        base={
+            "dataset": config.dataset,
+            "blocks": config.blocks,
+            "scale": config.scale,
+            "steps": config.steps,
+            "cache_ratio": config.cache_ratio,
+            "seed": config.seed,
+            "degrees": (config.degrees_per_step, config.degrees_per_step),
+            "engine": engine,
+            "faults": config.faults,
+            "fault_seed": config.fault_seed,
+        },
+        axes={
+            "workload": ("spherical", "zoom"),
+            "policy": ("lru", "app-aware"),
+        },
+        labels={"workload": {"spherical": "orbit"}},
+        setup={
+            "n_directions": config.n_directions,
+            "n_distances": config.n_distances,
+            "tracer_capacity": config.tracer_capacity,
+        },
+        figures=(
+            {
+                "x": "policy",
+                "metric": "total_miss_rate",
+                "group_by": "workload",
+                "title": "miss rate: LRU baseline vs app-aware",
+            },
         ),
-        seed=config.seed,
-    )
-
-
-# -- worker-process plumbing --------------------------------------------------
-# Each worker builds the full setup (dataset + tables) once from the pinned
-# config in its initializer, then serves cells from it.  Nothing non-trivial
-# crosses the process boundary: the config in, plain-JSON run dicts out, so
-# snapshots are byte-identical to a serial run.
-
-_WORKER_STATE: Dict[str, object] = {}
-
-
-def _init_worker(config: BenchConfig) -> None:
-    setup = _build_setup(config)
-    setup.importance_table  # noqa: B018 - builds and caches
-    setup.visible_table  # noqa: B018 - builds and caches
-    _WORKER_STATE["config"] = config
-    _WORKER_STATE["setup"] = setup
-
-
-def _worker_cell(cell: Tuple[int, str, str, str]) -> Tuple[str, Dict[str, object]]:
-    index, path_name, policy, engine = cell
-    config: BenchConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
-    setup: ExperimentSetup = _WORKER_STATE["setup"]  # type: ignore[assignment]
-    path = _paths(config, setup.view_angle_deg)[path_name]
-    return f"{path_name}/{policy}", _run_one(
-        setup, path, policy, config, engine=engine, cell_index=index
     )
 
 
@@ -360,40 +373,34 @@ def run_bench(
     notify = progress if progress is not None else (lambda msg: None)
     t0 = time.perf_counter()
 
+    # The suite is a committed matrix spec; expanding it reproduces the
+    # pinned BENCH_CELLS keys, order, and per-cell seed derivation.
+    spec = bench_matrix_spec(config, engine=engine)
+    cells = expand_cells(spec)
+
     suite_profiler = PhaseProfiler()
     with suite_profiler.span("bench"):
         notify(f"setup: {config.dataset}, ~{config.blocks} blocks, {config.steps} steps")
         with suite_profiler.span("setup"):
-            setup = _build_setup(config)
+            setup = setup_for(cells[0].config, spec.setup)
 
         runs: Dict[str, Dict[str, object]] = {}
-        n_workers = min(workers, len(BENCH_CELLS))
+        n_workers = min(workers, len(cells))
         if n_workers > 1:
-            notify(f"runs: {len(BENCH_CELLS)} cells on {n_workers} workers")
-            cells = [(i, p, pol, engine) for i, (p, pol) in enumerate(BENCH_CELLS)]
+            notify(f"runs: {len(cells)} cells on {n_workers} workers")
             with suite_profiler.span("runs"):
-                with ProcessPoolExecutor(
-                    max_workers=n_workers,
-                    initializer=_init_worker,
-                    initargs=(config,),
-                ) as pool:
-                    for key, run in pool.map(_worker_cell, cells):
-                        notify(f"done: {key}")
-                        runs[key] = run
+                runs = execute_cells(
+                    cells, spec.runner, spec.setup, workers=n_workers, progress=notify
+                )
         else:
             notify("building T_visible / T_important tables")
             with suite_profiler.span("table_build"):
                 setup.importance_table  # noqa: B018 - builds and caches
                 setup.visible_table  # noqa: B018 - builds and caches
-            paths = _paths(config, setup.view_angle_deg)
-            for index, (path_name, policy) in enumerate(BENCH_CELLS):
-                key = f"{path_name}/{policy}"
-                notify(f"run: {key}")
-                with suite_profiler.span(f"run {path_name}:{policy}"):
-                    runs[key] = _run_one(
-                        setup, paths[path_name], policy, config,
-                        engine=engine, cell_index=index,
-                    )
+            for cell in cells:
+                notify(f"run: {cell.key}")
+                with suite_profiler.span(f"run {cell.key.replace('/', ':')}"):
+                    runs[cell.key] = run_matrix_cell(cell, spec)
 
         # The multi-tenant serving scenario: a pinned 8-session
         # orbit/zoom/flythrough mix over one shared hierarchy with equal
@@ -478,27 +485,41 @@ def load_bench(path: PathLike) -> Dict[str, object]:
 
 
 # -- comparison ---------------------------------------------------------------
-
-#: metric suffix -> direction ("lower" = increases are regressions).
-_SUMMARY_METRICS = {
-    "total_miss_rate": "lower",
-    "fast_miss_rate": "lower",
-    "io_time_s": "lower",
-    "total_time_s": "lower",
-    "bytes_moved": "lower",
-}
-_DERIVED_METRICS = {
-    "prefetch_precision": "higher",
-    "prefetch_recall": "higher",
-}
-
+# The flattening/threshold logic lives in repro.experiments.gating (shared
+# with the serve gate and the matrix runner); this section translates the
+# canonical metric sets and rows back into the bench tier's historical
+# shapes so committed baselines keep gating with bit-identical verdicts.
 
 #: Wall-clock metrics included in the comparison — fullscale tier only.
 _FULLSCALE_WALL_METRICS = ("importance_wall_s", "table_build_wall_s", "peak_rss_bytes")
 
 
-def _is_wall_metric(name: str) -> bool:
-    return name.endswith("wall_s") or name.endswith("_rss_bytes")
+def _gating_metric_set(doc: Dict[str, object]) -> MetricSet:
+    """Flatten a bench snapshot (any tier) into a gating metric set."""
+    out: MetricSet = {}
+    tier = doc.get("tier")
+    if tier == "fullscale":
+        section = doc.get("fullscale", {})
+        for name in _FULLSCALE_WALL_METRICS:
+            value = section.get(name)
+            if isinstance(value, (int, float)):
+                out[f"fullscale.{name}"] = (
+                    float(value), GateRule("lower", scale=WALL_THRESHOLD_FACTOR),
+                )
+    if tier == "cluster":
+        # Cluster-tier network ledger: all simulated-clock/byte quantities,
+        # deterministic for pinned config, so they gate at the sim threshold.
+        out.update(flatten_cluster_section(doc.get("cluster", {})))
+    wall_metrics = ("wall_s", "per_step_wall_s") if tier == "fullscale" else ()
+    for run_key, run in sorted(doc["runs"].items()):
+        out.update(flatten_run_summary(run, run_key, wall_metrics=wall_metrics))
+    # Multi-tenant serving metrics (absent from pre-multi-tenant snapshots:
+    # they then report "missing" on one side and never regress).  The bench
+    # tier gates fairness/cross-evictions relatively, unlike the serve gate.
+    mt = doc.get("multi_tenant")
+    if mt:
+        out.update(flatten_multi_tenant(mt, relative=True))
+    return out
 
 
 def comparable_metrics(doc: Dict[str, object]) -> Dict[str, Tuple[float, str]]:
@@ -512,81 +533,10 @@ def comparable_metrics(doc: Dict[str, object]) -> Dict[str, Tuple[float, str]]:
     :func:`compare_bench` holds to the widened
     ``threshold * WALL_THRESHOLD_FACTOR``.
     """
-    out: Dict[str, Tuple[float, str]] = {}
-    fullscale_tier = doc.get("tier") == "fullscale"
-    if fullscale_tier:
-        section = doc.get("fullscale", {})
-        for name in _FULLSCALE_WALL_METRICS:
-            value = section.get(name)
-            if isinstance(value, (int, float)):
-                out[f"fullscale.{name}"] = (float(value), "lower")
-    if doc.get("tier") == "cluster":
-        # Cluster-tier network ledger: all simulated-clock/byte quantities,
-        # deterministic for pinned config, so they gate at the sim threshold.
-        section = doc.get("cluster", {})
-        for route, value in sorted(section.get("split_bytes", {}).items()):
-            if isinstance(value, (int, float)):
-                out[f"cluster.split_bytes.{route}"] = (float(value), "lower")
-        locality = section.get("shard_map", {}).get("locality_score")
-        if isinstance(locality, (int, float)):
-            out["cluster.locality_score"] = (float(locality), "higher")
-        for name, direction in (
-            ("peer_bytes", "lower"),
-            ("peer_time_s", "lower"),
-            ("peer_transfers", "lower"),
-            ("link_fallbacks", "lower"),
-            ("fallback_reads", "lower"),
-        ):
-            value = section.get(name)
-            if isinstance(value, (int, float)):
-                out[f"cluster.{name}"] = (float(value), direction)
-        for link, row in sorted(section.get("links", {}).items()):
-            for field in ("bytes", "time_s"):
-                value = row.get(field)
-                if isinstance(value, (int, float)):
-                    out[f"cluster.link.{link}.{field}"] = (float(value), "lower")
-    for run_key, run in sorted(doc["runs"].items()):
-        summary = run["summary"]
-        for name, direction in _SUMMARY_METRICS.items():
-            value = summary.get(name)
-            if isinstance(value, (int, float)):
-                out[f"{run_key}.{name}"] = (float(value), direction)
-        derived = run.get("derived", {})
-        for name, direction in _DERIVED_METRICS.items():
-            value = derived.get(name)
-            if isinstance(value, (int, float)):
-                out[f"{run_key}.{name}"] = (float(value), direction)
-        for hist_name in ("fetch_latency_seconds", "frame_time_seconds"):
-            for labels, row in sorted(derived.get(hist_name, {}).items()):
-                for pct in ("p50", "p95", "p99"):
-                    value = row.get(pct)
-                    if isinstance(value, (int, float)):
-                        out[f"{run_key}.{hist_name}{{{labels}}}.{pct}"] = (
-                            float(value),
-                            "lower",
-                        )
-        drops = run.get("trace", {}).get("n_dropped")
-        if isinstance(drops, int):
-            out[f"{run_key}.trace.n_dropped"] = (float(drops), "lower")
-        if fullscale_tier:
-            for name in ("wall_s", "per_step_wall_s"):
-                value = run.get(name)
-                if isinstance(value, (int, float)):
-                    out[f"{run_key}.{name}"] = (float(value), "lower")
-    # Multi-tenant serving metrics (absent from pre-multi-tenant snapshots:
-    # they then report "missing" on one side and never regress).
-    mt = doc.get("multi_tenant")
-    if mt:
-        frames = mt["frame_times"]
-        out["multi_tenant.fairness_jain"] = (float(frames["fairness_jain"]), "higher")
-        out["multi_tenant.cross_evictions"] = (float(mt["cross_evictions"]), "lower")
-        out["multi_tenant.makespan_s"] = (float(mt["makespan_s"]), "lower")
-        for pct in ("p50", "p95", "p99"):
-            out[f"multi_tenant.pooled.{pct}"] = (float(frames["pooled"][pct]), "lower")
-        for tenant, row in sorted(frames["per_tenant"].items()):
-            for pct in ("p50", "p95", "p99"):
-                out[f"multi_tenant.{tenant}.{pct}"] = (float(row[pct]), "lower")
-    return out
+    return {
+        name: (value, rule.direction)
+        for name, (value, rule) in _gating_metric_set(doc).items()
+    }
 
 
 def compare_bench(
@@ -604,33 +554,24 @@ def compare_bench(
     snapshots only) regress at ``threshold * WALL_THRESHOLD_FACTOR`` —
     they ratchet raw speed while tolerating machine noise.
     """
-    if threshold < 0:
-        raise ValueError(f"threshold must be >= 0, got {threshold}")
-    old_metrics = comparable_metrics(old)
-    new_metrics = comparable_metrics(new)
-    rows: List[Dict[str, object]] = []
-    for name in sorted(set(old_metrics) | set(new_metrics)):
-        if name not in old_metrics or name not in new_metrics:
-            rows.append({"metric": name, "status": "missing",
-                         "old": old_metrics.get(name, (None,))[0],
-                         "new": new_metrics.get(name, (None,))[0]})
-            continue
-        old_value, direction = old_metrics[name]
-        new_value = new_metrics[name][0]
-        denom = max(abs(old_value), abs_floor)
-        change = (new_value - old_value) / denom
-        limit = threshold * WALL_THRESHOLD_FACTOR if _is_wall_metric(name) else threshold
-        bad = change > limit if direction == "lower" else change < -limit
-        good = change < 0 if direction == "lower" else change > 0
-        rows.append({
-            "metric": name,
-            "old": old_value,
-            "new": new_value,
-            "rel_change": change,
-            "direction": direction,
-            "status": "regression" if bad else ("improved" if good and change != 0 else "ok"),
-        })
-    return rows
+    rows = compare_metric_sets(
+        _gating_metric_set(old), _gating_metric_set(new),
+        threshold=threshold, abs_floor=abs_floor,
+    )
+    out: List[Dict[str, object]] = []
+    for row in rows:
+        if row["status"] == "missing":
+            out.append(dict(row))
+        else:
+            out.append({
+                "metric": row["metric"],
+                "old": row["old"],
+                "new": row["new"],
+                "rel_change": row["change"],
+                "direction": row["direction"],
+                "status": row["status"],
+            })
+    return out
 
 
 def format_comparison(rows: List[Dict[str, object]], verbose: bool = False) -> str:

@@ -31,20 +31,11 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional
 
-from repro.camera.path import spherical_path
-from repro.camera.sampling import SamplingConfig
-from repro.cluster import cluster_fault_plan, make_sharded_hierarchy
-from repro.core.pipeline import PipelineContext
-from repro.experiments.runner import ExperimentSetup
-from repro.faults import FaultInjector
+from repro.experiments.matrix import MatrixSpec, expand_cells, run_matrix_cell
 from repro.obs.bench import BENCH_SCHEMA_VERSION
-from repro.obs.metrics import MetricsRegistry
 from repro.runtime.config import REPLAY_ENGINES
-from repro.runtime.context import RunContext
-from repro.runtime.drivers import run_baseline
-from repro.trace import Tracer
 
-__all__ = ["ClusterConfig", "ledger_reconciles", "run_cluster"]
+__all__ = ["ClusterConfig", "cluster_matrix_spec", "ledger_reconciles", "run_cluster"]
 
 
 @dataclass(frozen=True)
@@ -95,51 +86,62 @@ def ledger_reconciles(hierarchy) -> bool:
     )
 
 
-def _run_cell(
-    setup: ExperimentSetup,
-    context: PipelineContext,
-    config: ClusterConfig,
-    engine: str,
-    n_nodes: int,
-    faults: str,
-):
-    """One sharded orbit cell; returns (run-dict, hierarchy)."""
-    hierarchy = make_sharded_hierarchy(
-        setup.grid,
-        n_nodes,
-        strategy=config.strategy,
-        cache_ratio=config.cache_ratio,
-        policy="lru",
-        ghost_ratio=config.ghost_ratio if n_nodes > 1 else 0.0,
-        seed=config.seed,
+def cluster_matrix_spec(config: ClusterConfig, engine: str = "batched") -> MatrixSpec:
+    """The cluster tier as a matrix spec.
+
+    Two axes — shard count and fault profile — with the fault-free K1
+    combination of the partition profile pruned by a constraint, expand
+    to the tier's three pinned cells in run order (``orbit/K1``,
+    ``orbit/K<n>``, ``orbit/K<n>/partition``); all three share one orbit
+    context through the replay runner's caches, exactly like the legacy
+    single-setup loop.  ``force_sharded`` keeps the K1 cell on a one-node
+    :class:`~repro.cluster.ShardedHierarchy` (the shard-equivalence
+    surface) instead of the plain single-box hierarchy.
+    """
+    return MatrixSpec(
+        label="cluster",
+        runner="replay",
+        base={
+            "dataset": config.dataset,
+            "blocks": config.blocks,
+            "scale": config.scale,
+            "steps": config.steps,
+            "cache_ratio": config.cache_ratio,
+            "seed": config.seed,
+            "workload": "spherical",
+            "degrees": (config.degrees_per_step, config.degrees_per_step),
+            "distance": 2.5,
+            "policy": "lru",
+            "engine": engine,
+            "fault_seed": config.fault_seed,
+            "shard_map": config.strategy,
+        },
+        axes={
+            "shards": (1, config.n_nodes),
+            "faults": ("none", config.faults),
+        },
+        constraints=({"shards": 1, "faults": config.faults},),
+        labels={
+            "shards": {"1": "K1", str(config.n_nodes): f"K{config.n_nodes}"},
+            "faults": {"none": "", config.faults: "partition"},
+        },
+        key_prefix="orbit",
+        setup={
+            "n_directions": config.n_directions,
+            "n_distances": config.n_distances,
+            "tracer_capacity": config.tracer_capacity,
+            "ghost_ratio": config.ghost_ratio,
+            "force_sharded": True,
+        },
+        figures=(
+            {
+                "x": "shards",
+                "metric": "total_miss_rate",
+                "group_by": "faults",
+                "title": "miss rate vs shard count",
+            },
+        ),
     )
-    injector = None
-    if faults != "none":
-        injector = FaultInjector(
-            cluster_fault_plan(faults, n_nodes, seed=config.fault_seed)
-        )
-    ctx = RunContext(
-        tracer=Tracer(capacity=config.tracer_capacity),
-        registry=MetricsRegistry(),
-        fault_injector=injector,
-    )
-    t0 = time.perf_counter()
-    result = run_baseline(context, hierarchy, engine=engine, ctx=ctx)
-    wall = time.perf_counter() - t0
-    ledger = hierarchy.cluster_ledger()
-    run = {
-        "engine": engine,
-        "n_nodes": n_nodes,
-        "faults": faults,
-        "wall_s": wall,
-        "summary": result.summary(),
-        "hierarchy_stats": result.hierarchy_stats.as_dict(),
-        "split_bytes": dict(ledger["split_bytes"]),
-        "peer_transfers": ledger["peer_transfers"],
-        "link_fallbacks": ledger["link_fallbacks"],
-        "ledger_reconciles": ledger_reconciles(hierarchy),
-    }
-    return run, hierarchy
 
 
 def run_cluster(
@@ -168,43 +170,29 @@ def run_cluster(
         f"setup: {config.dataset}, ~{config.blocks} blocks, {config.steps} steps, "
         f"{config.n_nodes} nodes ({config.strategy})"
     )
-    setup = ExperimentSetup.for_dataset(
-        config.dataset,
-        target_n_blocks=config.blocks,
-        scale=config.scale,
-        cache_ratio=config.cache_ratio,
-        sampling=SamplingConfig(
-            n_directions=config.n_directions, n_distances=config.n_distances
-        ),
-        seed=config.seed,
-    )
-    path = spherical_path(
-        config.steps,
-        degrees_per_step=config.degrees_per_step,
-        distance=2.5,
-        view_angle_deg=setup.view_angle_deg,
-        seed=config.seed,
-    )
-    context = setup.context(path)
-
-    cells = (
-        ("orbit/K1", 1, "none"),
-        (f"orbit/K{config.n_nodes}", config.n_nodes, "none"),
-        (f"orbit/K{config.n_nodes}-partition", config.n_nodes, config.faults),
-    )
+    # The tier is a committed matrix spec; the replay runner's caches give
+    # the three cells one shared setup + orbit context, like the legacy
+    # single-setup loop.  The per-cell run dicts are reshaped to the
+    # tier's historical layout (n_nodes/faults scalars, no nested ledger)
+    # so committed baselines stay byte-identical.
+    spec = cluster_matrix_spec(config, engine=engine)
     runs: Dict[str, Dict[str, object]] = {}
-    partition_hierarchy = None
-    for key, n_nodes, faults in cells:
+    cluster_section = None
+    for cell in expand_cells(spec):
+        faults = cell.axes["faults"]
+        key = cell.key.replace("/partition", "-partition")
         notify(f"run: {key}")
-        runs[key], hierarchy = _run_cell(
-            setup, context, config, engine, n_nodes, faults
-        )
+        run = run_matrix_cell(cell, spec)
+        ledger = run.pop("cluster")
+        run.pop("faults", None)
+        run["n_nodes"] = cell.config.shards
+        run["faults"] = faults
+        runs[key] = run
         if faults != "none":
-            partition_hierarchy = hierarchy
+            cluster_section = ledger
+            cluster_section["ledger_reconciles"] = run["ledger_reconciles"]
 
-    assert partition_hierarchy is not None
-    cluster_section = partition_hierarchy.cluster_ledger()
-    cluster_section["ledger_reconciles"] = ledger_reconciles(partition_hierarchy)
+    assert cluster_section is not None
 
     return {
         "schema_version": BENCH_SCHEMA_VERSION,

@@ -32,8 +32,15 @@ from typing import Dict, Optional
 from repro.camera.frustum import resolve_kernel
 from repro.camera.sampling import SamplingConfig
 from repro.core.pipeline import PipelineContext
+from repro.experiments.matrix import (
+    MatrixCell,
+    MatrixSpec,
+    expand_cells,
+    register_cell_runner,
+    setup_for,
+)
 from repro.experiments.runner import ExperimentSetup
-from repro.obs.bench import BENCH_CELLS, BENCH_SCHEMA_VERSION, PROFILE_CELL, _paths
+from repro.obs.bench import BENCH_SCHEMA_VERSION, PROFILE_CELL, _paths
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import PhaseProfiler
 from repro.parallel.preprocess import build_visible_table_parallel
@@ -42,7 +49,7 @@ from repro.runtime.drivers import run_baseline
 from repro.tables.builder import build_importance_table, build_visible_table
 from repro.trace import Tracer
 
-__all__ = ["FullscaleConfig", "run_fullscale"]
+__all__ = ["FullscaleConfig", "fullscale_matrix_spec", "run_fullscale"]
 
 
 @dataclass(frozen=True)
@@ -121,6 +128,101 @@ def _run_cell(
     }
 
 
+def fullscale_matrix_spec(config: FullscaleConfig, engine: str = "batched") -> MatrixSpec:
+    """The fullscale tier's cell grid as a matrix spec.
+
+    The same 2×2 (workload × policy) grid as the default bench tier at
+    paper-scale geometry, run by the ``fullscale-cell`` runner (registered
+    below), which builds its tables and contexts with the tier's
+    visibility ``kernel``.  ``run_fullscale`` expands this spec for its
+    cell loop; the committed ``specs/fullscale-smoke.toml`` runs the same
+    cells standalone through ``repro matrix run``.
+    """
+    return MatrixSpec(
+        label="fullscale",
+        runner="fullscale-cell",
+        base={
+            "dataset": config.dataset,
+            "blocks": config.blocks,
+            "scale": config.scale,
+            "steps": config.steps,
+            "cache_ratio": config.cache_ratio,
+            "seed": config.seed,
+            "degrees": (config.degrees_per_step, config.degrees_per_step),
+            "engine": engine,
+        },
+        axes={
+            "workload": ("spherical", "zoom"),
+            "policy": ("lru", "app-aware"),
+        },
+        labels={"workload": {"spherical": "orbit"}},
+        setup={
+            "n_directions": config.n_directions,
+            "n_distances": config.n_distances,
+            "tracer_capacity": config.tracer_capacity,
+            "kernel": config.kernel,
+        },
+    )
+
+
+#: Per-process context cache of the standalone ``fullscale-cell`` runner
+#: (kernel-aware, so it cannot share the replay runner's context cache).
+_CELL_CONTEXTS: Dict[tuple, PipelineContext] = {}
+
+
+def _fullscale_cell(cell: MatrixCell, extras) -> Dict[str, object]:
+    """Standalone matrix runner for fullscale cells.
+
+    Builds the kernel-aware tables/contexts lazily (serial, untimed —
+    the timed, optionally parallel build preamble is ``run_fullscale``'s
+    job) and then runs the same lightweight cell as the tier.
+    """
+    run_config = cell.config
+    fconfig = FullscaleConfig(
+        dataset=run_config.dataset,
+        blocks=run_config.blocks,
+        scale=run_config.scale if run_config.scale is not None else 0.5,
+        steps=run_config.steps,
+        cache_ratio=run_config.cache_ratio,
+        seed=run_config.seed,
+        n_directions=int(extras.get("n_directions", 256)),
+        n_distances=int(extras.get("n_distances", 2)),
+        degrees_per_step=run_config.degrees[0],
+        tracer_capacity=int(extras.get("tracer_capacity", 500_000)),
+        kernel=str(extras.get("kernel", "culled")),
+    )
+    setup = setup_for(
+        run_config,
+        {
+            **dict(extras),
+            "n_directions": fconfig.n_directions,
+            "n_distances": fconfig.n_distances,
+        },
+    )
+    if setup._vtable is None:
+        setup._itable = build_importance_table(setup.volume, setup.grid)
+        setup._vtable = build_visible_table(
+            setup.grid, setup.sampling, setup.view_angle_deg,
+            cache_ratio=fconfig.cache_ratio,
+            importance=setup.importance_table,
+            seed=fconfig.seed,
+            kernel=fconfig.kernel,
+        )
+    path_name = "orbit" if run_config.workload == "spherical" else "zoom"
+    ckey = (id(setup), path_name, fconfig.steps, fconfig.kernel)
+    if ckey not in _CELL_CONTEXTS:
+        path = _paths(fconfig, setup.view_angle_deg)[path_name]
+        _CELL_CONTEXTS[ckey] = PipelineContext.create(
+            path, setup.grid, setup.render_model, kernel=fconfig.kernel
+        )
+    return _run_cell(
+        setup, _CELL_CONTEXTS[ckey], run_config.policy, fconfig, run_config.engine
+    )
+
+
+register_cell_runner("fullscale-cell", _fullscale_cell)
+
+
 def run_fullscale(
     config: Optional[FullscaleConfig] = None,
     label: str = "fullscale",
@@ -191,16 +293,18 @@ def run_fullscale(
     paths = _paths(config, setup.view_angle_deg)
     contexts: Dict[str, PipelineContext] = {}
     runs: Dict[str, Dict[str, object]] = {}
-    for path_name, policy in BENCH_CELLS:
+    for cell in expand_cells(fullscale_matrix_spec(config, engine=engine)):
+        path_name = "orbit" if cell.config.workload == "spherical" else "zoom"
         if path_name not in contexts:
             notify(f"visible sets: {path_name} path ({config.steps} steps)")
             contexts[path_name] = PipelineContext.create(
                 paths[path_name], setup.grid, setup.render_model,
                 kernel=config.kernel,
             )
-        key = f"{path_name}/{policy}"
-        notify(f"run: {key}")
-        runs[key] = _run_cell(setup, contexts[path_name], policy, config, engine)
+        notify(f"run: {cell.key}")
+        runs[cell.key] = _run_cell(
+            setup, contexts[path_name], cell.config.policy, config, engine
+        )
 
     vtable = setup.visible_table
     sizes = vtable.entry_sizes()

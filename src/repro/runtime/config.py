@@ -43,8 +43,19 @@ __all__ = [
 #: (Canonical home; ``repro.core.pipeline`` re-exports it for compatibility.)
 REPLAY_ENGINES = ("batched", "scalar")
 
-#: Workload (camera path) generators the runtime knows how to build.
-WORKLOAD_NAMES = ("random", "spherical", "zoom", "flythrough")
+#: Workload (camera path) generators the runtime knows how to build — the
+#: scenario zoo.  The registry in ``repro.runtime.registries`` documents
+#: each name; ``recorded`` additionally requires ``trace_file``.
+WORKLOAD_NAMES = (
+    "random",
+    "spherical",
+    "zoom",
+    "flythrough",
+    "random-walk",
+    "recorded",
+    "multi-focus",
+    "temporal-sweep",
+)
 
 #: Prefetcher names resolvable by the runtime registry (``ghost`` and
 #: ``replicate`` are the cluster-aware strategies; they require shards > 1).
@@ -57,7 +68,10 @@ def _check_choice(field: str, value: Any, choices) -> None:
 
 
 def _check_policy(field: str, value: Any, _cfg: "RunConfig") -> None:
-    _check_choice(field, value, POLICY_NAMES)
+    # ``app-aware`` is not a cache-level policy but the paper's optimizer
+    # driving an LRU hierarchy; matrix specs address it through the same
+    # ``policy`` axis as the conventional baselines.
+    _check_choice(field, value, tuple(POLICY_NAMES) + ("app-aware",))
 
 
 def _check_policies(field: str, value: Any, _cfg: "RunConfig") -> None:
@@ -89,7 +103,25 @@ def _check_engine(field: str, value: Any, _cfg: "RunConfig") -> None:
 
 
 def _check_faults(field: str, value: Any, cfg: "RunConfig") -> None:
-    _check_choice(field, value, tuple(FAULT_PROFILES))
+    # Lazy for the same layering reason as ``_check_shard_map``.
+    from repro.cluster.faults import CLUSTER_FAULT_PROFILES
+
+    cluster_only = tuple(p for p in CLUSTER_FAULT_PROFILES if p not in FAULT_PROFILES)
+    _check_choice(field, value, tuple(FAULT_PROFILES) + cluster_only)
+    if value in cluster_only and cfg.shards < 2:
+        raise ValueError(
+            f"{field}={value!r} is a cluster fault profile; it requires shards > 1"
+        )
+
+
+def _check_trace_file(field: str, value: Any, cfg: "RunConfig") -> None:
+    if value is not None and not isinstance(value, str):
+        raise ValueError(f"{field} must be a path string (or None), got {value!r}")
+    if cfg.workload == "recorded" and value is None:
+        raise ValueError(
+            f"{field} is required for workload='recorded' "
+            f"(a camera-trace JSONL written by `repro replay --record`)"
+        )
 
 
 def _check_fault_seed(field: str, value: Any, cfg: "RunConfig") -> None:
@@ -179,6 +211,8 @@ RUN_CONFIG_SCHEMA: Dict[str, Tuple[Callable[[str, Any, "RunConfig"], None], str]
     "io_budget_s": (_check_optional_positive, "per-frame demand-I/O budget (None: stall)"),
     "shards": (_check_positive_int, "number of simulated cluster nodes (1 = single box)"),
     "shard_map": (_check_shard_map, "block-ownership strategy for sharded runs"),
+    "sessions": (_check_positive_int, "concurrent tenant sessions (serve-runner cells)"),
+    "trace_file": (_check_trace_file, "camera-trace JSONL for workload='recorded'"),
 }
 
 
@@ -211,10 +245,25 @@ class RunConfig:
     io_budget_s: Optional[float] = None
     shards: int = 1
     shard_map: str = "slab"
+    sessions: int = 1
+    trace_file: Optional[str] = None
 
     def __post_init__(self) -> None:
+        # Collect every invalid field before raising: hand-written matrix
+        # specs make config typos the common failure mode, and fixing them
+        # one error message at a time is miserable.
+        errors = []
         for name, (validator, _help) in RUN_CONFIG_SCHEMA.items():
-            validator(name, getattr(self, name), self)
+            try:
+                validator(name, getattr(self, name), self)
+            except ValueError as exc:
+                errors.append(str(exc))
+        if len(errors) == 1:
+            raise ValueError(errors[0])
+        if errors:
+            raise ValueError(
+                f"{len(errors)} invalid RunConfig fields: " + "; ".join(errors)
+            )
 
     # -- round-trip -----------------------------------------------------------
 
@@ -228,18 +277,31 @@ class RunConfig:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "RunConfig":
-        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        """Inverse of :meth:`to_dict`; rejects unknown keys.
+
+        All problems — unknown keys *and* invalid values of the known
+        ones — are reported together in one ``ValueError``.
+        """
         unknown = sorted(set(d) - set(RUN_CONFIG_SCHEMA))
+        problems = []
         if unknown:
-            raise ValueError(
+            problems.append(
                 f"unknown RunConfig field(s) {unknown}; known: {sorted(RUN_CONFIG_SCHEMA)}"
             )
-        kwargs: Dict[str, Any] = dict(d)
+        kwargs: Dict[str, Any] = {k: v for k, v in d.items() if k in RUN_CONFIG_SCHEMA}
         if "degrees" in kwargs and isinstance(kwargs["degrees"], (list, tuple)):
             kwargs["degrees"] = tuple(float(v) for v in kwargs["degrees"])
         if "policies" in kwargs and isinstance(kwargs["policies"], (list, tuple)):
             kwargs["policies"] = tuple(str(v) for v in kwargs["policies"])
-        return cls(**kwargs)
+        try:
+            config = cls(**kwargs)
+        except ValueError as exc:
+            problems.append(str(exc))
+            config = None
+        if problems:
+            raise ValueError("; ".join(problems))
+        assert config is not None
+        return config
 
     # -- CLI ------------------------------------------------------------------
 
@@ -269,6 +331,8 @@ class RunConfig:
                 kwargs[field] = tuple(float(v) for v in value)
             elif dest == "scale" and value is not None:
                 kwargs[field] = float(value)
+            elif dest == "trace_file" and value is not None:
+                kwargs[field] = str(value)
             else:
                 kwargs[field] = value
         return cls(**kwargs)
@@ -293,6 +357,7 @@ CLI_FIELD_MAP: Dict[str, str] = {
     "fault_seed": "fault_seed",
     "shards": "shards",
     "shard_map": "shard_map",
+    "trace_file": "trace_file",
 }
 
 #: argparse ``dest`` names that deliberately do NOT map onto RunConfig —
@@ -311,6 +376,7 @@ CLI_ONLY_FLAGS: Dict[str, str] = {
     "threshold": "comparison regression threshold",
     "warn_only": "comparison exit-code policy",
     "verbose": "comparison table verbosity",
+    "record": "camera-trace JSONL output path (records the path, doesn't shape it)",
 }
 
 

@@ -6,13 +6,33 @@ New behaviours are *registered*, not threaded through driver signatures:
   resolvable by name when assembling a recipe;
 - **prefetchers** — the strategy names a :class:`~repro.runtime.config.RunConfig`
   may reference (``none``/``table``/``motion``/``markov`` built in);
-- **workloads** — camera-path generators
-  (``random``/``spherical``/``zoom``/``flythrough``);
+- **workloads** — camera-path generators (the scenario zoo, below);
 - **policies** — re-exported from :mod:`repro.policies.registry`, the
   registry that predates this module.
 
 Each registry rejects duplicate names, and ``make_*`` raises ``KeyError``
 with the known names on a miss.
+
+The scenario zoo — every registered workload name, addressable from a
+``RunConfig`` / matrix spec / ``--path-type`` flag:
+
+==================  =========================================================
+name                scenario
+==================  =========================================================
+``random``          random walk turning ``degrees`` per step at ``distance``
+                    (the paper's §V-C random path)
+``spherical``       great-circle orbit, ``degrees[0]`` per step (§V-A)
+``zoom``            orbiting zoom-in/zoom-out spiral, distance hi→lo→hi
+``flythrough``      seeded tour through random saved viewpoints (slerp)
+``random-walk``     exploratory drift: like ``random`` but the distance also
+                    wanders in ``±25%`` around ``distance``
+``recorded``        replay of a camera-trace JSONL (``trace_file``; written
+                    by ``repro replay --record``)
+``multi-focus``     collaborative session dwelling on shared foci (foci come
+                    from a fixed ``focus_seed`` so sessions overlap)
+``temporal-sweep``  near-stationary view with bounded jitter ``degrees[0]``
+                    — a time-series sweep from one vantage point
+==================  =========================================================
 """
 
 from __future__ import annotations
@@ -236,11 +256,65 @@ def _make_flythrough_path(steps, degrees, distance, view_angle_deg, seed):
     )
 
 
+def _make_random_walk_path(steps, degrees, distance, view_angle_deg, seed):
+    # Exploratory drift: the random workload with the paper's "randomly
+    # different d and l values" — distance wanders in ±25% of the nominal.
+    from repro.camera.path import random_path
+
+    lo, hi = degrees
+    return random_path(
+        steps, degree_change=(lo, hi),
+        distance=(0.8 * distance, 1.25 * distance),
+        view_angle_deg=view_angle_deg, seed=seed,
+    )
+
+
+def _make_recorded_path(steps, degrees, distance, view_angle_deg, seed,
+                        trace_file=None):
+    from repro.camera.recorded import read_camera_trace
+
+    if trace_file is None:
+        raise ValueError("the 'recorded' workload requires trace_file= (a JSONL trace)")
+    path = read_camera_trace(trace_file)
+    if len(path) < steps:
+        raise ValueError(
+            f"camera trace {trace_file!r} has {len(path)} positions, "
+            f"but the run asks for steps={steps}"
+        )
+    if len(path) > steps:
+        from repro.camera.path import CameraPath
+
+        path = CameraPath(path.positions[:steps].copy(), path.view_angle_deg, path.name)
+    return path
+
+
+def _make_multi_focus_path(steps, degrees, distance, view_angle_deg, seed):
+    from repro.camera.path import multi_focus_path
+
+    return multi_focus_path(
+        steps, distance=distance, view_angle_deg=view_angle_deg, seed=seed,
+    )
+
+
+def _make_temporal_sweep_path(steps, degrees, distance, view_angle_deg, seed):
+    from repro.camera.path import temporal_sweep_path
+
+    lo, _hi = degrees
+    return temporal_sweep_path(
+        steps, jitter_deg=lo, distance=distance,
+        view_angle_deg=view_angle_deg, seed=seed,
+    )
+
+
 WORKLOADS = Registry("workload")
 WORKLOADS.register("random", _make_random_path)
 WORKLOADS.register("spherical", _make_spherical_path)
 WORKLOADS.register("zoom", _make_zoom_path)
 WORKLOADS.register("flythrough", _make_flythrough_path)
+WORKLOADS.register("random-walk", _make_random_walk_path)
+WORKLOADS.register("recorded", _make_recorded_path)
+WORKLOADS.register("multi-focus", _make_multi_focus_path)
+WORKLOADS.register("temporal-sweep", _make_temporal_sweep_path)
 
 
 def register_workload(name: str, factory: Callable[..., Any]) -> None:
@@ -249,12 +323,15 @@ def register_workload(name: str, factory: Callable[..., Any]) -> None:
 
 def make_workload(config, view_angle_deg: float):
     """Build the camera path a :class:`~repro.runtime.config.RunConfig`
-    describes (``workload``/``steps``/``degrees``/``distance``/``seed``)."""
-    return WORKLOADS.create(
-        config.workload,
+    describes (``workload``/``steps``/``degrees``/``distance``/``seed``,
+    plus ``trace_file`` for the ``recorded`` workload)."""
+    kwargs: Dict[str, Any] = dict(
         steps=config.steps,
         degrees=config.degrees,
         distance=config.distance,
         view_angle_deg=view_angle_deg,
         seed=config.seed,
     )
+    if getattr(config, "trace_file", None) is not None:
+        kwargs["trace_file"] = config.trace_file
+    return WORKLOADS.create(config.workload, **kwargs)

@@ -13,7 +13,20 @@ import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["resolve_rng", "spawn_rngs", "SeedLike"]
+__all__ = ["resolve_rng", "spawn_rngs", "derive_seed", "SeedLike"]
+
+
+def derive_seed(base: int, *indices: int) -> int:
+    """A decorrelated child seed for position ``indices`` under ``base``.
+
+    ``SeedSequence``-mixes ``(base, *indices)`` into one 63-bit integer, so
+    suites that fan out over cells/repeats give every position statistically
+    independent draws while staying reproducible from a single base seed.
+    ``derive_seed(base, i)`` is the bench tier's historical per-cell fault
+    seed (``derive_fault_seed`` delegates here).
+    """
+    ss = np.random.SeedSequence([base & (2**63 - 1), *indices])
+    return int(ss.generate_state(1, np.uint64)[0] & (2**63 - 1))
 
 
 def resolve_rng(seed: SeedLike = None) -> np.random.Generator:

@@ -1,0 +1,97 @@
+"""Tests for camera-trace JSONL recording and replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.camera.model import DEFAULT_VIEW_ANGLE_DEG
+from repro.camera.path import CameraPath, spherical_path
+from repro.camera.recorded import (
+    CAMERA_TRACE_VERSION,
+    read_camera_trace,
+    write_camera_trace,
+)
+
+
+@pytest.fixture()
+def orbit():
+    return spherical_path(n_positions=8, degrees_per_step=5.0, distance=2.5,
+                          view_angle_deg=12.0, seed=3)
+
+
+class TestRoundTrip:
+    def test_positions_and_metadata_survive(self, orbit, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        write_camera_trace(orbit, target)
+        loaded = read_camera_trace(target)
+        np.testing.assert_allclose(loaded.positions, orbit.positions)
+        assert loaded.view_angle_deg == orbit.view_angle_deg
+        assert loaded.name == orbit.name
+        assert len(loaded) == len(orbit)
+
+    def test_format_is_line_oriented_json(self, orbit, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        write_camera_trace(orbit, target)
+        lines = target.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "camera-trace"
+        assert header["version"] == CAMERA_TRACE_VERSION
+        assert header["n_positions"] == len(orbit)
+        assert len(lines) == 1 + len(orbit)
+        assert json.loads(lines[1])["step"] == 0
+
+    def test_stream_handles_accepted(self, orbit, tmp_path):
+        import io
+
+        buffer = io.StringIO()
+        write_camera_trace(orbit, buffer)
+        loaded = read_camera_trace(io.StringIO(buffer.getvalue()))
+        np.testing.assert_allclose(loaded.positions, orbit.positions)
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        target = tmp_path / "empty.jsonl"
+        target.write_text("")
+        with pytest.raises(ValueError, match="empty camera trace"):
+            read_camera_trace(target)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text(json.dumps({"kind": "chrome-trace"}) + "\n")
+        with pytest.raises(ValueError, match="not a camera trace"):
+            read_camera_trace(target)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text(
+            json.dumps({"kind": "camera-trace", "version": 99}) + "\n"
+        )
+        with pytest.raises(ValueError, match="version 99"):
+            read_camera_trace(target)
+
+    def test_malformed_position_rejected(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text(
+            json.dumps({"kind": "camera-trace", "version": 1}) + "\n"
+            + json.dumps({"step": 0, "position": [1.0, 2.0]}) + "\n"
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            read_camera_trace(target)
+
+    def test_header_only_rejected(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text(json.dumps({"kind": "camera-trace", "version": 1}) + "\n")
+        with pytest.raises(ValueError, match="no positions"):
+            read_camera_trace(target)
+
+    def test_view_angle_defaults_when_absent(self, tmp_path):
+        target = tmp_path / "minimal.jsonl"
+        target.write_text(
+            json.dumps({"kind": "camera-trace", "version": 1}) + "\n"
+            + json.dumps({"step": 0, "position": [2.5, 0.0, 0.0]}) + "\n"
+        )
+        loaded = read_camera_trace(target)
+        assert loaded.view_angle_deg == DEFAULT_VIEW_ANGLE_DEG
+        assert isinstance(loaded, CameraPath)

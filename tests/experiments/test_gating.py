@@ -1,0 +1,221 @@
+"""Tests for the shared comparison/gating vocabulary.
+
+The bench tier, the serve gate, and the matrix runner all compare
+snapshots through this one module; the pinning tests here assert the
+verdicts on the committed baselines stay identical through the shared
+path (satellite of the matrix refactor: three near-identical
+comparable_metrics/compare implementations collapsed into one).
+"""
+
+import copy
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.gating import (
+    GateRule,
+    WALL_THRESHOLD_FACTOR,
+    compare_metric_sets,
+    count_regressions,
+    flatten_cluster_section,
+    flatten_multi_tenant,
+    flatten_run_summary,
+    format_gate_rows,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load(name):
+    return json.loads((REPO_ROOT / name).read_text())
+
+
+class TestGateRule:
+    def test_defaults(self):
+        rule = GateRule("lower")
+        assert rule.mode == "relative" and rule.scale == 1.0
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            GateRule("sideways")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            GateRule("lower", mode="fuzzy")
+
+
+class TestCompareMetricSets:
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_metric_sets({}, {}, threshold=-0.1)
+
+    def test_relative_regression_and_improvement(self):
+        old = {"m": (1.0, GateRule("lower"))}
+        assert compare_metric_sets(old, {"m": (1.2, GateRule("lower"))})[0]["status"] == "regression"
+        assert compare_metric_sets(old, {"m": (0.5, GateRule("lower"))})[0]["status"] == "improved"
+        assert compare_metric_sets(old, {"m": (1.05, GateRule("lower"))})[0]["status"] == "ok"
+
+    def test_higher_direction_flips(self):
+        old = {"m": (1.0, GateRule("higher"))}
+        assert compare_metric_sets(old, {"m": (0.5, GateRule("higher"))})[0]["status"] == "regression"
+        assert compare_metric_sets(old, {"m": (2.0, GateRule("higher"))})[0]["status"] == "improved"
+
+    def test_absolute_increase_mode(self):
+        # any increase at all regresses, regardless of the relative threshold
+        old = {"m": (0.0, GateRule("lower", mode="absolute_increase"))}
+        new = {"m": (1.0, GateRule("lower", mode="absolute_increase"))}
+        assert compare_metric_sets(old, new)[0]["status"] == "regression"
+        assert compare_metric_sets(old, old)[0]["status"] == "ok"
+
+    def test_absolute_drop_mode(self):
+        # drop limit = threshold * scale = 0.2 * 2.0 = 0.4 absolute units
+        rule = GateRule("higher", mode="absolute_drop", scale=2.0)
+        old = {"m": (0.9, rule)}
+        assert compare_metric_sets(old, {"m": (0.6, rule)}, threshold=0.2)[0]["status"] == "ok"
+        assert compare_metric_sets(old, {"m": (0.3, rule)}, threshold=0.2)[0]["status"] == "regression"
+
+    def test_strict_zero_mode(self):
+        rule = GateRule("lower", mode="relative_strict_zero")
+        old = {"m": (0.0, rule)}
+        row = compare_metric_sets(old, {"m": (0.001, rule)})[0]
+        assert row["status"] == "regression" and math.isinf(row["change"])
+        assert compare_metric_sets(old, {"m": (0.0, rule)})[0]["status"] == "ok"
+
+    def test_missing_metrics_reported_both_ways(self):
+        rows = compare_metric_sets(
+            {"gone": (1.0, GateRule("lower"))},
+            {"new": (1.0, GateRule("lower"))},
+        )
+        statuses = {r["metric"]: r["status"] for r in rows}
+        assert statuses == {"gone": "missing", "new": "missing"}
+        by_name = {r["metric"]: r for r in rows}
+        assert by_name["gone"]["old"] == 1.0 and by_name["gone"]["new"] is None
+        assert by_name["new"]["old"] is None and by_name["new"]["new"] == 1.0
+        assert count_regressions(rows) == 0
+
+    def test_format_hides_ok_rows_by_default(self):
+        rows = compare_metric_sets(
+            {"m": (1.0, GateRule("lower"))}, {"m": (1.0, GateRule("lower"))}
+        )
+        assert "hidden" in format_gate_rows(rows)
+        assert "m" in format_gate_rows(rows, verbose=True)
+
+
+class TestFlatteners:
+    def test_run_summary_on_committed_bench(self):
+        doc = _load("BENCH_baseline.json")
+        run = doc["runs"]["orbit/lru"]
+        metrics = flatten_run_summary(run, "orbit/lru")
+        assert "orbit/lru.total_miss_rate" in metrics
+        assert "orbit/lru.trace.n_dropped" in metrics
+        assert not any("wall" in name for name in metrics)
+        # wall metrics only appear when asked for, at the widened threshold
+        walled = flatten_run_summary(run, "x", wall_metrics=("wall_s",))
+        assert walled["x.wall_s"][1].scale == WALL_THRESHOLD_FACTOR
+
+    def test_multi_tenant_on_committed_serve(self):
+        mt = _load("SERVE_baseline.json")["multi_tenant"]
+        metrics = flatten_multi_tenant(mt, strict_zero=True)
+        assert "multi_tenant.fairness_jain" in metrics
+        assert metrics["multi_tenant.fairness_jain"][1].mode == "absolute_drop"
+        relative = flatten_multi_tenant(mt, relative=True)
+        assert relative["multi_tenant.fairness_jain"][1].mode == "relative"
+
+    def test_cluster_section_on_committed_snapshot(self):
+        section = _load("BENCH_cluster.json")["cluster"]
+        metrics = flatten_cluster_section(section)
+        assert "cluster.split_bytes.peer" in metrics
+        assert metrics["cluster.locality_score"][1].direction == "higher"
+
+
+class TestBenchVerdictPinning:
+    """compare_bench on the committed baseline through the shared gate."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _load("BENCH_baseline.json")
+
+    def test_self_compare_all_ok(self, baseline):
+        from repro.obs.bench import compare_bench
+
+        rows = compare_bench(baseline, baseline)
+        assert rows and all(r["status"] == "ok" for r in rows)
+        # legacy row vocabulary preserved: rel_change, not change
+        assert all("rel_change" in r for r in rows)
+
+    def test_perturbed_miss_rate_regresses(self, baseline):
+        from repro.obs.bench import compare_bench
+
+        worse = copy.deepcopy(baseline)
+        worse["runs"]["orbit/lru"]["summary"]["total_miss_rate"] *= 1.5
+        rows = compare_bench(baseline, worse)
+        bad = [r for r in rows if r["status"] == "regression"]
+        assert [r["metric"] for r in bad] == ["orbit/lru.total_miss_rate"]
+
+    def test_improvement_reported(self, baseline):
+        from repro.obs.bench import compare_bench
+
+        better = copy.deepcopy(baseline)
+        better["runs"]["orbit/lru"]["summary"]["io_time_s"] *= 0.5
+        rows = compare_bench(baseline, better)
+        assert any(
+            r["metric"] == "orbit/lru.io_time_s" and r["status"] == "improved"
+            for r in rows
+        )
+
+    def test_cluster_tier_self_compare(self):
+        from repro.obs.bench import compare_bench
+
+        doc = _load("BENCH_cluster.json")
+        rows = compare_bench(doc, doc)
+        assert all(r["status"] == "ok" for r in rows)
+        assert any(r["metric"].startswith("cluster.") for r in rows)
+
+
+class TestServeVerdictPinning:
+    """compare_serve on the committed baseline through the shared gate."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _load("SERVE_baseline.json")
+
+    def test_self_compare_all_ok(self, baseline):
+        from repro.experiments.loadgen import compare_serve
+
+        rows = compare_serve(baseline, baseline)
+        assert rows and all(r["status"] == "ok" for r in rows)
+        # legacy vocabulary: ratio key, fairness row last
+        assert all("ratio" in r for r in rows)
+        assert rows[-1]["metric"] == "fairness_jain"
+
+    def test_cross_evictions_gate_is_absolute(self, baseline):
+        from repro.experiments.loadgen import compare_serve
+
+        worse = copy.deepcopy(baseline)
+        worse["multi_tenant"]["cross_evictions"] += 1
+        rows = compare_serve(baseline, worse)
+        assert any(
+            r["metric"] == "cross_evictions" and r["status"] == "regressed"
+            for r in rows
+        )
+
+    def test_fairness_drop_regresses(self, baseline):
+        from repro.experiments.loadgen import compare_serve
+
+        worse = copy.deepcopy(baseline)
+        worse["multi_tenant"]["frame_times"]["fairness_jain"] -= 0.3
+        rows = compare_serve(baseline, worse, threshold=0.25)
+        fairness = [r for r in rows if r["metric"] == "fairness_jain"]
+        assert fairness and fairness[0]["status"] == "regressed"
+
+    def test_missing_tenant_rows_are_schema_only(self, baseline):
+        from repro.experiments.loadgen import compare_serve
+
+        fewer = copy.deepcopy(baseline)
+        per_tenant = fewer["multi_tenant"]["frame_times"]["per_tenant"]
+        per_tenant.pop(sorted(per_tenant)[0])
+        rows = compare_serve(baseline, fewer)
+        missing = [r for r in rows if r["status"].startswith("missing")]
+        assert missing and all(set(r) == {"metric", "status"} for r in missing)

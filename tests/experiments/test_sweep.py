@@ -43,6 +43,26 @@ class TestParameterSweep:
         with pytest.raises(ValueError, match="inconsistent"):
             parameter_sweep(flaky, {"a": [1, 2]})
 
+    def test_single_axis(self):
+        sweep = parameter_sweep(lambda a: {"m": a * 2.0}, {"a": [1, 2, 3]})
+        assert len(sweep) == 3
+        assert sweep.param_names == ("a",)
+        x, series = sweep.series(x="a", metric="m")
+        assert x == [1, 2, 3]
+        assert series == {"m": [2.0, 4.0, 6.0]}
+
+    def test_non_float_metric_tabulates(self):
+        # Nothing coerces metric values: strings/ints flow through the rows
+        # and the table; only series() assumes numbers (and merely stores).
+        sweep = parameter_sweep(
+            lambda a: {"verdict": "ok" if a else "bad", "count": a},
+            {"a": [0, 1]},
+        )
+        assert sweep.rows[0][1]["verdict"] == "bad"
+        table = sweep.to_table()
+        assert "verdict" in table and "ok" in table
+        assert sweep.best("count", minimize=False)[0] == {"a": 1}
+
 
 class TestSeries:
     @pytest.fixture()
@@ -68,6 +88,22 @@ class TestSeries:
             sweep.series(x="a", metric="zzz")
         with pytest.raises(KeyError):
             sweep.series(x="a", metric="sum", group_by="zzz")
+
+    def test_incomplete_grid_rejected(self):
+        from repro.experiments.sweep import SweepResult
+
+        # Hand-built rows with a hole: group b=20 has no value at a=2.
+        holey = SweepResult(
+            param_names=("a", "b"),
+            metric_names=("m",),
+            rows=[
+                ({"a": 1, "b": 10}, {"m": 1.0}),
+                ({"a": 2, "b": 10}, {"m": 2.0}),
+                ({"a": 1, "b": 20}, {"m": 3.0}),
+            ],
+        )
+        with pytest.raises(ValueError, match="incomplete grid.*'20'"):
+            holey.series(x="a", metric="m", group_by="b")
 
 
 class TestBestAndTable:

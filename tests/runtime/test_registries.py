@@ -111,3 +111,67 @@ class TestCustomStage:
         ).run()
         assert [step for step, _ in logger.lines] == list(range(6))
         assert [n for _, n in logger.lines] == [m.n_visible for m in result.steps]
+
+
+class TestScenarioZoo:
+    """The workload registry is the scenario zoo: every RunConfig-reachable
+    camera path, documented in one table (the registries module docstring)."""
+
+    def test_every_workload_name_registered_and_documented(self):
+        from repro.runtime import registries
+        from repro.runtime.config import WORKLOAD_NAMES
+
+        for name in WORKLOAD_NAMES:
+            assert name in WORKLOADS, name
+            assert f"``{name}``" in registries.__doc__, f"{name} missing from zoo table"
+
+    def test_random_walk_workload(self):
+        config = RunConfig(workload="random-walk", steps=10, distance=2.0, seed=5)
+        path = make_workload(config, view_angle_deg=VIEW)
+        assert len(path) == 10
+        # the walk wanders distance within ±25% of the nominal
+        import numpy as np
+
+        radii = np.linalg.norm(path.positions, axis=1)
+        assert (radii >= 0.8 * 2.0 - 1e-9).all()
+        assert (radii <= 1.25 * 2.0 + 1e-9).all()
+        again = make_workload(config, view_angle_deg=VIEW)
+        np.testing.assert_allclose(again.positions, path.positions)  # seeded
+
+    def test_recorded_workload_round_trip(self, tmp_path):
+        import numpy as np
+
+        from repro.camera.recorded import write_camera_trace
+
+        source = make_workload(RunConfig(workload="spherical", steps=8), VIEW)
+        trace = tmp_path / "orbit.jsonl"
+        write_camera_trace(source, trace)
+        config = RunConfig(workload="recorded", steps=8, trace_file=str(trace))
+        replayed = make_workload(config, view_angle_deg=VIEW)
+        np.testing.assert_allclose(replayed.positions, source.positions)
+
+    def test_recorded_workload_truncates_longer_traces(self, tmp_path):
+        from repro.camera.recorded import write_camera_trace
+
+        source = make_workload(RunConfig(workload="spherical", steps=8), VIEW)
+        trace = tmp_path / "orbit.jsonl"
+        write_camera_trace(source, trace)
+        shorter = make_workload(
+            RunConfig(workload="recorded", steps=5, trace_file=str(trace)), VIEW
+        )
+        assert len(shorter) == 5
+
+    def test_recorded_workload_short_trace_rejected(self, tmp_path):
+        from repro.camera.recorded import write_camera_trace
+
+        source = make_workload(RunConfig(workload="spherical", steps=4), VIEW)
+        trace = tmp_path / "short.jsonl"
+        write_camera_trace(source, trace)
+        with pytest.raises(ValueError, match="has 4 positions.*steps=9"):
+            make_workload(
+                RunConfig(workload="recorded", steps=9, trace_file=str(trace)), VIEW
+            )
+
+    def test_recorded_requires_trace_file(self):
+        with pytest.raises(ValueError, match="trace_file is required"):
+            RunConfig(workload="recorded")

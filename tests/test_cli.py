@@ -381,3 +381,88 @@ class TestTraceFromJsonl:
         assert rc == 2
         err = capsys.readouterr().err
         assert err.startswith("error:") and err.count("\n") == 1
+
+
+class TestReplayRecord:
+    def test_record_then_replay_trace(self, tmp_path, capsys):
+        trace = tmp_path / "session.jsonl"
+        rc = main([
+            "replay", "--blocks", "64", "--scale", "0.04", "--steps", "6",
+            "--path-type", "spherical", "--policies", "lru", "--no-app-aware",
+            "--record", str(trace),
+        ])
+        assert rc == 0
+        assert "camera trace" in capsys.readouterr().out
+        assert trace.is_file()
+
+        rc = main([
+            "replay", "--blocks", "64", "--scale", "0.04", "--steps", "6",
+            "--path-type", "recorded", "--trace-file", str(trace),
+            "--policies", "lru", "--no-app-aware",
+        ])
+        assert rc == 0
+        # the recorded path keeps the original session's name
+        assert "spherical_5deg" in capsys.readouterr().out
+
+    def test_recorded_without_trace_file_is_one_line_error(self, capsys):
+        rc = main([
+            "replay", "--blocks", "64", "--scale", "0.04", "--steps", "6",
+            "--path-type", "recorded",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "trace_file" in err
+
+
+class TestMatrix:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["matrix", "run", "smoke"])
+        assert args.matrix_command == "run"
+        assert args.spec == "smoke" and args.workers == 1
+
+    def test_run_bundled_smoke_spec(self, tmp_path, capsys):
+        report = tmp_path / "report.html"
+        rc = main([
+            "matrix", "run", "smoke", "--out", str(tmp_path),
+            "--report", str(report),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert (tmp_path / "MATRIX_smoke.json").is_file()
+        html = report.read_text()
+        assert "<script" not in html.lower()
+        assert "http://" not in html and "https://" not in html
+
+    def test_compare_fresh_against_committed(self, tmp_path, capsys):
+        assert main(["matrix", "run", "smoke", "--out", str(tmp_path)]) == 0
+        rc = main([
+            "matrix", "compare", str(tmp_path / "MATRIX_smoke.json"),
+            "MATRIX_smoke.json",
+        ])
+        assert rc == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_report_subcommand(self, tmp_path, capsys):
+        out_html = tmp_path / "m.html"
+        rc = main(["matrix", "report", "MATRIX_smoke.json", "--out", str(out_html)])
+        assert rc == 0
+        assert out_html.is_file()
+        assert "4 cells" in capsys.readouterr().out
+
+    def test_unknown_spec_lists_bundled(self, capsys):
+        rc = main(["matrix", "run", "no-such-spec"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "bundled" in err and "smoke" in err
+
+    def test_compare_missing_file_exits_two(self, capsys):
+        rc = main(["matrix", "compare", "nope.json", "also-nope.json"])
+        assert rc == 2
+
+    def test_label_override(self, tmp_path):
+        assert main([
+            "matrix", "run", "smoke", "--label", "renamed",
+            "--out", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "MATRIX_renamed.json").is_file()
